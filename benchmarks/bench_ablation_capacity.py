@@ -1,0 +1,28 @@
+"""Ablation: the per-epoch migration capacity cap of Algorithm 1.
+
+Removing the cap re-creates vanilla's over-migration: the exporter plans
+its whole excess at once, the transfer lags, and the loads ping-pong.
+"""
+
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.core.balancer import LunuleBalancer
+from repro.core.initiator import InitiatorConfig
+from repro.workloads import ZipfWorkload
+
+
+def _run(cap_fraction: float, seed: int):
+    wl = ZipfWorkload(20, files_per_dir=200, reads_per_client=1500)
+    cfg = SimConfig(n_mds=5, mds_capacity=100, epoch_len=10, max_ticks=8000,
+                    migration_rate=40)  # slow transfers stress the cap
+    bal = LunuleBalancer(InitiatorConfig(cap_fraction=cap_fraction))
+    return Simulator(wl.materialize(seed=seed), bal, cfg).run()
+
+
+def test_ablation_migration_cap(benchmark, seed):
+    res_capped = benchmark.pedantic(_run, args=(1.0, seed), rounds=1, iterations=1)
+    res_uncapped = _run(100.0, seed)
+    print(f"\ncap 1.0C  : migrated={res_capped.migrated_series[-1]}"
+          f" IF={res_capped.mean_if(2):.3f} done@{res_capped.finished_tick}")
+    print(f"uncapped  : migrated={res_uncapped.migrated_series[-1]}"
+          f" IF={res_uncapped.mean_if(2):.3f} done@{res_uncapped.finished_tick}")
+    assert res_capped.finished_tick <= res_uncapped.finished_tick * 1.1

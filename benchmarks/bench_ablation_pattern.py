@@ -1,0 +1,26 @@
+"""Ablation: sibling spatial correlation in the Pattern Analyzer (§3.3).
+
+Scan workloads rely on the sibling bonus to give unvisited directories a
+non-zero migration index before the scan reaches them.
+"""
+
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.core.balancer import LunuleBalancer
+from repro.workloads import CnnWorkload
+
+
+def _run(sibling_probability: float, seed: int):
+    wl = CnnWorkload(16, n_dirs=80, files_per_dir=30, jitter=0.05)
+    cfg = SimConfig(n_mds=5, mds_capacity=100, epoch_len=10, max_ticks=10000,
+                    migration_rate=80, sibling_probability=sibling_probability)
+    return Simulator(wl.materialize(seed=seed), LunuleBalancer(), cfg).run()
+
+
+def test_ablation_sibling_correlation(benchmark, seed):
+    res_on = benchmark.pedantic(_run, args=(0.5, seed), rounds=1, iterations=1)
+    res_off = _run(0.0, seed)
+    print(f"\nsibling ON : IF={res_on.mean_if(2):.3f} done@{res_on.finished_tick}")
+    print(f"sibling OFF: IF={res_off.mean_if(2):.3f} done@{res_off.finished_tick}")
+    # the bonus must not hurt, and should help balance the scan
+    assert res_on.mean_if(2) <= res_off.mean_if(2) * 1.1
+    assert res_on.finished_tick <= res_off.finished_tick * 1.1

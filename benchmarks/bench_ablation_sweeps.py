@@ -1,0 +1,56 @@
+"""Design-parameter sweeps: epoch length and IF trigger threshold.
+
+DESIGN.md calls out both as load-bearing defaults (epoch 10 s from the
+paper; IF threshold 0.075 calibrated here). The sweeps show the defaults
+sit in the efficient region rather than on a cliff.
+"""
+
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.core.balancer import LunuleBalancer
+from repro.core.initiator import InitiatorConfig
+from repro.workloads import ZipfWorkload
+
+
+def _run(epoch_len: int, if_threshold: float, seed: int):
+    wl = ZipfWorkload(16, files_per_dir=200, reads_per_client=1500)
+    cfg = SimConfig(n_mds=5, mds_capacity=100, epoch_len=epoch_len,
+                    max_ticks=20_000)
+    bal = LunuleBalancer(InitiatorConfig(if_threshold=if_threshold))
+    return Simulator(wl.materialize(seed=seed), bal, cfg).run()
+
+
+def test_epoch_length_sweep(benchmark, seed):
+    results = {}
+
+    def sweep():
+        for epoch_len in (5, 10, 20, 40):
+            results[epoch_len] = _run(epoch_len, 0.075, seed)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for e, res in results.items():
+        print(f"  epoch={e:2d}s: done@{res.finished_tick} "
+              f"IF={res.mean_if(2):.3f} migrated={res.migrated_series[-1]}")
+    # the paper's 10 s default is within 25% of the best completion time
+    best = min(r.finished_tick for r in results.values())
+    assert results[10].finished_tick <= best * 1.25
+
+
+def test_if_threshold_sweep(benchmark, seed):
+    results = {}
+
+    def sweep():
+        for thr in (0.02, 0.075, 0.3):
+            results[thr] = _run(10, thr, seed)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for t, res in results.items():
+        print(f"  threshold={t:5.3f}: done@{res.finished_tick} "
+              f"IF={res.mean_if(2):.3f} migrated={res.migrated_series[-1]}")
+    # too high a threshold tolerates harmful imbalance: worse balance than
+    # the default; too low migrates more for little gain
+    assert results[0.3].mean_if(2) >= results[0.075].mean_if(2)
+    assert results[0.02].migrated_series[-1] >= results[0.075].migrated_series[-1]

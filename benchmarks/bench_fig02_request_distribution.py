@@ -1,0 +1,19 @@
+"""Figure 2: per-MDS request shares under CephFS-Vanilla."""
+
+import numpy as np
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig2_request_distribution(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig2_request_distribution, scale, seed)
+    shares = res.data["shares"]
+    # the imbalance phenomenon exists in all workloads (paper §2.2): the
+    # busiest MDS serves above the least-loaded one over the lifetime —
+    # mildly for Web (the one workload Vanilla handles well, Fig. 6d),
+    # clearly for the rest
+    for name, share in shares.items():
+        ratio = float(np.max(share)) / max(float(np.min(share)), 1e-9)
+        floor = 1.1 if name == "web" else 1.25
+        assert ratio > floor, f"{name}: max/min share {ratio:.2f}"

@@ -1,0 +1,15 @@
+"""Figure 3: per-MDS IOPS time series under Vanilla (Zipf, CNN)."""
+
+import numpy as np
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig3_per_mds_throughput(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig3_per_mds_throughput, scale, seed)
+    for name in ("zipf", "cnn"):
+        mat = res.data[name]["per_mds"]
+        # load starts concentrated: the first epoch has one dominant MDS
+        first = mat[0]
+        assert first.max() > 0.9 * first.sum()

@@ -1,0 +1,13 @@
+"""Figure 4: cumulative migrated inodes under Vanilla (Zipf, CNN)."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig4_migrated_inodes(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig4_migrated_inodes, scale, seed)
+    for name in ("zipf", "cnn"):
+        series = res.data[name]["migrated"]
+        # vanilla migrates continuously (the paper's eager-migration trend)
+        assert series[-1] > 0
+        assert all(b >= a for a, b in zip(series, series[1:]))  # cumulative

@@ -1,0 +1,23 @@
+"""Figure 6: imbalance factor per workload x balancer (lower is better)."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig6_imbalance_factor(benchmark, scale, seed, eval_matrix):
+    res = run_and_print(benchmark, figures.fig6_imbalance_factor, scale, seed,
+                        matrix=eval_matrix)
+    rows = {r[0]: r for r in res.data["rows"]}
+    # column order: workload, vanilla, greedyspill, lunule-light, lunule, red%
+    for w, r in rows.items():
+        vanilla, greedy, light, lunule = r[1], r[2], r[3], r[4]
+        assert lunule <= vanilla, f"{w}: lunule must beat vanilla"
+        assert lunule <= greedy, f"{w}: lunule must beat greedyspill"
+    # scan workloads need the workload-aware selector: light lags lunule
+    assert rows["cnn"][4] < rows["cnn"][3]
+    # GreedySpill is the worst baseline on the skewed benchmark workloads
+    assert rows["zipf"][2] > rows["zipf"][1]
+    assert rows["mdtest"][2] > rows["mdtest"][1]
+    # average IF reduction vs vanilla in the paper's 17.9-90.4% band
+    for w, r in rows.items():
+        assert r[5] > 15.0, f"{w}: expected >15% IF reduction, got {r[5]:.1f}"

@@ -1,0 +1,16 @@
+"""Figure 7: aggregate metadata throughput per workload x balancer."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig7_throughput(benchmark, scale, seed, eval_matrix):
+    res = run_and_print(benchmark, figures.fig7_throughput, scale, seed,
+                        matrix=eval_matrix)
+    rows = {r[0]: r for r in res.data["rows"]}
+    # column order: workload, vanilla, greedyspill, lunule-light, lunule, ratio
+    for w, r in rows.items():
+        assert r[4] >= r[1] * 0.99, f"{w}: lunule throughput below vanilla"
+    # the scan workload gains the most (paper: 2.81x); MD the least (+17%)
+    assert rows["cnn"][5] > rows["mdtest"][5]
+    assert rows["cnn"][5] > 1.15

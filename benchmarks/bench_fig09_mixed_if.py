@@ -1,0 +1,13 @@
+"""Figure 9: imbalance factor over time, mixed workload."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig9_mixed_if(benchmark, scale, seed, mixed_runs):
+    res = run_and_print(benchmark, figures.fig9_mixed_if, scale, seed,
+                        runs=mixed_runs)
+    import numpy as np
+    lun = np.mean(res.data["lunule"]["if"][2:])
+    van = np.mean(res.data["vanilla"]["if"][2:])
+    assert lun < van

@@ -1,0 +1,22 @@
+"""Figure 10: per-MDS throughput over time, mixed workload."""
+
+import numpy as np
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig10_mixed_throughput(benchmark, scale, seed, mixed_runs):
+    res = run_and_print(benchmark, figures.fig10_mixed_throughput, scale, seed,
+                        runs=mixed_runs)
+    # Lunule's balanced state translates into at least vanilla's aggregate
+    lun = np.mean(res.data["lunule"]["agg"])
+    van = np.mean(res.data["vanilla"]["agg"])
+    assert lun >= van * 0.95
+    # per-MDS spread tighter under lunule over the middle half of the run
+    def mid_spread(key):
+        mat = res.data[key]["per_mds"]
+        lo, hi = len(mat) // 4, 3 * len(mat) // 4
+        return float(np.mean([np.std(row) for row in mat[lo:hi]]))
+
+    assert mid_spread("lunule") <= mid_spread("vanilla") * 1.2

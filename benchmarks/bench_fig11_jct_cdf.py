@@ -1,0 +1,14 @@
+"""Figure 11: job completion time CDF, mixed workload."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig11_jct_cdf(benchmark, scale, seed, mixed_runs):
+    res = run_and_print(benchmark, figures.fig11_jct_cdf, scale, seed,
+                        runs=mixed_runs)
+    lun = res.data["lunule"]["percentiles"]
+    van = res.data["vanilla"]["percentiles"]
+    # the tail benefits most (paper: 99th percentile 1.42x better)
+    assert lun[99] < van[99]
+    assert lun[80] <= van[80] * 1.02

@@ -1,0 +1,23 @@
+"""Figure 12: dynamic adaptation — cluster expansion and client growth."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig12a_cluster_expansion(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig12a_cluster_expansion, scale, seed)
+    phases = res.data["phases"]
+    # each added MDS raises the sustained aggregate throughput
+    assert phases[1][1] > phases[0][1]
+    assert phases[2][1] > phases[0][1]
+
+
+def test_fig12b_client_growth(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig12b_client_growth, scale, seed)
+    rows = res.data["rows"]
+    # throughput grows with each client wave...
+    means = [r[1] for r in rows]
+    assert all(b > a for a, b in zip(means, means[1:]))
+    # ...and the lightly loaded first phase triggers little migration
+    # (urgency tolerates benign imbalance, paper §4.5)
+    assert rows[0][2] <= rows[-1][2] + 1

@@ -1,0 +1,24 @@
+"""Figure 13: MDS scalability (a) and the Dir-Hash comparison (b)."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig13a_scalability(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.fig13a_scalability, scale, seed)
+    peaks = res.data["peaks"]
+    sizes = sorted(peaks)
+    # peak throughput grows monotonically with cluster size...
+    for a, b in zip(sizes, sizes[1:]):
+        assert peaks[b] > peaks[a]
+    # ...and 16 MDSs keep at least half of linear scaling efficiency
+    assert peaks[16] > 0.5 * 16 * peaks[1]
+
+
+def test_fig13b_dirhash_throughput(benchmark, scale, seed, web_three_way):
+    res = run_and_print(benchmark, figures.fig13b_dirhash_throughput, scale,
+                        seed, results=web_three_way)
+    rows = {r[0]: r for r in res.data["rows"]}
+    # Lunule's sustained web throughput at least matches both baselines
+    assert rows["lunule"][1] >= rows["dirhash"][1] * 0.95
+    assert rows["lunule"][1] >= rows["vanilla"][1] * 0.95

@@ -1,0 +1,20 @@
+"""Figure 14: Dir-Hash inode vs request distribution and forwards."""
+
+import numpy as np
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_fig14_dirhash_distribution(benchmark, scale, seed, web_three_way):
+    res = run_and_print(benchmark, figures.fig14_dirhash_distribution, scale,
+                        seed, results=web_three_way)
+    inode = np.array(res.data["inode_share"])
+    req = np.array(res.data["request_share"])
+    # inodes spread almost evenly (Fig. 14a)
+    assert inode.max() / max(inode.min(), 1e-9) < 2.5
+    # requests spread worse than inodes (Fig. 14b)
+    assert req.max() / max(req.min(), 1e-9) > inode.max() / max(inode.min(), 1e-9)
+    # forwards: hashing destroys path locality (paper: ~2x)
+    fw = res.data["forwards"]
+    assert fw["dirhash"] > fw["lunule"]

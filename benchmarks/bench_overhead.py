@@ -1,0 +1,23 @@
+"""Overhead accounting (paper §3.4): Lunule's control plane is cheap."""
+
+from repro.experiments.overhead import measure_overhead
+
+
+def test_overhead_accounting(benchmark, seed):
+    small = benchmark.pedantic(measure_overhead, args=(5,),
+                               kwargs={"seed": seed}, rounds=1, iterations=1)
+    big = measure_overhead(16, seed=seed)
+    print()
+    print(small.table())
+    print()
+    print(big.table())
+    # N-to-1 collection is far cheaper than vanilla's N-to-N gossip and
+    # grows linearly, not quadratically, with the cluster
+    assert small.initiator_in_per_epoch < small.heartbeat_gossip_per_epoch
+    assert big.initiator_in_per_epoch < big.heartbeat_gossip_per_epoch / 4
+    growth = big.initiator_in_per_epoch / small.initiator_in_per_epoch
+    assert growth < 16 / 5 + 0.5  # ~linear in n_mds
+    # decisions are rare and small compared to the stats stream
+    assert small.initiator_out_per_epoch < small.initiator_in_per_epoch * 5
+    # per-inode bookkeeping is a few bytes (paper: ~1.37% memory overhead)
+    assert small.stats_bytes_per_inode < 128

@@ -1,0 +1,15 @@
+"""Table 1: workload characteristics and metadata-op ratios."""
+
+from conftest import run_and_print
+from repro.experiments import figures
+
+
+def test_table1_workloads(benchmark, scale, seed):
+    res = run_and_print(benchmark, figures.table1_workloads, scale, seed)
+    rows = {r[0]: r for r in res.data["rows"]}
+    # measured metadata ratios must track the paper's column
+    assert abs(rows["zipf"][4] - 0.50) < 0.02
+    assert abs(rows["web"][4] - 0.572) < 0.03
+    assert rows["mdtest"][4] == 1.0
+    assert rows["cnn"][4] > 0.70
+    assert rows["nlp"][4] > 0.75

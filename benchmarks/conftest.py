@@ -1,0 +1,65 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default 1.0, the calibrated
+bench scale) and the seed by ``REPRO_BENCH_SEED``. Expensive run grids
+shared by several figures (the Fig. 6/7 matrix, the mixed-workload pair,
+the Web three-way) are session-scoped fixtures so the suite runs each
+simulation once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import figures
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return _env_float("REPRO_BENCH_SCALE", 1.0)
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(_env_float("REPRO_BENCH_SEED", 7))
+
+
+@pytest.fixture(scope="session")
+def eval_matrix(scale, seed):
+    """The 5-workload x 4-balancer grid behind Figures 6 and 7."""
+    return figures.eval_matrix(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def mixed_runs(scale, seed):
+    """Mixed-workload Lunule-vs-Vanilla pair behind Figures 9-11."""
+    return figures.mixed_comparison(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def web_three_way(scale, seed):
+    """Web workload under vanilla / dirhash / lunule (Figures 13b and 14)."""
+    from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    out = {}
+    for b in ("vanilla", "dirhash", "lunule"):
+        cfg = ExperimentConfig(workload="web", balancer=b, n_clients=20,
+                               seed=seed, scale=scale, sim=BENCH_SIM_CONFIG)
+        out[b] = run_experiment(cfg)
+    return out
+
+
+def run_and_print(benchmark, fn, *args, **kwargs):
+    """Run a figure function once under pytest-benchmark and print its text."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    print()
+    print(result.text)
+    return result

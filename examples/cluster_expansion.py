@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Dynamic adaptation: grow the MDS cluster and the client population.
+
+Reproduces the paper's §4.5 scenarios:
+
+- **expansion** — start with 4 MDSs, add a fifth and a sixth at runtime;
+  Lunule absorbs the new capacity within a few epochs;
+- **client growth** — start with 10 rate-limited clients and add three more
+  waves; the first (light) phase is an imbalance the urgency term
+  classifies as benign, so Lunule deliberately does NOT migrate.
+
+Run:  python examples/cluster_expansion.py
+"""
+
+import numpy as np
+
+from repro import SimConfig, Simulator, make_balancer
+from repro.workloads import ZipfWorkload
+
+
+def expansion() -> None:
+    print("=== MDS cluster expansion (4 -> 5 -> 6) under Lunule ===\n")
+    workload = ZipfWorkload(n_clients=24, files_per_dir=200, reads_per_client=12000)
+    instance = workload.materialize(seed=7)
+    config = SimConfig(n_mds=4, mds_capacity=100, epoch_len=10, max_ticks=900)
+    schedule = [
+        (300, lambda sim: sim.add_mds(1)),
+        (600, lambda sim: sim.add_mds(1)),
+    ]
+    res = Simulator(instance, make_balancer("lunule"), config, schedule).run()
+
+    agg = res.aggregate_iops()
+    for lo, hi, label in ((0, 300, "4 MDSs"), (300, 600, "5 MDSs"), (600, 900, "6 MDSs")):
+        window = [a for t, a in zip(res.epoch_ticks, agg) if lo < t <= hi]
+        print(f"  {label}: mean {np.mean(window):6.1f} IOPS, "
+              f"peak {np.max(window):6.1f} IOPS")
+    print("  -> each added MDS raises cluster throughput within a few epochs\n")
+
+
+def client_growth() -> None:
+    print("=== Client growth (10 -> 20 -> 30 -> 40), rate-limited clients ===\n")
+    workload = ZipfWorkload(n_clients=40, files_per_dir=200, reads_per_client=7500,
+                            client_rate=2)
+    instance = workload.materialize(seed=7)
+    waves = [instance.clients[i * 10:(i + 1) * 10] for i in range(4)]
+    instance.clients = waves[0]
+    schedule = [(250 * i, (lambda w: lambda sim: sim.add_clients(w))(waves[i]))
+                for i in (1, 2, 3)]
+    config = SimConfig(n_mds=5, mds_capacity=100, epoch_len=10, max_ticks=1000)
+    res = Simulator(instance, make_balancer("lunule"), config, schedule).run()
+
+    agg = res.aggregate_iops()
+    prev_mig = 0
+    for i in range(4):
+        lo, hi = 250 * i, 250 * (i + 1)
+        sel = [(a, m) for t, a, m in zip(res.epoch_ticks, agg, res.migrated_series)
+               if lo < t <= hi]
+        mean = np.mean([a for a, _ in sel])
+        mig = sel[-1][1] - prev_mig
+        prev_mig = sel[-1][1]
+        note = "  <- benign imbalance: urgency suppressed re-balance" if i == 0 else ""
+        print(f"  {10 * (i + 1):2d} clients: mean {mean:6.1f} IOPS, "
+              f"{mig:5d} inodes migrated this phase{note}")
+    print("\n  -> throughput scales with the client population; the lightly "
+          "loaded first phase\n     triggers no migration at all (paper Fig. 12b).")
+
+
+if __name__ == "__main__":
+    expansion()
+    client_growth()

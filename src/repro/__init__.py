@@ -1,0 +1,37 @@
+"""repro — a reproduction of Lunule (SC '21), the CephFS metadata balancer.
+
+The package implements the paper's contribution (the Lunule balancer:
+imbalance-factor model, Algorithm 1 role decider, workload-aware subtree
+selection) together with every substrate it needs: a simulated CephFS MDS
+cluster with dynamic subtree partitioning, dirfrags, migration with lag and
+cost, the five evaluation workloads, and the baseline balancers
+(CephFS-Vanilla, GreedySpill, Dir-Hash).
+
+Quickstart::
+
+    from repro import SimConfig, Simulator, make_balancer
+    from repro.workloads import ZipfWorkload
+
+    instance = ZipfWorkload(n_clients=20).materialize(seed=7)
+    sim = Simulator(instance, make_balancer("lunule"), SimConfig(n_mds=5))
+    result = sim.run()
+    print(result.mean_if(), result.peak_iops())
+"""
+
+from repro.balancers import make_balancer
+from repro.cluster import SimConfig, Simulator
+from repro.cluster.results import SimResult
+from repro.core import LunuleBalancer, LunuleLightBalancer, imbalance_factor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "Simulator",
+    "SimResult",
+    "make_balancer",
+    "LunuleBalancer",
+    "LunuleLightBalancer",
+    "imbalance_factor",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Load-balancer policies: the paper's baselines plus shared machinery.
+
+- :mod:`repro.balancers.vanilla` — CephFS's built-in balancer model,
+- :mod:`repro.balancers.greedyspill` — GreedySpill (GIGA+ via Mantle),
+- :mod:`repro.balancers.dirhash` — static hash pinning ("Dir-Hash"),
+- :mod:`repro.balancers.nop` — no balancing (ablation control).
+
+Lunule itself lives in :mod:`repro.core.balancer`; it shares the
+:class:`repro.balancers.base.Balancer` interface and the candidate
+machinery in :mod:`repro.balancers.candidates`.
+"""
+
+from repro.balancers.base import Balancer
+from repro.balancers.candidates import Candidate, candidates_for
+from repro.balancers.dirhash import DirHashBalancer
+from repro.balancers.greedyspill import GreedySpillBalancer
+from repro.balancers.mantle import MantleBalancer, MantlePolicy
+from repro.balancers.nop import NopBalancer
+from repro.balancers.vanilla import VanillaBalancer
+
+
+def make_balancer(name: str, **kwargs) -> Balancer:
+    """Factory over every policy (including Lunule) by paper name."""
+    from repro.core.balancer import LunuleBalancer, LunuleLightBalancer
+
+    registry = {
+        "vanilla": VanillaBalancer,
+        "greedyspill": GreedySpillBalancer,
+        "dirhash": DirHashBalancer,
+        "nop": NopBalancer,
+        "mantle": MantleBalancer,
+        "lunule": LunuleBalancer,
+        "lunule-light": LunuleLightBalancer,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown balancer {name!r}; choices: {sorted(registry)}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Balancer",
+    "Candidate",
+    "candidates_for",
+    "VanillaBalancer",
+    "GreedySpillBalancer",
+    "DirHashBalancer",
+    "NopBalancer",
+    "MantleBalancer",
+    "MantlePolicy",
+    "make_balancer",
+]

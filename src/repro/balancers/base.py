@@ -1,0 +1,63 @@
+"""The balancer interface the simulator drives once per epoch."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["Balancer"]
+
+
+class Balancer(ABC):
+    """A metadata load-balancing policy.
+
+    Lifecycle: the simulator calls :meth:`attach` at construction,
+    :meth:`setup` once before the first tick (static schemes pin
+    authorities here), and :meth:`on_epoch` after each epoch's stats close.
+    Policies act through ``self.sim.migrator`` and ``self.sim.authmap``.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.sim = None
+
+    def attach(self, sim) -> None:
+        self.sim = sim
+
+    def setup(self) -> None:
+        """One-time initialization before the simulation starts."""
+
+    @abstractmethod
+    def on_epoch(self, epoch: int) -> None:
+        """React to the epoch that just closed."""
+
+    # ------------------------------------------------------------- utilities
+    def loads(self) -> list[float]:
+        """Most recent epoch IOPS per MDS."""
+        return [m.current_load for m in self.sim.mdss]
+
+    def heat_loads(self) -> list[float]:
+        """Per-MDS load as CephFS-Vanilla sees it: decayed popularity.
+
+        CephFS's ``mds_load`` derives from the pop counters of the subtrees
+        an MDS *owns*, not from the requests it serves. For recurrent
+        workloads the two agree; for scans an MDS holding freshly scanned
+        (dead) subtrees looks loaded while serving nothing — the root cause
+        of the paper's first inefficiency. Lunule's contribution is exactly
+        to replace this with observed IOPS (paper §3.2).
+        """
+        sim = self.sim
+        heat = sim.stats.heat_array()
+        out = [0.0] * len(sim.mdss)
+        authmap = sim.authmap
+        for root, auth in authmap.subtree_roots().items():
+            total = float(sum(heat[d] for d in authmap.extent(root)))
+            out[auth] += total
+        return out
+
+    def histories(self) -> list[list[float]]:
+        return [m.load_history for m in self.sim.mdss]
+
+    @property
+    def n_mds(self) -> int:
+        return len(self.sim.mdss)

@@ -1,0 +1,41 @@
+"""Static hash-based metadata placement ("Dir-Hash", paper §4.6).
+
+The paper simulates a hash-based baseline inside CephFS by splitting the
+namespace into fine-grained subtrees and statically pinning each to the MDS
+given by its path hash. Inodes distribute almost perfectly evenly (Fig.
+14a) — but *requests* do not (Fig. 14b), and path resolution keeps crossing
+authority boundaries, roughly doubling forwards.
+"""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+from repro.util.rng import derive_seed
+
+__all__ = ["DirHashBalancer"]
+
+
+class DirHashBalancer(Balancer):
+    name = "dirhash"
+
+    def __init__(self, *, min_depth: int = 1, hash_seed: int = 0) -> None:
+        super().__init__()
+        if min_depth < 1:
+            raise ValueError("min_depth must be >= 1 (the root is never pinned)")
+        self.min_depth = min_depth
+        self.hash_seed = hash_seed
+
+    def setup(self) -> None:
+        sim = self.sim
+        tree = sim.tree
+        n = sim.n_mds
+        for d in tree.walk(0):
+            if tree.depth[d] >= self.min_depth:
+                rank = derive_seed(self.hash_seed, "dirhash", tree.path(d)) % n
+                sim.authmap.set_subtree_auth(d, rank)
+
+    def on_epoch(self, epoch: int) -> None:
+        # Static placement: never migrates. (Directories created at runtime
+        # would be pinned on creation in a real system; our workloads only
+        # create files, which follow their directory's pin.)
+        return

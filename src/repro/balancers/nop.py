@@ -1,0 +1,18 @@
+"""No balancing at all — everything stays wherever it starts (MDS-0).
+
+Ablation control: the throughput of a single-MDS bottleneck and an IF that
+stays near the theoretical maximum.
+"""
+
+from __future__ import annotations
+
+from repro.balancers.base import Balancer
+
+__all__ = ["NopBalancer"]
+
+
+class NopBalancer(Balancer):
+    name = "nop"
+
+    def on_epoch(self, epoch: int) -> None:
+        return

@@ -1,0 +1,148 @@
+"""A model of the CephFS built-in metadata load balancer ("Vanilla").
+
+Faithful to the decision logic the paper's §2.2 dissects, including its
+three inefficiencies:
+
+1. **inaccurate, benign-imbalance-oblivious view** — decisions compare each
+   MDS's *smoothed* (slow EWMA) load against the cluster average with a
+   relative offset gate; there is no dispersion (CoV) measure and no
+   urgency gate, so it misses heavy/light gaps when the max is near the
+   mean, and happily migrates when the cluster is nearly idle;
+2. **aggressive amounts** — an exporter plans its whole excess over the
+   average every epoch, with no per-epoch cap and no awareness of
+   migrations already queued or in flight, so the plan is re-submitted
+   on top of itself while transfers lag (the ping-pong mechanism);
+3. **one-size-fits-all selection** — candidates are ranked by decayed
+   popularity (*heat*), i.e. by the past; for scan workloads the exported
+   subtrees are exactly the ones that will never be visited again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balancers.base import Balancer
+from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
+
+__all__ = ["VanillaBalancer", "greedy_heat_selection"]
+
+
+def greedy_heat_selection(sim, candidates: list[Candidate], amount: float,
+                          *, overshoot: float = 1.2,
+                          ) -> list[tuple[Candidate, float]]:
+    """Hottest-first selection, CephFS style.
+
+    Unlike Lunule's selector this tolerates overshoot up to ``overshoot``
+    times the remaining demand — the hottest subtree gets shipped even when
+    it is bigger than needed (the paper's 98%-of-inodes export). A subtree
+    whose heat sits in *descendants* and exceeds the bound is skipped — its
+    children appear later in the ranked list; one whose heat sits in its own
+    flat files is split in half, mirroring CephFS's dirfrag splitting of
+    overly hot directories.
+    """
+    chosen: list[tuple[Candidate, float]] = []
+    selected_dirs: set[int] = set()
+    blocked: set[int] = set()
+    remaining = amount
+    tree = sim.tree
+    for c in candidates:
+        if remaining <= 0:
+            break
+        if c.load <= 0:
+            continue
+        if not c.is_frag and c.dir_id in blocked:
+            continue
+        if any(a in selected_dirs for a in tree.ancestors(c.dir_id)):
+            continue
+        if c.load > overshoot * remaining:
+            if (not c.is_frag and c.self_files >= 2
+                    and c.self_load >= 0.5 * c.load
+                    and sim.authmap.frag_state(c.dir_id) is None):
+                # Too hot to ship whole and flat: split and take one side.
+                frags = sim.authmap.split_dir(c.dir_id, 1)
+                half = c.self_load / 2.0
+                chosen.append((Candidate(frags[0], c.dir_id, half, c.inodes // 2,
+                                         half, c.self_files // 2), half))
+                blocked.add(c.dir_id)
+                remaining -= half
+            continue
+        chosen.append((c, c.load))
+        remaining -= c.load
+        if c.is_frag:
+            blocked.add(c.dir_id)
+        else:
+            selected_dirs.add(c.dir_id)
+    return chosen
+
+
+class VanillaBalancer(Balancer):
+    name = "vanilla"
+
+    def __init__(self, *, decay: float = 0.7, min_offload: float = 0.1,
+                 max_queue: int = 16) -> None:
+        super().__init__()
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self.decay = decay
+        self.min_offload = min_offload
+        self.max_queue = max_queue
+        self._vload: np.ndarray | None = None
+        # Selection ranks candidates by the heat snapshot gossiped in the
+        # previous heartbeat round — one epoch staler than the local view.
+        self._gossiped_heat: np.ndarray | None = None
+
+    def smoothed_loads(self) -> np.ndarray:
+        return self._vload.copy() if self._vload is not None else np.zeros(self.n_mds)
+
+    def on_epoch(self, epoch: int) -> None:
+        sim = self.sim
+        # CephFS's load view is owned-subtree popularity, not served IOPS.
+        loads = np.array(self.heat_loads())
+        n = loads.size
+        if self._vload is None:
+            self._vload = loads.astype(float)
+        else:
+            if self._vload.size < n:  # cluster grew
+                self._vload = np.concatenate([self._vload, np.zeros(n - self._vload.size)])
+            self._vload = self.decay * self._vload + (1.0 - self.decay) * loads
+        vload = self._vload
+        avg = float(vload.mean())
+        if avg <= 0.0:
+            return
+
+        # Importer gaps: underloaded peers, roomiest first.
+        gaps = {j: avg - float(vload[j]) for j in range(n) if vload[j] < avg}
+        fresh = sim.stats.heat_array()
+        heat = self._gossiped_heat if self._gossiped_heat is not None else fresh
+        if heat.size < fresh.size:  # namespace grew since last gossip
+            heat = np.concatenate([heat, fresh[heat.size:]])
+        self._gossiped_heat = fresh
+        for i in range(n):
+            if vload[i] <= avg * (1.0 + self.min_offload):
+                continue
+            if sim.migrator.queue_depth(i) >= self.max_queue:
+                continue  # CephFS bounds its export queue
+            amount = float(vload[i] - avg)
+            raw = candidates_for(sim, i, heat)
+            scale = scale_to_load(raw, float(vload[i]))
+            if scale <= 0.0:
+                continue
+            scaled = [
+                Candidate(c.unit, c.dir_id, c.load * scale, c.inodes,
+                          c.self_load * scale, c.self_files)
+                for c in raw
+            ]
+            for cand, load in greedy_heat_selection(sim, scaled, amount):
+                dst = self._pick_destination(gaps, i)
+                if dst is None:
+                    break
+                gaps[dst] = gaps.get(dst, 0.0) - load
+                sim.migrator.submit_export(i, dst, cand.unit, load)
+
+    @staticmethod
+    def _pick_destination(gaps: dict[int, float], src: int) -> int | None:
+        best, best_gap = None, 0.0
+        for j, gap in gaps.items():
+            if j != src and gap > best_gap:
+                best, best_gap = j, gap
+        return best

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``    — one simulation (workload x balancer) with a summary report,
+- ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
+- ``list``   — available workloads, balancers and figure ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import figures as F
+from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig
+from repro.experiments.report import render_kv
+from repro.experiments.runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+WORKLOAD_NAMES = ("cnn", "nlp", "web", "zipf", "mdtest", "mixed")
+BALANCER_NAMES = ("vanilla", "greedyspill", "dirhash", "nop", "mantle",
+                  "lunule", "lunule-light")
+
+FIGURES = {
+    "table1": lambda scale, seed: F.table1_workloads(scale, seed),
+    "fig2": lambda scale, seed: F.fig2_request_distribution(scale, seed),
+    "fig3": lambda scale, seed: F.fig3_per_mds_throughput(scale, seed),
+    "fig4": lambda scale, seed: F.fig4_migrated_inodes(scale, seed),
+    "fig6": lambda scale, seed: F.fig6_imbalance_factor(scale, seed),
+    "fig7": lambda scale, seed: F.fig7_throughput(scale, seed),
+    "fig8": lambda scale, seed: F.fig8_end_to_end(scale, seed),
+    "fig9": lambda scale, seed: F.fig9_mixed_if(scale, seed),
+    "fig10": lambda scale, seed: F.fig10_mixed_throughput(scale, seed),
+    "fig11": lambda scale, seed: F.fig11_jct_cdf(scale, seed),
+    "fig12a": lambda scale, seed: F.fig12a_cluster_expansion(scale, seed),
+    "fig12b": lambda scale, seed: F.fig12b_client_growth(scale, seed),
+    "fig13a": lambda scale, seed: F.fig13a_scalability(scale, seed),
+    "fig13b": lambda scale, seed: F.fig13b_dirhash_throughput(scale, seed),
+    "fig14": lambda scale, seed: F.fig14_dirhash_distribution(scale, seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Lunule (SC '21) on a simulated CephFS "
+                    "MDS cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload under one balancer")
+    run_p.add_argument("--workload", "-w", choices=WORKLOAD_NAMES, default="zipf")
+    run_p.add_argument("--balancer", "-b", choices=BALANCER_NAMES, default="lunule")
+    run_p.add_argument("--clients", "-c", type=int, default=20)
+    run_p.add_argument("--mds", "-m", type=int, default=5)
+    run_p.add_argument("--capacity", type=float, default=100.0,
+                       help="metadata ops per tick per MDS")
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset/op-count multiplier")
+    run_p.add_argument("--data-path", action="store_true",
+                       help="enable the OSD data path (end-to-end runs)")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
+    fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--seed", type=int, default=7)
+
+    ovh_p = sub.add_parser("overhead",
+                           help="control-plane overhead accounting (paper §3.4)")
+    ovh_p.add_argument("--mds", "-m", type=int, default=5)
+    ovh_p.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("list", help="list workloads, balancers and figure ids")
+    return parser
+
+
+def _cmd_run(args, out) -> int:
+    sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity)
+    cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
+                           n_clients=args.clients, seed=args.seed,
+                           scale=args.scale, data_path=args.data_path,
+                           sim=sim_cfg)
+    res = run_experiment(cfg)
+    jct = res.job_completion_times()
+    pairs = [
+        ("workload", res.workload),
+        ("balancer", res.balancer),
+        ("MDSs", args.mds),
+        ("clients", args.clients),
+        ("finished at (ticks)", res.finished_tick),
+        ("mean imbalance factor", res.mean_if(skip=2)),
+        ("peak aggregate IOPS", res.peak_iops()),
+        ("mean op latency (ticks)", res.mean_latency(skip=2)),
+        ("migrated inodes", res.migrated_series[-1] if res.migrated_series else 0),
+        ("committed / aborted exports", f"{res.committed_tasks} / {res.aborted_tasks}"),
+        ("forward hops", res.total_forwards),
+        ("mean JCT (ticks)", float(jct.mean()) if jct.size else float("nan")),
+        ("metadata-op ratio", res.meta_ratio()),
+    ]
+    print(render_kv("Simulation summary", pairs), file=out)
+    return 0
+
+
+def _cmd_figure(args, out) -> int:
+    ids = sorted(FIGURES) if args.id == "all" else [args.id]
+    for fid in ids:
+        result = FIGURES[fid](args.scale, args.seed)
+        print(result.text, file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_list(out) -> int:
+    print("workloads :", ", ".join(WORKLOAD_NAMES), file=out)
+    print("balancers :", ", ".join(BALANCER_NAMES), file=out)
+    print("figures   :", ", ".join(sorted(FIGURES)), file=out)
+    print("extras    : overhead (paper §3.4 accounting)", file=out)
+    return 0
+
+
+def _cmd_overhead(args, out) -> int:
+    from repro.experiments.overhead import measure_overhead
+
+    report = measure_overhead(args.mds, seed=args.seed)
+    print(report.table(), file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    if args.command == "overhead":
+        return _cmd_overhead(args, out)
+    if args.command == "list":
+        return _cmd_list(out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,32 @@
+"""MDS cluster substrate: servers, routing, migration, data path, simulator.
+
+This package is the stand-in for the paper's physical CephFS testbed. It
+models the mechanisms the balancing phenomena depend on:
+
+- per-MDS metadata service capacity and closed-loop clients
+  (:mod:`repro.cluster.simulator`),
+- authoritative routing with client caches and forward accounting
+  (:mod:`repro.cluster.router`),
+- background subtree migration with transfer lag, per-epoch capacity and a
+  two-phase commit (:mod:`repro.cluster.migration`),
+- a shared-bandwidth OSD pool for end-to-end (data-enabled) runs
+  (:mod:`repro.cluster.osd`).
+"""
+
+from repro.cluster.mds import MDS
+from repro.cluster.migration import ExportTask, Migrator
+from repro.cluster.osd import OsdPool
+from repro.cluster.router import Router
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.cluster.stats import AccessStats
+
+__all__ = [
+    "MDS",
+    "ExportTask",
+    "Migrator",
+    "OsdPool",
+    "Router",
+    "SimConfig",
+    "Simulator",
+    "AccessStats",
+]

@@ -1,0 +1,63 @@
+"""Control-plane message types exchanged by MDSs and the Migration Initiator.
+
+Lunule replaces CephFS's N-to-N heartbeat gossip with a centralized N-to-1
+scheme: every MDS sends an :class:`ImbalanceState` to the initiator each
+epoch, and the initiator answers exporters with :class:`MigrationDecision`
+messages (paper §4.1 "Stats collection" / "Migration trigger and
+assignment"). The simulator delivers these synchronously, but modelling
+them as explicit messages lets tests assert on the protocol and lets the
+overhead accounting (§3.4) count bytes on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Heartbeat", "ImbalanceState", "MigrationDecision", "wire_size"]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Vanilla CephFS: every MDS gossips its load to every other MDS."""
+
+    sender: int
+    epoch: int
+    load: float
+    #: decayed per-subtree heat snapshot gossiped alongside (vanilla only)
+    subtree_loads: tuple[tuple[int, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class ImbalanceState:
+    """Lunule: rank id + metadata request rate, sent N-to-1 to the initiator."""
+
+    sender: int
+    epoch: int
+    iops: float
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """Initiator -> exporter: how much load to ship to each importer."""
+
+    exporter: int
+    epoch: int
+    #: importer rank -> load amount (IOPS-equivalent) to migrate
+    assignments: dict[int, float] = field(default_factory=dict, hash=False)
+
+
+def wire_size(msg: object) -> int:
+    """Approximate on-the-wire size in bytes (for the §3.4 overhead model).
+
+    Scalars cost 8 bytes, plus a small fixed header. The point is relative
+    cost: an ``ImbalanceState`` is ~24 bytes while a vanilla ``Heartbeat``
+    grows with the number of subtrees it gossips.
+    """
+    header = 16
+    if isinstance(msg, Heartbeat):
+        return header + 16 + 16 * len(msg.subtree_loads)
+    if isinstance(msg, ImbalanceState):
+        return header + 16
+    if isinstance(msg, MigrationDecision):
+        return header + 8 + 16 * len(msg.assignments)
+    raise TypeError(f"not a wire message: {type(msg)!r}")

@@ -1,0 +1,224 @@
+"""Background subtree/dirfrag migration between MDSs.
+
+Migration in CephFS is a two-phase commit: the exporter freezes the subtree,
+ships the inodes, then authority flips atomically. We model the parts the
+balancing dynamics depend on:
+
+- **lag**: a task transfers ``migration_rate`` inodes per tick, so a large
+  export takes many epochs to land — decisions made from pre-migration load
+  snapshots are already stale when they commit (the paper's ping-pong
+  mechanism, §2.2);
+- **cost**: exporter and importer lose a capacity fraction while a task is
+  in flight;
+- **queueing**: each exporter drains one task at a time; an aggressive
+  balancer can enqueue far more than one epoch can move ("15 subtrees in
+  the migration task queue, but only 2 successfully migrated").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.namespace.dirfrag import FragId, frag_file_count
+from repro.namespace.subtree import AuthorityMap
+
+__all__ = ["ExportTask", "Migrator"]
+
+
+@dataclass
+class ExportTask:
+    """One planned export of a subtree (dir) or dirfrag."""
+
+    src: int
+    dst: int
+    unit: int | FragId  # dir id, or a fragment
+    inodes: int
+    load_estimate: float = 0.0
+    #: two-phase-commit fixed overhead in ticks (freeze + journal + notify)
+    latency: int = 2
+    remaining: int = field(init=False)
+    latency_left: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("export to self is meaningless")
+        if self.inodes < 0:
+            raise ValueError("negative inode count")
+        if self.latency < 0:
+            raise ValueError("negative latency")
+        self.remaining = self.inodes
+        self.latency_left = self.latency
+
+
+class Migrator:
+    """Executes export tasks with transfer lag and capacity penalties."""
+
+    def __init__(self, authmap: AuthorityMap, *, rate: int = 500,
+                 penalty: float = 0.1, commit_latency: int = 2,
+                 concurrency: int = 2) -> None:
+        if rate <= 0:
+            raise ValueError("migration rate must be positive")
+        if not 0.0 <= penalty < 1.0:
+            raise ValueError("penalty must be in [0, 1)")
+        if commit_latency < 0:
+            raise ValueError("commit latency must be >= 0")
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        self.authmap = authmap
+        self.rate = int(rate)
+        self.penalty = float(penalty)
+        self.commit_latency = int(commit_latency)
+        #: simultaneous export tasks per exporter (CephFS exports a few
+        #: subtrees in parallel; the transfer rate applies per task)
+        self.concurrency = int(concurrency)
+        self._queues: dict[int, deque[ExportTask]] = {}
+        self._active: dict[int, list[ExportTask]] = {}
+        self.migrated_inodes = 0
+        self.committed_tasks = 0
+        self.aborted_tasks = 0
+
+    # ------------------------------------------------------------- submission
+    def submit(self, task: ExportTask) -> None:
+        """Queue an export; validation happens again at start and commit."""
+        self._queues.setdefault(task.src, deque()).append(task)
+
+    def submit_export(self, src: int, dst: int, unit: int | FragId,
+                      load_estimate: float = 0.0) -> ExportTask:
+        """Convenience: build a task, sizing inodes from the current tree."""
+        task = ExportTask(src, dst, unit, self._unit_inodes(unit), load_estimate,
+                          latency=self.commit_latency)
+        self.submit(task)
+        return task
+
+    def _unit_inodes(self, unit: int | FragId) -> int:
+        tree = self.authmap.tree
+        if isinstance(unit, FragId):
+            return frag_file_count(tree.n_files[unit.dir_id], unit.bits, unit.frag_no)
+        nested = set(self.authmap.subtree_roots()) - {unit}
+        return tree.inode_count(tree.subtree_extent(unit, nested))
+
+    def _covered_frags(self, unit: FragId) -> list[FragId]:
+        """Current-generation frags covered by ``unit``.
+
+        A directory may have been re-split (more bits) after this task was
+        queued; the old frag then maps onto several finer frags. A coarser
+        current split (we never merge) or a vanished split yields [].
+        """
+        state = self.authmap.frag_state(unit.dir_id)
+        if state is None:
+            return []
+        bits, _owners = state
+        if bits < unit.bits:
+            return []
+        if bits == unit.bits:
+            return [unit]
+        mask = (1 << unit.bits) - 1
+        return [FragId(unit.dir_id, bits, f) for f in range(1 << bits)
+                if (f & mask) == unit.frag_no]
+
+    def _unit_auth(self, unit: int | FragId) -> int | None:
+        """Current authority of a unit; None when no single rank owns it."""
+        if isinstance(unit, FragId):
+            covered = self._covered_frags(unit)
+            if not covered:
+                return None
+            owners = {self.authmap.resolve(f.dir_id, f.frag_no) for f in covered}
+            return owners.pop() if len(owners) == 1 else None
+        return self.authmap.resolve_dir(unit)[0]
+
+    # ------------------------------------------------------------- inspection
+    def queue_depth(self, src: int) -> int:
+        return len(self._queues.get(src, ())) + len(self._active.get(src, ()))
+
+    def busy_ranks(self) -> set[int]:
+        """MDSs currently paying migration overhead (exporters + importers)."""
+        out: set[int] = set()
+        for tasks in self._active.values():
+            for task in tasks:
+                out.add(task.src)
+                out.add(task.dst)
+        return out
+
+    def pending_export_load(self, src: int) -> float:
+        """Load already planned to leave ``src`` (queued + in-flight)."""
+        total = sum(t.load_estimate for t in self._queues.get(src, ()))
+        total += sum(t.load_estimate for t in self._active.get(src, ()))
+        return total
+
+    def pending_frag_dirs(self) -> set[int]:
+        """Directories referenced by queued or in-flight frag exports."""
+        out: set[int] = set()
+        for q in self._queues.values():
+            for t in q:
+                if isinstance(t.unit, FragId):
+                    out.add(t.unit.dir_id)
+        for tasks in self._active.values():
+            for t in tasks:
+                if isinstance(t.unit, FragId):
+                    out.add(t.unit.dir_id)
+        return out
+
+    def pending_import_load(self, dst: int) -> float:
+        """Load already planned to land on ``dst``."""
+        total = 0.0
+        for q in self._queues.values():
+            total += sum(t.load_estimate for t in q if t.dst == dst)
+        for tasks in self._active.values():
+            total += sum(t.load_estimate for t in tasks if t.dst == dst)
+        return total
+
+    # -------------------------------------------------------------- execution
+    def tick(self, down_ranks: set[int] | frozenset[int] = frozenset(),
+             ) -> list[ExportTask]:
+        """Advance transfers by one tick; returns tasks committed this tick.
+
+        ``down_ranks`` are failed MDSs: transfers touching them stall (the
+        journaled export resumes when the standby takes over the rank).
+        """
+        committed: list[ExportTask] = []
+        sources = set(self._queues) | set(self._active)
+        for src in sorted(sources):
+            if src in down_ranks:
+                continue
+            active = self._active.setdefault(src, [])
+            while len(active) < self.concurrency:
+                task = self._next_valid(src)
+                if task is None:
+                    break
+                active.append(task)
+            for task in list(active):
+                if task.dst in down_ranks:
+                    continue  # importer down: transfer stalls
+                if task.latency_left > 0:
+                    task.latency_left -= 1
+                    continue
+                task.remaining -= self.rate
+                if task.remaining <= 0:
+                    self._commit(task)
+                    committed.append(task)
+                    active.remove(task)
+            if not active:
+                del self._active[src]
+        return committed
+
+    def _next_valid(self, src: int) -> ExportTask | None:
+        queue = self._queues.get(src)
+        while queue:
+            task = queue.popleft()
+            if self._unit_auth(task.unit) == task.src:
+                return task
+            self.aborted_tasks += 1
+        return None
+
+    def _commit(self, task: ExportTask) -> None:
+        if self._unit_auth(task.unit) != task.src:
+            self.aborted_tasks += 1
+            return
+        if isinstance(task.unit, FragId):
+            for frag in self._covered_frags(task.unit):
+                self.authmap.set_frag_auth(frag, task.dst)
+        else:
+            self.authmap.set_subtree_auth(task.unit, task.dst)
+        self.migrated_inodes += task.inodes
+        self.committed_tasks += 1

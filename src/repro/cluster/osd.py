@@ -1,0 +1,69 @@
+"""Shared-bandwidth OSD pool modelling the data path.
+
+End-to-end runs (paper Fig. 8) enable data access: after a metadata op
+completes, the client reads/writes file bytes against the object store. The
+balancing result only needs the data path to (a) take time proportional to
+bytes and (b) be a shared resource, so the pool is modelled as
+processor-sharing over its aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OsdPool"]
+
+
+class OsdPool:
+    """Aggregate OSD bandwidth shared equally among in-flight transfers."""
+
+    def __init__(self, n_osds: int, bandwidth_per_osd: float) -> None:
+        if n_osds <= 0 or bandwidth_per_osd <= 0:
+            raise ValueError("OSD pool needs positive size and bandwidth")
+        self.n_osds = int(n_osds)
+        self.bandwidth_per_osd = float(bandwidth_per_osd)
+        #: client id -> bytes remaining
+        self._inflight: dict[int, float] = {}
+        self.bytes_served = 0.0
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Bytes the whole pool can move per tick."""
+        return self.n_osds * self.bandwidth_per_osd
+
+    def add_osds(self, count: int) -> None:
+        """Cluster growth: the paper scales OSDs with metadata stress."""
+        if count < 0:
+            raise ValueError("cannot remove OSDs")
+        self.n_osds += count
+
+    def start(self, client_id: int, nbytes: float) -> None:
+        """Begin a transfer for ``client_id`` (adds to any outstanding bytes)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self._inflight[client_id] = self._inflight.get(client_id, 0.0) + nbytes
+
+    def busy(self, client_id: int) -> bool:
+        return client_id in self._inflight
+
+    def outstanding(self, client_id: int) -> float:
+        """Bytes still queued for ``client_id`` (0.0 when drained)."""
+        return self._inflight.get(client_id, 0.0)
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def tick(self) -> list[int]:
+        """Advance one tick of processor-sharing; returns finished clients."""
+        if not self._inflight:
+            return []
+        share = self.total_bandwidth / len(self._inflight)
+        finished: list[int] = []
+        for cid in list(self._inflight):
+            left = self._inflight[cid] - share
+            if left <= 0.0:
+                self.bytes_served += self._inflight[cid]
+                del self._inflight[cid]
+                finished.append(cid)
+            else:
+                self.bytes_served += share
+                self._inflight[cid] = left
+        return finished

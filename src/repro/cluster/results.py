@@ -1,0 +1,96 @@
+"""Result container for one simulation run.
+
+Everything the paper's figures need is collected here per epoch: per-MDS
+IOPS, the imbalance factor, cumulative migrated inodes, forwards, plus
+final distributions and per-client completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Time series and totals from a :class:`repro.cluster.Simulator` run."""
+
+    workload: str
+    balancer: str
+    epoch_len: int
+
+    #: tick at the end of each recorded epoch
+    epoch_ticks: list[int] = field(default_factory=list)
+    #: per-epoch list of per-MDS IOPS (ragged if the cluster grew)
+    per_mds_iops: list[list[float]] = field(default_factory=list)
+    #: per-epoch imbalance factor (computed with the Lunule IF model for all
+    #: balancers — it is the paper's reporting metric, not a policy input)
+    if_series: list[float] = field(default_factory=list)
+    #: cumulative migrated inodes at each epoch end
+    migrated_series: list[int] = field(default_factory=list)
+    #: cumulative forward hops at each epoch end
+    forwards_series: list[int] = field(default_factory=list)
+    #: mean metadata-op latency (ticks: 1 service tick + queueing) per epoch
+    latency_series: list[float] = field(default_factory=list)
+
+    #: client id -> completion tick (only clients that finished)
+    completion_ticks: dict[int, int] = field(default_factory=dict)
+    #: final lifetime served ops per MDS rank
+    served_per_mds: list[int] = field(default_factory=list)
+    #: final inode placement per MDS rank
+    inode_distribution: list[int] = field(default_factory=list)
+
+    meta_ops: int = 0
+    data_ops: int = 0
+    committed_tasks: int = 0
+    aborted_tasks: int = 0
+    total_forwards: int = 0
+    finished_tick: int = 0
+
+    # ------------------------------------------------------------- accessors
+    def aggregate_iops(self) -> np.ndarray:
+        """Cluster-wide metadata throughput per epoch."""
+        return np.array([sum(row) for row in self.per_mds_iops], dtype=np.float64)
+
+    def peak_iops(self) -> float:
+        agg = self.aggregate_iops()
+        return float(agg.max()) if agg.size else 0.0
+
+    def mean_if(self, skip: int = 0) -> float:
+        """Average imbalance factor, optionally skipping warm-up epochs."""
+        vals = self.if_series[skip:]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def per_mds_matrix(self) -> np.ndarray:
+        """Per-epoch per-MDS IOPS as a zero-padded 2-D array."""
+        if not self.per_mds_iops:
+            return np.zeros((0, 0))
+        width = max(len(row) for row in self.per_mds_iops)
+        out = np.zeros((len(self.per_mds_iops), width))
+        for i, row in enumerate(self.per_mds_iops):
+            out[i, : len(row)] = row
+        return out
+
+    def request_share(self) -> np.ndarray:
+        """Fraction of lifetime requests handled by each MDS (paper Fig. 2)."""
+        total = sum(self.served_per_mds)
+        if total == 0:
+            return np.zeros(len(self.served_per_mds))
+        return np.array(self.served_per_mds, dtype=np.float64) / total
+
+    def job_completion_times(self) -> np.ndarray:
+        """Completion ticks of all finished clients, sorted ascending."""
+        return np.sort(np.array(list(self.completion_ticks.values()), dtype=np.float64))
+
+    def meta_ratio(self) -> float:
+        """Measured metadata-op fraction (paper Table 1 column)."""
+        total = self.meta_ops + self.data_ops
+        return self.meta_ops / total if total else 0.0
+
+    def mean_latency(self, skip: int = 0) -> float:
+        """Average per-op metadata latency in ticks (skip warm-up epochs)."""
+        vals = self.latency_series[skip:]
+        return float(np.mean(vals)) if vals else 0.0

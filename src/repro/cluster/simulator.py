@@ -1,0 +1,358 @@
+"""Closed-loop, tick-based simulation of a CephFS MDS cluster.
+
+One tick is one simulated second; an *epoch* (paper default: 10 s) is the
+balancing interval. Within a tick, clients are drained round-robin against
+per-MDS capacity credits, giving processor-sharing queueing behaviour: an
+MDS hosting all the hot subtrees saturates at its capacity while its peers
+sit idle — the load-imbalance phenomenon the paper studies.
+
+Balancers are duck-typed objects with ``attach(sim)``, ``setup()`` and
+``on_epoch(epoch)``; they act by submitting export tasks to the
+:class:`~repro.cluster.migration.Migrator` (and, for static schemes, by
+pinning authorities during ``setup``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.cluster.mds import MDS
+from repro.cluster.migration import Migrator
+from repro.cluster.osd import OsdPool
+from repro.cluster.results import SimResult
+from repro.cluster.router import Router
+from repro.cluster.stats import AccessStats
+from repro.core.if_model import imbalance_factor
+from repro.namespace.subtree import AuthorityMap
+from repro.workloads.base import OP_CREATE, OP_READDIR, Client, WorkloadInstance
+
+__all__ = ["SimConfig", "Simulator"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the simulated cluster (paper defaults where it gives them)."""
+
+    n_mds: int = 5
+    #: max metadata ops per tick per MDS (the paper's per-MDS capacity C)
+    mds_capacity: float = 200.0
+    #: optional per-rank capacities for heterogeneous clusters (length must
+    #: match n_mds; the paper assumes homogeneity and calls heterogeneity
+    #: orthogonal — this is the extension hook for it)
+    mds_capacities: tuple[float, ...] | None = None
+    #: ticks per balancing epoch (paper: 10 seconds)
+    epoch_len: int = 10
+    max_ticks: int = 50_000
+    #: inodes transferred per tick per active export
+    migration_rate: int = 50
+    #: capacity fraction lost while involved in a migration
+    migration_penalty: float = 0.1
+    #: fixed two-phase-commit overhead per export task, in ticks
+    migration_latency: int = 2
+    #: simultaneous export tasks per exporter MDS
+    migration_concurrency: int = 2
+    #: smoothness knob S of the urgency logistic (paper: 0.2)
+    urgency_smoothness: float = 0.2
+    data_path: bool = False
+    n_osds: int = 6
+    #: bytes per tick per OSD for the data path
+    osd_bandwidth: float = 4e6
+    #: per-client outstanding-bytes window before the client stalls on data.
+    #: Data reads pipeline behind metadata ops (clients prefetch); a client
+    #: only blocks once it is this many bytes ahead of the OSD pool.
+    data_window: float = 2e6
+    #: capacity charged to each MDS that relays a forwarded request
+    forward_charge: float = 1.0
+    #: client dentry-lease TTL in ticks (0 disables cache expiry). CephFS
+    #: trims client caches, so path resolution is re-paid periodically.
+    client_lease_ttl: int = 120
+    heat_decay: float = 0.8
+    recurrence_window: int = 3
+    pattern_windows: int = 3
+    sibling_probability: float = 0.5
+    serve_quantum: int = 8
+    seed: int = 0
+    stop_when_done: bool = True
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """Copy with overrides (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    tick: int
+    order: int
+    fn: Callable[["Simulator"], None] = field(compare=False)
+
+
+class Simulator:
+    """Runs one workload instance under one balancer."""
+
+    def __init__(self, instance: WorkloadInstance, balancer, config: SimConfig,
+                 schedule: list[tuple[int, Callable[["Simulator"], None]]] | None = None,
+                 ) -> None:
+        if config.n_mds <= 0:
+            raise ValueError("need at least one MDS")
+        self.config = config
+        self.instance = instance
+        self.tree = instance.tree
+        self.authmap = AuthorityMap(self.tree, initial_mds=0)
+        self.stats = AccessStats(
+            self.tree,
+            heat_decay=config.heat_decay,
+            recurrence_window=config.recurrence_window,
+            pattern_windows=config.pattern_windows,
+            sibling_probability=config.sibling_probability,
+            seed=config.seed,
+        )
+        caps = config.mds_capacities
+        if caps is not None and len(caps) != config.n_mds:
+            raise ValueError("mds_capacities length must equal n_mds")
+        self.mdss: list[MDS] = [
+            MDS(r, caps[r] if caps is not None else config.mds_capacity)
+            for r in range(config.n_mds)
+        ]
+        self.router = Router(self.authmap, config.forward_charge,
+                             lease_ttl=config.client_lease_ttl)
+        self.migrator = Migrator(self.authmap, rate=config.migration_rate,
+                                 penalty=config.migration_penalty,
+                                 commit_latency=config.migration_latency,
+                                 concurrency=config.migration_concurrency)
+        self.osd: OsdPool | None = (
+            OsdPool(config.n_osds, config.osd_bandwidth) if config.data_path else None
+        )
+        self.clients: list[Client] = list(instance.clients)
+        self._by_cid = {c.cid: c for c in self.clients}
+        self._data_busy: set[int] = set()
+        self._schedule = sorted(
+            _ScheduledEvent(t, i, fn) for i, (t, fn) in enumerate(schedule or [])
+        )
+        self._schedule_pos = 0
+        self.tick = 0
+        self.epoch = 0
+        #: ticks clients spent ready-but-unserved this epoch (queueing delay)
+        self._wait_ticks_epoch = 0
+        self._served_epoch_total = 0
+        self.balancer = balancer
+        balancer.attach(self)
+
+        self.result = SimResult(
+            workload=instance.name,
+            balancer=getattr(balancer, "name", type(balancer).__name__),
+            epoch_len=config.epoch_len,
+        )
+
+    # ------------------------------------------------------------- dynamics
+    @property
+    def n_mds(self) -> int:
+        return len(self.mdss)
+
+    def add_mds(self, count: int = 1) -> None:
+        """Cluster expansion (paper Fig. 12a)."""
+        for _ in range(count):
+            self.mdss.append(MDS(len(self.mdss), self.config.mds_capacity))
+
+    def add_clients(self, clients: list[Client]) -> None:
+        """Client growth (paper Fig. 12b). New clients start at once."""
+        for c in clients:
+            if c.cid in self._by_cid:
+                raise ValueError(f"duplicate client id {c.cid}")
+            c.ready_at = max(c.ready_at, self.tick)
+            self.clients.append(c)
+            self._by_cid[c.cid] = c
+
+    def fail_mds(self, rank: int) -> None:
+        """Failure injection: the rank stops serving (clients queue on it).
+
+        In CephFS a standby daemon eventually replays the journal and takes
+        over the failed rank; model that with a later :meth:`recover_mds`.
+        Subtree authority is rank-based, so it survives the failover.
+        """
+        if not 0 <= rank < len(self.mdss):
+            raise ValueError(f"no MDS with rank {rank}")
+        self.mdss[rank].failed = True
+
+    def recover_mds(self, rank: int) -> None:
+        """A standby took over ``rank``; it serves again from the next tick."""
+        if not 0 <= rank < len(self.mdss):
+            raise ValueError(f"no MDS with rank {rank}")
+        self.mdss[rank].failed = False
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimResult:
+        self.balancer.setup()
+        cfg = self.config
+        while self.tick < cfg.max_ticks:
+            self._fire_schedule(self.tick)
+            self._begin_tick()
+            self._serve_tick(self.tick)
+            if self.osd is not None:
+                now = self.tick
+                self.osd.tick()
+                window = self.config.data_window
+                for cid in list(self._data_busy):
+                    left = self.osd.outstanding(cid)
+                    c = self._by_cid[cid]
+                    if c.done:
+                        if left <= 0.0:
+                            self._data_busy.discard(cid)
+                            c.done_at = now  # completion includes the drain
+                    elif left <= window:
+                        self._data_busy.discard(cid)
+            down = {m.rank for m in self.mdss if m.failed}
+            self.migrator.tick(down)
+            self.tick += 1
+            if self.tick % cfg.epoch_len == 0:
+                self._end_epoch()
+                if cfg.stop_when_done and self._all_done():
+                    break
+        return self._finalize()
+
+    def _all_done(self) -> bool:
+        if self._schedule_pos < len(self._schedule):
+            return False
+        if self._data_busy:
+            return False
+        return all(c.done for c in self.clients)
+
+    def _fire_schedule(self, now: int) -> None:
+        while (self._schedule_pos < len(self._schedule)
+               and self._schedule[self._schedule_pos].tick <= now):
+            self._schedule[self._schedule_pos].fn(self)
+            self._schedule_pos += 1
+
+    def _begin_tick(self) -> None:
+        busy = self.migrator.busy_ranks()
+        penalty = self.migrator.penalty
+        for m in self.mdss:
+            m.migration_penalty = penalty if m.rank in busy else 0.0
+            m.refill()
+
+    # ---------------------------------------------------------------- serving
+    def _serve_tick(self, now: int) -> None:
+        mdss = self.mdss
+        route = self.router.route
+        tree = self.tree
+        stats = self.stats
+        osd = self.osd
+        quantum = self.config.serve_quantum
+        forward_charge = self.config.forward_charge
+        data_window = self.config.data_window
+        data_busy = self._data_busy
+
+        active = [
+            c for c in self.clients
+            if c.done_at is None and c.ready_at <= now and c.cid not in data_busy
+        ]
+        while active:
+            survivors: list[Client] = []
+            for c in active:
+                out_for_tick = False
+                if c.rate is not None:
+                    if c.rate_tick != now:
+                        c.rate_tick = now
+                        c.rate_served = 0
+                    elif c.rate_served >= c.rate:
+                        continue
+                for _ in range(quantum):
+                    kind, d, idx, nbytes = c.current  # type: ignore[misc]
+                    ridx = tree.n_files[d] if kind == OP_CREATE else idx
+                    serving, hops = route(c.routing, d, ridx, now)
+                    mds = mdss[serving]
+                    if mds.remaining < 1.0:
+                        # ready but unserved for the rest of this tick:
+                        # one tick of queueing delay for this client
+                        self._wait_ticks_epoch += 1
+                        out_for_tick = True
+                        break
+                    for h in hops:
+                        hop = mdss[h]
+                        hop.remaining -= forward_charge
+                        hop.forwards_handled += 1
+                    mds.serve()
+                    c.meta_ops += 1
+                    if c.rate is not None:
+                        c.rate_served += 1
+                    if kind == OP_CREATE:
+                        new_idx = tree.add_files(d, 1)
+                        stats.record_file_access(d, new_idx, created=True)
+                    elif kind == OP_READDIR or idx < 0:
+                        stats.record_dir_access(d)
+                    else:
+                        stats.record_file_access(d, idx)
+                    if nbytes > 0:
+                        c.data_ops += 1
+                        c.data_bytes += nbytes
+                        if osd is not None:
+                            osd.start(c.cid, float(nbytes))
+                            # Data reads pipeline behind metadata; the
+                            # client stalls only once it outruns the OSD
+                            # pool by more than its prefetch window.
+                            if osd.outstanding(c.cid) > data_window:
+                                data_busy.add(c.cid)
+                                c.advance(now)
+                                out_for_tick = True
+                                break
+                    c.advance(now)
+                    if c.done_at is not None:
+                        if osd is not None and osd.outstanding(c.cid) > 0.0:
+                            data_busy.add(c.cid)
+                        out_for_tick = True
+                        break
+                    if c.ready_at > now or (c.rate is not None and c.rate_served >= c.rate):
+                        out_for_tick = True
+                        break
+                if not out_for_tick:
+                    survivors.append(c)
+            active = survivors
+
+    # ---------------------------------------------------------------- epochs
+    def _end_epoch(self) -> None:
+        cfg = self.config
+        served = [m.served_epoch for m in self.mdss]
+        loads = [m.end_epoch(cfg.epoch_len) for m in self.mdss]
+        self.stats.end_epoch()
+
+        r = self.result
+        r.epoch_ticks.append(self.tick)
+        r.per_mds_iops.append(loads)
+        capacity = max(m.capacity for m in self.mdss)
+        r.if_series.append(
+            imbalance_factor(loads, capacity, cfg.urgency_smoothness)
+        )
+        r.migrated_series.append(self.migrator.migrated_inodes)
+        r.forwards_series.append(self.router.total_forwards)
+        # Mean metadata-op latency in ticks: one service tick plus the
+        # queueing delay amortized over the epoch's served ops.
+        ops = sum(served)
+        r.latency_series.append(
+            1.0 + (self._wait_ticks_epoch / ops if ops else 0.0)
+        )
+        self._wait_ticks_epoch = 0
+
+        self.balancer.on_epoch(self.epoch)
+        # Housekeeping CephFS also performs: merge subtree roots and frag
+        # maps that migrations have made redundant, so the authority map
+        # (and resolution cost) stays proportional to real fragmentation.
+        # Directories with in-flight frag exports keep their splits.
+        self.authmap.merge_redundant_roots()
+        self.authmap.merge_uniform_frags(exclude=self.migrator.pending_frag_dirs())
+        self.epoch += 1
+
+    # -------------------------------------------------------------- finalize
+    def _finalize(self) -> SimResult:
+        r = self.result
+        r.completion_ticks = {
+            c.cid: c.done_at for c in self.clients if c.done_at is not None
+        }
+        r.served_per_mds = [m.served_total for m in self.mdss]
+        r.inode_distribution = self.authmap.inode_distribution(len(self.mdss))
+        r.meta_ops = sum(c.meta_ops for c in self.clients)
+        r.data_ops = sum(c.data_ops for c in self.clients)
+        r.committed_tasks = self.migrator.committed_tasks
+        r.aborted_tasks = self.migrator.aborted_tasks
+        r.total_forwards = self.router.total_forwards
+        r.finished_tick = self.tick
+        return r

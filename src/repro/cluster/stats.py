@@ -1,0 +1,221 @@
+"""Per-directory access statistics feeding the balancers.
+
+Two statistic families live here, updated from the same access stream:
+
+- **Heat** — CephFS-Vanilla's decayed popularity counter per directory.
+  Accumulates on access, decays multiplicatively per epoch. The balancer
+  that selects by heat selects the *past*; the paper's §2.2 shows why that
+  invalidates migration for scan workloads.
+- **Pattern stats** — Lunule's cutting-window counters per directory:
+  visits, recurrent visits (same file re-touched within the recurrence
+  window), first visits (file never touched before), plus the sibling
+  spatial-correlation bonus. These produce ``alpha``, ``beta``, ``l_t``,
+  ``l_s`` of paper Eq. 4.
+
+Hot-path updates use plain Python lists (faster than NumPy scalar
+indexing); epoch-end aggregation converts to arrays for vectorized math.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.namespace.tree import NEVER_ACCESSED, NamespaceTree
+from repro.util.rng import substream
+
+__all__ = ["AccessStats"]
+
+
+class AccessStats:
+    """Records accesses and maintains heat + Lunule pattern windows."""
+
+    def __init__(
+        self,
+        tree: NamespaceTree,
+        *,
+        heat_decay: float = 0.8,
+        recurrence_window: int = 3,
+        pattern_windows: int = 3,
+        sibling_probability: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < heat_decay <= 1.0:
+            raise ValueError("heat_decay must be in (0, 1]")
+        if recurrence_window < 1 or pattern_windows < 1:
+            raise ValueError("windows must be >= 1")
+        if not 0.0 <= sibling_probability <= 1.0:
+            raise ValueError("sibling_probability must be a probability")
+        self.tree = tree
+        self.heat_decay = heat_decay
+        self.recurrence_window = recurrence_window
+        self.pattern_windows = pattern_windows
+        self.sibling_probability = sibling_probability
+        self._rng = substream(seed, "access-stats")
+
+        n = tree.n_dirs
+        self.heat: list[float] = [0.0] * n
+        # Current-epoch counters (reset every epoch).
+        self._visits: list[int] = [0] * n
+        self._recurrent: list[int] = [0] * n
+        self._first: list[int] = [0] * n
+        self._created: list[int] = [0] * n
+        # Rolling window of the last `pattern_windows` epochs, plus running sums.
+        self._win: deque[tuple[np.ndarray, ...]] = deque()
+        self.win_visits = np.zeros(n)
+        self.win_recurrent = np.zeros(n)
+        self.win_first = np.zeros(n)
+        self.win_ls = np.zeros(n)
+        self.win_created = np.zeros(n)
+        self._dir_last_access: list[int] = [NEVER_ACCESSED] * n
+        self.epoch = 0
+
+    # ------------------------------------------------------------- recording
+    def _grow(self) -> None:
+        n = self.tree.n_dirs
+        grow = n - len(self.heat)
+        if grow <= 0:
+            return
+        self.heat.extend([0.0] * grow)
+        self._visits.extend([0] * grow)
+        self._recurrent.extend([0] * grow)
+        self._first.extend([0] * grow)
+        self._created.extend([0] * grow)
+        self._dir_last_access.extend([NEVER_ACCESSED] * grow)
+        for name in ("win_visits", "win_recurrent", "win_first", "win_ls", "win_created"):
+            arr = getattr(self, name)
+            setattr(self, name, np.concatenate([arr, np.zeros(grow)]))
+
+    def record_file_access(self, dir_id: int, file_idx: int, *, created: bool = False) -> None:
+        """A metadata op touched file ``file_idx`` of ``dir_id``.
+
+        ``created`` marks a freshly created inode: it counts as a first
+        visit (the inode was unvisited until this instant) and feeds the
+        created-in-window tally so that create streams keep a high spatial
+        inclination (beta) even though they leave no unvisited stock behind.
+        """
+        if dir_id >= len(self.heat):
+            self._grow()
+        prev = self.tree.touch_file(dir_id, file_idx, self.epoch)
+        self.heat[dir_id] += 1.0
+        self._visits[dir_id] += 1
+        # "Visited" is a sliding notion: each inode carries a boolean queue
+        # of the last n epochs (paper §4.1), so an inode untouched for
+        # longer than the recurrence window counts as unvisited again.
+        if prev == NEVER_ACCESSED or self.epoch - prev > self.recurrence_window:
+            self._first[dir_id] += 1
+            if created:
+                self._created[dir_id] += 1
+        else:
+            self._recurrent[dir_id] += 1
+
+    def record_dir_access(self, dir_id: int) -> None:
+        """A metadata op touched the directory itself (readdir, mkdir...)."""
+        if dir_id >= len(self.heat):
+            self._grow()
+        self.heat[dir_id] += 1.0
+        self._visits[dir_id] += 1
+        prev = self._dir_last_access[dir_id]
+        if prev != NEVER_ACCESSED and self.epoch - prev <= self.recurrence_window:
+            self._recurrent[dir_id] += 1
+        self._dir_last_access[dir_id] = self.epoch
+
+    # ------------------------------------------------------------- epoch roll
+    def end_epoch(self) -> None:
+        """Close the current cutting window and roll the pattern stats."""
+        self._grow()
+        n = self.tree.n_dirs
+        visits = np.array(self._visits, dtype=np.float64)
+        recurrent = np.array(self._recurrent, dtype=np.float64)
+        first = np.array(self._first, dtype=np.float64)
+        created = np.array(self._created, dtype=np.float64)
+
+        # Spatial correlation: a directory whose files are being visited for
+        # the first time predicts first visits on a sibling too (paper §3.3:
+        # "select one of its sibling subtrees with a certain probability and
+        # increment its l_s").
+        ls = first.copy()
+        if self.sibling_probability > 0.0:
+            active = np.nonzero(first)[0]
+            stock = self.unvisited_array() if active.size else None
+            for d in active:
+                if self._rng.random() >= self.sibling_probability:
+                    continue
+                parent = self.tree.parent[d]
+                if parent < 0:
+                    continue
+                siblings = self.tree.children[parent]
+                if len(siblings) < 2:
+                    continue
+                # Spatial locality says the scan will reach a sibling that
+                # still holds unvisited stock — prefer those.
+                unvisited = [s for s in siblings if s != d and stock[s] > 0]
+                pool = unvisited if unvisited else [s for s in siblings if s != d]
+                if not pool:
+                    continue
+                pick = int(pool[self._rng.integers(len(pool))])
+                # A sibling cannot receive more first visits than it has
+                # unvisited stock: cap the bonus so small directories are
+                # not predicted to carry a huge folder's load.
+                ls[pick] += min(first[d], stock[pick])
+
+        self._win.append((visits, recurrent, first, ls, created))
+        self.win_visits += visits
+        self.win_recurrent += recurrent
+        self.win_first += first
+        self.win_ls += ls
+        self.win_created += created
+        if len(self._win) > self.pattern_windows:
+            old = self._win.popleft()
+            # A grow() may have enlarged the running sums since `old` was
+            # recorded; subtract over the old prefix only.
+            for arr, name in zip(old, ("win_visits", "win_recurrent", "win_first",
+                                       "win_ls", "win_created")):
+                getattr(self, name)[: arr.size] -= arr
+
+        self._visits = [0] * n
+        self._recurrent = [0] * n
+        self._first = [0] * n
+        self._created = [0] * n
+        self.heat = [h * self.heat_decay for h in self.heat]
+        self.epoch += 1
+
+    # -------------------------------------------------------------- snapshots
+    def heat_array(self) -> np.ndarray:
+        """Decayed heat per directory (accesses add to it immediately)."""
+        self._grow()
+        return np.array(self.heat, dtype=np.float64)
+
+    def unvisited_array(self) -> np.ndarray:
+        """Files per directory NOT accessed within the recurrence window.
+
+        This is the sliding "unvisited stock" behind beta: a directory
+        scanned long ago regains unvisited stock as its inodes' boolean
+        queues drain, making it a spatial-locality candidate again.
+        """
+        tree = self.tree
+        cutoff = self.epoch - self.recurrence_window
+        out = np.empty(tree.n_dirs, dtype=np.float64)
+        for d in range(tree.n_dirs):
+            n = tree.n_files[d]
+            arr = tree._file_last_access.get(d)
+            if arr is None:
+                out[d] = n
+                continue
+            a = arr[:n]
+            recent = int(((a != NEVER_ACCESSED) & (a >= cutoff)).sum())
+            out[d] = n - recent
+        return out
+
+    def pattern_arrays(self) -> dict[str, np.ndarray]:
+        """Window sums for mIndex computation (copies, per-dir)."""
+        self._grow()
+        return {
+            "visits": self.win_visits.copy(),
+            "recurrent": self.win_recurrent.copy(),
+            "first": self.win_first.copy(),
+            "ls": self.win_ls.copy(),
+            "created": self.win_created.copy(),
+            "unvisited": self.unvisited_array(),
+        }

@@ -1,0 +1,26 @@
+"""Lunule — the paper's contribution.
+
+- :mod:`repro.core.if_model` — imbalance factor (paper Eq. 1-3),
+- :mod:`repro.core.initiator` — migration trigger + role/amount decision
+  (paper Algorithm 1),
+- :mod:`repro.core.pattern` — the Pattern Analyzer: cutting-window
+  temporal/spatial locality factors alpha/beta and loads l_t/l_s,
+- :mod:`repro.core.mindex` — per-subtree migration index (paper Eq. 4),
+- :mod:`repro.core.selector` — the three-path subtree selection,
+- :mod:`repro.core.balancer` — Lunule and Lunule-Light orchestration.
+"""
+
+from repro.core.if_model import coefficient_of_variation, imbalance_factor, urgency
+from repro.core.initiator import MdsLoad, MigrationInitiator, decide_roles
+from repro.core.balancer import LunuleBalancer, LunuleLightBalancer
+
+__all__ = [
+    "coefficient_of_variation",
+    "imbalance_factor",
+    "urgency",
+    "MdsLoad",
+    "MigrationInitiator",
+    "decide_roles",
+    "LunuleBalancer",
+    "LunuleLightBalancer",
+]

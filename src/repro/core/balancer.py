@@ -1,0 +1,81 @@
+"""Lunule and Lunule-Light balancer orchestration (paper §3.1 workflow).
+
+Per epoch: Load Monitors report per-MDS IOPS to the Migration Initiator
+(N-to-1); the initiator computes the IF and — above the threshold — runs
+Algorithm 1 to produce per-exporter migration decisions; each exporter's
+Workload-aware Migration Planner ranks its subtrees by migration index and
+the Subtree Selector fulfils the decision; chosen units go to the Migrator.
+
+*Lunule-Light* is the paper's ablation variant: same IF-model trigger and
+Algorithm 1 amounts, but the default (decayed-heat) candidate ranking
+instead of the migration index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.balancers.base import Balancer
+from repro.balancers.candidates import candidates_for, scale_to_load
+from repro.core.initiator import InitiatorConfig, MigrationInitiator
+from repro.core.mindex import mindex_per_dir
+from repro.core.selector import SubtreeSelector
+
+__all__ = ["LunuleBalancer", "LunuleLightBalancer"]
+
+
+class LunuleBalancer(Balancer):
+    name = "lunule"
+
+    def __init__(self, config: InitiatorConfig | None = None, *,
+                 tolerance: float = 0.1) -> None:
+        super().__init__()
+        self.initiator_config = config or InitiatorConfig()
+        self.tolerance = tolerance
+        self.initiator: MigrationInitiator | None = None
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        self.initiator = MigrationInitiator(sim.config.mds_capacity, self.initiator_config)
+
+    # What the Pattern Analyzer feeds the selector (overridden by -Light).
+    def per_dir_load(self) -> np.ndarray:
+        return mindex_per_dir(self.sim.stats)
+
+    def on_epoch(self, epoch: int) -> None:
+        sim = self.sim
+        n = self.n_mds
+        migrator = sim.migrator
+        pending_out = [migrator.pending_export_load(i) for i in range(n)]
+        pending_in = [migrator.pending_import_load(i) for i in range(n)]
+        decisions = self.initiator.plan(
+            epoch, self.loads(), self.histories(), pending_out, pending_in
+        )
+        if not decisions:
+            return
+        per_dir = self.per_dir_load()
+        loads = self.loads()
+        for msg in decisions:
+            src = msg.exporter
+            raw = candidates_for(sim, src, per_dir)
+            scale = scale_to_load(raw, loads[src])
+            if scale <= 0.0:
+                continue
+            scaled = [replace(c, load=c.load * scale, self_load=c.self_load * scale)
+                      for c in raw]
+            selector = SubtreeSelector(sim, scaled, tolerance=self.tolerance)
+            for dst, amount in sorted(msg.assignments.items(),
+                                      key=lambda kv: kv[1], reverse=True):
+                for plan in selector.select(amount):
+                    migrator.submit_export(src, dst, plan.unit, plan.load)
+
+
+class LunuleLightBalancer(LunuleBalancer):
+    """Lunule's trigger and amounts with the default heat-based selection."""
+
+    name = "lunule-light"
+
+    def per_dir_load(self) -> np.ndarray:
+        return self.sim.stats.heat_array()

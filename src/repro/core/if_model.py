@@ -1,0 +1,52 @@
+"""The Imbalance Factor model (paper §3.2, Equations 1-3).
+
+``IF = (CoV / sqrt(n)) * U`` where
+
+- ``CoV`` is the Bessel-corrected coefficient of variation of per-MDS IOPS.
+  Its range is (0, sqrt(n)]; dividing by sqrt(n) — the value reached when
+  exactly one of n MDSs carries all load — normalizes IF into [0, 1].
+- ``U = 1 / (1 + e^((1 - 2u)/S))`` with ``u = l_max / C`` is the *urgency*:
+  a logistic gate that suppresses re-balancing when even the busiest MDS is
+  far below its capacity ``C`` (benign imbalance). ``S`` (paper: 0.2)
+  controls the steepness around the ``u = 0.5`` midpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.util.stats import coefficient_of_variation
+
+__all__ = ["coefficient_of_variation", "urgency", "imbalance_factor"]
+
+
+def urgency(l_max: float, capacity: float, smoothness: float = 0.2) -> float:
+    """Paper Eq. 2: logistic urgency of the current imbalance.
+
+    ``l_max`` is the busiest MDS's IOPS this epoch; ``capacity`` the
+    theoretical per-MDS maximum. ``u`` is clamped into [0, 1] — a transient
+    measurement above the nominal capacity is maximal urgency, not an error.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if not 0.0 < smoothness <= 1.0:
+        raise ValueError("smoothness S must be in (0, 1]")
+    u = min(max(l_max / capacity, 0.0), 1.0)
+    return 1.0 / (1.0 + math.exp((1.0 - 2.0 * u) / smoothness))
+
+
+def imbalance_factor(loads: Sequence[float], capacity: float,
+                     smoothness: float = 0.2) -> float:
+    """Paper Eq. 3: normalized CoV gated by urgency, in [0, 1].
+
+    Returns 0.0 for an idle or single-MDS cluster (nothing to balance).
+    """
+    n = len(loads)
+    if n < 2:
+        return 0.0
+    cov = coefficient_of_variation(loads)
+    if cov == 0.0:
+        return 0.0
+    u = urgency(max(loads), capacity, smoothness)
+    return (cov / math.sqrt(n)) * u

@@ -1,0 +1,161 @@
+"""The Migration Initiator: trigger + role/amount decision (paper §3.2).
+
+Per epoch the initiator receives each MDS's load (the N-to-1
+``ImbalanceState`` message), computes the cluster IF, and — only when IF
+exceeds the trigger threshold — runs Algorithm 1 to partition MDSs into
+exporters and importers and pair their demands into the export matrix ``E``.
+
+Two anti-over-migration mechanisms come straight from the paper:
+
+- per-epoch migration capacity ``Cap`` bounds each MDS's export and import
+  demand (``eld``/``ild``),
+- an importer's predicted future load (``fld``, linear regression) shrinks
+  its import capacity: load that is coming anyway must not be migrated in.
+
+One addition the paper describes in prose ("the lag effects of metadata
+migration have not been taken into consideration [by vanilla], leading to
+over-migration"): loads are adjusted by migrations already planned or in
+flight before roles are decided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.messages import ImbalanceState, MigrationDecision, wire_size
+from repro.core.if_model import imbalance_factor
+from repro.core.regression import predict_future_load
+from repro.util.stats import coefficient_of_variation
+
+__all__ = ["MdsLoad", "decide_roles", "MigrationInitiator", "InitiatorConfig"]
+
+
+@dataclass
+class MdsLoad:
+    """Per-MDS input/output record of Algorithm 1."""
+
+    rank: int
+    cld: float  # current load (IOPS)
+    fld: float  # predicted next-epoch load
+    eld: float = 0.0  # export demand (set for exporters)
+    ild: float = 0.0  # import capacity (set for importers)
+
+
+def decide_roles(stats: list[MdsLoad], threshold: float, cap: float) -> np.ndarray:
+    """Paper Algorithm 1: returns the export matrix ``E`` (n x n).
+
+    ``E[i, j]`` is the load amount MDS ``i`` must ship to MDS ``j``.
+    ``threshold`` is the squared relative-deviation gate ``L``; ``cap`` is
+    the per-epoch migration capacity in load units.
+    """
+    n = len(stats)
+    E = np.zeros((n, n))
+    if n < 2 or cap <= 0:
+        return E
+    mean = sum(m.cld for m in stats) / n
+    if mean <= 0:
+        return E
+    exporters: list[MdsLoad] = []
+    importers: list[MdsLoad] = []
+    for m in stats:
+        delta = abs(m.cld - mean)
+        if (delta / mean) ** 2 <= threshold:
+            continue
+        if m.cld > mean:
+            exporters.append(m)
+            m.eld = min(cap, delta)
+        elif m.fld - m.cld < delta:
+            importers.append(m)
+            m.ild = min(cap, delta - (m.fld - m.cld))
+    # Pair the heaviest exporters with the roomiest importers first so the
+    # largest gaps close in one epoch when possible.
+    exporters.sort(key=lambda m: m.eld, reverse=True)
+    importers.sort(key=lambda m: m.ild, reverse=True)
+    for ex in exporters:
+        for im in importers:
+            if ex.eld > 0 and im.ild > 0:
+                amount = min(ex.eld, im.ild)
+                E[ex.rank, im.rank] = amount
+                ex.eld -= amount
+                im.ild -= amount
+    return E
+
+
+@dataclass
+class InitiatorConfig:
+    """Tunables of the initiator (defaults follow the paper where given)."""
+
+    if_threshold: float = 0.075
+    #: squared relative-deviation gate L of Algorithm 1
+    deviation_threshold: float = 0.01
+    #: per-epoch migration capacity as a fraction of the MDS capacity C
+    cap_fraction: float = 1.0
+    regression_window: int = 5
+    urgency_smoothness: float = 0.2
+    #: ablation switch: False degrades IF to plain normalized CoV (Eq. 1
+    #: without Eq. 2), re-balancing benign imbalance too
+    use_urgency: bool = True
+
+
+class MigrationInitiator:
+    """Centralized decision maker residing on one MDS (rank 0 by default)."""
+
+    def __init__(self, capacity: float, config: InitiatorConfig | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.config = config or InitiatorConfig()
+        self.last_if = 0.0
+        self.triggers = 0
+        #: §3.4 overhead accounting: control-plane bytes in/out of the initiator
+        self.bytes_received = 0
+        self.bytes_sent = 0
+
+    def plan(
+        self,
+        epoch: int,
+        loads: list[float],
+        histories: list[list[float]],
+        pending_out: list[float] | None = None,
+        pending_in: list[float] | None = None,
+    ) -> list[MigrationDecision]:
+        """One epoch of decision making; returns per-exporter decisions.
+
+        ``pending_out``/``pending_in`` are load amounts already queued or in
+        flight by the migrator, subtracted from / added to the measured
+        loads so the initiator plans against the post-migration picture.
+        """
+        n = len(loads)
+        for rank in range(n):
+            self.bytes_received += wire_size(ImbalanceState(rank, epoch, loads[rank]))
+        cfg = self.config
+        if cfg.use_urgency:
+            self.last_if = imbalance_factor(loads, self.capacity, cfg.urgency_smoothness)
+        else:
+            self.last_if = coefficient_of_variation(loads) / math.sqrt(max(1, n))
+        if self.last_if <= cfg.if_threshold:
+            return []
+        self.triggers += 1
+
+        out = pending_out or [0.0] * n
+        inn = pending_in or [0.0] * n
+        stats = [
+            MdsLoad(
+                rank=i,
+                cld=max(0.0, loads[i] - out[i] + inn[i]),
+                fld=predict_future_load(histories[i], cfg.regression_window),
+            )
+            for i in range(n)
+        ]
+        E = decide_roles(stats, cfg.deviation_threshold, cfg.cap_fraction * self.capacity)
+        decisions: list[MigrationDecision] = []
+        for i in range(n):
+            assignments = {j: float(E[i, j]) for j in range(n) if E[i, j] > 0}
+            if assignments:
+                msg = MigrationDecision(i, epoch, assignments)
+                self.bytes_sent += wire_size(msg)
+                decisions.append(msg)
+        return decisions

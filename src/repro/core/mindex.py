@@ -1,0 +1,22 @@
+"""Per-directory migration index (paper Eq. 4) and helpers.
+
+``mIndex = alpha * l_t + beta * l_s`` estimates each directory's *future*
+load: temporal recurrence predicts re-visits; spatial inclination predicts
+first visits into unvisited (or newly created) territory. Subtree-level
+values are produced by aggregating the per-directory array through
+:func:`repro.balancers.candidates.candidates_for`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.stats import AccessStats
+from repro.core.pattern import analyze
+
+__all__ = ["mindex_per_dir"]
+
+
+def mindex_per_dir(stats: AccessStats) -> np.ndarray:
+    """The migration index of every directory's own files."""
+    return analyze(stats).mindex

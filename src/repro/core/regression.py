@@ -1,0 +1,25 @@
+"""Future-load prediction for importers (paper §3.2, Algorithm 1 ``fld``).
+
+A short linear regression over the recent epoch-load history predicts the
+next epoch's load. Algorithm 1 refuses to assign the importer role — or
+shrinks the import amount — when the importer's *own* load is already
+trending up enough to close its gap to the mean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.stats import linear_regression_predict
+
+__all__ = ["predict_future_load", "DEFAULT_HISTORY"]
+
+DEFAULT_HISTORY = 5
+
+
+def predict_future_load(history: Sequence[float], window: int = DEFAULT_HISTORY) -> float:
+    """Predicted next-epoch load from the last ``window`` observations."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    recent = list(history)[-window:]
+    return linear_regression_predict(recent, steps_ahead=1)

@@ -1,0 +1,21 @@
+"""Experiment harness: configs, runner, metrics, reports, and the paper's
+figures.
+
+Every table and figure of the paper's evaluation (§2.2 and §4) has a
+corresponding function in :mod:`repro.experiments.figures` that runs the
+simulation(s) and returns the rows/series the paper reports; the
+``benchmarks/`` directory wraps each in a pytest-benchmark target.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_workload
+from repro.experiments.runner import run_experiment
+from repro.experiments import figures, metrics, report
+
+__all__ = [
+    "ExperimentConfig",
+    "default_workload",
+    "run_experiment",
+    "figures",
+    "metrics",
+    "report",
+]

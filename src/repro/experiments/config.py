@@ -1,0 +1,82 @@
+"""Canonical experiment configuration.
+
+The paper's testbed runs 100 clients against five 2x Xeon MDS servers for
+tens of minutes. The canonical *bench scale* here keeps every ratio that
+matters (clients per MDS, dataset shape, epoch length vs migration lag) at
+a size that reruns in seconds; ``scale`` multiplies per-client op counts
+and dataset sizes for users who want longer runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.simulator import SimConfig
+from repro.workloads import (
+    CnnWorkload,
+    MdtestWorkload,
+    MixedWorkload,
+    NlpWorkload,
+    WebWorkload,
+    Workload,
+    ZipfWorkload,
+)
+
+__all__ = ["ExperimentConfig", "default_workload", "BENCH_SIM_CONFIG"]
+
+#: the SimConfig every figure uses unless it overrides something
+BENCH_SIM_CONFIG = SimConfig(n_mds=5, mds_capacity=100.0, epoch_len=10,
+                             max_ticks=20_000)
+
+
+def default_workload(name: str, n_clients: int = 20, *, scale: float = 1.0) -> Workload:
+    """The calibrated bench-scale instance of each paper workload.
+
+    ``scale`` stretches dataset/op counts linearly (1.0 = the defaults the
+    repository's figures are calibrated at).
+    """
+    if n_clients <= 0:
+        raise ValueError("need at least one client")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def s(x: int) -> int:
+        return max(1, round(x * scale))
+
+    if name == "cnn":
+        return CnnWorkload(n_clients, n_dirs=s(100), files_per_dir=40, jitter=0.05)
+    if name == "nlp":
+        return NlpWorkload(n_clients, n_folders=14, total_files=s(4000), jitter=0.05)
+    if name == "web":
+        return WebWorkload(n_clients, total_files=s(2000), n_requests=s(3000))
+    if name == "zipf":
+        return ZipfWorkload(n_clients, files_per_dir=s(200), reads_per_client=s(1500))
+    if name == "mdtest":
+        return MdtestWorkload(n_clients, creates_per_client=s(3000))
+    if name == "mixed":
+        # Paper §4.4: clients split into four groups, one per workload
+        # (MDtest excluded in the paper's mixed/end-to-end figures).
+        per = max(1, n_clients // 4)
+        return MixedWorkload([
+            default_workload("cnn", per, scale=scale),
+            default_workload("nlp", per, scale=scale),
+            default_workload("web", per, scale=scale),
+            default_workload("zipf", n_clients - 3 * per, scale=scale),
+        ])
+    raise ValueError(f"unknown workload {name!r}")
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulation run: workload x balancer x cluster."""
+
+    workload: str = "zipf"
+    balancer: str = "lunule"
+    n_clients: int = 20
+    seed: int = 7
+    scale: float = 1.0
+    data_path: bool = False
+    sim: SimConfig = field(default_factory=lambda: BENCH_SIM_CONFIG)
+
+    def build_workload(self) -> Workload:
+        return default_workload(self.workload, self.n_clients, scale=self.scale)

@@ -1,0 +1,448 @@
+"""Every table and figure of the paper, as runnable experiment functions.
+
+Each ``figN_*`` function runs the necessary simulations and returns a
+:class:`FigureResult` whose ``data`` holds the raw rows/series and whose
+``text`` renders them the way the paper reports them. The ``benchmarks/``
+directory wraps each function in a pytest-benchmark target; EXPERIMENTS.md
+records paper-vs-measured values.
+
+Functions accept ``scale`` (dataset/op-count multiplier, 1.0 = calibrated
+bench scale) and ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig, default_workload
+from repro.experiments.metrics import (
+    downsample,
+    head_share,
+    jct_percentiles,
+    mean_if_reduction,
+    time_to_balance,
+)
+from repro.experiments.report import render_kv, render_series, render_table
+from repro.experiments.runner import run_experiment
+from repro.workloads import WORKLOADS
+
+__all__ = [
+    "FigureResult",
+    "table1_workloads",
+    "fig2_request_distribution",
+    "fig3_per_mds_throughput",
+    "fig4_migrated_inodes",
+    "eval_matrix",
+    "fig6_imbalance_factor",
+    "fig7_throughput",
+    "fig8_end_to_end",
+    "mixed_comparison",
+    "fig9_mixed_if",
+    "fig10_mixed_throughput",
+    "fig11_jct_cdf",
+    "fig12a_cluster_expansion",
+    "fig12b_client_growth",
+    "fig13a_scalability",
+    "fig13b_dirhash_throughput",
+    "fig14_dirhash_distribution",
+]
+
+SINGLE_WORKLOADS = ("cnn", "nlp", "web", "zipf", "mdtest")
+EVAL_BALANCERS = ("vanilla", "greedyspill", "lunule-light", "lunule")
+
+
+@dataclass
+class FigureResult:
+    fig_id: str
+    title: str
+    data: dict = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _cfg(workload: str, balancer: str, *, scale: float, seed: int,
+         n_clients: int = 20, data_path: bool = False,
+         sim: SimConfig | None = None) -> ExperimentConfig:
+    return ExperimentConfig(workload=workload, balancer=balancer,
+                            n_clients=n_clients, seed=seed, scale=scale,
+                            data_path=data_path, sim=sim or BENCH_SIM_CONFIG)
+
+
+# --------------------------------------------------------------------- Table 1
+def table1_workloads(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Table 1: workload characteristics and metadata-operation ratios.
+
+    The meta-op ratio is measured from the op streams directly (one client
+    per workload), no simulation needed.
+    """
+    rows = []
+    for name in SINGLE_WORKLOADS:
+        wl = default_workload(name, 2, scale=scale)
+        inst = wl.materialize(seed=seed)
+        meta = data = 0
+        client = inst.clients[0]
+        op = client.current
+        stream = client._ops
+        while op is not None:
+            meta += 1
+            if op[3] > 0:
+                data += 1
+            op = next(stream, None)
+        measured = meta / (meta + data) if meta + data else 0.0
+        rows.append([name, inst.tree.n_dirs - 1, inst.tree.total_files(),
+                     wl.paper_meta_ratio, measured])
+    text = render_table(
+        ["workload", "dirs", "files", "paper meta%", "measured meta%"], rows,
+        title="Table 1 — workload characteristics (scaled datasets)")
+    return FigureResult("table1", "Workload characteristics", {"rows": rows}, text)
+
+
+# -------------------------------------------------------------------- Figure 2
+def fig2_request_distribution(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 2: per-MDS share of total metadata requests under Vanilla."""
+    rows = []
+    shares = {}
+    for name in SINGLE_WORKLOADS:
+        res = run_experiment(_cfg(name, "vanilla", scale=scale, seed=seed))
+        share = res.request_share()
+        shares[name] = share
+        rows.append([name] + [float(s) for s in share]
+                    + [float(share.max() / max(share.min(), 1e-9))])
+    text = render_table(
+        ["workload"] + [f"MDS-{i + 1}" for i in range(5)] + ["max/min"],
+        rows,
+        title="Figure 2 — metadata request distribution, CephFS-Vanilla, 5 MDSs")
+    return FigureResult("fig2", "Request distribution (Vanilla)",
+                        {"shares": shares}, text)
+
+
+# -------------------------------------------------------------------- Figure 3
+def fig3_per_mds_throughput(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 3: per-MDS IOPS over time, Vanilla, for Zipf and CNN."""
+    blocks, data = [], {}
+    for name in ("zipf", "cnn"):
+        res = run_experiment(_cfg(name, "vanilla", scale=scale, seed=seed))
+        mat = res.per_mds_matrix()
+        data[name] = {"ticks": res.epoch_ticks, "per_mds": mat}
+        idx = np.linspace(0, mat.shape[0] - 1, min(10, mat.shape[0])).round().astype(int)
+        rows = [[int(res.epoch_ticks[i])] + [float(v) for v in mat[i]] for i in idx]
+        blocks.append(render_table(
+            ["tick"] + [f"MDS-{m + 1}" for m in range(mat.shape[1])], rows,
+            title=f"Figure 3 ({name}) — per-MDS IOPS, Vanilla"))
+    return FigureResult("fig3", "Per-MDS throughput (Vanilla)", data,
+                        "\n\n".join(blocks))
+
+
+# -------------------------------------------------------------------- Figure 4
+def fig4_migrated_inodes(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 4: cumulative migrated inodes over time, Vanilla."""
+    blocks, data = [], {}
+    for name in ("zipf", "cnn"):
+        res = run_experiment(_cfg(name, "vanilla", scale=scale, seed=seed))
+        data[name] = {"ticks": res.epoch_ticks, "migrated": res.migrated_series}
+        blocks.append(render_series(
+            f"Figure 4 ({name}) — cumulative migrated inodes, Vanilla",
+            downsample(res.epoch_ticks), downsample(res.migrated_series),
+            "tick", "inodes"))
+    return FigureResult("fig4", "Migrated inodes (Vanilla)", data,
+                        "\n\n".join(blocks))
+
+
+# --------------------------------------------------------------- Figures 6 & 7
+def eval_matrix(scale: float = 1.0, seed: int = 7,
+                workloads=SINGLE_WORKLOADS, balancers=EVAL_BALANCERS) -> dict:
+    """The 5-workload x 4-balancer run grid shared by Figures 6 and 7."""
+    out = {}
+    for w in workloads:
+        for b in balancers:
+            out[(w, b)] = run_experiment(_cfg(w, b, scale=scale, seed=seed))
+    return out
+
+
+def fig6_imbalance_factor(scale: float = 1.0, seed: int = 7,
+                          matrix: dict | None = None) -> FigureResult:
+    """Fig. 6: IF over time per workload x balancer (lower is better)."""
+    matrix = matrix or eval_matrix(scale, seed)
+    workloads = sorted({w for w, _ in matrix})
+    balancers = [b for b in EVAL_BALANCERS if any((w, b) in matrix for w in workloads)]
+    rows, series = [], {}
+    for w in workloads:
+        row = [w]
+        for b in balancers:
+            res = matrix[(w, b)]
+            row.append(res.mean_if(2))
+            series[(w, b)] = {"ticks": res.epoch_ticks, "if": res.if_series}
+        van, lun = matrix[(w, "vanilla")], matrix[(w, "lunule")]
+        row.append(100.0 * mean_if_reduction(lun, van))
+        rows.append(row)
+    text = render_table(
+        ["workload"] + [f"IF({b})" for b in balancers] + ["lunule vs vanilla (%)"],
+        rows, title="Figure 6 — average imbalance factor (lower is better)")
+    return FigureResult("fig6", "Imbalance factor", {"rows": rows, "series": series}, text)
+
+
+def fig7_throughput(scale: float = 1.0, seed: int = 7,
+                    matrix: dict | None = None) -> FigureResult:
+    """Fig. 7: aggregate metadata throughput per workload x balancer."""
+    matrix = matrix or eval_matrix(scale, seed)
+    workloads = sorted({w for w, _ in matrix})
+    balancers = [b for b in EVAL_BALANCERS if any((w, b) in matrix for w in workloads)]
+    rows, series = [], {}
+    for w in workloads:
+        peaks = {b: matrix[(w, b)].peak_iops() for b in balancers}
+        # Mean sustained throughput = total ops / runtime: completion-time
+        # based, robust to different run lengths.
+        sustained = {
+            b: sum(matrix[(w, b)].served_per_mds) / max(1, matrix[(w, b)].finished_tick)
+            for b in balancers
+        }
+        latency = {b: matrix[(w, b)].mean_latency(2) for b in balancers}
+        for b in balancers:
+            res = matrix[(w, b)]
+            series[(w, b)] = {"ticks": res.epoch_ticks,
+                              "agg": list(res.aggregate_iops()),
+                              "latency": list(res.latency_series)}
+        rows.append([w] + [sustained[b] for b in balancers]
+                    + [sustained["lunule"] / max(sustained["vanilla"], 1e-9)]
+                    + [latency["vanilla"], latency["lunule"]])
+    text = render_table(
+        ["workload"] + [f"IOPS({b})" for b in balancers]
+        + ["lunule/vanilla", "lat(vanilla)", "lat(lunule)"],
+        rows, title="Figure 7 — sustained aggregate metadata throughput "
+                    "and mean op latency (ticks)")
+    return FigureResult("fig7", "Aggregate throughput", {"rows": rows, "series": series}, text)
+
+
+# -------------------------------------------------------------------- Figure 8
+def fig8_end_to_end(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 8: job completion time with data access enabled.
+
+    The paper runs CNN/NLP/Zipf/Web (MDtest is metadata-only by convention)
+    under Vanilla, GreedySpill and Lunule.
+    """
+    balancers = ("vanilla", "greedyspill", "lunule")
+    rows, data = [], {}
+    for w in ("cnn", "nlp", "zipf", "web"):
+        jcts = {}
+        for b in balancers:
+            res = run_experiment(_cfg(w, b, scale=scale, seed=seed, data_path=True))
+            jcts[b] = float(res.job_completion_times().mean())
+        data[w] = jcts
+        rows.append([w] + [jcts[b] for b in balancers]
+                    + [100.0 * (1.0 - jcts["lunule"] / jcts["vanilla"])])
+    text = render_table(
+        ["workload"] + [f"JCT({b})" for b in balancers] + ["lunule gain (%)"],
+        rows, title="Figure 8 — mean job completion time, data access enabled")
+    return FigureResult("fig8", "End-to-end JCT", {"rows": rows, "jct": data}, text)
+
+
+# ------------------------------------------------------------- Figures 9/10/11
+def mixed_comparison(scale: float = 1.0, seed: int = 7, n_clients: int = 24) -> dict:
+    """The mixed-workload pair of runs shared by Figures 9, 10 and 11."""
+    out = {}
+    for b in ("vanilla", "lunule"):
+        out[b] = run_experiment(_cfg("mixed", b, scale=scale, seed=seed,
+                                     n_clients=n_clients))
+    return out
+
+
+def fig9_mixed_if(scale: float = 1.0, seed: int = 7,
+                  runs: dict | None = None) -> FigureResult:
+    """Fig. 9: IF over time for the mixed workload, Lunule vs Vanilla."""
+    runs = runs or mixed_comparison(scale, seed)
+    blocks = []
+    for b, res in runs.items():
+        blocks.append(render_series(
+            f"Figure 9 ({b}) — imbalance factor, mixed workload",
+            downsample(res.epoch_ticks), downsample(res.if_series),
+            "tick", "IF"))
+    van, lun = runs["vanilla"], runs["lunule"]
+    summary = render_kv("Summary", [
+        ("mean IF vanilla", van.mean_if(2)),
+        ("mean IF lunule", lun.mean_if(2)),
+        ("time to IF<0.1 vanilla", time_to_balance(van) or -1),
+        ("time to IF<0.1 lunule", time_to_balance(lun) or -1),
+    ])
+    return FigureResult("fig9", "Mixed-workload IF",
+                        {b: {"ticks": r.epoch_ticks, "if": r.if_series}
+                         for b, r in runs.items()},
+                        "\n\n".join(blocks + [summary]))
+
+
+def fig10_mixed_throughput(scale: float = 1.0, seed: int = 7,
+                           runs: dict | None = None) -> FigureResult:
+    """Fig. 10: per-MDS IOPS over time for the mixed workload."""
+    runs = runs or mixed_comparison(scale, seed)
+    blocks, data = [], {}
+    for b, res in runs.items():
+        mat = res.per_mds_matrix()
+        data[b] = {"ticks": res.epoch_ticks, "per_mds": mat,
+                   "agg": list(res.aggregate_iops())}
+        idx = np.linspace(0, mat.shape[0] - 1, min(10, mat.shape[0])).round().astype(int)
+        rows = [[int(res.epoch_ticks[i])] + [float(v) for v in mat[i]]
+                + [float(mat[i].sum())] for i in idx]
+        blocks.append(render_table(
+            ["tick"] + [f"MDS-{m + 1}" for m in range(mat.shape[1])] + ["total"],
+            rows, title=f"Figure 10 ({b}) — per-MDS IOPS, mixed workload"))
+    return FigureResult("fig10", "Mixed-workload per-MDS throughput", data,
+                        "\n\n".join(blocks))
+
+
+def fig11_jct_cdf(scale: float = 1.0, seed: int = 7,
+                  runs: dict | None = None) -> FigureResult:
+    """Fig. 11: CDF of client job completion times, mixed workload."""
+    runs = runs or mixed_comparison(scale, seed)
+    rows, data = [], {}
+    for b, res in runs.items():
+        pct = jct_percentiles(res, (50, 80, 99))
+        data[b] = {"jct": list(res.job_completion_times()), "percentiles": pct}
+        rows.append([b, pct[50], pct[80], pct[99]])
+    van, lun = data["vanilla"]["percentiles"], data["lunule"]["percentiles"]
+    rows.append(["tail gain (%)", 100 * (1 - lun[50] / van[50]),
+                 100 * (1 - lun[80] / van[80]), 100 * (1 - lun[99] / van[99])])
+    text = render_table(["balancer", "p50", "p80", "p99"], rows,
+                        title="Figure 11 — JCT percentiles, mixed workload")
+    return FigureResult("fig11", "Mixed-workload JCT CDF", data, text)
+
+
+# ------------------------------------------------------------------- Figure 12
+def fig12a_cluster_expansion(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 12a: add MDSs at runtime (4 -> 5 -> 6) under Zipf, Lunule."""
+    wl = default_workload("zipf", 24, scale=scale)
+    # enough reads that the run outlives both expansion events
+    wl.reads_per_client = round(wl.reads_per_client * 12)  # type: ignore[attr-defined]
+    inst = wl.materialize(seed=seed)
+    sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=4, max_ticks=900)
+    schedule = [(300, lambda s: s.add_mds(1)), (600, lambda s: s.add_mds(1))]
+    sim = Simulator(inst, make_balancer("lunule"), sim_cfg, schedule=schedule)
+    res = sim.run()
+    agg = res.aggregate_iops()
+    phases = []
+    for lo, hi, label in ((0, 300, "4 MDS"), (300, 600, "5 MDS"),
+                          (600, 900, "6 MDS")):
+        sel = [a for t, a in zip(res.epoch_ticks, agg) if lo < t <= hi]
+        phases.append([label, float(np.mean(sel)) if sel else 0.0,
+                       float(np.max(sel)) if sel else 0.0])
+    text = render_table(["phase", "mean agg IOPS", "peak agg IOPS"], phases,
+                        title="Figure 12a — MDS cluster expansion under Lunule (Zipf)")
+    return FigureResult("fig12a", "Cluster expansion",
+                        {"phases": phases, "ticks": res.epoch_ticks,
+                         "agg": list(agg), "per_mds": res.per_mds_matrix()}, text)
+
+
+def fig12b_client_growth(scale: float = 1.0, seed: int = 7) -> FigureResult:
+    """Fig. 12b: grow the client population 10 -> 20 -> 30 -> 40 under Zipf.
+
+    Clients are rate-limited so the first phase is genuinely light: the
+    urgency term must NOT trigger re-balance while all MDSs idle along.
+    """
+    wl = default_workload("zipf", 40, scale=scale)
+    wl.client_rate = 2.0
+    # every wave has enough work to stay active through the last phase
+    wl.reads_per_client = round(wl.reads_per_client * 5)  # type: ignore[attr-defined]
+    inst = wl.materialize(seed=seed)
+    groups = [inst.clients[i * 10:(i + 1) * 10] for i in range(4)]
+    inst.clients = groups[0]
+    phase_len = 250
+    schedule = [(phase_len * i, (lambda g: lambda s: s.add_clients(g))(groups[i]))
+                for i in (1, 2, 3)]
+    sim = Simulator(inst, make_balancer("lunule"),
+                    BENCH_SIM_CONFIG.with_(max_ticks=phase_len * 4),
+                    schedule=schedule)
+    res = sim.run()
+    agg = res.aggregate_iops()
+    rows = []
+    migrated_prev = 0
+    for i in range(4):
+        lo, hi = phase_len * i, phase_len * (i + 1) if i < 3 else res.finished_tick
+        sel = [(a, m) for t, a, m in zip(res.epoch_ticks, agg, res.migrated_series)
+               if lo < t <= hi]
+        if not sel:
+            continue
+        mean_agg = float(np.mean([a for a, _ in sel]))
+        mig = sel[-1][1] - migrated_prev
+        migrated_prev = sel[-1][1]
+        rows.append([f"{10 * (i + 1)} clients", mean_agg, mig])
+    text = render_table(["phase", "mean agg IOPS", "inodes migrated in phase"], rows,
+                        title="Figure 12b — client growth under Lunule (Zipf, rate-limited)")
+    return FigureResult("fig12b", "Client growth",
+                        {"rows": rows, "ticks": res.epoch_ticks, "agg": list(agg),
+                         "if": res.if_series}, text)
+
+
+# ------------------------------------------------------------------- Figure 13
+def fig13a_scalability(scale: float = 1.0, seed: int = 7,
+                       cluster_sizes=(1, 2, 4, 8, 16)) -> FigureResult:
+    """Fig. 13a: peak MD throughput vs cluster size, Lunule."""
+    rows, peaks = [], {}
+    base_peak = None
+    for n in cluster_sizes:
+        wl = default_workload("mdtest", 4 * n, scale=scale)
+        # larger clusters need a longer run: the initial spread from MDS-0
+        # takes a fixed number of epochs regardless of cluster size
+        wl.creates_per_client = max(500, round((1000 + 200 * n) * scale))
+        inst = wl.materialize(seed=seed)
+        cfg = BENCH_SIM_CONFIG.with_(n_mds=n)
+        res = Simulator(inst, make_balancer("lunule"), cfg).run()
+        peak = res.peak_iops()
+        peaks[n] = peak
+        if base_peak is None:
+            base_peak = peak
+        rows.append([n, peak, base_peak * n, peak / (base_peak * n)])
+    text = render_table(["MDSs", "peak IOPS", "linear ref", "efficiency"], rows,
+                        title="Figure 13a — MD-workload scalability under Lunule")
+    return FigureResult("fig13a", "Scalability", {"rows": rows, "peaks": peaks}, text)
+
+
+def fig13b_dirhash_throughput(scale: float = 1.0, seed: int = 7,
+                              results: dict | None = None) -> FigureResult:
+    """Fig. 13b: Lunule vs Dir-Hash vs Vanilla on the Web workload."""
+    results = results or {
+        b: run_experiment(_cfg("web", b, scale=scale, seed=seed))
+        for b in ("vanilla", "dirhash", "lunule")
+    }
+    rows = []
+    for b, res in results.items():
+        sustained = sum(res.served_per_mds) / max(1, res.finished_tick)
+        rows.append([b, sustained, res.peak_iops(), float(res.finished_tick),
+                     res.total_forwards])
+    text = render_table(["balancer", "sustained IOPS", "peak IOPS", "runtime", "forwards"],
+                        rows, title="Figure 13b — Web workload: Lunule vs Dir-Hash vs Vanilla")
+    return FigureResult("fig13b", "Dir-Hash comparison", {"rows": rows,
+                        "results": results}, text)
+
+
+def fig14_dirhash_distribution(scale: float = 1.0, seed: int = 7,
+                               results: dict | None = None) -> FigureResult:
+    """Fig. 14: Dir-Hash places inodes evenly but requests unevenly, and
+    roughly doubles forwards relative to subtree partitioning."""
+    results = results or {
+        b: run_experiment(_cfg("web", b, scale=scale, seed=seed))
+        for b in ("vanilla", "dirhash", "lunule")
+    }
+    dh = results["dirhash"]
+    inode_share = np.array(dh.inode_distribution, dtype=float)
+    inode_share = inode_share / inode_share.sum()
+    req_share = dh.request_share()
+    rows = [[f"MDS-{i + 1}", float(inode_share[i]), float(req_share[i])]
+            for i in range(len(inode_share))]
+    fw = {b: r.total_forwards for b, r in results.items()}
+    base = max(1, min(fw["vanilla"], fw["lunule"]))
+    extra = render_kv("Forwards", [
+        ("dirhash", fw["dirhash"]),
+        ("vanilla", fw["vanilla"]),
+        ("lunule", fw["lunule"]),
+        ("dirhash vs best subtree (x)", fw["dirhash"] / base),
+    ])
+    text = render_table(["rank", "inode share", "request share"], rows,
+                        title="Figure 14 — Dir-Hash inode vs request distribution (Web)")
+    return FigureResult("fig14", "Dir-Hash distributions",
+                        {"inode_share": list(inode_share),
+                         "request_share": list(req_share), "forwards": fw},
+                        text + "\n\n" + extra)

@@ -1,0 +1,65 @@
+"""Analysis helpers turning :class:`SimResult` series into paper metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.results import SimResult
+
+__all__ = [
+    "improvement",
+    "mean_if_reduction",
+    "time_to_balance",
+    "jct_percentiles",
+    "downsample",
+    "head_share",
+]
+
+
+def improvement(ours: float, baseline: float) -> float:
+    """Multiplicative improvement ``ours / baseline`` (guard zero)."""
+    if baseline <= 0:
+        return float("inf") if ours > 0 else 1.0
+    return ours / baseline
+
+
+def mean_if_reduction(ours: SimResult, baseline: SimResult, skip: int = 2) -> float:
+    """Fractional reduction in average IF vs a baseline (paper: 17.9-90.4%)."""
+    b = baseline.mean_if(skip)
+    if b <= 0:
+        return 0.0
+    return 1.0 - ours.mean_if(skip) / b
+
+
+def time_to_balance(result: SimResult, threshold: float = 0.1) -> int | None:
+    """First tick at which IF drops below ``threshold`` (None if never)."""
+    for t, v in zip(result.epoch_ticks, result.if_series):
+        if v < threshold:
+            return t
+    return None
+
+
+def jct_percentiles(result: SimResult, qs=(50, 80, 99)) -> dict[int, float]:
+    """Job-completion-time percentiles over all finished clients."""
+    jct = result.job_completion_times()
+    if jct.size == 0:
+        return {q: float("nan") for q in qs}
+    return {q: float(np.percentile(jct, q)) for q in qs}
+
+
+def downsample(series, n_points: int = 12) -> list[float]:
+    """Pick ~``n_points`` evenly spaced samples of a series for reports."""
+    arr = list(series)
+    if len(arr) <= n_points:
+        return [float(x) for x in arr]
+    idx = np.linspace(0, len(arr) - 1, n_points).round().astype(int)
+    return [float(arr[i]) for i in idx]
+
+
+def head_share(values, k: int = 1) -> float:
+    """Fraction of the total carried by the largest ``k`` entries."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))[::-1]
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    return float(arr[:k].sum() / total)

@@ -1,0 +1,68 @@
+"""Terminal plotting: sparklines, bar charts, multi-series strips.
+
+The harness reports everything as plain text; these helpers make the time
+series legible at a glance (benches and examples embed them next to the
+numeric tables).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "series_strip"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_ASCII_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60, *,
+              ascii_only: bool = False, v_max: float | None = None) -> str:
+    """One-line graph of a series, resampled to ``width`` characters."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    blocks = _ASCII_BLOCKS if ascii_only else _BLOCKS
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    top = v_max if v_max is not None else float(arr.max())
+    if top <= 0:
+        return blocks[0] * arr.size
+    scaled = np.clip(arr / top, 0.0, 1.0) * (len(blocks) - 1)
+    return "".join(blocks[int(round(v))] for v in scaled)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return ""
+    top = max(max(values), 1e-12)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "█" * max(0, round(v / top * width))
+        lines.append(f"{label.ljust(label_w)} |{bar} {v:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series_strip(named_series: dict[str, Sequence[float]], *, width: int = 60,
+                 shared_scale: bool = True) -> str:
+    """Stacked sparklines for several series, optionally on one y-scale."""
+    if not named_series:
+        return ""
+    v_max = None
+    if shared_scale:
+        tops = [max(s) for s in named_series.values() if len(list(s))]
+        v_max = max(tops) if tops else None
+    label_w = max(len(n) for n in named_series)
+    lines = []
+    for name, series in named_series.items():
+        line = sparkline(series, width, v_max=v_max)
+        peak = max(series) if len(list(series)) else 0.0
+        lines.append(f"{name.ljust(label_w)} |{line}| max {peak:,.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results, paper-style.
+
+Benches print these tables so a run's output can be eyeballed against the
+paper's figures; EXPERIMENTS.md records the comparison permanently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "nan"
+        if abs(x) >= 1000:
+            return f"{x:,.0f}"
+        if abs(x) >= 10:
+            return f"{x:.1f}"
+        return f"{x:.3f}"
+    return str(x)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "t", y_label: str = "y") -> str:
+    """One time series as two aligned rows (the paper's curves, textually)."""
+    header = f"{name} ({x_label} -> {y_label})"
+    xs_s = " ".join(f"{_fmt(x):>7s}" for x in xs)
+    ys_s = " ".join(f"{_fmt(y):>7s}" for y in ys)
+    return f"{header}\n  {x_label:>4s}: {xs_s}\n  {y_label:>4s}: {ys_s}"
+
+
+def render_kv(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title]
+    for k, v in pairs:
+        lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Experiment runner: config in, :class:`SimResult` out."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import Simulator
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["run_experiment", "run_matrix"]
+
+
+def run_experiment(cfg: ExperimentConfig, *,
+                   schedule: list[tuple[int, Callable]] | None = None,
+                   balancer_kwargs: dict | None = None):
+    """Materialize the workload, build the balancer, run the simulation."""
+    sim_cfg = cfg.sim
+    if cfg.data_path and not sim_cfg.data_path:
+        sim_cfg = sim_cfg.with_(data_path=True)
+    instance = cfg.build_workload().materialize(seed=cfg.seed)
+    balancer = make_balancer(cfg.balancer, **(balancer_kwargs or {}))
+    sim = Simulator(instance, balancer, sim_cfg, schedule=schedule)
+    return sim.run()
+
+
+def run_matrix(workloads: list[str], balancers: list[str],
+               base: ExperimentConfig | None = None) -> dict[tuple[str, str], object]:
+    """Run a workload x balancer cross product (Figures 6 and 7)."""
+    base = base or ExperimentConfig()
+    out: dict[tuple[str, str], object] = {}
+    for w in workloads:
+        for b in balancers:
+            cfg = ExperimentConfig(workload=w, balancer=b, n_clients=base.n_clients,
+                                   seed=base.seed, scale=base.scale,
+                                   data_path=base.data_path, sim=base.sim)
+            out[(w, b)] = run_experiment(cfg)
+    return out

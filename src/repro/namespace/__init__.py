@@ -1,0 +1,19 @@
+"""Hierarchical file-system namespace substrate.
+
+CephFS splits its namespace into *subtrees* (nested directories) and
+*dirfrags* (partitions of one large directory). This package provides:
+
+- :class:`repro.namespace.tree.NamespaceTree` — the directory/file tree with
+  per-file access bookkeeping,
+- :class:`repro.namespace.subtree.AuthorityMap` — which MDS is authoritative
+  for each subtree / dirfrag, with cached resolution,
+- :mod:`repro.namespace.builder` — constructors for the dataset shapes used
+  by the paper's workloads (ImageNet-like fan-out, NLP corpus, web docs,
+  per-client private directories).
+"""
+
+from repro.namespace.tree import NamespaceTree
+from repro.namespace.subtree import AuthorityMap
+from repro.namespace import builder
+
+__all__ = ["NamespaceTree", "AuthorityMap", "builder"]

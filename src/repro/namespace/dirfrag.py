@@ -1,0 +1,55 @@
+"""Directory fragments (dirfrags).
+
+A large flat directory can be split into ``2**bits`` fragments; file index
+``i`` belongs to fragment ``i & (2**bits - 1)``. Fragments are the unit
+CephFS uses to export *parts* of one directory — without them a single huge
+directory (MDtest, the NLP corpus folders) could never be balanced across
+MDSs.
+
+Fragments here partition only the *files* of a directory; child directories
+keep routing through the directory itself. That matches how the paper's
+workloads stress fragmentation (huge flat dirs) while keeping resolution
+O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FragId", "frag_of", "frag_file_count", "MAX_FRAG_BITS"]
+
+MAX_FRAG_BITS = 8
+
+
+@dataclass(frozen=True, order=True)
+class FragId:
+    """Identifies one fragment of a directory."""
+
+    dir_id: int
+    bits: int
+    frag_no: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bits <= MAX_FRAG_BITS:
+            raise ValueError(f"frag bits must be in [1, {MAX_FRAG_BITS}]")
+        if not 0 <= self.frag_no < (1 << self.bits):
+            raise ValueError("frag_no out of range for bits")
+
+    def contains(self, file_idx: int) -> bool:
+        return (file_idx & ((1 << self.bits) - 1)) == self.frag_no
+
+
+def frag_of(file_idx: int, bits: int) -> int:
+    """Fragment number of ``file_idx`` under a ``2**bits``-way split."""
+    if bits <= 0:
+        return 0
+    return file_idx & ((1 << bits) - 1)
+
+
+def frag_file_count(n_files: int, bits: int, frag_no: int) -> int:
+    """How many of ``n_files`` sequential indices fall in ``frag_no``."""
+    if bits <= 0:
+        return n_files
+    width = 1 << bits
+    full, rem = divmod(n_files, width)
+    return full + (1 if frag_no < rem else 0)

@@ -1,0 +1,224 @@
+"""Subtree authority: which MDS serves which part of the namespace.
+
+The namespace is partitioned by *subtree roots*: a directory listed in the
+authority map owns itself and every descendant down to (excluding) any
+nested subtree root. Large directories may additionally be fragmented, in
+which case individual fragments can be delegated to other MDSs.
+
+Resolution is the hot path of the whole simulator (every client op calls
+it), so results are cached per directory and invalidated with a single
+version counter bumped on any authority change — migrations are rare
+relative to requests.
+"""
+
+from __future__ import annotations
+
+from repro.namespace.dirfrag import FragId, frag_of
+from repro.namespace.tree import NamespaceTree
+
+__all__ = ["AuthorityMap"]
+
+
+class AuthorityMap:
+    """Maps subtree roots and dirfrags to authoritative MDS ranks."""
+
+    def __init__(self, tree: NamespaceTree, initial_mds: int = 0) -> None:
+        self.tree = tree
+        self._subtree_auth: dict[int, int] = {0: initial_mds}
+        # dir_id -> (bits, {frag_no: mds}) for fragmented directories.
+        self._frags: dict[int, tuple[int, dict[int, int]]] = {}
+        self.version = 0
+        self._cache: dict[int, tuple[int, int]] = {}  # dir -> (auth, root)
+        self._cache_version = 0
+
+    # ---------------------------------------------------------------- resolve
+    def resolve_dir(self, dir_id: int) -> tuple[int, int]:
+        """Return ``(auth_mds, subtree_root)`` for a directory."""
+        if self._cache_version != self.version:
+            self._cache.clear()
+            self._cache_version = self.version
+        hit = self._cache.get(dir_id)
+        if hit is not None:
+            return hit
+        path: list[int] = []
+        for d in self.tree.ancestors(dir_id):
+            auth = self._subtree_auth.get(d)
+            if auth is not None:
+                result = (auth, d)
+                for p in path:
+                    self._cache[p] = result
+                self._cache[d] = result
+                return result
+            path.append(d)
+        raise RuntimeError("root directory has no authority")  # pragma: no cover
+
+    def resolve(self, dir_id: int, file_idx: int = -1) -> int:
+        """Authoritative MDS for a file (or the dir itself if ``idx < 0``)."""
+        frag = self._frags.get(dir_id)
+        if frag is not None and file_idx >= 0:
+            bits, owners = frag
+            mds = owners.get(frag_of(file_idx, bits))
+            if mds is not None:
+                return mds
+        return self.resolve_dir(dir_id)[0]
+
+    # ------------------------------------------------------------ partitioning
+    def subtree_roots(self) -> dict[int, int]:
+        """Copy of the subtree-root -> MDS mapping."""
+        return dict(self._subtree_auth)
+
+    def is_subtree_root(self, dir_id: int) -> bool:
+        return dir_id in self._subtree_auth
+
+    def frag_state(self, dir_id: int) -> tuple[int, dict[int, int]] | None:
+        """``(bits, {frag_no: mds})`` if the directory is fragmented."""
+        state = self._frags.get(dir_id)
+        if state is None:
+            return None
+        return state[0], dict(state[1])
+
+    def set_subtree_auth(self, dir_id: int, mds: int) -> None:
+        """Delegate the subtree rooted at ``dir_id`` to ``mds``.
+
+        Marks ``dir_id`` as a subtree root if it was not one already.
+        """
+        self.tree._check_dir(dir_id)
+        if mds < 0:
+            raise ValueError("MDS rank must be non-negative")
+        self._subtree_auth[dir_id] = mds
+        self.version += 1
+
+    def drop_subtree_root(self, dir_id: int) -> None:
+        """Merge a subtree back into its parent's authority."""
+        if dir_id == 0:
+            raise ValueError("cannot drop the root subtree")
+        self._subtree_auth.pop(dir_id, None)
+        self.version += 1
+
+    def merge_redundant_roots(self) -> int:
+        """Drop subtree roots whose authority equals their parent's.
+
+        CephFS merges adjacent subtrees so the subtree map stays small;
+        after many migrations a root often ends up co-located with its
+        surrounding subtree again. Returns the number of roots removed.
+        Resolution is unchanged by construction.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for d in sorted(self._subtree_auth):
+                if d == 0:
+                    continue
+                parent_auth = self._resolve_above(d)
+                if parent_auth == self._subtree_auth[d]:
+                    del self._subtree_auth[d]
+                    removed += 1
+                    changed = True
+        if removed:
+            self.version += 1
+        return removed
+
+    def _resolve_above(self, dir_id: int) -> int:
+        """Authority the parent chain would give ``dir_id`` if it were not
+        a subtree root itself."""
+        for d in self.tree.ancestors(self.tree.parent[dir_id]):
+            auth = self._subtree_auth.get(d)
+            if auth is not None:
+                return auth
+        raise RuntimeError("root directory has no authority")  # pragma: no cover
+
+    def merge_uniform_frags(self, exclude: set[int] | frozenset[int] = frozenset()) -> int:
+        """Un-fragment directories whose frags all share the dir authority.
+
+        Returns the number of directories merged back. Frag maps whose
+        owners are uniform but differ from the dir authority stay split
+        (the files genuinely live elsewhere). ``exclude`` protects
+        directories with in-flight migration plans from having their split
+        collapsed underneath the migrator.
+        """
+        merged = 0
+        for d in sorted(self._frags):
+            if d in exclude:
+                continue
+            bits, owners = self._frags[d]
+            owner_set = set(owners.values())
+            if len(owner_set) == 1 and owner_set.pop() == self.resolve_dir(d)[0]:
+                del self._frags[d]
+                merged += 1
+        if merged:
+            self.version += 1
+        return merged
+
+    def split_dir(self, dir_id: int, bits: int) -> list[FragId]:
+        """Fragment ``dir_id`` into ``2**bits`` frags, all owned by its auth.
+
+        Re-splitting with more bits redistributes existing frag ownership by
+        the containing coarser frag.
+        """
+        if bits <= 0:
+            raise ValueError("split needs at least 1 bit")
+        base_auth = self.resolve_dir(dir_id)[0]
+        prev = self._frags.get(dir_id)
+        owners: dict[int, int] = {}
+        for frag_no in range(1 << bits):
+            if prev is not None:
+                pbits, powners = prev
+                owners[frag_no] = powners.get(frag_no & ((1 << pbits) - 1), base_auth)
+            else:
+                owners[frag_no] = base_auth
+        self._frags[dir_id] = (bits, owners)
+        self.version += 1
+        return [FragId(dir_id, bits, f) for f in sorted(owners)]
+
+    def set_frag_auth(self, frag: FragId, mds: int) -> None:
+        """Delegate one fragment of a split directory to ``mds``."""
+        state = self._frags.get(frag.dir_id)
+        if state is None or state[0] != frag.bits:
+            raise ValueError(f"directory {frag.dir_id} is not split into {frag.bits} bits")
+        state[1][frag.frag_no] = mds
+        self.version += 1
+
+    # ----------------------------------------------------------------- extents
+    def extent(self, root: int) -> list[int]:
+        """Directories governed by subtree root ``root``."""
+        if root not in self._subtree_auth:
+            raise ValueError(f"{root} is not a subtree root")
+        nested = set(self._subtree_auth) - {root}
+        return self.tree.subtree_extent(root, nested)
+
+    def subtrees_of(self, mds: int) -> list[int]:
+        """Subtree roots currently authoritative on ``mds``."""
+        return sorted(d for d, m in self._subtree_auth.items() if m == mds)
+
+    def frags_of(self, mds: int) -> list[FragId]:
+        """Fragments explicitly owned by ``mds``."""
+        out: list[FragId] = []
+        for dir_id, (bits, owners) in self._frags.items():
+            for frag_no, owner in owners.items():
+                if owner == mds:
+                    out.append(FragId(dir_id, bits, frag_no))
+        return sorted(out)
+
+    def inode_distribution(self, n_mds: int) -> list[int]:
+        """Inodes (dirs + files) authoritative on each MDS rank.
+
+        Fragmented directories attribute their files to frag owners; the
+        directory inode itself goes to the subtree authority.
+        """
+        counts = [0] * n_mds
+        for root in self._subtree_auth:
+            auth = self._subtree_auth[root]
+            for d in self.extent(root):
+                counts[auth] += 1  # the dir inode
+                frag = self._frags.get(d)
+                if frag is None:
+                    counts[auth] += self.tree.n_files[d]
+                else:
+                    bits, owners = frag
+                    n = self.tree.n_files[d]
+                    width = 1 << bits
+                    full, rem = divmod(n, width)
+                    for frag_no, owner in owners.items():
+                        counts[owner] += full + (1 if frag_no < rem else 0)
+        return counts

@@ -1,0 +1,24 @@
+"""Shared low-level utilities: deterministic RNG streams, statistics, sampling.
+
+Everything in :mod:`repro` that needs randomness must derive it from
+:func:`repro.util.rng.substream` so that whole experiments are reproducible
+from a single integer seed.
+"""
+
+from repro.util.rng import substream
+from repro.util.stats import (
+    coefficient_of_variation,
+    ecdf,
+    percentile,
+    RunningStats,
+)
+from repro.util.zipf import ZipfSampler
+
+__all__ = [
+    "substream",
+    "coefficient_of_variation",
+    "ecdf",
+    "percentile",
+    "RunningStats",
+    "ZipfSampler",
+]

@@ -1,0 +1,51 @@
+"""Workload generators reproducing the paper's Table 1.
+
+Five workloads (CNN image pre-processing, NLP training, Web trace replay,
+Filebench Zipfian read, MDtest create) plus the four-group mixture of §4.4.
+Each produces a namespace shape and a set of closed-loop clients emitting
+deterministic op streams from a seed.
+"""
+
+from repro.workloads.base import (
+    Client,
+    Op,
+    OP_CREATE,
+    OP_OPEN,
+    OP_READDIR,
+    OP_STAT,
+    Workload,
+    WorkloadInstance,
+)
+from repro.workloads.cnn import CnnWorkload
+from repro.workloads.nlp import NlpWorkload
+from repro.workloads.web import WebWorkload
+from repro.workloads.zipf import ZipfWorkload
+from repro.workloads.mdtest import MdtestWorkload
+from repro.workloads.mixed import MixedWorkload
+
+WORKLOADS = {
+    "cnn": CnnWorkload,
+    "nlp": NlpWorkload,
+    "web": WebWorkload,
+    "zipf": ZipfWorkload,
+    "mdtest": MdtestWorkload,
+    "mixed": MixedWorkload,
+}
+
+__all__ = [
+    "Client",
+    "Op",
+    "OP_CREATE",
+    "OP_OPEN",
+    "OP_READDIR",
+    "OP_STAT",
+    "Workload",
+    "WorkloadInstance",
+    "CnnWorkload",
+    "NlpWorkload",
+    "WebWorkload",
+    "ZipfWorkload",
+    "MdtestWorkload",
+    "MixedWorkload",
+    "WORKLOADS",
+]

@@ -1,0 +1,74 @@
+"""CNN image pre-processing workload (paper Table 1, "CNN").
+
+Models the MXNet ``im2rec`` data-preparation phase: each client scans the
+whole ImageNet-shaped dataset — first listing every class directory and
+stat-ing each image to build the metadata list, then re-reading each image
+to pack the record file. Files are visited once per pass and never again:
+the canonical *scan* workload whose future load is anti-correlated with
+heat, which is what defeats the vanilla balancer (paper §2.2, Fig. 3b/4b).
+
+The real dataset is ILSVRC2012: 1.28M images over 1000 class dirs, mean
+114.3 KB per image; defaults here keep the 1000-ish fan-out shape at a
+laptop-friendly scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.namespace.builder import BuiltNamespace, build_fanout
+from repro.namespace.tree import NamespaceTree
+from repro.util.rng import substream
+from repro.workloads.base import OP_CREATE, OP_OPEN, OP_READDIR, OP_STAT, Op, Workload
+
+__all__ = ["CnnWorkload"]
+
+
+class CnnWorkload(Workload):
+    name = "cnn"
+    paper_meta_ratio = 0.781
+
+    def __init__(self, n_clients: int, *, n_dirs: int = 200, files_per_dir: int = 24,
+                 image_bytes: int = 114_300, jitter: float = 0.15,
+                 client_rate: float | None = None) -> None:
+        super().__init__(n_clients, jitter=jitter, client_rate=client_rate)
+        if n_dirs <= 0 or files_per_dir <= 0:
+            raise ValueError("CNN needs a non-empty dataset")
+        self.n_dirs = n_dirs
+        self.files_per_dir = files_per_dir
+        self.image_bytes = image_bytes
+
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        built = build_fanout(self.n_dirs, self.files_per_dir, tree=tree, prefix="cnn")
+        # Each client packs its shuffled dataset into one record file placed
+        # in a per-client output directory.
+        out_root = tree.add_dir(built.root, "cnn_records")
+        built.info = {"out_root": out_root}  # type: ignore[attr-defined]
+        return built
+
+    def client_ops(self, built: BuiltNamespace, client_index: int, seed: int) -> Iterator[Op]:
+        out_root = built.info["out_root"]  # type: ignore[attr-defined]
+        rng = substream(seed, "workload", "cnn", "shuffle", client_index)
+
+        def gen() -> Iterator[Op]:
+            # Pass 1 — build the metadata list: readdir each class dir,
+            # then lookup + getattr every image (metadata only), in
+            # directory order. Two metadata ops per image plus one open in
+            # pass 2 lands the ratio at ~75% (paper measures 78.1%).
+            for d, n_files in zip(built.dirs, built.files):
+                yield (OP_READDIR, d, -1, 0)
+                for idx in range(n_files):
+                    yield (OP_STAT, d, idx, 0)
+                    yield (OP_STAT, d, idx, 0)
+            # Pass 2 — pack the record file: im2rec reads the images in
+            # SHUFFLED order (the record is consumed shuffled across
+            # training epochs), open+read each (metadata + data).
+            yield (OP_CREATE, out_root, -1, 0)
+            flat = [(d, idx) for d, n_files in zip(built.dirs, built.files)
+                    for idx in range(n_files)]
+            order = rng.permutation(len(flat))
+            for k in order:
+                d, idx = flat[int(k)]
+                yield (OP_OPEN, d, idx, self.image_bytes)
+
+        return gen()

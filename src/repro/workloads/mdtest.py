@@ -1,0 +1,44 @@
+"""MDtest create workload (paper Table 1, "MD").
+
+The standard write-only metadata stress: each client continuously creates
+empty files in its own private directory. 100% metadata operations, no data
+path. Private directories grow without bound, which is what exercises
+dirfrag splitting — a single giant directory can only be balanced by
+exporting fragments of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.namespace.builder import BuiltNamespace, build_private_dirs
+from repro.namespace.tree import NamespaceTree
+from repro.workloads.base import OP_CREATE, Op, Workload
+
+__all__ = ["MdtestWorkload"]
+
+
+class MdtestWorkload(Workload):
+    name = "mdtest"
+    paper_meta_ratio = 1.0
+
+    def __init__(self, n_clients: int, *, creates_per_client: int = 5000,
+                 jitter: float = 0.05,
+                 client_rate: float | None = None) -> None:
+        super().__init__(n_clients, jitter=jitter, client_rate=client_rate)
+        if creates_per_client <= 0:
+            raise ValueError("need at least one create")
+        self.creates_per_client = creates_per_client
+
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        # Directories start empty: MDtest operates on fresh directories.
+        return build_private_dirs(self.n_clients, 0, tree=tree, prefix="md")
+
+    def client_ops(self, built: BuiltNamespace, client_index: int, seed: int) -> Iterator[Op]:
+        d = built.dirs[client_index]
+
+        def gen() -> Iterator[Op]:
+            for _ in range(self.creates_per_client):
+                yield (OP_CREATE, d, -1, 0)
+
+        return gen()

@@ -1,0 +1,53 @@
+"""The mixed workload of paper §4.4.
+
+Clients are partitioned into four groups, each running one of the single
+workloads (CNN, NLP, Web, Zipf — the four used in the paper's end-to-end
+figures; MDtest is excluded there because it exhausts MDS memory). All
+groups share one namespace tree, each under its own top-level directory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.namespace.builder import BuiltNamespace
+from repro.namespace.tree import NamespaceTree
+from repro.workloads.base import Client, Op, Workload, WorkloadInstance
+
+__all__ = ["MixedWorkload"]
+
+
+class MixedWorkload(Workload):
+    name = "mixed"
+    paper_meta_ratio = float("nan")
+
+    def __init__(self, parts: list[Workload]) -> None:
+        if not parts:
+            raise ValueError("mixed workload needs at least one part")
+        super().__init__(sum(p.n_clients for p in parts))
+        self.parts = parts
+
+    # The part workloads own namespace building and op generation; the
+    # Workload hooks below are not used directly.
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        raise NotImplementedError("use materialize() on MixedWorkload")
+
+    def client_ops(self, built: BuiltNamespace, client_index: int, seed: int) -> Iterator[Op]:
+        raise NotImplementedError("use materialize() on MixedWorkload")
+
+    def materialize(self, seed: int = 0) -> WorkloadInstance:
+        tree = NamespaceTree()
+        clients: list[Client] = []
+        infos: dict[str, dict] = {}
+        next_cid = 0
+        for part in self.parts:
+            built = part.build_namespace(tree, seed)
+            part_clients = part.make_clients(built, seed, first_cid=next_cid)
+            next_cid += len(part_clients)
+            clients.extend(part_clients)
+            infos[part.name] = {
+                "n_clients": part.n_clients,
+                "dirs": list(built.dirs),
+                "root": built.root,
+            }
+        return WorkloadInstance(self.name, tree, clients, None, {"parts": infos})

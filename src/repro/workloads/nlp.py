@@ -1,0 +1,55 @@
+"""NLP training workload (paper Table 1, "NLP").
+
+Models THUCTC-style text-classifier training: each client consumes the
+whole corpus — 14 top-level folders holding hundreds of thousands of tiny
+news files with heavily skewed folder sizes. Like CNN it is a scan (files
+are read once per epoch of training data ingestion), but its namespace
+fan-out is extremely coarse: balancing it requires splitting the few huge
+folders into dirfrags rather than redistributing whole directories.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.namespace.builder import BuiltNamespace, build_corpus
+from repro.namespace.tree import NamespaceTree
+from repro.workloads.base import OP_OPEN, OP_READDIR, OP_STAT, Op, Workload
+
+__all__ = ["NlpWorkload"]
+
+
+class NlpWorkload(Workload):
+    name = "nlp"
+    paper_meta_ratio = 0.928
+
+    def __init__(self, n_clients: int, *, n_folders: int = 14, total_files: int = 6000,
+                 file_bytes: int = 2_800, skew: float = 1.4, jitter: float = 0.15,
+                 client_rate: float | None = None) -> None:
+        super().__init__(n_clients, jitter=jitter, client_rate=client_rate)
+        if total_files < n_folders:
+            raise ValueError("need at least one file per folder")
+        self.n_folders = n_folders
+        self.total_files = total_files
+        self.file_bytes = file_bytes
+        self.skew = skew
+
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        return build_corpus(self.n_folders, self.total_files, skew=self.skew,
+                            seed=seed, tree=tree, prefix="nlp")
+
+    def client_ops(self, built: BuiltNamespace, client_index: int, seed: int) -> Iterator[Op]:
+        def gen() -> Iterator[Op]:
+            # Enumerate the corpus: list each category folder, then for
+            # every tiny document: lookup + getattr + open/read + cap
+            # release. Four metadata ops per one data read keeps the stream
+            # metadata-dominated (paper measures 92.8%).
+            for d, n_files in zip(built.dirs, built.files):
+                yield (OP_READDIR, d, -1, 0)
+                for idx in range(n_files):
+                    yield (OP_STAT, d, idx, 0)
+                    yield (OP_STAT, d, idx, 0)
+                    yield (OP_OPEN, d, idx, self.file_bytes)
+                    yield (OP_STAT, d, idx, 0)
+
+        return gen()

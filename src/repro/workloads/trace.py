@@ -1,0 +1,194 @@
+"""Trace recording, persistence and replay.
+
+Three capabilities a balancer-evaluation repo needs around traces:
+
+- **record** — capture the op stream of any workload (or of a live
+  simulation) as a flat, numpy-backed :class:`Trace`;
+- **persist** — save/load traces as ``.npz`` (compact) so expensive
+  generators run once;
+- **replay** — wrap a :class:`Trace` as a :class:`TraceWorkload` whose
+  clients re-issue the recorded ops in order (the paper's Web experiment
+  replays an Apache access log this way).
+
+Also ships a tiny Apache *combined log format* reader/writer pair so a real
+access log can be converted into a trace against a built namespace (paths
+are mapped onto ``(dir, file)`` pairs by stable hashing).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.namespace.builder import BuiltNamespace
+from repro.namespace.tree import NamespaceTree
+from repro.util.rng import derive_seed
+from repro.workloads.base import OP_OPEN, Op, Workload
+
+__all__ = ["Trace", "TraceWorkload", "record_workload", "parse_apache_log",
+           "format_apache_log"]
+
+
+@dataclass
+class Trace:
+    """A flat op trace: parallel arrays (kind, dir, file index, bytes)."""
+
+    kinds: np.ndarray
+    dirs: np.ndarray
+    files: np.ndarray
+    nbytes: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.kinds)
+        if not (len(self.dirs) == len(self.files) == len(self.nbytes) == n):
+            raise ValueError("trace arrays must be the same length")
+
+    def __len__(self) -> int:
+        return int(len(self.kinds))
+
+    def __iter__(self) -> Iterator[Op]:
+        for k, d, f, b in zip(self.kinds, self.dirs, self.files, self.nbytes):
+            yield (int(k), int(d), int(f), int(b))
+
+    @classmethod
+    def from_ops(cls, ops) -> "Trace":
+        rows = list(ops)
+        if not rows:
+            return cls(*(np.zeros(0, dtype=np.int64) for _ in range(4)))
+        arr = np.asarray(rows, dtype=np.int64)
+        return cls(arr[:, 0].copy(), arr[:, 1].copy(), arr[:, 2].copy(),
+                   arr[:, 3].copy())
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(path, kinds=self.kinds, dirs=self.dirs,
+                            files=self.files, nbytes=self.nbytes)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        with np.load(path) as data:
+            return cls(data["kinds"], data["dirs"], data["files"], data["nbytes"])
+
+    # ------------------------------------------------------------- transforms
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        return Trace(self.kinds[start:stop], self.dirs[start:stop],
+                     self.files[start:stop], self.nbytes[start:stop])
+
+    def meta_ratio(self) -> float:
+        total = len(self)
+        if total == 0:
+            return 0.0
+        data = int((self.nbytes > 0).sum())
+        return total / (total + data)
+
+
+def record_workload(workload: Workload, client_index: int = 0, *,
+                    seed: int = 0) -> tuple[Trace, NamespaceTree]:
+    """Materialize a workload and capture one client's full op stream."""
+    instance = workload.materialize(seed=seed)
+    client = instance.clients[client_index]
+    ops = []
+    op = client.current
+    while op is not None:
+        ops.append(op)
+        op = next(client._ops, None)
+    return Trace.from_ops(ops), instance.tree
+
+
+class TraceWorkload(Workload):
+    """Replay a recorded trace: every client re-issues it in order.
+
+    The trace must reference directories of the namespace built by
+    ``build_namespace`` — typically the same tree the trace was recorded
+    against, supplied via ``tree_factory``.
+    """
+
+    name = "trace"
+    paper_meta_ratio = float("nan")
+
+    def __init__(self, n_clients: int, trace: Trace, built: BuiltNamespace,
+                 *, jitter: float = 0.1,
+                 client_rate: float | None = None) -> None:
+        super().__init__(n_clients, jitter=jitter, client_rate=client_rate)
+        self.trace = trace
+        self._built = built
+
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        if tree is not self._built.tree:
+            raise ValueError("TraceWorkload must run on the tree it was "
+                             "recorded against; use materialize()")
+        return self._built
+
+    def materialize(self, seed: int = 0):
+        from repro.workloads.base import WorkloadInstance
+
+        clients = self.make_clients(self._built, seed)
+        return WorkloadInstance(self.name, self._built.tree, clients, self._built)
+
+    def client_ops(self, built: BuiltNamespace, client_index: int,
+                   seed: int) -> Iterator[Op]:
+        return iter(self.trace)
+
+
+# ------------------------------------------------------------- apache logs
+_APACHE_RE = re.compile(
+    r'^(?P<host>\S+) \S+ \S+ \[(?P<ts>[^\]]+)\] '
+    r'"(?P<method>\S+) (?P<path>\S+)[^"]*" (?P<status>\d{3}) (?P<size>\d+|-)'
+)
+
+
+def parse_apache_log(text: str | io.TextIOBase, built: BuiltNamespace,
+                     *, default_bytes: int = 8192) -> Trace:
+    """Convert an Apache *combined/common* access log into an open+read trace.
+
+    Each request path is mapped onto the built namespace by stable hashing:
+    the path picks a directory from ``built.dirs`` and a file index within
+    it, so the same path always lands on the same inode. Non-2xx responses
+    and non-GET methods are skipped (they don't hit the file data path).
+    """
+    if isinstance(text, str):
+        lines: Iterator[str] = iter(text.splitlines())
+    else:
+        lines = iter(text)
+    ops = []
+    n_dirs = len(built.dirs)
+    if n_dirs == 0:
+        raise ValueError("namespace has no directories to map requests onto")
+    for line in lines:
+        m = _APACHE_RE.match(line.strip())
+        if m is None:
+            continue
+        if m.group("method").upper() != "GET":
+            continue
+        if not m.group("status").startswith("2"):
+            continue
+        path = m.group("path")
+        k = derive_seed(0, "apache", path)
+        di = k % n_dirs
+        d = built.dirs[di]
+        n_files = max(1, built.files[di])
+        idx = (k >> 20) % n_files
+        size = m.group("size")
+        nbytes = int(size) if size.isdigit() else default_bytes
+        ops.append((OP_OPEN, d, idx, max(1, nbytes)))
+    return Trace.from_ops(ops)
+
+
+def format_apache_log(trace: Trace, built: BuiltNamespace, *,
+                      host: str = "10.0.0.1") -> str:
+    """Render a trace back into Apache common log format (for round-trips
+    and for exporting synthetic traces to external tooling)."""
+    tree = built.tree
+    out = []
+    for i, (kind, d, idx, nbytes) in enumerate(trace):
+        path = f"{tree.path(d)}/file{idx:06d}"
+        out.append(
+            f'{host} - - [01/Jan/2014:00:{(i // 60) % 60:02d}:{i % 60:02d} +0000] '
+            f'"GET {path} HTTP/1.1" 200 {max(1, int(nbytes))}'
+        )
+    return "\n".join(out)

@@ -1,0 +1,58 @@
+"""Filebench Zipfian read workload (paper Table 1, "Zipf").
+
+Each client owns a private, non-shared directory of files and reads them at
+random with a Zipfian distribution — 80% of requests touch 20% of the
+files. Strong temporal locality, so heat is informative; the challenge this
+workload poses is the *trigger and amount* side: vanilla's aggressive,
+lag-oblivious migration decisions produce the ping-pong effect here (paper
+§2.2, Fig. 3a/4a).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.namespace.builder import BuiltNamespace, build_private_dirs
+from repro.namespace.tree import NamespaceTree
+from repro.util.rng import substream
+from repro.util.zipf import ZipfSampler
+from repro.workloads.base import OP_OPEN, OP_STAT, Op, Workload
+
+__all__ = ["ZipfWorkload"]
+
+
+class ZipfWorkload(Workload):
+    name = "zipf"
+    paper_meta_ratio = 0.50
+
+    def __init__(self, n_clients: int, *, files_per_dir: int = 1000,
+                 reads_per_client: int = 4000, zipf_exponent: float = 0.95,
+                 file_bytes: int = 16_384, jitter: float = 0.05,
+                 client_rate: float | None = None) -> None:
+        super().__init__(n_clients, jitter=jitter, client_rate=client_rate)
+        if files_per_dir <= 0 or reads_per_client <= 0:
+            raise ValueError("need files and reads")
+        self.files_per_dir = files_per_dir
+        self.reads_per_client = reads_per_client
+        self.zipf_exponent = zipf_exponent
+        self.file_bytes = file_bytes
+
+    def build_namespace(self, tree: NamespaceTree, seed: int) -> BuiltNamespace:
+        return build_private_dirs(self.n_clients, self.files_per_dir, tree=tree,
+                                  prefix="zipf")
+
+    def client_ops(self, built: BuiltNamespace, client_index: int, seed: int) -> Iterator[Op]:
+        d = built.dirs[client_index]
+        sampler = ZipfSampler(
+            self.files_per_dir,
+            self.zipf_exponent,
+            rng=substream(seed, "workload", "zipf", client_index),
+        )
+        picks = sampler.sample(self.reads_per_client)
+
+        def gen() -> Iterator[Op]:
+            # One open+read per request: 50% metadata ops (paper Table 1).
+            for idx in picks:
+                yield (OP_OPEN, d, int(idx), self.file_bytes)
+
+        return gen()

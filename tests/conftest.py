@@ -1,0 +1,62 @@
+"""Shared fixtures: small namespaces, clusters and simulator factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.balancers import make_balancer
+from repro.namespace.builder import build_fanout, build_private_dirs
+from repro.namespace.subtree import AuthorityMap
+from repro.namespace.tree import NamespaceTree
+from repro.workloads import ZipfWorkload
+
+
+@pytest.fixture
+def tree() -> NamespaceTree:
+    """root -> a(3 files), b(2 files) -> b1(4 files), b2(0 files)."""
+    t = NamespaceTree()
+    a = t.add_dir(0, "a")
+    b = t.add_dir(0, "b")
+    b1 = t.add_dir(b, "b1")
+    b2 = t.add_dir(b, "b2")
+    t.add_files(a, 3)
+    t.add_files(b, 2)
+    t.add_files(b1, 4)
+    assert b2 == 4
+    return t
+
+
+@pytest.fixture
+def authmap(tree) -> AuthorityMap:
+    return AuthorityMap(tree, initial_mds=0)
+
+
+@pytest.fixture
+def fanout_tree():
+    """20 equal directories of 10 files each under one root."""
+    return build_fanout(20, 10)
+
+
+@pytest.fixture
+def private_tree():
+    return build_private_dirs(8, 50)
+
+
+@pytest.fixture
+def small_sim_config() -> SimConfig:
+    return SimConfig(n_mds=3, mds_capacity=50.0, epoch_len=5, max_ticks=2000,
+                     migration_rate=100, seed=1)
+
+
+@pytest.fixture
+def make_sim(small_sim_config):
+    """Factory: make_sim(balancer_name, workload=None, **cfg_overrides)."""
+
+    def factory(balancer: str = "nop", workload=None, schedule=None, **overrides):
+        cfg = small_sim_config.with_(**overrides) if overrides else small_sim_config
+        wl = workload or ZipfWorkload(6, files_per_dir=50, reads_per_client=300)
+        inst = wl.materialize(seed=3)
+        return Simulator(inst, make_balancer(balancer), cfg, schedule=schedule)
+
+    return factory

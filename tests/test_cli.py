@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestList:
+    def test_lists_everything(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for token in ("lunule", "vanilla", "dirhash", "cnn", "mixed", "fig6"):
+            assert token in text
+
+
+class TestRun:
+    def test_run_summary(self):
+        code, text = run_cli("run", "-w", "zipf", "-b", "lunule",
+                             "-c", "6", "-m", "3", "--scale", "0.2")
+        assert code == 0
+        assert "Simulation summary" in text
+        assert "mean imbalance factor" in text
+        assert "zipf" in text and "lunule" in text
+
+    def test_run_with_data_path(self):
+        code, text = run_cli("run", "-w", "zipf", "-b", "nop", "-c", "4",
+                             "-m", "2", "--scale", "0.1", "--data-path")
+        assert code == 0
+        assert "metadata-op ratio" in text
+
+    def test_seed_changes_nothing_but_is_accepted(self):
+        code, _ = run_cli("run", "-w", "mdtest", "-b", "vanilla", "-c", "4",
+                          "-m", "2", "--scale", "0.1", "--seed", "11")
+        assert code == 0
+
+
+class TestOverhead:
+    def test_overhead_report(self):
+        code, text = run_cli("overhead", "-m", "3")
+        assert code == 0
+        assert "Overhead accounting" in text
+        assert "gossip" in text
+
+
+class TestFigure:
+    def test_table1(self):
+        code, text = run_cli("figure", "table1", "--scale", "0.5")
+        assert code == 0
+        assert "Table 1" in text
+
+    def test_fig2(self):
+        code, text = run_cli("figure", "fig2", "--scale", "0.3")
+        assert code == 0
+        assert "Figure 2" in text
+
+    def test_all_figures_registered(self):
+        # every paper figure has a CLI id
+        expected = {"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13a",
+                    "fig13b", "fig14"}
+        assert expected == set(FIGURES)

@@ -1,0 +1,128 @@
+"""Failure injection, heterogeneous capacities, latency accounting."""
+
+import pytest
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.workloads import ZipfWorkload
+
+
+def sim_for(balancer="lunule", schedule=None, **overrides):
+    wl = ZipfWorkload(8, files_per_dir=60, reads_per_client=600)
+    cfg = SimConfig(n_mds=3, mds_capacity=50, epoch_len=5, max_ticks=5000)
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    return Simulator(wl.materialize(seed=3), make_balancer(balancer), cfg,
+                     schedule=schedule)
+
+
+class TestFailureInjection:
+    def test_failed_mds_serves_nothing(self):
+        sim = sim_for("nop", schedule=[(10, lambda s: s.fail_mds(0))],
+                      max_ticks=60, stop_when_done=False)
+        res = sim.run()
+        # everything is on MDS-0 under nop; after the failure nothing moves
+        served_before = sum(
+            row[0] for t, row in zip(res.epoch_ticks, res.per_mds_iops) if t <= 10
+        )
+        served_after = sum(
+            row[0] for t, row in zip(res.epoch_ticks, res.per_mds_iops) if t > 15
+        )
+        assert served_before > 0
+        assert served_after == 0
+
+    def test_failover_resumes_service(self):
+        sim = sim_for("nop", schedule=[(10, lambda s: s.fail_mds(0)),
+                                       (40, lambda s: s.recover_mds(0))])
+        res = sim.run()
+        assert len(res.completion_ticks) == 8  # everyone finished eventually
+        # there was a visible outage window
+        outage = [sum(row) for t, row in zip(res.epoch_ticks, res.per_mds_iops)
+                  if 15 < t <= 40]
+        assert outage and max(outage) == 0
+
+    def test_failure_slows_completion(self):
+        healthy = sim_for("lunule").run()
+        degraded = sim_for("lunule", schedule=[
+            (10, lambda s: s.fail_mds(1)),
+            (100, lambda s: s.recover_mds(1)),
+        ]).run()
+        assert degraded.finished_tick >= healthy.finished_tick
+
+    def test_bad_rank_rejected(self):
+        sim = sim_for("nop")
+        with pytest.raises(ValueError):
+            sim.fail_mds(99)
+        with pytest.raises(ValueError):
+            sim.recover_mds(-1)
+
+    def test_migration_stalls_while_exporter_down(self):
+        from repro.cluster.migration import Migrator
+        from repro.namespace.builder import build_fanout
+        from repro.namespace.subtree import AuthorityMap
+
+        built = build_fanout(4, 10)
+        am = AuthorityMap(built.tree, 0)
+        mig = Migrator(am, rate=100, commit_latency=0)
+        mig.submit_export(0, 1, built.dirs[0])
+        for _ in range(10):
+            mig.tick(down_ranks={0})
+        assert mig.committed_tasks == 0  # exporter down: nothing moved
+        for _ in range(10):
+            mig.tick()
+        assert mig.committed_tasks == 1  # resumed after recovery
+
+    def test_migration_stalls_while_importer_down(self):
+        from repro.cluster.migration import Migrator
+        from repro.namespace.builder import build_fanout
+        from repro.namespace.subtree import AuthorityMap
+
+        built = build_fanout(4, 10)
+        am = AuthorityMap(built.tree, 0)
+        mig = Migrator(am, rate=100, commit_latency=0)
+        mig.submit_export(0, 1, built.dirs[0])
+        for _ in range(10):
+            mig.tick(down_ranks={1})
+        assert mig.committed_tasks == 0
+        mig.tick()
+        assert mig.committed_tasks == 1
+
+
+class TestHeterogeneousCapacities:
+    def test_capacities_applied_per_rank(self):
+        sim = sim_for("nop", mds_capacities=(80.0, 20.0, 20.0))
+        assert [m.capacity for m in sim.mdss] == [80.0, 20.0, 20.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sim_for("nop", mds_capacities=(80.0, 20.0))
+
+    def test_big_mds_serves_more(self):
+        sim = sim_for("lunule", mds_capacities=(20.0, 20.0, 110.0))
+        res = sim.run()
+        for row in res.per_mds_iops:
+            assert row[0] <= 20.0 + 1e-9 and row[1] <= 20.0 + 1e-9
+
+
+class TestLatencyAccounting:
+    def test_latency_series_recorded(self):
+        res = sim_for("lunule").run()
+        assert len(res.latency_series) == len(res.epoch_ticks)
+        assert all(l >= 1.0 for l in res.latency_series)
+
+    def test_saturated_cluster_has_queueing(self):
+        # single MDS, many unthrottled clients: heavy contention
+        res = sim_for("nop").run()
+        assert res.mean_latency() > 1.0
+
+    def test_light_load_is_service_time_only(self):
+        wl = ZipfWorkload(2, files_per_dir=30, reads_per_client=100,
+                          client_rate=2)
+        cfg = SimConfig(n_mds=2, mds_capacity=100, epoch_len=5, max_ticks=2000)
+        res = Simulator(wl.materialize(seed=1), make_balancer("nop"), cfg).run()
+        assert res.mean_latency() == pytest.approx(1.0)
+
+    def test_balancing_reduces_latency(self):
+        slow = sim_for("nop").run()
+        fast = sim_for("lunule").run()
+        assert fast.mean_latency(2) < slow.mean_latency(2)

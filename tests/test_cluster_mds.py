@@ -1,0 +1,57 @@
+"""MDS node accounting."""
+
+import pytest
+
+from repro.cluster.mds import MDS
+
+
+class TestMds:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MDS(0, 0.0)
+
+    def test_refill_full(self):
+        m = MDS(0, 100.0)
+        m.refill()
+        assert m.remaining == 100.0
+
+    def test_refill_with_penalty(self):
+        m = MDS(0, 100.0)
+        m.migration_penalty = 0.1
+        m.refill()
+        assert m.remaining == pytest.approx(90.0)
+
+    def test_penalty_capped(self):
+        m = MDS(0, 100.0)
+        m.migration_penalty = 5.0
+        m.refill()
+        assert m.remaining == pytest.approx(10.0)  # at most 90% lost
+
+    def test_serve_decrements_and_counts(self):
+        m = MDS(0, 10.0)
+        m.refill()
+        m.serve()
+        m.serve(2.0)
+        assert m.remaining == pytest.approx(7.0)
+        assert m.served_epoch == 2 and m.served_total == 2
+
+    def test_end_epoch_records_iops(self):
+        m = MDS(0, 100.0)
+        for _ in range(30):
+            m.serve()
+        iops = m.end_epoch(epoch_len=10)
+        assert iops == pytest.approx(3.0)
+        assert m.load_history == [3.0]
+        assert m.served_epoch == 0
+        assert m.served_total == 30
+
+    def test_current_load_before_first_epoch(self):
+        assert MDS(0, 10.0).current_load == 0.0
+
+    def test_current_load_tracks_last_epoch(self):
+        m = MDS(0, 10.0)
+        m.serve()
+        m.end_epoch(1)
+        m.end_epoch(1)
+        assert m.current_load == 0.0
+        assert m.load_history == [1.0, 0.0]

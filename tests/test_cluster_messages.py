@@ -1,0 +1,32 @@
+"""Control-plane message sizing (paper §3.4 overhead accounting)."""
+
+import pytest
+
+from repro.cluster.messages import Heartbeat, ImbalanceState, MigrationDecision, wire_size
+
+
+class TestWireSize:
+    def test_imbalance_state_is_small(self):
+        # Paper: ~0.94 KB per epoch total per MDS; one state message is tiny.
+        assert wire_size(ImbalanceState(1, 0, 123.0)) <= 64
+
+    def test_heartbeat_grows_with_subtrees(self):
+        small = wire_size(Heartbeat(0, 0, 1.0, ()))
+        big = wire_size(Heartbeat(0, 0, 1.0, tuple((i, 1.0) for i in range(50))))
+        assert big > small
+
+    def test_decision_grows_with_assignments(self):
+        a = wire_size(MigrationDecision(0, 0, {1: 5.0}))
+        b = wire_size(MigrationDecision(0, 0, {1: 5.0, 2: 3.0, 3: 1.0}))
+        assert b > a
+
+    def test_n_to_1_cheaper_than_n_to_n(self):
+        # Lunule's centralized collection: n states vs n^2 heartbeats.
+        n = 16
+        lunule = n * wire_size(ImbalanceState(0, 0, 1.0))
+        vanilla = n * n * wire_size(Heartbeat(0, 0, 1.0, tuple((i, 1.0) for i in range(8))))
+        assert lunule < vanilla / 10
+
+    def test_non_message_rejected(self):
+        with pytest.raises(TypeError):
+            wire_size("hello")

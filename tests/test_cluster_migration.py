@@ -1,0 +1,150 @@
+"""Migrator: lag, commit, abort, pending accounting."""
+
+import pytest
+
+from repro.cluster.migration import ExportTask, Migrator
+from repro.namespace.dirfrag import FragId
+
+
+@pytest.fixture
+def migrator(authmap):
+    return Migrator(authmap, rate=2, penalty=0.1, commit_latency=1)
+
+
+class TestExportTask:
+    def test_rejects_self_export(self):
+        with pytest.raises(ValueError):
+            ExportTask(0, 0, 1, 10)
+
+    def test_rejects_negative_inodes(self):
+        with pytest.raises(ValueError):
+            ExportTask(0, 1, 1, -1)
+
+    def test_remaining_initialized(self):
+        t = ExportTask(0, 1, 1, 10, latency=3)
+        assert t.remaining == 10 and t.latency_left == 3
+
+
+class TestSubmit:
+    def test_submit_export_sizes_from_tree(self, migrator, authmap):
+        # dir 2 subtree = dirs {2,3,4} (3 inodes) + files 2+4+0 = 9 inodes
+        task = migrator.submit_export(0, 1, 2, load_estimate=5.0)
+        assert task.inodes == 9
+
+    def test_frag_task_counts_frag_files(self, migrator, authmap):
+        authmap.split_dir(3, 1)
+        task = migrator.submit_export(0, 1, FragId(3, 1, 0))
+        assert task.inodes == 2  # 4 files split in half
+
+    def test_queue_depth(self, migrator):
+        migrator.submit_export(0, 1, 2)
+        migrator.submit_export(0, 2, 1)
+        assert migrator.queue_depth(0) == 2
+        assert migrator.queue_depth(1) == 0
+
+
+class TestTransfer:
+    def test_lag_then_commit(self, migrator, authmap):
+        migrator.submit_export(0, 1, 2)  # 9 inodes, rate 2, latency 1
+        ticks = 0
+        while authmap.resolve_dir(3)[0] == 0:
+            committed = migrator.tick()
+            ticks += 1
+            assert ticks < 50
+        assert authmap.resolve_dir(3)[0] == 1
+        # latency 1 + ceil(9/2) = 6 ticks
+        assert ticks == 6
+        assert migrator.migrated_inodes == 9
+        assert migrator.committed_tasks == 1
+
+    def test_busy_ranks_during_transfer(self, migrator):
+        migrator.submit_export(0, 1, 2)
+        migrator.tick()
+        assert migrator.busy_ranks() == {0, 1}
+
+    def test_concurrency_bounds_active_tasks(self, authmap):
+        mig = Migrator(authmap, rate=1, commit_latency=5, concurrency=2)
+        mig.submit_export(0, 1, 1)
+        mig.submit_export(0, 2, 2)
+        mig.submit_export(0, 1, 3)
+        mig.tick()
+        # two tasks run concurrently; the third waits in the queue
+        assert mig.busy_ranks() == {0, 1, 2}
+        assert mig.queue_depth(0) == 3  # 2 active + 1 queued
+
+    def test_rejects_bad_concurrency(self, authmap):
+        with pytest.raises(ValueError):
+            Migrator(authmap, concurrency=0)
+
+    def test_frag_commit_sets_owner(self, migrator, authmap):
+        authmap.split_dir(3, 1)
+        migrator.submit_export(0, 2, FragId(3, 1, 1))
+        for _ in range(10):
+            migrator.tick()
+        assert authmap.resolve(3, 1) == 2
+
+
+class TestAbort:
+    def test_stale_task_aborted_at_start(self, migrator, authmap):
+        migrator.submit_export(0, 1, 2)
+        authmap.set_subtree_auth(2, 2)  # someone else took it meanwhile
+        for _ in range(10):
+            migrator.tick()
+        assert migrator.committed_tasks == 0
+        assert migrator.aborted_tasks == 1
+
+    def test_resplit_covered_commit(self, migrator, authmap):
+        authmap.split_dir(3, 1)
+        migrator.submit_export(0, 1, FragId(3, 1, 1))
+        authmap.split_dir(3, 2)  # re-split while queued
+        for _ in range(10):
+            migrator.tick()
+        # both sub-frags of old frag 1 (i.e. 1 and 3) moved
+        assert authmap.resolve(3, 1) == 1
+        assert authmap.resolve(3, 3) == 1
+        assert authmap.resolve(3, 0) == 0
+
+    def test_vanished_split_aborts(self, migrator, authmap):
+        authmap.split_dir(3, 1)
+        task = ExportTask(0, 1, FragId(3, 1, 1), 2, latency=0)
+        migrator.submit(task)
+        authmap._frags.clear()  # simulate a merge-back
+        authmap.version += 1
+        for _ in range(5):
+            migrator.tick()
+        assert migrator.aborted_tasks == 1
+
+
+class TestPendingLoads:
+    def test_pending_export_load(self, migrator):
+        migrator.submit_export(0, 1, 2, load_estimate=5.0)
+        migrator.submit_export(0, 2, 1, load_estimate=3.0)
+        assert migrator.pending_export_load(0) == pytest.approx(8.0)
+        migrator.tick()  # first task becomes active; still pending
+        assert migrator.pending_export_load(0) == pytest.approx(8.0)
+
+    def test_pending_import_load(self, migrator):
+        migrator.submit_export(0, 1, 2, load_estimate=5.0)
+        assert migrator.pending_import_load(1) == pytest.approx(5.0)
+        assert migrator.pending_import_load(2) == 0.0
+
+    def test_pending_clears_after_commit(self, migrator):
+        migrator.submit_export(0, 1, 1, load_estimate=5.0)
+        for _ in range(20):
+            migrator.tick()
+        assert migrator.pending_export_load(0) == 0.0
+        assert migrator.pending_import_load(1) == 0.0
+
+
+class TestValidation:
+    def test_bad_rate(self, authmap):
+        with pytest.raises(ValueError):
+            Migrator(authmap, rate=0)
+
+    def test_bad_penalty(self, authmap):
+        with pytest.raises(ValueError):
+            Migrator(authmap, penalty=1.0)
+
+    def test_bad_latency(self, authmap):
+        with pytest.raises(ValueError):
+            Migrator(authmap, commit_latency=-1)

@@ -1,0 +1,67 @@
+"""OSD pool processor sharing."""
+
+import pytest
+
+from repro.cluster.osd import OsdPool
+
+
+class TestValidation:
+    def test_rejects_no_osds(self):
+        with pytest.raises(ValueError):
+            OsdPool(0, 1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            OsdPool(1, 0.0)
+
+    def test_rejects_negative_transfer(self):
+        pool = OsdPool(1, 10.0)
+        with pytest.raises(ValueError):
+            pool.start(1, -5.0)
+
+    def test_rejects_removal(self):
+        pool = OsdPool(2, 10.0)
+        with pytest.raises(ValueError):
+            pool.add_osds(-1)
+
+
+class TestSharing:
+    def test_single_client_full_bandwidth(self):
+        pool = OsdPool(2, 5.0)  # 10 bytes/tick
+        pool.start(1, 25.0)
+        assert pool.tick() == []
+        assert pool.outstanding(1) == pytest.approx(15.0)
+        pool.tick()
+        done = pool.tick()
+        assert done == [1]
+        assert not pool.busy(1)
+
+    def test_fair_share_between_clients(self):
+        pool = OsdPool(1, 10.0)
+        pool.start(1, 10.0)
+        pool.start(2, 10.0)
+        pool.tick()
+        assert pool.outstanding(1) == pytest.approx(5.0)
+        assert pool.outstanding(2) == pytest.approx(5.0)
+
+    def test_accumulates_outstanding(self):
+        pool = OsdPool(1, 1.0)
+        pool.start(1, 3.0)
+        pool.start(1, 4.0)
+        assert pool.outstanding(1) == pytest.approx(7.0)
+
+    def test_bytes_served_accounting(self):
+        pool = OsdPool(1, 10.0)
+        pool.start(1, 4.0)
+        pool.tick()
+        assert pool.bytes_served == pytest.approx(4.0)
+
+    def test_add_osds_increases_bandwidth(self):
+        pool = OsdPool(1, 10.0)
+        pool.add_osds(3)
+        assert pool.total_bandwidth == pytest.approx(40.0)
+
+    def test_idle_tick_noop(self):
+        pool = OsdPool(1, 10.0)
+        assert pool.tick() == []
+        assert pool.inflight_count() == 0

@@ -1,0 +1,153 @@
+"""AccessStats: heat, cutting windows, locality classification."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.stats import AccessStats
+
+
+@pytest.fixture
+def stats(tree):
+    return AccessStats(tree, heat_decay=0.5, recurrence_window=2,
+                       pattern_windows=2, sibling_probability=0.0, seed=1)
+
+
+class TestValidation:
+    def test_bad_decay(self, tree):
+        with pytest.raises(ValueError):
+            AccessStats(tree, heat_decay=0.0)
+
+    def test_bad_windows(self, tree):
+        with pytest.raises(ValueError):
+            AccessStats(tree, recurrence_window=0)
+
+    def test_bad_probability(self, tree):
+        with pytest.raises(ValueError):
+            AccessStats(tree, sibling_probability=1.5)
+
+
+class TestHeat:
+    def test_accumulates_in_epoch(self, stats):
+        stats.record_file_access(1, 0)
+        stats.record_file_access(1, 1)
+        assert stats.heat_array()[1] == pytest.approx(2.0)
+
+    def test_decays_at_epoch_end(self, stats):
+        stats.record_file_access(1, 0)
+        stats.record_file_access(1, 1)
+        stats.end_epoch()
+        assert stats.heat_array()[1] == pytest.approx(1.0)  # 2 * 0.5
+
+    def test_dir_access_heats(self, stats):
+        stats.record_dir_access(2)
+        assert stats.heat_array()[2] == pytest.approx(1.0)
+
+
+class TestClassification:
+    def test_first_touch_is_spatial(self, stats):
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["first"][1] == 1 and p["recurrent"][1] == 0
+
+    def test_retouch_within_window_is_recurrent(self, stats):
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["recurrent"][1] == 1
+
+    def test_retouch_same_epoch_is_recurrent(self, stats):
+        stats.record_file_access(1, 0)
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["recurrent"][1] == 1 and p["first"][1] == 1
+
+    def test_retouch_beyond_window_is_spatial_again(self, stats):
+        # window = 2 epochs: a file untouched for 3 epochs is unvisited again
+        stats.record_file_access(1, 0)
+        for _ in range(4):
+            stats.end_epoch()
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["first"][1] == 1 and p["recurrent"][1] == 0
+
+    def test_created_counts(self, stats, tree):
+        idx = tree.add_files(1, 1)
+        stats.record_file_access(1, idx, created=True)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["created"][1] == 1 and p["first"][1] == 1
+
+
+class TestWindows:
+    def test_window_sums_roll(self, stats):
+        stats.record_file_access(1, 0)
+        stats.end_epoch()  # epoch 0
+        stats.end_epoch()  # epoch 1
+        assert stats.pattern_arrays()["visits"][1] == 1  # still in 2-window
+        stats.end_epoch()  # epoch 2: epoch-0 data leaves the window
+        assert stats.pattern_arrays()["visits"][1] == 0
+
+    def test_ls_includes_first_visits(self, stats):
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        assert stats.pattern_arrays()["ls"][1] == 1
+
+
+class TestUnvisitedStock:
+    def test_initial_stock_is_all_files(self, stats, tree):
+        stock = stats.unvisited_array()
+        assert stock[1] == 3 and stock[3] == 4
+
+    def test_access_reduces_stock(self, stats):
+        stats.record_file_access(1, 0)
+        stats.end_epoch()
+        assert stats.unvisited_array()[1] == 2
+
+    def test_stock_returns_after_window(self, stats):
+        stats.record_file_access(1, 0)
+        for _ in range(4):
+            stats.end_epoch()
+        assert stats.unvisited_array()[1] == 3  # sliding definition
+
+
+class TestSiblingBonus:
+    def test_bonus_lands_on_a_sibling(self, tree):
+        stats = AccessStats(tree, sibling_probability=1.0, seed=1)
+        tree.add_files(4, 5)  # give the sibling unvisited stock
+        # dir 3 (b1) has sibling dir 4 (b2)
+        stats.record_file_access(3, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["ls"][3] == 1  # own first visit
+        assert p["ls"][4] == 1  # sibling bonus (only possible sibling)
+
+    def test_bonus_capped_by_sibling_stock(self, tree):
+        stats = AccessStats(tree, sibling_probability=1.0, seed=1)
+        # sibling dir 4 (b2) is empty: it cannot absorb any future visits
+        for i in range(4):
+            stats.record_file_access(3, i)
+        stats.end_epoch()
+        assert stats.pattern_arrays()["ls"][4] == 0
+
+    def test_no_bonus_when_disabled(self, tree):
+        stats = AccessStats(tree, sibling_probability=0.0, seed=1)
+        stats.record_file_access(3, 0)
+        stats.end_epoch()
+        assert stats.pattern_arrays()["ls"][4] == 0
+
+
+class TestGrowth:
+    def test_new_dirs_get_stats(self, tree):
+        stats = AccessStats(tree, sibling_probability=0.0)
+        d = tree.add_dir(0, "late")
+        tree.add_files(d, 2)
+        stats.record_file_access(d, 0)
+        stats.end_epoch()
+        p = stats.pattern_arrays()
+        assert p["visits"][d] == 1
+        assert stats.unvisited_array()[d] == 1

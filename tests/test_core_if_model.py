@@ -1,0 +1,87 @@
+"""The IF model (paper Eq. 1-3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.if_model import imbalance_factor, urgency
+
+
+class TestUrgency:
+    def test_midpoint_is_half(self):
+        # u = 0.5 is the logistic midpoint regardless of S
+        for s in (0.1, 0.2, 0.5):
+            assert urgency(50.0, 100.0, s) == pytest.approx(0.5)
+
+    def test_saturated_mds_is_urgent(self):
+        assert urgency(100.0, 100.0, 0.2) > 0.99
+
+    def test_idle_cluster_not_urgent(self):
+        assert urgency(0.0, 100.0, 0.2) < 0.01
+
+    def test_overload_clamped(self):
+        assert urgency(500.0, 100.0) == urgency(100.0, 100.0)
+
+    def test_negative_clamped(self):
+        assert urgency(-5.0, 100.0) == urgency(0.0, 100.0)
+
+    def test_smoothness_controls_steepness(self):
+        # a smaller S makes the curve steeper around the midpoint
+        sharp = urgency(60.0, 100.0, 0.1)
+        smooth = urgency(60.0, 100.0, 0.5)
+        assert sharp > smooth
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            urgency(1.0, 0.0)
+
+    def test_rejects_bad_smoothness(self):
+        with pytest.raises(ValueError):
+            urgency(1.0, 1.0, 0.0)
+
+    @given(st.floats(0.0, 200.0))
+    def test_in_unit_interval(self, l_max):
+        assert 0.0 <= urgency(l_max, 100.0) <= 1.0
+
+    @given(st.floats(0.0, 99.0), st.floats(0.0, 1.0))
+    def test_monotone_in_load(self, l, dl):
+        assert urgency(l + dl, 100.0) >= urgency(l, 100.0)
+
+
+class TestImbalanceFactor:
+    def test_perfect_balance_is_zero(self):
+        assert imbalance_factor([80.0] * 5, 100.0) == 0.0
+
+    def test_single_busy_mds_near_one(self):
+        # normalization bound: one saturated MDS, the rest idle
+        assert imbalance_factor([100.0, 0, 0, 0, 0], 100.0) > 0.98
+
+    def test_idle_cluster_is_zero(self):
+        assert imbalance_factor([0.0] * 5, 100.0) == 0.0
+
+    def test_single_mds_is_zero(self):
+        assert imbalance_factor([100.0], 100.0) == 0.0
+
+    def test_benign_imbalance_suppressed(self):
+        # Same dispersion, low absolute load: the urgency gate kicks in.
+        light = imbalance_factor([10.0, 1, 1, 1, 1], 100.0)
+        heavy = imbalance_factor([100.0, 10, 10, 10, 10], 100.0)
+        assert light < 0.05
+        assert heavy > 10 * light
+
+    def test_paper_zipf_scenario_detected(self):
+        # §2.2: loads (13530, 14567, 15625, 11610, 2692) — vanilla saw
+        # "busiest close to average" and skipped; the IF model must flag it.
+        loads = [13530, 14567, 15625, 11610, 2692]
+        val = imbalance_factor(loads, 16000.0)
+        assert val > 0.09
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=2, max_size=16))
+    def test_bounded_unit_interval(self, loads):
+        assert 0.0 <= imbalance_factor(loads, 100.0) <= 1.0
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=2, max_size=16),
+           st.floats(0.05, 1.0))
+    def test_any_smoothness_bounded(self, loads, s):
+        assert 0.0 <= imbalance_factor(loads, 100.0, s) <= 1.0

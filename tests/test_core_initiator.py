@@ -1,0 +1,147 @@
+"""Algorithm 1 and the Migration Initiator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.initiator import (
+    InitiatorConfig,
+    MdsLoad,
+    MigrationInitiator,
+    decide_roles,
+)
+
+
+def mk(rank, cld, fld=None):
+    return MdsLoad(rank=rank, cld=cld, fld=cld if fld is None else fld)
+
+
+class TestDecideRoles:
+    def test_balanced_cluster_no_exports(self):
+        E = decide_roles([mk(0, 10), mk(1, 10), mk(2, 10)], 0.01, 100)
+        assert not E.any()
+
+    def test_hot_mds_exports_to_cold(self):
+        stats = [mk(0, 90, 90), mk(1, 10, 10)]
+        E = decide_roles(stats, 0.01, 100)
+        assert E[0, 1] == pytest.approx(40.0)  # both deviate 40 from mean 50
+
+    def test_deviation_gate_filters_small_gaps(self):
+        # relative deviation^2 below L: nobody becomes a role
+        stats = [mk(0, 51, 51), mk(1, 49, 49)]
+        E = decide_roles(stats, 0.01, 100)
+        assert not E.any()
+
+    def test_cap_limits_export(self):
+        stats = [mk(0, 1000, 1000), mk(1, 0, 0)]
+        E = decide_roles(stats, 0.01, cap=100)
+        assert E.sum() <= 100.0 + 1e-9
+
+    def test_rising_importer_excluded(self):
+        # importer whose predicted growth covers its gap takes nothing
+        stats = [mk(0, 90, 90), mk(1, 10, 60)]
+        E = decide_roles(stats, 0.01, 100)
+        assert E[0, 1] == 0.0
+
+    def test_rising_importer_partially_discounted(self):
+        stats = [mk(0, 90, 90), mk(1, 10, 30)]
+        E = decide_roles(stats, 0.01, 100)
+        # gap 40, future growth 20 -> import capacity 20
+        assert E[0, 1] == pytest.approx(20.0)
+
+    def test_declining_importer_takes_more(self):
+        # exporter demand exceeds both importers' capacity, so the amount
+        # shipped is set by the importer's ild — which grows when the
+        # importer's own load is predicted to fall
+        up = decide_roles([mk(0, 200, 200), mk(1, 40, 90)], 0.01, 100)[0, 1]
+        down = decide_roles([mk(0, 200, 200), mk(1, 40, 40)], 0.01, 100)[0, 1]
+        assert down > up
+
+    def test_multiple_pairs(self):
+        stats = [mk(0, 100), mk(1, 100), mk(2, 0), mk(3, 0)]
+        E = decide_roles(stats, 0.01, 100)
+        assert E[0].sum() > 0 and E[1].sum() > 0
+        assert E[:, 2].sum() > 0 and E[:, 3].sum() > 0
+
+    def test_zero_mean_no_action(self):
+        E = decide_roles([mk(0, 0), mk(1, 0)], 0.01, 100)
+        assert not E.any()
+
+    def test_zero_cap_no_action(self):
+        E = decide_roles([mk(0, 90), mk(1, 0)], 0.01, 0)
+        assert not E.any()
+
+    @given(st.lists(st.floats(0, 1000), min_size=2, max_size=10),
+           st.floats(10, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_exports_bounded_by_demands(self, loads, cap):
+        stats = [mk(i, l) for i, l in enumerate(loads)]
+        E = decide_roles(stats, 0.01, cap)
+        n = len(loads)
+        assert (E >= 0).all()
+        assert np.diagonal(E).sum() == 0.0
+        # no exporter ships more than cap; no importer receives more than cap
+        assert (E.sum(axis=1) <= cap + 1e-6).all()
+        assert (E.sum(axis=0) <= cap + 1e-6).all()
+
+    @given(st.lists(st.floats(0, 1000), min_size=2, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_exporters_above_mean_importers_below(self, loads):
+        stats = [mk(i, l) for i, l in enumerate(loads)]
+        E = decide_roles(stats, 0.01, 1000)
+        mean = sum(loads) / len(loads)
+        for i in range(len(loads)):
+            if E[i].sum() > 0:
+                assert loads[i] > mean
+            if E[:, i].sum() > 0:
+                assert loads[i] < mean
+
+
+class TestInitiator:
+    def _histories(self, loads):
+        return [[l] * 5 for l in loads]
+
+    def test_below_threshold_no_decisions(self):
+        init = MigrationInitiator(100.0)
+        loads = [50.0, 48.0, 52.0, 50.0]
+        assert init.plan(0, loads, self._histories(loads)) == []
+        assert init.triggers == 0
+
+    def test_trigger_and_decisions(self):
+        init = MigrationInitiator(100.0)
+        loads = [100.0, 0.0, 0.0, 0.0]
+        decisions = init.plan(0, loads, self._histories(loads))
+        assert init.triggers == 1
+        assert len(decisions) == 1
+        assert decisions[0].exporter == 0
+        assert set(decisions[0].assignments) <= {1, 2, 3}
+
+    def test_benign_imbalance_tolerated(self):
+        init = MigrationInitiator(1000.0)  # huge capacity -> low urgency
+        loads = [100.0, 0.0, 0.0, 0.0]
+        assert init.plan(0, loads, self._histories(loads)) == []
+
+    def test_urgency_ablation_triggers_at_light_load(self):
+        cfg = InitiatorConfig(use_urgency=False)
+        init = MigrationInitiator(1000.0, cfg)
+        loads = [100.0, 0.0, 0.0, 0.0]
+        assert init.plan(0, loads, self._histories(loads)) != []
+
+    def test_pending_migrations_discounted(self):
+        init = MigrationInitiator(100.0)
+        loads = [100.0, 0.0]
+        # everything already in flight: planned view is balanced
+        decisions = init.plan(0, loads, self._histories(loads),
+                              pending_out=[50.0, 0.0], pending_in=[0.0, 50.0])
+        assert decisions == []
+
+    def test_overhead_accounting(self):
+        init = MigrationInitiator(100.0)
+        loads = [100.0, 0.0, 0.0]
+        init.plan(0, loads, self._histories(loads))
+        assert init.bytes_received > 0
+        assert init.bytes_sent > 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MigrationInitiator(0.0)

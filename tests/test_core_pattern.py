@@ -1,0 +1,110 @@
+"""Pattern Analyzer: alpha/beta/l_t/l_s under canonical access patterns."""
+
+import pytest
+
+from repro.cluster.stats import AccessStats
+from repro.core.pattern import analyze
+from repro.namespace.builder import build_fanout, build_private_dirs
+
+
+def scan_dir(stats, d, n):
+    for i in range(n):
+        stats.record_file_access(d, i)
+
+
+class TestScanPattern:
+    """CNN/NLP-style: every file touched once, never again."""
+
+    def test_active_dir_is_spatial(self):
+        b = build_fanout(5, 20)
+        stats = AccessStats(b.tree, sibling_probability=0.0, seed=1)
+        d = b.dirs[0]
+        scan_dir(stats, d, 10)  # half scanned
+        stats.end_epoch()
+        p = analyze(stats)
+        assert p.alpha[d] == 0.0
+        assert p.beta[d] == pytest.approx(1.0)  # 10 unvisited / 10 visits
+        assert p.l_s[d] == 10
+        assert p.mindex[d] > 0
+
+    def test_fully_scanned_dir_decays_to_zero(self):
+        b = build_fanout(5, 10)
+        stats = AccessStats(b.tree, recurrence_window=2, pattern_windows=2,
+                            sibling_probability=0.0, seed=1)
+        d = b.dirs[0]
+        scan_dir(stats, d, 10)
+        stats.end_epoch()
+        stats.end_epoch()
+        p = analyze(stats)
+        # no unvisited stock left within the window, no recurrence: dead
+        assert p.mindex[d] == pytest.approx(0.0)
+
+    def test_unvisited_sibling_gets_predicted_load(self):
+        b = build_fanout(5, 20)
+        stats = AccessStats(b.tree, sibling_probability=1.0, seed=1)
+        scan_dir(stats, b.dirs[0], 20)
+        stats.end_epoch()
+        p = analyze(stats)
+        sibling_mindex = [p.mindex[d] for d in b.dirs[1:]]
+        assert max(sibling_mindex) > 0  # the bonus landed somewhere
+        bonus_dir = b.dirs[1:][sibling_mindex.index(max(sibling_mindex))]
+        assert p.beta[bonus_dir] == pytest.approx(1.0)
+
+
+class TestRecurrentPattern:
+    """Zipf/Web-style: the same files re-touched every epoch."""
+
+    def test_alpha_dominates(self):
+        b = build_private_dirs(2, 10)
+        stats = AccessStats(b.tree, sibling_probability=0.0, seed=1)
+        d = b.dirs[0]
+        for _ in range(3):
+            scan_dir(stats, d, 10)
+            stats.end_epoch()
+        p = analyze(stats)
+        assert p.alpha[d] > 0.6
+        assert p.mindex[d] > 0
+        # mindex tracks the visit rate through the l_t term
+        assert p.l_t[d] >= 20
+
+    def test_mindex_follows_recent_rate_not_history(self):
+        b = build_private_dirs(2, 10)
+        stats = AccessStats(b.tree, pattern_windows=2, sibling_probability=0.0,
+                            seed=1)
+        d = b.dirs[0]
+        for _ in range(3):
+            scan_dir(stats, d, 10)
+            stats.end_epoch()
+        hot = analyze(stats).mindex[d]
+        for _ in range(3):
+            stats.end_epoch()  # gone cold
+        cold = analyze(stats).mindex[d]
+        assert cold < hot / 5
+
+
+class TestCreatePattern:
+    """MDtest-style: a stream of brand-new inodes."""
+
+    def test_creates_keep_beta_high(self):
+        b = build_private_dirs(2, 0)
+        stats = AccessStats(b.tree, sibling_probability=0.0, seed=1)
+        d = b.dirs[0]
+        for _ in range(2):
+            for _ in range(20):
+                idx = b.tree.add_files(d, 1)
+                stats.record_file_access(d, idx, created=True)
+            stats.end_epoch()
+        p = analyze(stats)
+        assert p.beta[d] == pytest.approx(1.0)
+        assert p.mindex[d] >= 20  # ~ the create rate per window
+
+
+class TestColdDirs:
+    def test_untouched_dir_has_zero_mindex(self):
+        b = build_fanout(3, 10)
+        stats = AccessStats(b.tree, sibling_probability=0.0, seed=1)
+        stats.end_epoch()
+        p = analyze(stats)
+        for d in b.dirs:
+            assert p.mindex[d] == 0.0
+            assert p.beta[d] == 1.0  # full unvisited stock, but no l_s

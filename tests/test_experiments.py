@@ -1,0 +1,161 @@
+"""Experiment harness: config, runner, metrics, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.results import SimResult
+from repro.experiments.config import ExperimentConfig, default_workload
+from repro.experiments.metrics import (
+    downsample,
+    head_share,
+    improvement,
+    jct_percentiles,
+    mean_if_reduction,
+    time_to_balance,
+)
+from repro.experiments.report import render_kv, render_series, render_table
+from repro.experiments.runner import run_experiment
+from repro.workloads import (
+    CnnWorkload,
+    MdtestWorkload,
+    MixedWorkload,
+    NlpWorkload,
+    WebWorkload,
+    ZipfWorkload,
+)
+
+
+class TestDefaultWorkload:
+    @pytest.mark.parametrize("name,cls", [
+        ("cnn", CnnWorkload), ("nlp", NlpWorkload), ("web", WebWorkload),
+        ("zipf", ZipfWorkload), ("mdtest", MdtestWorkload),
+        ("mixed", MixedWorkload),
+    ])
+    def test_factory_types(self, name, cls):
+        assert isinstance(default_workload(name, 8), cls)
+
+    def test_scale_grows_datasets(self):
+        small = default_workload("zipf", 4, scale=0.5)
+        big = default_workload("zipf", 4, scale=2.0)
+        assert big.reads_per_client > small.reads_per_client
+
+    def test_mixed_partitions_clients(self):
+        wl = default_workload("mixed", 10)
+        assert wl.n_clients == 10
+        assert len(wl.parts) == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            default_workload("bogus")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            default_workload("zipf", 4, scale=0.0)
+
+
+class TestRunner:
+    def test_run_experiment_returns_result(self):
+        cfg = ExperimentConfig(workload="zipf", balancer="lunule", n_clients=4,
+                               scale=0.2)
+        res = run_experiment(cfg)
+        assert isinstance(res, SimResult)
+        assert res.workload == "zipf" and res.balancer == "lunule"
+        assert len(res.completion_ticks) == 4
+
+    def test_data_path_flag(self):
+        cfg = ExperimentConfig(workload="zipf", balancer="nop", n_clients=2,
+                               scale=0.1, data_path=True)
+        res = run_experiment(cfg)
+        assert res.data_ops > 0
+
+
+class TestMetrics:
+    def _result(self, ifs, ticks=None):
+        r = SimResult("w", "b", 10)
+        r.if_series = ifs
+        r.epoch_ticks = ticks or [10 * (i + 1) for i in range(len(ifs))]
+        return r
+
+    def test_improvement(self):
+        assert improvement(2.0, 1.0) == 2.0
+        assert improvement(1.0, 0.0) == float("inf")
+
+    def test_mean_if_reduction(self):
+        ours = self._result([0.0, 0.0, 0.1, 0.1])
+        base = self._result([0.0, 0.0, 0.4, 0.4])
+        assert mean_if_reduction(ours, base, skip=2) == pytest.approx(0.75)
+
+    def test_time_to_balance(self):
+        r = self._result([0.5, 0.3, 0.05, 0.02])
+        assert time_to_balance(r, 0.1) == 30
+
+    def test_time_to_balance_never(self):
+        r = self._result([0.5, 0.5])
+        assert time_to_balance(r, 0.1) is None
+
+    def test_jct_percentiles(self):
+        r = SimResult("w", "b", 10)
+        r.completion_ticks = {i: float(i) for i in range(1, 101)}
+        pct = jct_percentiles(r, (50, 99))
+        assert pct[50] == pytest.approx(50.5)
+        assert pct[99] > 98
+
+    def test_jct_percentiles_empty(self):
+        r = SimResult("w", "b", 10)
+        assert np.isnan(jct_percentiles(r)[50])
+
+    def test_downsample_short_series_untouched(self):
+        assert downsample([1, 2, 3], 10) == [1.0, 2.0, 3.0]
+
+    def test_downsample_picks_endpoints(self):
+        out = downsample(list(range(100)), 5)
+        assert out[0] == 0.0 and out[-1] == 99.0 and len(out) == 5
+
+    def test_head_share(self):
+        assert head_share([8, 1, 1], 1) == pytest.approx(0.8)
+        assert head_share([0, 0], 1) == 0.0
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 0.123]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[1:]}) == 1  # fixed width
+
+    def test_series(self):
+        out = render_series("s", [1, 2], [0.1, 0.2], "t", "v")
+        assert "0.100" in out and "s (t -> v)" in out
+
+    def test_kv(self):
+        out = render_kv("K", [("alpha", 1), ("b", 2.5)])
+        assert "alpha" in out and "2.500" in out
+
+    def test_nan_rendering(self):
+        out = render_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+
+class TestResultAccessors:
+    def test_aggregate_and_peak(self):
+        r = SimResult("w", "b", 10)
+        r.per_mds_iops = [[1.0, 2.0], [5.0, 3.0]]
+        assert list(r.aggregate_iops()) == [3.0, 8.0]
+        assert r.peak_iops() == 8.0
+
+    def test_per_mds_matrix_pads_growth(self):
+        r = SimResult("w", "b", 10)
+        r.per_mds_iops = [[1.0], [2.0, 3.0]]
+        m = r.per_mds_matrix()
+        assert m.shape == (2, 2)
+        assert m[0, 1] == 0.0
+
+    def test_request_share_empty(self):
+        r = SimResult("w", "b", 10)
+        r.served_per_mds = [0, 0]
+        assert list(r.request_share()) == [0.0, 0.0]
+
+    def test_meta_ratio(self):
+        r = SimResult("w", "b", 10)
+        r.meta_ops, r.data_ops = 3, 1
+        assert r.meta_ratio() == pytest.approx(0.75)

@@ -1,0 +1,117 @@
+"""Smoke tests for every paper-figure function at reduced scale.
+
+These don't re-assert the shapes (the benchmarks do, at full bench scale);
+they verify each figure function runs end to end, returns populated data,
+and renders non-empty text.
+"""
+
+import pytest
+
+from repro.experiments import figures as F
+
+SCALE = 0.25
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return F.eval_matrix(scale=SCALE, seed=SEED,
+                         workloads=("cnn", "zipf"),
+                         balancers=("vanilla", "lunule"))
+
+
+@pytest.fixture(scope="module")
+def mixed_runs():
+    return F.mixed_comparison(scale=SCALE, seed=SEED, n_clients=8)
+
+
+class TestStandalone:
+    def test_table1(self):
+        r = F.table1_workloads(scale=SCALE, seed=SEED)
+        assert len(r.data["rows"]) == 5
+        assert "Table 1" in r.text
+
+    def test_fig2(self):
+        r = F.fig2_request_distribution(scale=SCALE, seed=SEED)
+        assert set(r.data["shares"]) == set(F.SINGLE_WORKLOADS)
+
+    def test_fig3(self):
+        r = F.fig3_per_mds_throughput(scale=SCALE, seed=SEED)
+        assert r.data["zipf"]["per_mds"].shape[1] == 5
+
+    def test_fig4(self):
+        r = F.fig4_migrated_inodes(scale=SCALE, seed=SEED)
+        assert r.data["cnn"]["migrated"][-1] >= 0
+
+
+class TestMatrixFigures:
+    def test_fig6_with_partial_matrix(self, matrix):
+        r = F.fig6_imbalance_factor(matrix=matrix)
+        assert {row[0] for row in r.data["rows"]} == {"cnn", "zipf"}
+        assert "Figure 6" in r.text
+
+    def test_fig7_with_partial_matrix(self, matrix):
+        r = F.fig7_throughput(matrix=matrix)
+        assert all(len(row) >= 4 for row in r.data["rows"])
+
+
+class TestMixedFigures:
+    def test_fig9(self, mixed_runs):
+        r = F.fig9_mixed_if(runs=mixed_runs)
+        assert set(r.data) == {"vanilla", "lunule"}
+
+    def test_fig10(self, mixed_runs):
+        r = F.fig10_mixed_throughput(runs=mixed_runs)
+        assert "agg" in r.data["lunule"]
+
+    def test_fig11(self, mixed_runs):
+        r = F.fig11_jct_cdf(runs=mixed_runs)
+        assert 50 in r.data["lunule"]["percentiles"]
+
+
+class TestDynamicsFigures:
+    def test_fig12a(self):
+        r = F.fig12a_cluster_expansion(scale=SCALE, seed=SEED)
+        assert len(r.data["phases"]) == 3
+
+    def test_fig12b(self):
+        r = F.fig12b_client_growth(scale=SCALE, seed=SEED)
+        assert len(r.data["rows"]) >= 3
+
+    def test_fig13a_small_sizes(self):
+        r = F.fig13a_scalability(scale=SCALE, seed=SEED, cluster_sizes=(1, 2, 4))
+        assert set(r.data["peaks"]) == {1, 2, 4}
+
+
+class TestDirhashFigures:
+    @pytest.fixture(scope="class")
+    def web_runs(self):
+        from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        return {
+            b: run_experiment(ExperimentConfig(
+                workload="web", balancer=b, n_clients=6, seed=SEED,
+                scale=SCALE, sim=BENCH_SIM_CONFIG))
+            for b in ("vanilla", "dirhash", "lunule")
+        }
+
+    def test_fig13b(self, web_runs):
+        r = F.fig13b_dirhash_throughput(results=web_runs)
+        assert len(r.data["rows"]) == 3
+
+    def test_fig14(self, web_runs):
+        r = F.fig14_dirhash_distribution(results=web_runs)
+        assert len(r.data["inode_share"]) == 5
+        assert set(r.data["forwards"]) == {"vanilla", "dirhash", "lunule"}
+
+
+class TestOverhead:
+    def test_measure_overhead(self):
+        from repro.experiments.overhead import measure_overhead
+
+        rep = measure_overhead(3, n_clients=6, seed=SEED)
+        assert rep.n_mds == 3 and rep.epochs > 0
+        assert rep.initiator_in_per_epoch > 0
+        assert rep.heartbeat_gossip_per_epoch > rep.initiator_in_per_epoch
+        assert "Overhead accounting" in rep.table()

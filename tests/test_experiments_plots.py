@@ -1,0 +1,67 @@
+"""Terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.plots import bar_chart, series_strip, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_width_when_long(self):
+        assert len(sparkline(range(200), width=50)) == 50
+
+    def test_short_series_not_stretched(self):
+        assert len(sparkline([1, 2, 3], width=50)) == 3
+
+    def test_all_zero_is_flat(self):
+        s = sparkline([0, 0, 0])
+        assert len(set(s)) == 1
+
+    def test_monotone_series_is_monotone(self):
+        s = sparkline([0, 1, 2, 3, 4], ascii_only=True)
+        order = [" .:-=+*#%@".index(c) for c in s]
+        assert order == sorted(order)
+
+    def test_shared_vmax_scales_down(self):
+        low = sparkline([1, 1, 1], v_max=10.0, ascii_only=True)
+        assert set(low) <= set(" .:-")
+
+    def test_ascii_mode_is_ascii(self):
+        assert sparkline([1, 5, 2], ascii_only=True).isascii()
+
+
+class TestBarChart:
+    def test_alignment(self):
+        out = bar_chart(["a", "longer"], [10.0, 5.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_largest_bar_is_longest(self):
+        out = bar_chart(["x", "y"], [2.0, 8.0])
+        x_bar, y_bar = (l.count("█") for l in out.splitlines())
+        assert y_bar > x_bar
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestSeriesStrip:
+    def test_shared_scale_comparable(self):
+        out = series_strip({"hot": [10, 10], "cold": [1, 1]})
+        hot, cold = out.splitlines()
+        assert "max 10" in hot and "max 1" in cold
+
+    def test_empty(self):
+        assert series_strip({}) == ""
+
+    def test_labels_aligned(self):
+        out = series_strip({"a": [1], "quite-long": [2]})
+        assert all("|" in l for l in out.splitlines())
+        bars = [l.index("|") for l in out.splitlines()]
+        assert len(set(bars)) == 1

@@ -1,0 +1,71 @@
+"""Coverage of remaining small public helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_matrix
+from repro.util.rng import substream
+from repro.workloads import WORKLOADS
+from repro.workloads.base import interleave_passes, zipf_like_sizes
+
+
+class TestRunMatrix:
+    def test_cross_product(self):
+        base = ExperimentConfig(n_clients=4, scale=0.15)
+        out = run_matrix(["zipf", "mdtest"], ["nop", "lunule"], base)
+        assert set(out) == {("zipf", "nop"), ("zipf", "lunule"),
+                            ("mdtest", "nop"), ("mdtest", "lunule")}
+        for (w, b), res in out.items():
+            assert res.workload == w and res.balancer == b
+
+
+class TestWorkloadRegistry:
+    def test_all_paper_workloads_registered(self):
+        assert {"cnn", "nlp", "web", "zipf", "mdtest", "mixed"} <= set(WORKLOADS)
+
+    def test_registry_classes_instantiable(self):
+        for name, cls in WORKLOADS.items():
+            if name == "mixed":
+                continue
+            wl = cls(2)
+            assert wl.n_clients == 2
+
+
+class TestBaseHelpers:
+    def test_interleave_passes_concatenates(self):
+        a = iter([(0, 1, 2, 3)])
+        b = iter([(4, 5, 6, 7), (8, 9, 10, 11)])
+        assert list(interleave_passes(a, b)) == [
+            (0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11)]
+
+    def test_zipf_like_sizes_mean_and_positivity(self):
+        rng = substream(1, "sizes")
+        sizes = zipf_like_sizes(rng, 5000, 1000.0)
+        assert sizes.min() >= 1
+        assert sizes.mean() == pytest.approx(1000.0, rel=0.15)
+
+    def test_zipf_like_sizes_long_tail(self):
+        rng = substream(2, "sizes")
+        sizes = zipf_like_sizes(rng, 5000, 1000.0)
+        assert sizes.max() > 4 * sizes.mean()
+
+
+class TestSimConfigWith:
+    def test_with_overrides_without_mutation(self):
+        from repro.cluster.simulator import SimConfig
+
+        a = SimConfig(n_mds=5)
+        b = a.with_(n_mds=7, mds_capacity=42.0)
+        assert a.n_mds == 5 and b.n_mds == 7
+        assert b.mds_capacity == 42.0
+        with pytest.raises(Exception):
+            a.n_mds = 9  # type: ignore[misc]
+
+
+class TestFigureResultStr:
+    def test_str_returns_text(self):
+        from repro.experiments.figures import FigureResult
+
+        r = FigureResult("x", "t", {}, "rendered")
+        assert str(r) == "rendered"

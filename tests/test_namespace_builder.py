@@ -1,0 +1,101 @@
+"""Namespace builders."""
+
+import pytest
+
+from repro.namespace.builder import (
+    build_corpus,
+    build_fanout,
+    build_private_dirs,
+    build_web,
+    merge_builds,
+)
+from repro.namespace.tree import NamespaceTree
+
+
+class TestFanout:
+    def test_shape(self, fanout_tree):
+        assert len(fanout_tree.dirs) == 20
+        assert all(f == 10 for f in fanout_tree.files)
+        assert fanout_tree.total_files() == 200
+
+    def test_dirs_are_siblings(self, fanout_tree):
+        t = fanout_tree.tree
+        parents = {t.parent[d] for d in fanout_tree.dirs}
+        assert parents == {fanout_tree.root}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_fanout(0, 10)
+
+
+class TestCorpus:
+    def test_total_roughly_preserved(self):
+        b = build_corpus(14, 5000, seed=1)
+        assert len(b.dirs) == 14
+        assert abs(b.total_files() - 5000) < 150  # rounding slack
+
+    def test_sizes_are_skewed(self):
+        b = build_corpus(14, 5000, skew=1.4, seed=1)
+        assert max(b.files) > 5 * min(b.files)
+
+    def test_no_empty_folder(self):
+        b = build_corpus(14, 5000, seed=2)
+        assert min(b.files) >= 1
+
+    def test_deterministic(self):
+        a = build_corpus(10, 1000, seed=3)
+        b = build_corpus(10, 1000, seed=3)
+        assert a.files == b.files
+
+    def test_rejects_too_few_files(self):
+        with pytest.raises(ValueError):
+            build_corpus(10, 5)
+
+
+class TestWeb:
+    def test_two_level_nesting(self):
+        b = build_web(4, 3, 500, seed=1)
+        assert len(b.dirs) == 12
+        t = b.tree
+        for d in b.dirs:
+            assert t.depth[d] == t.depth[b.root] + 2
+
+    def test_pareto_sizes(self):
+        b = build_web(10, 5, 5000, seed=1)
+        assert max(b.files) > 3 * (sum(b.files) / len(b.files))
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            build_web(0, 3, 100)
+
+
+class TestPrivateDirs:
+    def test_one_dir_per_client(self, private_tree):
+        assert len(private_tree.dirs) == 8
+        assert all(f == 50 for f in private_tree.files)
+
+    def test_zero_files_allowed(self):
+        b = build_private_dirs(4, 0)
+        assert b.total_files() == 0
+
+    def test_rejects_no_clients(self):
+        with pytest.raises(ValueError):
+            build_private_dirs(0, 10)
+
+
+class TestMerge:
+    def test_shared_tree_ok(self):
+        t = NamespaceTree()
+        a = build_fanout(3, 5, tree=t)
+        b = build_private_dirs(2, 5, tree=t)
+        assert merge_builds(a, b) is t
+
+    def test_disjoint_trees_rejected(self):
+        a = build_fanout(3, 5)
+        b = build_private_dirs(2, 5)
+        with pytest.raises(ValueError):
+            merge_builds(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_builds()

@@ -1,0 +1,74 @@
+"""Dirfrag arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.namespace.dirfrag import MAX_FRAG_BITS, FragId, frag_file_count, frag_of
+
+
+class TestFragId:
+    def test_valid(self):
+        f = FragId(3, 2, 1)
+        assert f.dir_id == 3 and f.bits == 2 and f.frag_no == 1
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            FragId(0, 0, 0)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError):
+            FragId(0, MAX_FRAG_BITS + 1, 0)
+
+    def test_rejects_out_of_range_frag_no(self):
+        with pytest.raises(ValueError):
+            FragId(0, 2, 4)
+
+    def test_contains(self):
+        f = FragId(0, 2, 1)
+        assert f.contains(1) and f.contains(5)
+        assert not f.contains(0) and not f.contains(2)
+
+    def test_ordering_and_hash(self):
+        assert FragId(0, 1, 0) < FragId(0, 1, 1)
+        assert len({FragId(0, 1, 0), FragId(0, 1, 0)}) == 1
+
+
+class TestFragOf:
+    def test_zero_bits(self):
+        assert frag_of(17, 0) == 0
+
+    def test_mask(self):
+        assert frag_of(5, 2) == 1
+        assert frag_of(8, 3) == 0
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, MAX_FRAG_BITS))
+    def test_in_range(self, idx, bits):
+        assert 0 <= frag_of(idx, bits) < (1 << bits)
+
+
+class TestFragFileCount:
+    def test_zero_bits_all_files(self):
+        assert frag_file_count(10, 0, 0) == 10
+
+    def test_even_split(self):
+        assert frag_file_count(8, 2, 0) == 2
+        assert frag_file_count(8, 2, 3) == 2
+
+    def test_remainder_goes_to_low_frags(self):
+        assert frag_file_count(10, 2, 0) == 3
+        assert frag_file_count(10, 2, 1) == 3
+        assert frag_file_count(10, 2, 2) == 2
+        assert frag_file_count(10, 2, 3) == 2
+
+    @given(st.integers(0, 5000), st.integers(1, MAX_FRAG_BITS))
+    def test_partition_sums_to_total(self, n, bits):
+        total = sum(frag_file_count(n, bits, f) for f in range(1 << bits))
+        assert total == n
+
+    @given(st.integers(0, 5000), st.integers(1, 6))
+    def test_matches_frag_of(self, n, bits):
+        # frag_file_count must agree with explicitly bucketing every index.
+        buckets = [0] * (1 << bits)
+        for i in range(n):
+            buckets[frag_of(i, bits)] += 1
+        assert buckets == [frag_file_count(n, bits, f) for f in range(1 << bits)]

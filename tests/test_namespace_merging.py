@@ -1,0 +1,89 @@
+"""Subtree-root and dirfrag merging (authority-map housekeeping)."""
+
+import pytest
+
+from repro.namespace.dirfrag import FragId
+from repro.namespace.subtree import AuthorityMap
+
+
+class TestMergeRedundantRoots:
+    def test_colocated_root_dropped(self, authmap):
+        authmap.set_subtree_auth(2, 0)  # same authority as its parent chain
+        removed = authmap.merge_redundant_roots()
+        assert removed == 1
+        assert not authmap.is_subtree_root(2)
+        assert authmap.resolve_dir(3) == (0, 0)
+
+    def test_distinct_root_kept(self, authmap):
+        authmap.set_subtree_auth(2, 1)
+        assert authmap.merge_redundant_roots() == 0
+        assert authmap.is_subtree_root(2)
+
+    def test_cascading_merge(self, authmap):
+        # 3 under 2 under root: both become redundant once 2 merges
+        authmap.set_subtree_auth(2, 1)
+        authmap.set_subtree_auth(3, 1)
+        assert authmap.merge_redundant_roots() == 1  # 3 merges into 2
+        authmap.set_subtree_auth(2, 0)
+        assert authmap.merge_redundant_roots() == 1  # now 2 merges into root
+        assert authmap.subtree_roots() == {0: 0}
+
+    def test_resolution_unchanged_by_merge(self, authmap):
+        authmap.set_subtree_auth(2, 1)
+        authmap.set_subtree_auth(3, 1)
+        before = {d: authmap.resolve_dir(d)[0] for d in range(authmap.tree.n_dirs)}
+        authmap.merge_redundant_roots()
+        after = {d: authmap.resolve_dir(d)[0] for d in range(authmap.tree.n_dirs)}
+        assert before == after
+
+    def test_root_never_merged(self, authmap):
+        assert authmap.merge_redundant_roots() == 0
+        assert authmap.is_subtree_root(0)
+
+
+class TestMergeUniformFrags:
+    def test_uniform_home_frags_merged(self, authmap):
+        authmap.split_dir(3, 1)
+        assert authmap.merge_uniform_frags() == 1
+        assert authmap.frag_state(3) is None
+
+    def test_mixed_owners_kept(self, authmap):
+        authmap.split_dir(3, 1)
+        authmap.set_frag_auth(FragId(3, 1, 1), 2)
+        assert authmap.merge_uniform_frags() == 0
+        assert authmap.frag_state(3) is not None
+
+    def test_uniform_foreign_frags_kept(self, authmap):
+        authmap.split_dir(3, 1)
+        authmap.set_frag_auth(FragId(3, 1, 0), 2)
+        authmap.set_frag_auth(FragId(3, 1, 1), 2)
+        # all frags on MDS-2 but the dir authority is MDS-0: files live away
+        assert authmap.merge_uniform_frags() == 0
+
+    def test_exclusion_protects_pending_dirs(self, authmap):
+        authmap.split_dir(3, 1)
+        assert authmap.merge_uniform_frags(exclude={3}) == 0
+        assert authmap.frag_state(3) is not None
+
+    def test_merge_bumps_version(self, authmap):
+        authmap.split_dir(3, 1)
+        v = authmap.version
+        authmap.merge_uniform_frags()
+        assert authmap.version > v
+
+
+class TestMergeInSimulation:
+    def test_root_count_stays_bounded(self):
+        from repro.balancers import make_balancer
+        from repro.cluster.simulator import SimConfig, Simulator
+        from repro.workloads import ZipfWorkload
+
+        wl = ZipfWorkload(12, files_per_dir=80, reads_per_client=800)
+        sim = Simulator(wl.materialize(seed=5), make_balancer("lunule"),
+                        SimConfig(n_mds=4, mds_capacity=60, epoch_len=5,
+                                  max_ticks=4000))
+        res = sim.run()
+        assert res.committed_tasks > 0
+        # 12 client dirs + zipf root + fs root is the most that can stay
+        # distinct; merging keeps the map near that bound
+        assert len(sim.authmap.subtree_roots()) <= 14

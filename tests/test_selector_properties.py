@@ -1,0 +1,90 @@
+"""Property-based tests of the Subtree Selector over random candidate sets."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.balancers.candidates import candidates_for
+from repro.core.selector import SubtreeSelector
+from repro.namespace.builder import build_fanout
+from repro.namespace.dirfrag import FragId
+from repro.namespace.subtree import AuthorityMap
+
+
+def make_env(loads: list[int]):
+    """A fanout namespace with one leaf dir per load entry."""
+    built = build_fanout(max(1, len(loads)), 10)
+    authmap = AuthorityMap(built.tree, 0)
+    sim = SimpleNamespace(tree=built.tree, authmap=authmap)
+    per_dir = np.zeros(built.tree.n_dirs)
+    for d, load in zip(built.dirs, loads):
+        per_dir[d] = float(load)
+    return sim, candidates_for(sim, 0, per_dir)
+
+
+loads_strategy = st.lists(st.integers(0, 100), min_size=1, max_size=20)
+amount_strategy = st.floats(0.5, 300.0)
+
+
+class TestSelectorProperties:
+    @given(loads_strategy, amount_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_no_unit_selected_twice(self, loads, amount):
+        sim, cands = make_env(loads)
+        sel = SubtreeSelector(sim, cands)
+        plans = sel.select(amount) + sel.select(amount)
+        units = [p.unit for p in plans]
+        assert len(units) == len(set(units))
+
+    @given(loads_strategy, amount_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_all_plans_positive_load(self, loads, amount):
+        sim, cands = make_env(loads)
+        plans = SubtreeSelector(sim, cands).select(amount)
+        assert all(p.load > 0 for p in plans)
+
+    @given(loads_strategy, amount_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_bounded_by_demand(self, loads, amount):
+        # greedy never overshoots beyond tolerance; a path-1/2 single pick
+        # may exceed by its 10% band
+        sim, cands = make_env(loads)
+        plans = SubtreeSelector(sim, cands).select(amount)
+        got = sum(p.load for p in plans)
+        assert got <= max(amount * 1.3, amount + 1.0)
+
+    @given(loads_strategy, amount_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_no_ancestor_descendant_pairs(self, loads, amount):
+        sim, cands = make_env(loads)
+        plans = SubtreeSelector(sim, cands).select(amount)
+        dir_units = [p.unit for p in plans if not isinstance(p.unit, FragId)]
+        taken = set(dir_units)
+        for d in dir_units:
+            for a in sim.tree.ancestors(d):
+                assert a == d or a not in taken
+
+    @given(loads_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_amount_empty(self, loads):
+        sim, cands = make_env(loads)
+        assert SubtreeSelector(sim, cands).select(0.0) == []
+
+    @given(amount_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_cold_namespace_selects_nothing(self, amount):
+        sim, cands = make_env([0, 0, 0, 0])
+        assert SubtreeSelector(sim, cands).select(amount) == []
+
+    @given(loads_strategy, amount_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_frag_plans_reference_real_splits(self, loads, amount):
+        sim, cands = make_env(loads)
+        plans = SubtreeSelector(sim, cands).select(amount)
+        for p in plans:
+            if isinstance(p.unit, FragId):
+                state = sim.authmap.frag_state(p.unit.dir_id)
+                assert state is not None
+                assert state[0] == p.unit.bits

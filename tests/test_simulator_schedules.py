@@ -1,0 +1,87 @@
+"""Property tests: the simulator stays consistent under arbitrary schedules.
+
+Random combinations of mid-run events (MDS additions, failures/recoveries,
+client waves) must never violate the core invariants: op conservation,
+inode-total conservation, valid authority resolution, aligned series.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.workloads import ZipfWorkload
+
+
+def build_sim(n_clients, events, balancer="lunule"):
+    wl = ZipfWorkload(max(2, n_clients), files_per_dir=25, reads_per_client=120)
+    inst = wl.materialize(seed=2)
+    schedule = []
+    for kind, tick, arg in events:
+        if kind == "add_mds":
+            schedule.append((tick, lambda s: s.add_mds(1)))
+        elif kind == "fail":
+            # resolve the concrete rank at fail time and recover that same
+            # rank later (the cluster may have grown in between)
+            def make_pair(raw_rank):
+                holder = {}
+
+                def do_fail(s):
+                    holder["rank"] = raw_rank % s.n_mds
+                    s.fail_mds(holder["rank"])
+
+                def do_recover(s):
+                    if "rank" in holder:
+                        s.recover_mds(holder["rank"])
+
+                return do_fail, do_recover
+
+            fail_fn, recover_fn = make_pair(arg)
+            schedule.append((tick, fail_fn))
+            schedule.append((tick + 20, recover_fn))
+    cfg = SimConfig(n_mds=3, mds_capacity=40, epoch_len=5, max_ticks=4000)
+    return Simulator(inst, make_balancer(balancer), cfg, schedule=schedule)
+
+
+event_strategy = st.lists(
+    st.tuples(st.sampled_from(["add_mds", "fail"]),
+              st.integers(5, 120),
+              st.integers(0, 5)),
+    max_size=4,
+)
+
+
+class TestRandomSchedules:
+    @given(st.integers(2, 6), event_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_hold(self, n_clients, events):
+        sim = build_sim(n_clients, events)
+        expected_inodes = sum(sim.authmap.inode_distribution(sim.n_mds))
+        res = sim.run()
+
+        # ops conserved and all clients completed
+        issued = max(2, n_clients) * 120
+        assert sum(res.served_per_mds) == issued
+        assert len(res.completion_ticks) == max(2, n_clients)
+
+        # inode totals conserved through every migration/expansion
+        assert sum(res.inode_distribution) == expected_inodes
+
+        # every directory still resolves to a live rank
+        for d in range(sim.tree.n_dirs):
+            auth, _root = sim.authmap.resolve_dir(d)
+            assert 0 <= auth < sim.n_mds
+
+        # per-epoch series stay aligned
+        n = len(res.epoch_ticks)
+        assert (len(res.per_mds_iops) == len(res.if_series)
+                == len(res.migrated_series) == len(res.latency_series) == n)
+
+    @given(event_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_with_schedules(self, events):
+        a = build_sim(4, events).run()
+        b = build_sim(4, events).run()
+        assert a.completion_ticks == b.completion_ticks
+        assert a.if_series == b.if_series
+        assert a.migrated_series == b.migrated_series

@@ -1,0 +1,102 @@
+"""Property tests of the cutting-window bookkeeping in AccessStats.
+
+The migration index is only as good as these counters; the properties
+below pin down the window algebra regardless of access pattern.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.stats import AccessStats
+from repro.namespace.builder import build_fanout
+
+# an access script: per epoch, a list of (dir_index, file_index) touches
+script_strategy = st.lists(
+    st.lists(st.tuples(st.integers(0, 4), st.integers(0, 9)), max_size=30),
+    min_size=1, max_size=8,
+)
+
+
+def replay(script, *, windows=3, recurrence=2, sibling=0.0):
+    built = build_fanout(5, 10)
+    stats = AccessStats(built.tree, recurrence_window=recurrence,
+                        pattern_windows=windows,
+                        sibling_probability=sibling, seed=1)
+    per_epoch = []
+    for epoch_ops in script:
+        counts = np.zeros(built.tree.n_dirs)
+        for di, fi in epoch_ops:
+            d = built.dirs[di]
+            stats.record_file_access(d, fi)
+            counts[d] += 1
+        stats.end_epoch()
+        per_epoch.append(counts)
+    return built, stats, per_epoch
+
+
+class TestWindowAlgebra:
+    @given(script_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_window_visits_equal_recent_epoch_sum(self, script):
+        built, stats, per_epoch = replay(script, windows=3)
+        expected = np.sum(per_epoch[-3:], axis=0)
+        assert np.array_equal(stats.pattern_arrays()["visits"], expected)
+
+    @given(script_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_visits_partition_into_recurrent_and_first(self, script):
+        built, stats, _ = replay(script)
+        arrays = stats.pattern_arrays()
+        assert np.array_equal(arrays["visits"],
+                              arrays["recurrent"] + arrays["first"])
+
+    @given(script_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_ls_equals_first_without_sibling_bonus(self, script):
+        built, stats, _ = replay(script, sibling=0.0)
+        arrays = stats.pattern_arrays()
+        assert np.array_equal(arrays["ls"], arrays["first"])
+
+    @given(script_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_all_window_sums_non_negative(self, script):
+        built, stats, _ = replay(script)
+        for name, arr in stats.pattern_arrays().items():
+            assert (arr >= 0).all(), name
+
+    @given(script_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_unvisited_stock_bounded_by_files(self, script):
+        built, stats, _ = replay(script)
+        stock = stats.unvisited_array()
+        for d in range(built.tree.n_dirs):
+            assert 0 <= stock[d] <= built.tree.n_files[d]
+
+    @given(script_strategy, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_idle_epochs_drain_the_window(self, script, idle):
+        built, stats, _ = replay(script, windows=3)
+        for _ in range(max(3, idle)):
+            stats.end_epoch()
+        arrays = stats.pattern_arrays()
+        for name in ("visits", "recurrent", "first", "ls", "created"):
+            assert np.allclose(arrays[name], 0.0), name
+
+
+class TestHeatAlgebra:
+    @given(script_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_heat_is_decayed_visit_sum(self, script):
+        built, stats, per_epoch = replay(script)
+        decay = stats.heat_decay
+        expected = np.zeros(built.tree.n_dirs)
+        for counts in per_epoch:
+            expected = (expected + counts) * decay
+        assert np.allclose(stats.heat_array(), expected)
+
+    @given(script_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_heat_never_negative(self, script):
+        _, stats, _ = replay(script)
+        assert (stats.heat_array() >= 0).all()

@@ -1,0 +1,74 @@
+"""Bounded Zipf sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import substream
+from repro.util.zipf import ZipfSampler
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=-1.0)
+
+    def test_head_mass_bad_fraction(self):
+        s = ZipfSampler(10, rng=substream(0))
+        with pytest.raises(ValueError):
+            s.head_mass(0.0)
+        with pytest.raises(ValueError):
+            s.head_mass(1.5)
+
+
+class TestDistribution:
+    def test_scalar_sample_in_range(self):
+        s = ZipfSampler(100, rng=substream(1))
+        for _ in range(50):
+            assert 0 <= s.sample() < 100
+
+    def test_vector_sample_in_range(self):
+        s = ZipfSampler(100, rng=substream(1))
+        out = s.sample(1000)
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_eighty_twenty(self):
+        # Paper Table 1: "80% of requests are touching 20% of files".
+        s = ZipfSampler(10_000, exponent=1.0, rng=substream(2), permute=False)
+        assert 0.55 <= s.head_mass(0.2) <= 0.95
+
+    def test_exponent_zero_is_uniform(self):
+        s = ZipfSampler(100, exponent=0.0, rng=substream(3))
+        assert s.head_mass(0.2) == pytest.approx(0.2, abs=0.01)
+
+    def test_higher_exponent_more_skew(self):
+        lo = ZipfSampler(1000, 0.5, rng=substream(4)).head_mass(0.1)
+        hi = ZipfSampler(1000, 1.5, rng=substream(4)).head_mass(0.1)
+        assert hi > lo
+
+    def test_empirical_matches_head_mass(self):
+        s = ZipfSampler(50, exponent=1.0, rng=substream(5), permute=False)
+        draws = s.sample(20_000)
+        top10 = set(range(10))  # unpermuted: hottest are ranks 0..9
+        frac = np.isin(draws, list(top10)).mean()
+        assert frac == pytest.approx(s.head_mass(0.2), abs=0.03)
+
+    def test_permutation_scatters_hot_items(self):
+        a = ZipfSampler(1000, rng=substream(6), permute=True)
+        counts = np.bincount(a.sample(5000), minlength=1000)
+        assert int(counts.argmax()) != 0 or counts[0] < 5000  # not all at index 0
+
+    def test_deterministic_with_same_rng_seed(self):
+        a = ZipfSampler(100, rng=substream(7)).sample(20)
+        b = ZipfSampler(100, rng=substream(7)).sample(20)
+        assert np.array_equal(a, b)
+
+    @given(st.integers(1, 500), st.floats(0.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_head_mass_monotone_in_fraction(self, n, expo):
+        s = ZipfSampler(n, expo, rng=substream(8))
+        assert s.head_mass(0.1) <= s.head_mass(0.5) <= s.head_mass(1.0) <= 1.0 + 1e-9

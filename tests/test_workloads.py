@@ -1,0 +1,206 @@
+"""Workload generators: shapes, op streams, determinism, ratios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CnnWorkload,
+    MdtestWorkload,
+    MixedWorkload,
+    NlpWorkload,
+    WebWorkload,
+    ZipfWorkload,
+    OP_CREATE,
+    OP_OPEN,
+    OP_READDIR,
+    OP_STAT,
+)
+
+
+def drain(client):
+    """Collect a client's full op stream."""
+    ops = []
+    op = client.current
+    while op is not None:
+        ops.append(op)
+        op = next(client._ops, None)
+    return ops
+
+
+def meta_ratio(ops):
+    meta = len(ops)
+    data = sum(1 for o in ops if o[3] > 0)
+    return meta / (meta + data)
+
+
+class TestCnn:
+    def test_two_passes_cover_all_files(self):
+        wl = CnnWorkload(1, n_dirs=5, files_per_dir=4)
+        inst = wl.materialize(seed=1)
+        ops = drain(inst.clients[0])
+        stats = [o for o in ops if o[0] == OP_STAT]
+        opens = [o for o in ops if o[0] == OP_OPEN]
+        assert len(stats) == 2 * 20  # lookup + getattr per image
+        assert len(opens) == 20
+        assert {(o[1], o[2]) for o in opens} == {(d, i) for d in inst.built.dirs
+                                                 for i in range(4)}
+
+    def test_pass2_is_shuffled_per_client(self):
+        wl = CnnWorkload(2, n_dirs=5, files_per_dir=10)
+        inst = wl.materialize(seed=1)
+        orders = []
+        for c in inst.clients:
+            opens = [(o[1], o[2]) for o in drain(c) if o[0] == OP_OPEN]
+            orders.append(opens)
+        assert orders[0] != orders[1]
+        assert sorted(orders[0]) == sorted(orders[1])
+
+    def test_meta_ratio_near_paper(self):
+        wl = CnnWorkload(1, n_dirs=10, files_per_dir=10)
+        ops = drain(wl.materialize(seed=1).clients[0])
+        assert meta_ratio(ops) == pytest.approx(0.781, abs=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CnnWorkload(1, n_dirs=0)
+
+
+class TestNlp:
+    def test_folder_sizes_skewed(self):
+        wl = NlpWorkload(1, n_folders=14, total_files=2000)
+        inst = wl.materialize(seed=1)
+        assert max(inst.built.files) > 5 * min(inst.built.files)
+
+    def test_sequential_scan(self):
+        wl = NlpWorkload(1, n_folders=4, total_files=40)
+        inst = wl.materialize(seed=1)
+        ops = [o for o in drain(inst.clients[0]) if o[0] == OP_OPEN]
+        dirs_in_order = [o[1] for o in ops]
+        # folder order is monotone: a folder never reappears once left
+        seen = []
+        for d in dirs_in_order:
+            if not seen or seen[-1] != d:
+                seen.append(d)
+        assert len(seen) == len(set(seen))
+
+    def test_meta_ratio_metadata_dominated(self):
+        wl = NlpWorkload(1, n_folders=5, total_files=100)
+        ops = drain(wl.materialize(seed=1).clients[0])
+        assert meta_ratio(ops) >= 0.75
+
+
+class TestWeb:
+    def test_all_clients_replay_same_trace(self):
+        wl = WebWorkload(2, total_files=200, n_requests=100)
+        inst = wl.materialize(seed=1)
+        a = [o for o in drain(inst.clients[0])]
+        b = [o for o in drain(inst.clients[1])]
+        assert a == b
+
+    def test_trace_has_temporal_locality(self):
+        wl = WebWorkload(1, total_files=500, n_requests=1000)
+        inst = wl.materialize(seed=1)
+        opens = [(o[1], o[2]) for o in drain(inst.clients[0]) if o[0] == OP_OPEN]
+        # Zipfian popularity: the hottest file appears many times
+        from collections import Counter
+        top = Counter(opens).most_common(1)[0][1]
+        assert top > 5
+
+    def test_meta_ratio(self):
+        wl = WebWorkload(1, total_files=200, n_requests=300)
+        ops = drain(wl.materialize(seed=1).clients[0])
+        assert meta_ratio(ops) == pytest.approx(0.572, abs=0.02)
+
+
+class TestZipf:
+    def test_private_dirs(self):
+        wl = ZipfWorkload(3, files_per_dir=50, reads_per_client=100)
+        inst = wl.materialize(seed=1)
+        for i, c in enumerate(inst.clients):
+            dirs = {o[1] for o in drain(c)}
+            assert dirs == {inst.built.dirs[i]}
+
+    def test_eighty_twenty_access(self):
+        wl = ZipfWorkload(1, files_per_dir=1000, reads_per_client=5000)
+        inst = wl.materialize(seed=1)
+        idxs = [o[2] for o in drain(inst.clients[0])]
+        from collections import Counter
+        counts = np.array(sorted(Counter(idxs).values(), reverse=True))
+        top20 = counts[: max(1, len(counts) // 5)].sum() / counts.sum()
+        assert top20 > 0.45
+
+    def test_meta_ratio_half(self):
+        wl = ZipfWorkload(1, files_per_dir=50, reads_per_client=100)
+        ops = drain(wl.materialize(seed=1).clients[0])
+        assert meta_ratio(ops) == pytest.approx(0.5)
+
+
+class TestMdtest:
+    def test_all_creates(self):
+        wl = MdtestWorkload(2, creates_per_client=50)
+        inst = wl.materialize(seed=1)
+        ops = drain(inst.clients[0])
+        assert len(ops) == 50
+        assert all(o[0] == OP_CREATE for o in ops)
+        assert meta_ratio(ops) == 1.0
+
+    def test_dirs_start_empty(self):
+        wl = MdtestWorkload(2, creates_per_client=10)
+        inst = wl.materialize(seed=1)
+        assert inst.tree.total_files() == 0
+
+
+class TestMixed:
+    def _mixed(self):
+        return MixedWorkload([
+            CnnWorkload(2, n_dirs=5, files_per_dir=5),
+            ZipfWorkload(2, files_per_dir=20, reads_per_client=30),
+        ])
+
+    def test_groups_share_one_tree(self):
+        inst = self._mixed().materialize(seed=1)
+        assert len(inst.clients) == 4
+        groups = {c.group for c in inst.clients}
+        assert groups == {"cnn", "zipf"}
+
+    def test_client_ids_unique(self):
+        inst = self._mixed().materialize(seed=1)
+        cids = [c.cid for c in inst.clients]
+        assert len(set(cids)) == len(cids)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MixedWorkload([])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda: CnnWorkload(2, n_dirs=5, files_per_dir=5),
+        lambda: NlpWorkload(2, n_folders=4, total_files=50),
+        lambda: WebWorkload(2, total_files=100, n_requests=60),
+        lambda: ZipfWorkload(2, files_per_dir=30, reads_per_client=40),
+        lambda: MdtestWorkload(2, creates_per_client=20),
+    ])
+    def test_same_seed_same_stream(self, factory):
+        a = [drain(c) for c in factory().materialize(seed=9).clients]
+        b = [drain(c) for c in factory().materialize(seed=9).clients]
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = drain(ZipfWorkload(1, files_per_dir=100, reads_per_client=50)
+                  .materialize(seed=1).clients[0])
+        b = drain(ZipfWorkload(1, files_per_dir=100, reads_per_client=50)
+                  .materialize(seed=2).clients[0])
+        assert a != b
+
+
+class TestJitter:
+    def test_stall_probs_within_bound(self):
+        wl = ZipfWorkload(10, files_per_dir=10, reads_per_client=5, jitter=0.2)
+        inst = wl.materialize(seed=1)
+        assert all(0.0 <= c.stall_prob < 0.2 for c in inst.clients)
+
+    def test_rate_propagates(self):
+        wl = ZipfWorkload(3, files_per_dir=10, reads_per_client=5, client_rate=4)
+        inst = wl.materialize(seed=1)
+        assert all(c.rate == 4 for c in inst.clients)

@@ -1,0 +1,140 @@
+"""Trace recording, persistence, replay and Apache log round trips."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.namespace.builder import build_web
+from repro.workloads import OP_OPEN, ZipfWorkload
+from repro.workloads.trace import (
+    Trace,
+    TraceWorkload,
+    format_apache_log,
+    parse_apache_log,
+    record_workload,
+)
+
+
+@pytest.fixture
+def small_trace():
+    return Trace.from_ops([(OP_OPEN, 2, 0, 100), (OP_OPEN, 2, 1, 0),
+                           (OP_OPEN, 3, 5, 2048)])
+
+
+class TestTrace:
+    def test_from_ops_roundtrip(self, small_trace):
+        assert len(small_trace) == 3
+        assert list(small_trace)[0] == (OP_OPEN, 2, 0, 100)
+
+    def test_empty_trace(self):
+        t = Trace.from_ops([])
+        assert len(t) == 0 and list(t) == []
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(3))
+
+    def test_save_load(self, small_trace, tmp_path):
+        p = tmp_path / "t.npz"
+        small_trace.save(p)
+        loaded = Trace.load(p)
+        assert list(loaded) == list(small_trace)
+
+    def test_slice(self, small_trace):
+        assert list(small_trace.slice(1, 3)) == list(small_trace)[1:]
+
+    def test_meta_ratio(self, small_trace):
+        # 3 metadata ops, 2 with data payloads
+        assert small_trace.meta_ratio() == pytest.approx(3 / 5)
+
+
+class TestRecord:
+    def test_record_zipf_client(self):
+        wl = ZipfWorkload(2, files_per_dir=20, reads_per_client=30)
+        trace, tree = record_workload(wl, client_index=0, seed=4)
+        assert len(trace) == 30
+        assert tree.total_files() == 40
+
+    def test_record_is_deterministic(self):
+        wl = lambda: ZipfWorkload(1, files_per_dir=20, reads_per_client=25)
+        a, _ = record_workload(wl(), seed=4)
+        b, _ = record_workload(wl(), seed=4)
+        assert list(a) == list(b)
+
+
+class TestReplay:
+    def test_replay_runs_in_simulator(self):
+        base = ZipfWorkload(2, files_per_dir=30, reads_per_client=50)
+        inst = base.materialize(seed=3)
+        trace, _ = record_workload(
+            ZipfWorkload(2, files_per_dir=30, reads_per_client=50), seed=3)
+        wl = TraceWorkload(3, trace, inst.built)
+        sim = Simulator(wl.materialize(seed=1), make_balancer("lunule"),
+                        SimConfig(n_mds=2, mds_capacity=50, epoch_len=5,
+                                  max_ticks=2000))
+        res = sim.run()
+        assert sum(res.served_per_mds) == 3 * 50
+        assert len(res.completion_ticks) == 3
+
+    def test_replay_rejects_foreign_tree(self):
+        from repro.namespace.tree import NamespaceTree
+
+        inst = ZipfWorkload(1, files_per_dir=5, reads_per_client=5).materialize(seed=1)
+        trace = Trace.from_ops([(OP_OPEN, 2, 0, 10)])
+        wl = TraceWorkload(1, trace, inst.built)
+        with pytest.raises(ValueError):
+            wl.build_namespace(NamespaceTree(), seed=0)
+
+
+class TestApacheLogs:
+    def test_parse_basic_lines(self):
+        built = build_web(2, 2, 100, seed=1)
+        log = "\n".join([
+            '1.2.3.4 - - [23/Aug/2013:06:00:01 -0400] "GET /a/b.html HTTP/1.1" 200 5120',
+            '1.2.3.4 - - [23/Aug/2013:06:00:02 -0400] "POST /form HTTP/1.1" 200 100',
+            '1.2.3.4 - - [23/Aug/2013:06:00:03 -0400] "GET /miss HTTP/1.1" 404 0',
+            'garbage line',
+            '1.2.3.4 - - [23/Aug/2013:06:00:04 -0400] "GET /a/b.html HTTP/1.1" 200 5120',
+        ])
+        trace = parse_apache_log(log, built)
+        assert len(trace) == 2  # POST, 404 and garbage skipped
+        ops = list(trace)
+        assert ops[0] == ops[1]  # same path -> same inode
+
+    def test_paths_map_stably_into_namespace(self):
+        built = build_web(3, 3, 200, seed=2)
+        log = '\n'.join(
+            f'h - - [01/Jan/2014:00:00:00 +0000] "GET /p{i} HTTP/1.1" 200 100'
+            for i in range(50))
+        trace = parse_apache_log(log, built)
+        assert len(trace) == 50
+        for _, d, idx, _ in trace:
+            di = built.dirs.index(d)
+            assert 0 <= idx < built.files[di]
+
+    def test_dash_size_uses_default(self):
+        built = build_web(2, 2, 50, seed=1)
+        log = 'h - - [01/Jan/2014:00:00:00 +0000] "GET /x HTTP/1.1" 200 -'
+        trace = parse_apache_log(log, built, default_bytes=1234)
+        assert list(trace)[0][3] == 1234
+
+    def test_format_parse_roundtrip(self):
+        built = build_web(2, 2, 100, seed=3)
+        original = Trace.from_ops([
+            (OP_OPEN, built.dirs[0], 1, 512),
+            (OP_OPEN, built.dirs[1], 0, 2048),
+        ])
+        text = format_apache_log(original, built)
+        back = parse_apache_log(text, built)
+        # sizes survive exactly; inode mapping is by stable hash of the path
+        assert [op[3] for op in back] == [512, 2048]
+        assert len(back) == 2
+
+    def test_empty_namespace_rejected(self):
+        from repro.namespace.builder import BuiltNamespace
+        from repro.namespace.tree import NamespaceTree
+
+        empty = BuiltNamespace(NamespaceTree(), 0, [], [])
+        with pytest.raises(ValueError):
+            parse_apache_log("", empty)
