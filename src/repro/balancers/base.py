@@ -32,6 +32,26 @@ class Balancer(ABC):
         """React to the epoch that just closed."""
 
     # ------------------------------------------------------------- utilities
+    @property
+    def metrics(self):
+        """The simulator's :class:`~repro.obs.registry.MetricsRegistry`."""
+        return self.sim.metrics
+
+    @property
+    def trace(self):
+        """The simulator's :class:`~repro.obs.tracelog.TraceLog`."""
+        return self.sim.trace
+
+    def emit(self, event) -> None:
+        """Record one decision event on the simulator's trace."""
+        self.sim.trace.emit(event)
+
+    def failed_ranks(self) -> set[int]:
+        """Ranks currently down; no policy should plan exports to or from
+        them — a dead importer cannot receive and a replayed exporter will
+        not resume pre-failure plans."""
+        return {m.rank for m in self.sim.mdss if m.failed}
+
     def loads(self) -> list[float]:
         """Most recent epoch IOPS per MDS."""
         return [m.current_load for m in self.sim.mdss]

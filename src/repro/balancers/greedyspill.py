@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
 from repro.balancers.vanilla import greedy_heat_selection
+from repro.obs.events import RoleAssigned
 
 __all__ = ["GreedySpillBalancer"]
 
@@ -37,15 +38,24 @@ class GreedySpillBalancer(Balancer):
         # Popularity units are not IOPS; "idle" is relative to the busiest.
         idle_cut = self.idle_fraction * max(max(loads), 1.0)
         heat = sim.stats.heat_array()
+        down = self.failed_ranks()
+        trace = getattr(sim, "trace", None)
         for i in range(n):
             j = (i + 1) % n
             # Mantle GreedySpill: "when my load > 0.01 and my neighbor's
-            # load < 0.01, send half".
+            # load < 0.01, send half". Failed ranks sit the round out.
+            if i in down or j in down:
+                continue
             if loads[i] <= idle_cut or loads[j] > idle_cut:
                 continue
             if sim.migrator.queue_depth(i) >= self.max_queue:
                 continue
             amount = loads[i] / 2.0
+            if trace is not None:
+                trace.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
+                                        amount=amount))
+                trace.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
+                                        amount=amount))
             raw = candidates_for(sim, i, heat)
             scale = scale_to_load(raw, loads[i])
             if scale <= 0.0:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
+from repro.obs.events import RoleAssigned
 
 __all__ = ["VanillaBalancer", "greedy_heat_selection"]
 
@@ -110,19 +111,32 @@ class VanillaBalancer(Balancer):
         if avg <= 0.0:
             return
 
-        # Importer gaps: underloaded peers, roomiest first.
-        gaps = {j: avg - float(vload[j]) for j in range(n) if vload[j] < avg}
+        down = self.failed_ranks()
+        trace = getattr(sim, "trace", None)
+        # Importer gaps: underloaded peers, roomiest first. A failed rank
+        # reads as idle but cannot receive an import.
+        gaps = {j: avg - float(vload[j]) for j in range(n)
+                if vload[j] < avg and j not in down}
+        if trace is not None:
+            for j in sorted(gaps):
+                trace.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
+                                        amount=gaps[j]))
         fresh = sim.stats.heat_array()
         heat = self._gossiped_heat if self._gossiped_heat is not None else fresh
         if heat.size < fresh.size:  # namespace grew since last gossip
             heat = np.concatenate([heat, fresh[heat.size:]])
         self._gossiped_heat = fresh
         for i in range(n):
+            if i in down:
+                continue
             if vload[i] <= avg * (1.0 + self.min_offload):
                 continue
             if sim.migrator.queue_depth(i) >= self.max_queue:
                 continue  # CephFS bounds its export queue
             amount = float(vload[i] - avg)
+            if trace is not None:
+                trace.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
+                                        amount=amount))
             raw = candidates_for(sim, i, heat)
             scale = scale_to_load(raw, float(vload[i]))
             if scale <= 0.0:

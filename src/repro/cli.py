@@ -3,6 +3,7 @@
 Commands:
 
 - ``run``    — one simulation (workload x balancer) with a summary report,
+- ``trace``  — run with decision tracing and export/summarize the JSONL,
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``list``   — available workloads, balancers and figure ids.
 """
@@ -15,8 +16,8 @@ from collections.abc import Sequence
 
 from repro.experiments import figures as F
 from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig
-from repro.experiments.report import render_kv
-from repro.experiments.runner import run_experiment
+from repro.experiments.report import render_kv, render_trace_summary
+from repro.experiments.runner import run_experiment, run_traced
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +65,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--data-path", action="store_true",
                        help="enable the OSD data path (end-to-end runs)")
 
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one simulation with decision tracing; dump/summarize JSONL")
+    tr_p.add_argument("--workload", "-w", choices=WORKLOAD_NAMES, default="zipf")
+    tr_p.add_argument("--balancer", "-b", choices=BALANCER_NAMES, default="lunule")
+    tr_p.add_argument("--clients", "-c", type=int, default=20)
+    tr_p.add_argument("--mds", "-m", type=int, default=5)
+    tr_p.add_argument("--capacity", type=float, default=100.0,
+                      help="metadata ops per tick per MDS")
+    tr_p.add_argument("--seed", type=int, default=7)
+    tr_p.add_argument("--scale", type=float, default=1.0,
+                      help="dataset/op-count multiplier")
+    tr_p.add_argument("--out", "-o", metavar="FILE",
+                      help="write the decision trace as JSONL to FILE")
+    tr_p.add_argument("--ring", type=int, metavar="N",
+                      help="keep only the most recent N events (O(1) memory)")
+    tr_p.add_argument("--from", dest="from_file", metavar="FILE",
+                      help="summarize an existing JSONL trace instead of running")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
     fig_p.add_argument("--scale", type=float, default=1.0)
@@ -105,6 +125,42 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.obs.tracelog import read_jsonl
+
+    if args.ring is not None and args.ring < 1:
+        print(f"error: --ring must be a positive event count, got {args.ring}",
+              file=sys.stderr)
+        return 2
+
+    if args.from_file:
+        try:
+            events = list(read_jsonl(args.from_file))
+        except OSError as exc:
+            print(f"error: cannot read trace {args.from_file}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(render_trace_summary(events,
+                                   title=f"Decision trace ({args.from_file})"),
+              file=out)
+        return 0
+
+    sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity,
+                                     trace_capacity=args.ring)
+    cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
+                           n_clients=args.clients, seed=args.seed,
+                           scale=args.scale, sim=sim_cfg)
+    res, sim = run_traced(cfg, trace_path=args.out)
+    title = f"Decision trace ({res.workload} x {res.balancer}, seed {args.seed})"
+    print(render_trace_summary(sim.trace, title=title), file=out)
+    if sim.trace.dropped:
+        print(f"  (ring buffer kept {len(sim.trace)} of "
+              f"{sim.trace.emitted} events)", file=out)
+    if args.out:
+        print(f"  wrote {len(sim.trace)} events to {args.out}", file=out)
+    return 0
+
+
 def _cmd_figure(args, out) -> int:
     ids = sorted(FIGURES) if args.id == "all" else [args.id]
     for fid in ids:
@@ -118,7 +174,8 @@ def _cmd_list(out) -> int:
     print("workloads :", ", ".join(WORKLOAD_NAMES), file=out)
     print("balancers :", ", ".join(BALANCER_NAMES), file=out)
     print("figures   :", ", ".join(sorted(FIGURES)), file=out)
-    print("extras    : overhead (paper §3.4 accounting)", file=out)
+    print("extras    : overhead (paper §3.4 accounting), "
+          "trace (decision-trace JSONL export)", file=out)
     return 0
 
 
@@ -135,6 +192,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "overhead":

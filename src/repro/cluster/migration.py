@@ -19,9 +19,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.namespace.dirfrag import FragId, frag_file_count
 from repro.namespace.subtree import AuthorityMap
+from repro.obs.events import (
+    MigrationAborted,
+    MigrationCommitted,
+    MigrationPlanned,
+    encode_unit,
+)
 
 __all__ = ["ExportTask", "Migrator"]
 
@@ -56,7 +63,8 @@ class Migrator:
 
     def __init__(self, authmap: AuthorityMap, *, rate: int = 500,
                  penalty: float = 0.1, commit_latency: int = 2,
-                 concurrency: int = 2) -> None:
+                 concurrency: int = 2, trace=None, metrics=None,
+                 clock: Callable[[], int] | None = None) -> None:
         if rate <= 0:
             raise ValueError("migration rate must be positive")
         if not 0.0 <= penalty < 1.0:
@@ -77,11 +85,31 @@ class Migrator:
         self.migrated_inodes = 0
         self.committed_tasks = 0
         self.aborted_tasks = 0
+        #: decision trace / metrics sinks and the simulated-time source;
+        #: all optional so the migrator stays usable standalone
+        self.trace = trace
+        self.metrics = metrics
+        self.clock = clock or (lambda: 0)
+        if metrics is not None:
+            self._c_planned = metrics.counter("migration.planned")
+            self._c_committed = metrics.counter("migration.committed")
+            self._c_inodes = metrics.counter("migration.inodes")
+            self._h_task_inodes = metrics.histogram("migration.task_inodes")
+        else:
+            self._c_planned = self._c_committed = None
+            self._c_inodes = self._h_task_inodes = None
 
     # ------------------------------------------------------------- submission
     def submit(self, task: ExportTask) -> None:
         """Queue an export; validation happens again at start and commit."""
         self._queues.setdefault(task.src, deque()).append(task)
+        if self._c_planned is not None:
+            self._c_planned.inc()
+        if self.trace is not None:
+            self.trace.emit(MigrationPlanned(
+                tick=self.clock(), src=task.src, dst=task.dst,
+                unit=encode_unit(task.unit), inodes=task.inodes,
+                load=task.load_estimate))
 
     def submit_export(self, src: int, dst: int, unit: int | FragId,
                       load_estimate: float = 0.0) -> ExportTask:
@@ -130,6 +158,15 @@ class Migrator:
     # ------------------------------------------------------------- inspection
     def queue_depth(self, src: int) -> int:
         return len(self._queues.get(src, ())) + len(self._active.get(src, ()))
+
+    def outstanding_units(self) -> list[int | FragId]:
+        """Units of every queued or in-flight task (duplicates included)."""
+        out: list[int | FragId] = []
+        for q in self._queues.values():
+            out.extend(t.unit for t in q)
+        for tasks in self._active.values():
+            out.extend(t.unit for t in tasks)
+        return out
 
     def busy_ranks(self) -> set[int]:
         """MDSs currently paying migration overhead (exporters + importers)."""
@@ -206,14 +243,84 @@ class Migrator:
         queue = self._queues.get(src)
         while queue:
             task = queue.popleft()
-            if self._unit_auth(task.unit) == task.src:
+            if self._unit_auth(task.unit) != task.src:
+                self._abort(task, "stale_auth")
+            elif self._overlaps_active(task.unit):
+                # A stale re-plan of a unit (or of its ancestor/descendant)
+                # that is already in flight: starting it too would ship the
+                # same inodes twice — exactly the over-migration failure
+                # mode the paper's §2.2 ping-pong analysis describes.
+                self._abort(task, "overlap")
+            else:
                 return task
-            self.aborted_tasks += 1
         return None
+
+    def _overlaps_active(self, unit: int | FragId) -> bool:
+        """Would exporting ``unit`` overlap an in-flight task's extent?
+
+        Two whole-dir exports overlap when one dir is an ancestor of the
+        other (the nested subtree would be shipped by both). A frag
+        conflicts with any task touching the same directory: committing a
+        frag and its containing dir concurrently splits the accounting.
+        """
+        tree = self.authmap.tree
+        u_dir = unit.dir_id if isinstance(unit, FragId) else unit
+        for tasks in self._active.values():
+            for t in tasks:
+                o = t.unit
+                o_dir = o.dir_id if isinstance(o, FragId) else o
+                if isinstance(unit, FragId) or isinstance(o, FragId):
+                    if u_dir == o_dir:
+                        return True
+                elif u_dir == o_dir or u_dir in tree.ancestors(o_dir) \
+                        or o_dir in tree.ancestors(u_dir):
+                    return True
+        return False
+
+    def abort_rank(self, rank: int) -> int:
+        """Drop every queued or in-flight task touching ``rank``.
+
+        Called on MDS failure: CephFS aborts an interrupted export on
+        either side's session reset (the exporter keeps authority after
+        journal replay; a half-done import is rolled back), so a failed
+        rank must not resume stale transfers planned from a pre-failure
+        load picture. Returns the number of tasks dropped.
+        """
+        dropped = 0
+        for src in list(self._queues):
+            keep = deque(t for t in self._queues[src]
+                         if t.src != rank and t.dst != rank)
+            for t in self._queues[src]:
+                if t.src == rank or t.dst == rank:
+                    self._abort(t, "mds_failed")
+                    dropped += 1
+            if keep:
+                self._queues[src] = keep
+            else:
+                del self._queues[src]
+        for src in list(self._active):
+            tasks = self._active[src]
+            for t in list(tasks):
+                if t.src == rank or t.dst == rank:
+                    tasks.remove(t)
+                    self._abort(t, "mds_failed")
+                    dropped += 1
+            if not tasks:
+                del self._active[src]
+        return dropped
+
+    def _abort(self, task: ExportTask, reason: str) -> None:
+        self.aborted_tasks += 1
+        if self.metrics is not None:
+            self.metrics.counter("migration.aborted", reason=reason).inc()
+        if self.trace is not None:
+            self.trace.emit(MigrationAborted(
+                tick=self.clock(), src=task.src, dst=task.dst,
+                unit=encode_unit(task.unit), reason=reason))
 
     def _commit(self, task: ExportTask) -> None:
         if self._unit_auth(task.unit) != task.src:
-            self.aborted_tasks += 1
+            self._abort(task, "stale_auth")
             return
         if isinstance(task.unit, FragId):
             for frag in self._covered_frags(task.unit):
@@ -222,3 +329,11 @@ class Migrator:
             self.authmap.set_subtree_auth(task.unit, task.dst)
         self.migrated_inodes += task.inodes
         self.committed_tasks += 1
+        if self._c_committed is not None:
+            self._c_committed.inc()
+            self._c_inodes.inc(task.inodes)
+            self._h_task_inodes.observe(task.inodes)
+        if self.trace is not None:
+            self.trace.emit(MigrationCommitted(
+                tick=self.clock(), src=task.src, dst=task.dst,
+                unit=encode_unit(task.unit), inodes=task.inodes))

@@ -46,11 +46,16 @@ class Router:
     """
 
     def __init__(self, authmap: AuthorityMap, forward_charge: float = 1.0,
-                 lease_ttl: int = 0) -> None:
+                 lease_ttl: int = 0, metrics=None) -> None:
         self.authmap = authmap
         self.forward_charge = float(forward_charge)
         self.lease_ttl = int(lease_ttl)
         self.total_forwards = 0
+        # Held, not re-fetched: route() is the simulator's hottest path.
+        self._c_forwards = (metrics.counter("router.forwards")
+                            if metrics is not None else None)
+        self._c_lease_expiries = (metrics.counter("router.lease_expiries")
+                                  if metrics is not None else None)
 
     def route(self, state: ClientRoutingState, dir_id: int, file_idx: int = -1,
               now: int = 0) -> tuple[int, list[int]]:
@@ -68,6 +73,8 @@ class Router:
                 state.auth_cache.clear()
                 state.resolved.clear()
                 state.lease_expiry = now + self.lease_ttl
+                if self._c_lease_expiries is not None:
+                    self._c_lease_expiries.inc()
         cache = state.auth_cache
 
         hops: list[int] = []
@@ -112,5 +119,8 @@ class Router:
             cache[key] = frag_auth
             serving = frag_auth
 
-        self.total_forwards += len(hops)
+        if hops:
+            self.total_forwards += len(hops)
+            if self._c_forwards is not None:
+                self._c_forwards.inc(len(hops))
         return serving, hops

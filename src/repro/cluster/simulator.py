@@ -25,6 +25,9 @@ from repro.cluster.router import Router
 from repro.cluster.stats import AccessStats
 from repro.core.if_model import imbalance_factor
 from repro.namespace.subtree import AuthorityMap
+from repro.obs.events import EpochStart, IfComputed, MdsFailed, MdsRecovered
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceLog
 from repro.workloads.base import OP_CREATE, OP_READDIR, Client, WorkloadInstance
 
 __all__ = ["SimConfig", "Simulator"]
@@ -74,6 +77,10 @@ class SimConfig:
     serve_quantum: int = 8
     seed: int = 0
     stop_when_done: bool = True
+    #: decision-trace ring-buffer capacity; ``None`` keeps the whole run
+    #: (tracing is epoch-granular, so even long runs stay small), an int
+    #: bounds memory to the most recent N events for always-on deployments
+    trace_capacity: int | None = None
 
     def with_(self, **kwargs) -> "SimConfig":
         """Copy with overrides (convenience for sweeps)."""
@@ -114,12 +121,18 @@ class Simulator:
             MDS(r, caps[r] if caps is not None else config.mds_capacity)
             for r in range(config.n_mds)
         ]
+        #: always-on observability: every component below feeds these two
+        self.metrics = MetricsRegistry()
+        self.trace = TraceLog(capacity=config.trace_capacity)
         self.router = Router(self.authmap, config.forward_charge,
-                             lease_ttl=config.client_lease_ttl)
+                             lease_ttl=config.client_lease_ttl,
+                             metrics=self.metrics)
         self.migrator = Migrator(self.authmap, rate=config.migration_rate,
                                  penalty=config.migration_penalty,
                                  commit_latency=config.migration_latency,
-                                 concurrency=config.migration_concurrency)
+                                 concurrency=config.migration_concurrency,
+                                 trace=self.trace, metrics=self.metrics,
+                                 clock=lambda: self.tick)
         self.osd: OsdPool | None = (
             OsdPool(config.n_osds, config.osd_bandwidth) if config.data_path else None
         )
@@ -173,12 +186,20 @@ class Simulator:
         if not 0 <= rank < len(self.mdss):
             raise ValueError(f"no MDS with rank {rank}")
         self.mdss[rank].failed = True
+        self.trace.emit(MdsFailed(tick=self.tick, rank=rank))
+        self.metrics.counter("sim.mds_failures").inc()
+        # Abort exports touching the failed rank: CephFS rolls back a
+        # half-done import on session reset and the replayed exporter does
+        # not resume pre-failure plans, so letting these tasks finish later
+        # would hand one subtree to two ranks' accounting.
+        self.migrator.abort_rank(rank)
 
     def recover_mds(self, rank: int) -> None:
         """A standby took over ``rank``; it serves again from the next tick."""
         if not 0 <= rank < len(self.mdss):
             raise ValueError(f"no MDS with rank {rank}")
         self.mdss[rank].failed = False
+        self.trace.emit(MdsRecovered(tick=self.tick, rank=rank))
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
@@ -319,9 +340,8 @@ class Simulator:
         r.epoch_ticks.append(self.tick)
         r.per_mds_iops.append(loads)
         capacity = max(m.capacity for m in self.mdss)
-        r.if_series.append(
-            imbalance_factor(loads, capacity, cfg.urgency_smoothness)
-        )
+        if_value = imbalance_factor(loads, capacity, cfg.urgency_smoothness)
+        r.if_series.append(if_value)
         r.migrated_series.append(self.migrator.migrated_inodes)
         r.forwards_series.append(self.router.total_forwards)
         # Mean metadata-op latency in ticks: one service tick plus the
@@ -331,6 +351,18 @@ class Simulator:
             1.0 + (self._wait_ticks_epoch / ops if ops else 0.0)
         )
         self._wait_ticks_epoch = 0
+
+        # Decision trace + metrics: the epoch boundary and the reporting IF
+        # (the balancer below adds its own trigger/role/selection events).
+        self.trace.emit(EpochStart(epoch=self.epoch, tick=self.tick))
+        self.trace.emit(IfComputed(epoch=self.epoch, value=if_value,
+                                   loads=tuple(loads), source="simulator"))
+        m = self.metrics
+        m.counter("sim.epochs").inc()
+        m.counter("sim.ops_served").inc(ops)
+        m.gauge("sim.imbalance_factor").set(if_value)
+        for rank, load in enumerate(loads):
+            m.gauge("mds.load", rank=rank).set(load)
 
         self.balancer.on_epoch(self.epoch)
         # Housekeeping CephFS also performs: merge subtree roots and frag

@@ -38,7 +38,10 @@ class LunuleBalancer(Balancer):
 
     def attach(self, sim) -> None:
         super().attach(sim)
-        self.initiator = MigrationInitiator(sim.config.mds_capacity, self.initiator_config)
+        self.initiator = MigrationInitiator(
+            sim.config.mds_capacity, self.initiator_config,
+            trace=getattr(sim, "trace", None),
+            metrics=getattr(sim, "metrics", None))
 
     # What the Pattern Analyzer feeds the selector (overridden by -Light).
     def per_dir_load(self) -> np.ndarray:
@@ -51,7 +54,8 @@ class LunuleBalancer(Balancer):
         pending_out = [migrator.pending_export_load(i) for i in range(n)]
         pending_in = [migrator.pending_import_load(i) for i in range(n)]
         decisions = self.initiator.plan(
-            epoch, self.loads(), self.histories(), pending_out, pending_in
+            epoch, self.loads(), self.histories(), pending_out, pending_in,
+            exclude=self.failed_ranks(),
         )
         if not decisions:
             return
@@ -65,10 +69,11 @@ class LunuleBalancer(Balancer):
                 continue
             scaled = [replace(c, load=c.load * scale, self_load=c.self_load * scale)
                       for c in raw]
-            selector = SubtreeSelector(sim, scaled, tolerance=self.tolerance)
+            selector = SubtreeSelector(sim, scaled, tolerance=self.tolerance,
+                                       exporter=src)
             for dst, amount in sorted(msg.assignments.items(),
                                       key=lambda kv: kv[1], reverse=True):
-                for plan in selector.select(amount):
+                for plan in selector.select(amount, importer=dst):
                     migrator.submit_export(src, dst, plan.unit, plan.load)
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.messages import ImbalanceState, MigrationDecision, wire_size
 from repro.core.if_model import imbalance_factor
 from repro.core.regression import predict_future_load
+from repro.obs.events import IfComputed, RoleAssigned
 from repro.util.stats import coefficient_of_variation
 
 __all__ = ["MdsLoad", "decide_roles", "MigrationInitiator", "InitiatorConfig"]
@@ -45,14 +46,17 @@ class MdsLoad:
 
 
 def decide_roles(stats: list[MdsLoad], threshold: float, cap: float) -> np.ndarray:
-    """Paper Algorithm 1: returns the export matrix ``E`` (n x n).
+    """Paper Algorithm 1: returns the export matrix ``E``.
 
-    ``E[i, j]`` is the load amount MDS ``i`` must ship to MDS ``j``.
-    ``threshold`` is the squared relative-deviation gate ``L``; ``cap`` is
-    the per-epoch migration capacity in load units.
+    ``E[i, j]`` is the load amount MDS ``i`` must ship to MDS ``j``, indexed
+    by *rank* (the matrix is sized to the highest participating rank, so a
+    stats list with gaps — failed ranks sit out the round — still indexes
+    correctly). ``threshold`` is the squared relative-deviation gate ``L``;
+    ``cap`` is the per-epoch migration capacity in load units.
     """
     n = len(stats)
-    E = np.zeros((n, n))
+    dim = max((m.rank for m in stats), default=-1) + 1
+    E = np.zeros((dim, dim))
     if n < 2 or cap <= 0:
         return E
     mean = sum(m.cld for m in stats) / n
@@ -103,7 +107,8 @@ class InitiatorConfig:
 class MigrationInitiator:
     """Centralized decision maker residing on one MDS (rank 0 by default)."""
 
-    def __init__(self, capacity: float, config: InitiatorConfig | None = None) -> None:
+    def __init__(self, capacity: float, config: InitiatorConfig | None = None,
+                 *, trace=None, metrics=None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = float(capacity)
@@ -113,6 +118,9 @@ class MigrationInitiator:
         #: §3.4 overhead accounting: control-plane bytes in/out of the initiator
         self.bytes_received = 0
         self.bytes_sent = 0
+        #: optional decision-trace / metrics sinks (the simulator's)
+        self.trace = trace
+        self.metrics = metrics
 
     def plan(
         self,
@@ -121,24 +129,39 @@ class MigrationInitiator:
         histories: list[list[float]],
         pending_out: list[float] | None = None,
         pending_in: list[float] | None = None,
+        exclude: set[int] | frozenset[int] = frozenset(),
     ) -> list[MigrationDecision]:
         """One epoch of decision making; returns per-exporter decisions.
 
         ``pending_out``/``pending_in`` are load amounts already queued or in
         flight by the migrator, subtracted from / added to the measured
         loads so the initiator plans against the post-migration picture.
+        ``exclude`` ranks (failed MDSs) neither report load nor receive a
+        role: their zero IOPS would otherwise read as import headroom and
+        Algorithm 1 would ship subtrees to a dead daemon.
         """
         n = len(loads)
-        for rank in range(n):
+        alive = [i for i in range(n) if i not in exclude]
+        for rank in alive:
             self.bytes_received += wire_size(ImbalanceState(rank, epoch, loads[rank]))
         cfg = self.config
+        alive_loads = [loads[i] for i in alive]
         if cfg.use_urgency:
-            self.last_if = imbalance_factor(loads, self.capacity, cfg.urgency_smoothness)
+            self.last_if = imbalance_factor(alive_loads, self.capacity,
+                                            cfg.urgency_smoothness)
         else:
-            self.last_if = coefficient_of_variation(loads) / math.sqrt(max(1, n))
+            self.last_if = (coefficient_of_variation(alive_loads)
+                            / math.sqrt(max(1, len(alive))))
+        if self.trace is not None:
+            self.trace.emit(IfComputed(epoch=epoch, value=self.last_if,
+                                       loads=tuple(loads), source="initiator"))
+        if self.metrics is not None:
+            self.metrics.gauge("initiator.if").set(self.last_if)
         if self.last_if <= cfg.if_threshold:
             return []
         self.triggers += 1
+        if self.metrics is not None:
+            self.metrics.counter("initiator.triggers").inc()
 
         out = pending_out or [0.0] * n
         inn = pending_in or [0.0] * n
@@ -148,12 +171,27 @@ class MigrationInitiator:
                 cld=max(0.0, loads[i] - out[i] + inn[i]),
                 fld=predict_future_load(histories[i], cfg.regression_window),
             )
-            for i in range(n)
+            for i in alive
         ]
         E = decide_roles(stats, cfg.deviation_threshold, cfg.cap_fraction * self.capacity)
+        dim = E.shape[0]
+        if self.trace is not None:
+            for i in alive:
+                if i >= dim:
+                    continue
+                exported = float(E[i].sum())
+                imported = float(E[:, i].sum())
+                if exported > 0:
+                    self.trace.emit(RoleAssigned(epoch=epoch, rank=i,
+                                                 role="exporter", amount=exported))
+                if imported > 0:
+                    self.trace.emit(RoleAssigned(epoch=epoch, rank=i,
+                                                 role="importer", amount=imported))
         decisions: list[MigrationDecision] = []
-        for i in range(n):
-            assignments = {j: float(E[i, j]) for j in range(n) if E[i, j] > 0}
+        for i in alive:
+            if i >= dim:
+                continue
+            assignments = {j: float(E[i, j]) for j in range(dim) if E[i, j] > 0}
             if assignments:
                 msg = MigrationDecision(i, epoch, assignments)
                 self.bytes_sent += wire_size(msg)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.balancers.candidates import Candidate
 from repro.namespace.dirfrag import MAX_FRAG_BITS, FragId
+from repro.obs.events import SubtreeSelected, encode_unit
 
 __all__ = ["ExportPlan", "SubtreeSelector"]
 
@@ -42,10 +43,12 @@ class SubtreeSelector:
     """Stateful per-epoch selector for one exporter MDS."""
 
     def __init__(self, sim, candidates: list[Candidate], *, tolerance: float = 0.1,
-                 min_load: float = 1e-9) -> None:
+                 min_load: float = 1e-9, exporter: int | None = None) -> None:
         self.sim = sim
         self.tolerance = tolerance
         self.min_load = min_load
+        #: rank this selector plans for; selections are traced when known
+        self.exporter = exporter
         self.candidates = [c for c in candidates if c.load > min_load]
         self._selected_dirs: set[int] = set()
         self._blocked_dirs: set[int] = set()
@@ -78,8 +81,25 @@ class SubtreeSelector:
         return ExportPlan(c.unit, c.load)
 
     # ------------------------------------------------------------- selection
-    def select(self, amount: float) -> list[ExportPlan]:
-        """Choose export units predicted to carry ``amount`` load."""
+    def select(self, amount: float, importer: int | None = None) -> list[ExportPlan]:
+        """Choose export units predicted to carry ``amount`` load.
+
+        When the selector knows which decision it fulfils (``exporter`` set
+        at construction, ``importer`` passed here) each chosen unit is
+        recorded on the simulator's decision trace.
+        """
+        plans = self._select(amount)
+        trace = getattr(self.sim, "trace", None)
+        if plans and trace is not None and self.exporter is not None:
+            epoch = getattr(self.sim, "epoch", 0)
+            for p in plans:
+                trace.emit(SubtreeSelected(
+                    epoch=epoch, exporter=self.exporter,
+                    importer=-1 if importer is None else importer,
+                    unit=encode_unit(p.unit), load=p.load))
+        return plans
+
+    def _select(self, amount: float) -> list[ExportPlan]:
         if amount <= self.min_load:
             return []
         tol = self.tolerance

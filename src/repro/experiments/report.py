@@ -6,9 +6,9 @@ paper's figures; EXPERIMENTS.md records the comparison permanently.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
-__all__ = ["render_table", "render_series", "render_kv"]
+__all__ = ["render_table", "render_series", "render_kv", "render_trace_summary"]
 
 
 def _fmt(x) -> str:
@@ -56,3 +56,37 @@ def render_kv(title: str, pairs: Sequence[tuple[str, object]]) -> str:
     for k, v in pairs:
         lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
     return "\n".join(lines)
+
+
+def render_trace_summary(events: Iterable, title: str = "Decision trace") -> str:
+    """Digest of a balancer-decision trace (see :mod:`repro.obs.events`).
+
+    Counts per event type, plus the headline decision numbers a reviewer
+    asks for first: how often the trigger fired, how much was planned vs
+    actually committed, and the IF range the run covered.
+    """
+    events = list(events)
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.etype] = counts.get(e.etype, 0) + 1
+    table = render_table(("event", "count"), sorted(counts.items()), title=title)
+
+    sim_ifs = [e.value for e in events
+               if e.etype == "if_computed" and e.source == "simulator"]
+    committed_inodes = sum(e.inodes for e in events
+                           if e.etype == "migration_committed")
+    pairs: list[tuple[str, object]] = [
+        ("epochs traced", counts.get("epoch_start", 0)),
+        ("exporter roles", sum(1 for e in events
+                               if e.etype == "role_assigned" and e.role == "exporter")),
+        ("subtrees selected", counts.get("subtree_selected", 0)),
+        ("migrations planned / committed / aborted",
+         f"{counts.get('migration_planned', 0)}"
+         f" / {counts.get('migration_committed', 0)}"
+         f" / {counts.get('migration_aborted', 0)}"),
+        ("inodes committed", committed_inodes),
+    ]
+    if sim_ifs:
+        pairs.append(("IF first / peak / last",
+                      f"{_fmt(sim_ifs[0])} / {_fmt(max(sim_ifs))} / {_fmt(sim_ifs[-1])}"))
+    return table + "\n\n" + render_kv("Decisions", pairs)

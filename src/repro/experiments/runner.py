@@ -1,27 +1,49 @@
-"""Experiment runner: config in, :class:`SimResult` out."""
+"""Experiment runner: config in, :class:`SimResult` (and trace) out."""
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.balancers import make_balancer
 from repro.cluster.simulator import Simulator
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["run_experiment", "run_matrix"]
+__all__ = ["run_experiment", "run_traced", "run_matrix"]
 
 
 def run_experiment(cfg: ExperimentConfig, *,
                    schedule: list[tuple[int, Callable]] | None = None,
-                   balancer_kwargs: dict | None = None):
-    """Materialize the workload, build the balancer, run the simulation."""
+                   balancer_kwargs: dict | None = None,
+                   trace_path: str | os.PathLike | None = None):
+    """Materialize the workload, build the balancer, run the simulation.
+
+    ``trace_path`` dumps the run's balancer-decision trace as JSONL next
+    to the result, so every benchmark can keep the evidence behind its
+    numbers (see ``docs/OBSERVABILITY.md``).
+    """
+    result, _ = run_traced(cfg, schedule=schedule,
+                           balancer_kwargs=balancer_kwargs,
+                           trace_path=trace_path)
+    return result
+
+
+def run_traced(cfg: ExperimentConfig, *,
+               schedule: list[tuple[int, Callable]] | None = None,
+               balancer_kwargs: dict | None = None,
+               trace_path: str | os.PathLike | None = None):
+    """Like :func:`run_experiment` but returns ``(result, simulator)`` so
+    callers can inspect the decision trace and metrics registry."""
     sim_cfg = cfg.sim
     if cfg.data_path and not sim_cfg.data_path:
         sim_cfg = sim_cfg.with_(data_path=True)
     instance = cfg.build_workload().materialize(seed=cfg.seed)
     balancer = make_balancer(cfg.balancer, **(balancer_kwargs or {}))
     sim = Simulator(instance, balancer, sim_cfg, schedule=schedule)
-    return sim.run()
+    result = sim.run()
+    if trace_path is not None:
+        sim.trace.dump_jsonl(trace_path)
+    return result, sim
 
 
 def run_matrix(workloads: list[str], balancers: list[str],

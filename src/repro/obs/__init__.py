@@ -1,0 +1,63 @@
+"""Observability: metrics registry + structured balancer-decision tracing.
+
+Two always-on primitives every :class:`repro.cluster.Simulator` carries:
+
+- :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  histograms (labelled, snapshot-able to dict/JSON) fed by the simulator,
+  the migrator, the router and the balancers;
+- :class:`~repro.obs.tracelog.TraceLog` — an ordered log of the typed
+  decision events in :mod:`repro.obs.events` (epoch boundaries, IF
+  computations, role assignments, subtree selections, migration
+  plan/commit/abort, failure injection), exportable as canonical JSONL.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and CLI usage.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EpochStart,
+    IfComputed,
+    MdsFailed,
+    MdsRecovered,
+    MigrationAborted,
+    MigrationCommitted,
+    MigrationPlanned,
+    RoleAssigned,
+    SubtreeSelected,
+    TraceEvent,
+    decode_unit,
+    encode_unit,
+    event_from_dict,
+    event_from_json,
+    event_to_dict,
+    event_to_json,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracelog import TraceLog, read_jsonl, write_jsonl
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceLog",
+    "read_jsonl",
+    "write_jsonl",
+    "TraceEvent",
+    "EpochStart",
+    "IfComputed",
+    "RoleAssigned",
+    "SubtreeSelected",
+    "MigrationPlanned",
+    "MigrationCommitted",
+    "MigrationAborted",
+    "MdsFailed",
+    "MdsRecovered",
+    "EVENT_TYPES",
+    "encode_unit",
+    "decode_unit",
+    "event_to_dict",
+    "event_from_dict",
+    "event_to_json",
+    "event_from_json",
+]

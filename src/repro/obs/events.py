@@ -1,0 +1,212 @@
+"""Typed balancer-decision trace events and their wire format.
+
+Every judgement call the balancing stack makes in an epoch — the IF it
+computed, which ranks became exporters/importers, which subtree each
+selector picked, what the migrator planned/committed/aborted — is recorded
+as one small frozen dataclass. The set of event types *is* the audit
+schema of the reproduction: a trace containing them is enough to replay
+"why did epoch k migrate those inodes" without re-running the simulator.
+
+Wire format (one JSON object per line, JSONL):
+
+- the ``"e"`` key carries the event-type tag (:attr:`TraceEvent.etype`);
+- export units are either a directory id (int) or a dirfrag encoded as
+  ``"frag:<dir_id>:<bits>:<frag_no>"``;
+- serialization is canonical — sorted keys, no whitespace — so a trace of
+  a fixed-seed run is byte-stable, which the golden-trace regression
+  suite relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar
+
+from repro.namespace.dirfrag import FragId
+
+__all__ = [
+    "TraceEvent",
+    "EpochStart",
+    "IfComputed",
+    "RoleAssigned",
+    "SubtreeSelected",
+    "MigrationPlanned",
+    "MigrationCommitted",
+    "MigrationAborted",
+    "MdsFailed",
+    "MdsRecovered",
+    "EVENT_TYPES",
+    "encode_unit",
+    "decode_unit",
+    "event_to_dict",
+    "event_from_dict",
+    "event_to_json",
+    "event_from_json",
+]
+
+
+def encode_unit(unit: int | FragId) -> int | str:
+    """JSON-safe form of an export unit (dir id or dirfrag)."""
+    if isinstance(unit, FragId):
+        return f"frag:{unit.dir_id}:{unit.bits}:{unit.frag_no}"
+    return int(unit)
+
+
+def decode_unit(raw: int | str) -> int | FragId:
+    if isinstance(raw, str):
+        tag, dir_id, bits, frag_no = raw.split(":")
+        if tag != "frag":
+            raise ValueError(f"malformed unit encoding {raw!r}")
+        return FragId(int(dir_id), int(bits), int(frag_no))
+    return int(raw)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every event knows its type tag and serializes itself."""
+
+    etype: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class EpochStart(TraceEvent):
+    """The balancing round for ``epoch`` opened at simulated ``tick``."""
+
+    etype: ClassVar[str] = "epoch_start"
+    epoch: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class IfComputed(TraceEvent):
+    """An imbalance factor was computed from per-MDS loads.
+
+    ``source`` distinguishes the simulator's reporting IF (computed every
+    epoch for every balancer) from a policy's own trigger IF (e.g. the
+    Lunule initiator, which may use the no-urgency ablation variant).
+    """
+
+    etype: ClassVar[str] = "if_computed"
+    epoch: int
+    value: float
+    loads: tuple[float, ...]
+    source: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loads", tuple(float(x) for x in self.loads))
+
+
+@dataclass(frozen=True)
+class RoleAssigned(TraceEvent):
+    """Algorithm 1 (or a baseline policy) gave ``rank`` a migration role.
+
+    ``amount`` is the planned export demand (exporters) or granted import
+    capacity (importers), in load units, after pairing.
+    """
+
+    etype: ClassVar[str] = "role_assigned"
+    epoch: int
+    rank: int
+    role: str  # "exporter" | "importer"
+    amount: float
+
+
+@dataclass(frozen=True)
+class SubtreeSelected(TraceEvent):
+    """The exporter's selector chose one unit to fulfil a decision."""
+
+    etype: ClassVar[str] = "subtree_selected"
+    epoch: int
+    exporter: int
+    importer: int
+    unit: int | str
+    load: float
+
+
+@dataclass(frozen=True)
+class MigrationPlanned(TraceEvent):
+    """An export task entered the migration queue."""
+
+    etype: ClassVar[str] = "migration_planned"
+    tick: int
+    src: int
+    dst: int
+    unit: int | str
+    inodes: int
+    load: float
+
+
+@dataclass(frozen=True)
+class MigrationCommitted(TraceEvent):
+    """Two-phase commit finished; authority flipped to ``dst``."""
+
+    etype: ClassVar[str] = "migration_committed"
+    tick: int
+    src: int
+    dst: int
+    unit: int | str
+    inodes: int
+
+
+@dataclass(frozen=True)
+class MigrationAborted(TraceEvent):
+    """An export task was dropped before authority flipped."""
+
+    etype: ClassVar[str] = "migration_aborted"
+    tick: int
+    src: int
+    dst: int
+    unit: int | str
+    reason: str  # "stale_auth" | "overlap" | "mds_failed"
+
+
+@dataclass(frozen=True)
+class MdsFailed(TraceEvent):
+    etype: ClassVar[str] = "mds_failed"
+    tick: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class MdsRecovered(TraceEvent):
+    etype: ClassVar[str] = "mds_recovered"
+    tick: int
+    rank: int
+
+
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.etype: cls
+    for cls in (
+        EpochStart, IfComputed, RoleAssigned, SubtreeSelected,
+        MigrationPlanned, MigrationCommitted, MigrationAborted,
+        MdsFailed, MdsRecovered,
+    )
+}
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    return {"e": event.etype, **asdict(event)}
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    data = dict(data)
+    try:
+        cls = EVENT_TYPES[data.pop("e")]
+    except KeyError as exc:
+        raise ValueError(f"unknown or missing event type in {data!r}") from exc
+    names = {f.name for f in fields(cls)}
+    extra = set(data) - names
+    if extra:
+        raise ValueError(f"unexpected fields {sorted(extra)} for {cls.etype}")
+    return cls(**data)
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """Canonical one-line JSON (sorted keys, no whitespace)."""
+    return json.dumps(event_to_dict(event), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def event_from_json(line: str) -> TraceEvent:
+    return event_from_dict(json.loads(line))

@@ -1,0 +1,224 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the single sink for quantitative observability across the
+simulator, the migrator, the router and every balancer. It is deliberately
+minimal — Prometheus-shaped (name + sorted label set identifies a series,
+histograms are cumulative-bucket) but in-process and snapshot-able to a
+plain dict, so experiment harnesses can diff two runs or dump JSON next to
+a decision trace without any external dependency.
+
+Design constraints that shaped the API:
+
+- **hot-path cheap**: incrementing a counter is one attribute add; callers
+  on per-tick paths should hold the metric object, not re-look it up;
+- **deterministic snapshots**: series and labels are emitted sorted, so a
+  snapshot of the same run is byte-stable when JSON-encoded;
+- **per-phase timing**: :meth:`MetricsRegistry.timer` wraps a histogram in
+  a context manager so BENCH_* runs can attribute wall-clock to phases
+  from the same registry the simulator already carries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import time
+from collections.abc import Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram buckets: powers of ten with 2.5/5 subdivisions, which
+#: covers both tick-latencies (1-100) and inode counts (10^2-10^6)
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (current load, queue depth...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count.
+
+    ``buckets`` are upper bounds (ascending); an implicit +Inf bucket
+    catches the rest. Bucket counts reported by :meth:`snapshot` are
+    cumulative, so they are non-decreasing left to right by construction.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # per-bucket, +Inf last
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts of observations <= each bound, then the grand total."""
+        out: list[int] = []
+        running = 0
+        for c in self._counts:
+            running += c
+            out.append(running)
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": {
+                **{repr(b): c for b, c in zip(self.bounds, self.cumulative_counts())},
+                "+Inf": self.count,
+            },
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class _Timer:
+    """Context manager that records elapsed wall-clock into a histogram."""
+
+    __slots__ = ("hist", "_start")
+
+    def __init__(self, hist: Histogram) -> None:
+        self.hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.hist.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Registry of named, labelled metric series.
+
+    One ``(name, labels)`` pair is one series; asking again returns the
+    same object, so call sites can be written either hot (hold the metric)
+    or convenient (re-fetch by name each epoch).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -------------------------------------------------------------- factories
+    def _get(self, cls, name: str, labels: dict[str, object],
+             **kwargs):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._series.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+        prior = self._kinds.get(name)
+        if prior is not None and prior != cls.kind:
+            raise TypeError(f"metric {name!r} already registered as {prior}")
+        metric = cls(name, key[1], **kwargs)
+        self._series[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def timer(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+              **labels) -> _Timer:
+        """``with registry.timer("phase.serve"): ...`` — seconds observed."""
+        return _Timer(self.histogram(name, buckets=buckets, **labels))
+
+    # ------------------------------------------------------------- inspection
+    def __iter__(self) -> Iterator[object]:
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def get_value(self, name: str, **labels) -> float | None:
+        """Value of a counter/gauge series, or None if never registered."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._series.get(key)
+        return getattr(metric, "value", None) if metric is not None else None
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict view of every series."""
+        out: dict = {}
+        for metric in self:
+            series = out.setdefault(
+                metric.name, {"kind": metric.kind, "series": []})
+            series["series"].append(
+                {"labels": dict(metric.labels), **metric.snapshot()})
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)

@@ -1,0 +1,107 @@
+"""The decision trace: an append-only log of typed balancer events.
+
+A :class:`TraceLog` rides on the simulator and receives every
+:mod:`repro.obs.events` event the balancing stack emits. Two modes:
+
+- **unbounded** (default): keeps the full run — what benchmarks export as
+  JSONL and what the golden-trace regression suite byte-compares;
+- **ring buffer** (``capacity=N``): keeps only the most recent N events in
+  O(1) memory per append, for always-on production-style tracing where
+  only the recent history matters at inspection time.
+
+Appending is one deque append; serialization cost is paid only at dump
+time, so tracing stays out of the simulator's hot loop entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.obs.events import TraceEvent, event_from_json, event_to_json
+
+__all__ = ["TraceLog", "read_jsonl", "write_jsonl"]
+
+
+class TraceLog:
+    """Ordered, optionally ring-buffered, event sink."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring capacity must be positive (or None)")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: lifetime appended count — keeps growing even when the ring drops
+        self.emitted = 0
+
+    # ---------------------------------------------------------------- writing
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # ---------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events the ring buffer has discarded."""
+        return self.emitted - len(self._events)
+
+    def events(self, etype: str | None = None) -> list[TraceEvent]:
+        """Retained events, optionally filtered by type tag."""
+        if etype is None:
+            return list(self._events)
+        return [e for e in self._events if e.etype == etype]
+
+    def counts(self) -> dict[str, int]:
+        """Retained event count per type tag, sorted by tag."""
+        out: dict[str, int] = {}
+        for e in self._events:
+            out[e.etype] = out.get(e.etype, 0) + 1
+        return dict(sorted(out.items()))
+
+    # ------------------------------------------------------------------ jsonl
+    def dumps(self) -> str:
+        """The retained trace as canonical JSONL (trailing newline)."""
+        return "".join(event_to_json(e) + "\n" for e in self._events)
+
+    def dump_jsonl(self, path: str | os.PathLike) -> int:
+        """Write the retained trace to ``path``; returns events written."""
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(self.dumps())
+        return len(self._events)
+
+    @classmethod
+    def load_jsonl(cls, path: str | os.PathLike,
+                   capacity: int | None = None) -> "TraceLog":
+        log = cls(capacity=capacity)
+        for event in read_jsonl(path):
+            log.emit(event)
+        return log
+
+
+def read_jsonl(path: str | os.PathLike) -> Iterator[TraceEvent]:
+    """Stream events from a JSONL trace file (blank lines ignored)."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield event_from_json(line)
+
+
+def write_jsonl(path: str | os.PathLike, events: Iterable[TraceEvent]) -> int:
+    """Write any event iterable as canonical JSONL; returns events written."""
+    n = 0
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        for e in events:
+            fh.write(event_to_json(e) + "\n")
+            n += 1
+    return n

@@ -4,6 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden decision traces under tests/golden/ "
+             "instead of asserting against them")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.cluster.simulator import SimConfig, Simulator
 from repro.balancers import make_balancer
 from repro.namespace.builder import build_fanout, build_private_dirs

@@ -88,6 +88,108 @@ class TestFailureInjection:
         assert mig.committed_tasks == 1
 
 
+class TestFailureDuringMigration:
+    """Failing an MDS mid-epoch must not leave a subtree double-owned.
+
+    CephFS aborts an interrupted export on session reset: a half-done
+    import is rolled back and the replayed exporter does not resume
+    pre-failure plans. The simulator mirrors that via
+    ``Migrator.abort_rank`` inside ``fail_mds``.
+    """
+
+    @staticmethod
+    def slow_migration_sim(schedule):
+        # migration_rate=5 stretches each 60-inode export over ~12 ticks,
+        # guaranteeing the scheduled failure lands mid-transfer
+        return sim_for("lunule", schedule=schedule, migration_rate=5)
+
+    def test_exporter_failure_aborts_inflight_tasks(self):
+        observed = {}
+
+        def fail_and_inspect(s):
+            inflight = s.migrator.outstanding_units()
+            observed["before"] = len(inflight)
+            s.fail_mds(0)  # rank 0 starts with all authority: the exporter
+            observed["after"] = [
+                u for u in s.migrator.outstanding_units()
+            ]
+
+        sim = self.slow_migration_sim([(12, fail_and_inspect),
+                                       (60, lambda s: s.recover_mds(0))])
+        sim.run()
+        assert observed["before"] > 0, "no migration in flight at tick 12"
+        aborts = [e for e in sim.trace.events("migration_aborted")
+                  if e.reason == "mds_failed"]
+        assert aborts and all(e.src == 0 or e.dst == 0 for e in aborts)
+        assert all(e.tick == 12 for e in aborts)
+
+    def test_no_subtree_double_owned_after_failure(self):
+        sim = self.slow_migration_sim([(12, lambda s: s.fail_mds(0)),
+                                       (60, lambda s: s.recover_mds(0))])
+        res = sim.run()
+        total = sim.tree.n_dirs + sim.tree.total_files()
+        assert sum(res.inode_distribution) == total
+        # nothing still queued/in flight can reference the same unit twice
+        units = sim.migrator.outstanding_units()
+        assert len(units) == len(set(units))
+
+    def test_importer_failure_also_aborts(self):
+        def fail_an_importer(s):
+            dsts = {t.dst for tasks in s.migrator._active.values()
+                    for t in tasks}
+            s.fail_mds(min(dsts) if dsts else 1)
+
+        sim = self.slow_migration_sim([(12, fail_an_importer)])
+        res = sim.run()
+        total = sim.tree.n_dirs + sim.tree.total_files()
+        assert sum(res.inode_distribution) == total
+
+    def test_abort_rank_drops_queued_and_active(self):
+        from repro.cluster.migration import Migrator
+        from repro.namespace.builder import build_fanout
+        from repro.namespace.subtree import AuthorityMap
+
+        built = build_fanout(6, 10)
+        am = AuthorityMap(built.tree, 0)
+        mig = Migrator(am, rate=1, commit_latency=0, concurrency=2)
+        for d in built.dirs[:4]:
+            mig.submit_export(0, 1, d)
+        mig.tick()  # starts two rank-0 exports (concurrency), rest queued
+        assert len(mig.outstanding_units()) == 4
+
+        dropped = mig.abort_rank(1)  # importer of everything
+        assert dropped == 4
+        assert mig.outstanding_units() == []
+        assert mig.aborted_tasks == 4
+        assert mig.committed_tasks == 0
+        # the authority map never saw a partial flip
+        assert all(am.resolve_dir(d)[0] == 0 for d in built.dirs)
+
+    def test_abort_rank_untouched_tasks_survive(self):
+        from repro.cluster.migration import Migrator
+        from repro.namespace.builder import build_fanout
+        from repro.namespace.subtree import AuthorityMap
+
+        built = build_fanout(4, 10)
+        am = AuthorityMap(built.tree, 0)
+        mig = Migrator(am, rate=100, commit_latency=0)
+        survivor = mig.submit_export(0, 1, built.dirs[0])
+        mig.submit_export(0, 2, built.dirs[1])
+
+        assert mig.abort_rank(2) == 1
+        assert mig.outstanding_units() == [survivor.unit]
+        mig.tick()
+        assert mig.committed_tasks == 1
+        assert am.resolve_dir(built.dirs[0])[0] == 1
+
+    def test_balancer_does_not_plan_onto_failed_rank(self):
+        sim = sim_for("lunule", schedule=[(4, lambda s: s.fail_mds(2))])
+        sim.run()
+        planned = sim.trace.events("migration_planned")
+        late = [e for e in planned if e.tick >= 4]
+        assert all(e.src != 2 and e.dst != 2 for e in late)
+
+
 class TestHeterogeneousCapacities:
     def test_capacities_applied_per_rank(self):
         sim = sim_for("nop", mds_capacities=(80.0, 20.0, 20.0))

@@ -1,0 +1,128 @@
+"""Load prediction on short histories; mindex alpha/beta boundary values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.stats import AccessStats
+from repro.core.pattern import PatternSnapshot, analyze
+from repro.core.regression import DEFAULT_HISTORY, predict_future_load
+from repro.namespace.tree import NamespaceTree
+from repro.util.stats import linear_regression_predict
+
+
+class TestShortHistories:
+    def test_empty_history_predicts_zero(self):
+        assert predict_future_load([]) == 0.0
+
+    def test_single_point_predicts_itself(self):
+        assert predict_future_load([42.0]) == 42.0
+
+    def test_single_negative_point_clamps_to_zero(self):
+        assert linear_regression_predict([-5.0]) == 0.0
+
+    def test_two_points_extrapolate_linearly(self):
+        assert predict_future_load([1.0, 3.0]) == pytest.approx(5.0)
+        assert predict_future_load([10.0, 7.0]) == pytest.approx(4.0)
+
+    def test_flat_history_predicts_the_level(self):
+        assert predict_future_load([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_crashing_history_clamps_at_zero(self):
+        # raw extrapolation of [10, 0] is -10; a negative load is meaningless
+        assert predict_future_load([10.0, 0.0]) == 0.0
+
+
+class TestWindowHandling:
+    def test_window_one_uses_only_the_last_observation(self):
+        assert predict_future_load([0.0, 0.0, 100.0], window=1) == 100.0
+
+    def test_window_trims_old_history(self):
+        # rising tail [2, 3] extrapolates to 4; the window must have
+        # dropped the huge stale head
+        assert predict_future_load([1000.0, 2.0, 3.0], window=2) == pytest.approx(4.0)
+
+    def test_window_larger_than_history_is_fine(self):
+        assert predict_future_load([1.0, 3.0], window=DEFAULT_HISTORY) == pytest.approx(5.0)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError):
+            predict_future_load([1.0], window=0)
+        with pytest.raises(ValueError):
+            predict_future_load([1.0], window=-3)
+
+
+def stats_for(n_files: int = 10) -> tuple[AccessStats, int]:
+    tree = NamespaceTree()
+    d = tree.add_dir(0, "d")
+    tree.add_files(d, n_files)
+    # sibling_probability=0 keeps l_s deterministic (no sibling bonus)
+    stats = AccessStats(tree, pattern_windows=1, sibling_probability=0.0)
+    return stats, d
+
+
+class TestMindexBoundaries:
+    def test_untouched_stock_pins_beta_at_one(self):
+        # one first visit against 9 unvisited files: beta saturates at 1
+        stats, d = stats_for(10)
+        stats.record_file_access(d, 0)
+        stats.end_epoch()
+        snap = analyze(stats)
+        assert snap.beta[d] == 1.0
+        assert snap.alpha[d] == 0.0  # nothing recurrent yet
+        assert snap.mindex[d] == pytest.approx(snap.l_s[d])
+
+    def test_fully_scanned_directory_has_beta_zero(self):
+        stats, d = stats_for(4)
+        for epoch in range(2):
+            for idx in range(4):
+                stats.record_file_access(d, idx)
+            stats.end_epoch()
+        snap = analyze(stats)
+        # second epoch: every file re-visited inside the recurrence window,
+        # no unvisited stock left -> pure temporal locality
+        assert snap.beta[d] == 0.0
+        assert snap.alpha[d] == 1.0
+        assert snap.mindex[d] == pytest.approx(snap.l_t[d])
+
+    def test_scan_workload_has_alpha_zero(self):
+        # each epoch touches fresh files only: no recurrence at all
+        stats, d = stats_for(8)
+        for epoch in range(2):
+            for idx in range(4):
+                stats.record_file_access(d, 4 * epoch + idx)
+            stats.end_epoch()
+        snap = analyze(stats)
+        assert snap.alpha[d] == 0.0
+        assert snap.mindex[d] == pytest.approx(snap.beta[d] * snap.l_s[d])
+
+    def test_idle_directory_scores_zero(self):
+        stats, d = stats_for(10)
+        stats.end_epoch()
+        snap = analyze(stats)
+        assert snap.alpha[d] == 0.0
+        assert snap.l_t[d] == 0.0
+        assert snap.mindex[d] == 0.0
+
+
+class TestMindexEquation:
+    """PatternSnapshot.mindex is exactly Eq. 4 at the alpha/beta extremes."""
+
+    def make(self, alpha, beta, l_t=(10.0, 20.0), l_s=(3.0, 7.0)):
+        n = len(l_t)
+        return PatternSnapshot(alpha=np.full(n, float(alpha)),
+                               beta=np.full(n, float(beta)),
+                               l_t=np.asarray(l_t), l_s=np.asarray(l_s))
+
+    def test_both_zero_kills_the_index(self):
+        assert self.make(0, 0).mindex.tolist() == [0.0, 0.0]
+
+    def test_both_one_sums_the_loads(self):
+        assert self.make(1, 1).mindex.tolist() == [13.0, 27.0]
+
+    def test_pure_temporal(self):
+        assert self.make(1, 0).mindex.tolist() == [10.0, 20.0]
+
+    def test_pure_spatial(self):
+        assert self.make(0, 1).mindex.tolist() == [3.0, 7.0]

@@ -1,0 +1,103 @@
+"""Golden-trace regression suite.
+
+Each scenario runs a fixed-seed workload under one balancer and compares
+the full balancer-decision trace — epoch boundaries, IF values, role
+assignments, subtree selections, migration plan/commit/abort — *byte for
+byte* against a snapshot under ``tests/golden/``. Any change to the
+balancing pipeline's decisions, however subtle, shows up as a diff here
+before it shows up as a silent shift in a paper figure.
+
+To bless intentional changes::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+
+and review the golden-file diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cluster.simulator import SimConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_traced
+from repro.obs.tracelog import TraceLog, read_jsonl
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: small but non-trivial: 3 MDSs, enough clients and ops that the trigger
+#: fires, roles are paired, subtrees are selected, and migrations commit
+GOLDEN_SIM = SimConfig(n_mds=3, mds_capacity=60.0, epoch_len=5,
+                       max_ticks=3000, migration_rate=50, seed=0)
+
+SCENARIOS = {
+    "mdtest_lunule": ("mdtest", "lunule"),
+    "mdtest_vanilla": ("mdtest", "vanilla"),
+    "mixed_lunule": ("mixed", "lunule"),
+    "mixed_vanilla": ("mixed", "vanilla"),
+}
+
+
+def run_scenario(name: str):
+    workload, balancer = SCENARIOS[name]
+    cfg = ExperimentConfig(workload=workload, balancer=balancer, n_clients=8,
+                           seed=7, scale=0.15, sim=GOLDEN_SIM)
+    return run_traced(cfg)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name, update_golden):
+    result, sim = run_scenario(name)
+    path = GOLDEN_DIR / f"{name}.jsonl"
+    produced = sim.trace.dumps()
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(produced, encoding="utf-8", newline="\n")
+        pytest.skip(f"golden trace {path.name} rewritten")
+
+    assert path.exists(), (
+        f"missing golden trace {path}; run with --update-golden to create it")
+    golden = path.read_text(encoding="utf-8")
+    assert produced == golden, (
+        f"decision trace for {name} diverged from {path.name}; if the change "
+        f"is intentional, re-bless with --update-golden and review the diff")
+
+
+@pytest.mark.parametrize("name", ["mdtest_lunule", "mixed_vanilla"])
+def test_golden_run_is_replayable(name):
+    """Two in-process runs of the same scenario are byte-identical."""
+    _, sim_a = run_scenario(name)
+    _, sim_b = run_scenario(name)
+    assert sim_a.trace.dumps() == sim_b.trace.dumps()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_traces_round_trip(name):
+    """Golden files parse back into the exact events a run produces."""
+    path = GOLDEN_DIR / f"{name}.jsonl"
+    if not path.exists():
+        pytest.skip("golden trace not generated yet")
+    events = list(read_jsonl(path))
+    log = TraceLog()
+    for e in events:
+        log.emit(e)
+    assert log.dumps() == path.read_text(encoding="utf-8")
+
+
+def test_golden_traces_cover_the_decision_pipeline():
+    """The Lunule goldens exercise every decision-event stage per epoch."""
+    result, sim = run_scenario("mdtest_lunule")
+    counts = sim.trace.counts()
+    n_epochs = len(result.if_series)
+    assert counts["epoch_start"] == n_epochs
+    # one reporting IF per epoch plus one initiator IF per balancer round
+    assert counts["if_computed"] >= n_epochs
+    assert counts.get("role_assigned", 0) > 0
+    assert counts.get("subtree_selected", 0) > 0
+    assert counts.get("migration_committed", 0) == result.committed_tasks
+    # migrated-inode accounting in the trace matches the result series
+    traced = sum(e.inodes for e in sim.trace.events("migration_committed"))
+    assert traced == result.migrated_series[-1]

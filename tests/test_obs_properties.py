@@ -1,0 +1,158 @@
+"""Property tests for the observability layer itself.
+
+The registry and the trace are the instruments every other claim in this
+repository is measured with, so they get the strongest guarantees:
+counters are monotone, histogram bucket counts are monotone left-to-right
+and conserve observations, and every trace event survives a JSONL
+round-trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.namespace.dirfrag import FragId
+from repro.obs.events import (
+    EpochStart,
+    IfComputed,
+    MdsFailed,
+    MdsRecovered,
+    MigrationAborted,
+    MigrationCommitted,
+    MigrationPlanned,
+    RoleAssigned,
+    SubtreeSelected,
+    decode_unit,
+    encode_unit,
+    event_from_json,
+    event_to_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceLog
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+amounts = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+ranks = st.integers(min_value=0, max_value=63)
+ticks = st.integers(min_value=0, max_value=10**9)
+
+# frag_no must fit the split width: 0 <= frag_no < 2**bits
+frag_ids = st.integers(min_value=1, max_value=7).flatmap(
+    lambda bits: st.builds(
+        FragId,
+        st.integers(min_value=0, max_value=10**6),
+        st.just(bits),
+        st.integers(min_value=0, max_value=(1 << bits) - 1)))
+
+units = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    frag_ids.map(encode_unit),
+)
+reasons = st.sampled_from(["stale_auth", "overlap", "mds_failed"])
+
+events = st.one_of(
+    st.builds(EpochStart, epoch=ticks, tick=ticks),
+    st.builds(IfComputed, epoch=ticks, value=finite,
+              loads=st.tuples(*[finite] * 3), source=st.sampled_from(
+                  ["simulator", "initiator"])),
+    st.builds(RoleAssigned, epoch=ticks, rank=ranks,
+              role=st.sampled_from(["exporter", "importer"]), amount=finite),
+    st.builds(SubtreeSelected, epoch=ticks, exporter=ranks, importer=ranks,
+              unit=units, load=finite),
+    st.builds(MigrationPlanned, tick=ticks, src=ranks, dst=ranks, unit=units,
+              inodes=st.integers(min_value=0, max_value=10**9), load=finite),
+    st.builds(MigrationCommitted, tick=ticks, src=ranks, dst=ranks, unit=units,
+              inodes=st.integers(min_value=0, max_value=10**9)),
+    st.builds(MigrationAborted, tick=ticks, src=ranks, dst=ranks, unit=units,
+              reason=reasons),
+    st.builds(MdsFailed, tick=ticks, rank=ranks),
+    st.builds(MdsRecovered, tick=ticks, rank=ranks),
+)
+
+
+class TestCounterMonotonicity:
+    @given(st.lists(amounts, max_size=50))
+    def test_counter_never_decreases(self, increments):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        last = c.value
+        for amount in increments:
+            c.inc(amount)
+            assert c.value >= last
+            last = c.value
+        assert c.value == pytest.approx(sum(increments))
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    max_size=200))
+    def test_cumulative_buckets_monotone(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(0.0, 1.0, 10.0, 100.0))
+        for v in values:
+            h.observe(v)
+        cum = h.cumulative_counts()
+        assert all(a <= b for a, b in zip(cum, cum[1:]))
+        assert cum[-1] == h.count == len(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=100))
+    def test_every_observation_lands_in_exactly_one_bucket(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(-10.0, 0.0, 10.0))
+        for v in values:
+            h.observe(v)
+        # per-bucket (non-cumulative) counts conserve the observation count
+        cum = h.cumulative_counts()
+        per_bucket = [cum[0]] + [b - a for a, b in zip(cum, cum[1:])]
+        assert sum(per_bucket) == len(values)
+        assert all(c >= 0 for c in per_bucket)
+
+
+class TestEventRoundTrip:
+    @given(events)
+    @settings(max_examples=300)
+    def test_jsonl_round_trip_is_identity(self, event):
+        line = event_to_json(event)
+        assert "\n" not in line
+        restored = event_from_json(line)
+        assert restored == event
+        assert type(restored) is type(event)
+        # canonical form is a fixed point
+        assert event_to_json(restored) == line
+
+    @given(st.lists(events, max_size=40))
+    def test_tracelog_dumps_parse_back(self, evs):
+        log = TraceLog()
+        for e in evs:
+            log.emit(e)
+        restored = [event_from_json(line)
+                    for line in log.dumps().splitlines() if line]
+        assert restored == evs
+
+    @given(st.lists(events, min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=10))
+    def test_ring_buffer_keeps_most_recent(self, evs, capacity):
+        log = TraceLog(capacity=capacity)
+        for e in evs:
+            log.emit(e)
+        assert len(log) == min(capacity, len(evs))
+        assert log.events() == evs[-capacity:]
+        assert log.emitted == len(evs)
+        assert log.dropped == len(evs) - len(log)
+
+
+class TestUnitEncoding:
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_dir_units_pass_through(self, dir_id):
+        assert decode_unit(encode_unit(dir_id)) == dir_id
+
+    @given(frag_ids)
+    def test_frag_units_round_trip(self, frag):
+        encoded = encode_unit(frag)
+        assert isinstance(encoded, str)
+        assert decode_unit(encoded) == frag

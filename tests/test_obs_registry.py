@@ -1,0 +1,122 @@
+"""The metrics registry: counters, gauges, histograms, labels, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, reg):
+        c = reg.counter("ops")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("ops").inc(-1.0)
+
+    def test_same_name_same_labels_is_same_series(self, reg):
+        reg.counter("ops", mds=0).inc(5)
+        assert reg.counter("ops", mds=0).value == 5.0
+        assert reg.counter("ops", mds=1).value == 0.0
+
+    def test_get_value(self, reg):
+        reg.counter("ops", mds=2).inc(7)
+        assert reg.get_value("ops", mds=2) == 7.0
+        assert reg.get_value("ops", mds=3) is None
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_count_and_sum(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+
+    def test_cumulative_counts_monotone_and_capped(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0, 0.1):
+            h.observe(v)
+        cum = h.cumulative_counts()
+        assert cum == sorted(cum)
+        assert cum[-1] == h.count
+
+    def test_boundary_value_falls_in_its_bucket(self, reg):
+        # bounds are inclusive upper edges, Prometheus-style
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.cumulative_counts()[0] == 1
+
+    def test_bad_buckets_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("b", buckets=(1.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_kind_conflict_across_labels_rejected(self, reg):
+        reg.counter("y", mds=0)
+        with pytest.raises(TypeError):
+            reg.gauge("y", mds=1)
+
+    def test_empty_name_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("")
+
+    def test_snapshot_shape(self, reg):
+        reg.counter("ops", mds=0).inc(3)
+        reg.counter("ops", mds=1).inc(4)
+        reg.gauge("if").set(0.5)
+        snap = reg.snapshot()
+        assert snap["ops"]["kind"] == "counter"
+        assert [s["value"] for s in snap["ops"]["series"]] == [3.0, 4.0]
+        assert snap["if"]["series"][0] == {"labels": {}, "value": 0.5}
+
+    def test_snapshot_is_json_stable(self, reg):
+        reg.counter("b").inc()
+        reg.counter("a", z=1, a=2).inc()
+        first = reg.to_json()
+        assert first == reg.to_json()
+        json.loads(first)  # parses
+
+    def test_timer_observes_elapsed(self, reg):
+        with reg.timer("phase.run"):
+            pass
+        h = reg.histogram("phase.run")
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_iteration_sorted_by_name(self, reg):
+        reg.counter("z")
+        reg.counter("a")
+        assert [m.name for m in reg] == ["a", "z"]
