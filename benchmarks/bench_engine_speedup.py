@@ -1,0 +1,38 @@
+"""The parallel experiment engine: serial equivalence and wall-clock gain.
+
+The Fig. 6/7 evaluation grid (5 workloads x 4 balancers) is embarrassingly
+parallel once experiments are closed configs; 4 workers should cut its
+wall-clock at least in half while reproducing the serial results exactly.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 CPUs")
+def test_engine_speedup_on_eval_matrix(benchmark, scale, seed):
+    t0 = time.perf_counter()
+    serial = figures.eval_matrix(scale=scale, seed=seed, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    parallel = {}
+
+    def sweep():
+        parallel.update(figures.eval_matrix(scale=scale, seed=seed, workers=4))
+        return parallel
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    assert list(parallel) == list(serial)
+    assert parallel == serial
+
+    print()
+    print(f"  serial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s "
+          f"({serial_s / max(parallel_s, 1e-9):.2f}x)")
+    assert parallel_s <= serial_s / 2.0, (
+        f"expected >= 2x speedup, got {serial_s / max(parallel_s, 1e-9):.2f}x")

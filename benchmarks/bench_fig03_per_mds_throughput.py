@@ -1,6 +1,5 @@
 """Figure 3: per-MDS IOPS time series under Vanilla (Zipf, CNN)."""
 
-import numpy as np
 
 from conftest import run_and_print
 from repro.experiments import figures

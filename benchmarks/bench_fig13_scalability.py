@@ -5,7 +5,8 @@ from repro.experiments import figures
 
 
 def test_fig13a_scalability(benchmark, scale, seed):
-    res = run_and_print(benchmark, figures.fig13a_scalability, scale, seed)
+    res = run_and_print(benchmark, figures.fig13a_scalability, scale, seed,
+                        workers=4)
     peaks = res.data["peaks"]
     sizes = sorted(peaks)
     # peak throughput grows monotonically with cluster size...

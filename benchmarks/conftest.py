@@ -32,8 +32,12 @@ def seed() -> int:
 
 @pytest.fixture(scope="session")
 def eval_matrix(scale, seed):
-    """The 5-workload x 4-balancer grid behind Figures 6 and 7."""
-    return figures.eval_matrix(scale=scale, seed=seed)
+    """The 5-workload x 4-balancer grid behind Figures 6 and 7.
+
+    Runs on the process-pool engine; results are identical to a serial run
+    (tests/test_experiments_engine.py holds that equality).
+    """
+    return figures.eval_matrix(scale=scale, seed=seed, workers=4)
 
 
 @pytest.fixture(scope="session")

@@ -3,8 +3,10 @@
 
 The paper's future-work section envisions a generic policy framework "more
 powerful than Mantle". This repository's :class:`repro.balancers.base.Balancer`
-interface is exactly that seam: a policy sees per-epoch load stats and the
-candidate machinery, and acts by submitting export tasks.
+interface is exactly that seam: a policy receives an immutable
+:class:`~repro.core.view.ClusterView` snapshot each epoch and returns an
+:class:`~repro.core.plan.EpochPlan` of declarative actions — it never
+touches the simulator.
 
 Below is a deliberately simple *water-filling* balancer — every epoch it
 tops up the least-loaded MDS from the most-loaded one — compared against
@@ -28,29 +30,29 @@ class WaterFillingBalancer(Balancer):
         super().__init__()
         self.threshold = threshold
 
-    def on_epoch(self, epoch: int) -> None:
-        sim = self.sim
-        loads = self.loads()
+    def on_epoch(self, view):
+        loads = view.heat_loads()
         hi = max(range(len(loads)), key=loads.__getitem__)
         lo = min(range(len(loads)), key=loads.__getitem__)
         gap = loads[hi] - loads[lo]
-        if loads[hi] == 0 or gap < self.threshold * sim.config.mds_capacity:
-            return
+        if loads[hi] == 0 or gap < self.threshold * view.default_capacity:
+            return None
+        plan = view.new_plan()
         amount = gap / 2.0
         # Rank export candidates by decayed heat and scale into IOPS units.
-        heat = sim.stats.heat_array()
-        cands = candidates_for(sim, hi, heat)
+        cands = candidates_for(plan.namespace, hi, view.heat)
         scale = scale_to_load(cands, loads[hi])
         if scale <= 0:
-            return
+            return None
         remaining = amount
         for c in cands:
             if remaining <= 0:
                 break
             est = c.load * scale
             if 0 < est <= remaining * 1.2:
-                sim.migrator.submit_export(hi, lo, c.unit, est)
+                plan.export(hi, lo, c.unit, est)
                 remaining -= est
+        return plan
 
 
 def main() -> None:
@@ -66,9 +68,9 @@ def main() -> None:
         res = sim.run()
         print(f"{res.balancer:14s} {res.mean_if(2):8.3f} "
               f"{res.peak_iops():10.0f} {res.finished_tick:7d}s")
-    print("\nThe custom policy plugs into the same Simulator/Migrator seam "
-          "as Lunule itself:\nsubclass Balancer, read the stats, submit "
-          "export tasks.")
+    print("\nThe custom policy plugs into the same ClusterView/EpochPlan seam "
+          "as Lunule itself:\nsubclass Balancer, read the view, plan "
+          "exports.")
 
 
 if __name__ == "__main__":

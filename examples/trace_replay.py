@@ -16,7 +16,6 @@ import tempfile
 from pathlib import Path
 
 from repro import SimConfig, Simulator, make_balancer
-from repro.namespace.builder import build_web
 from repro.workloads.trace import (
     Trace,
     TraceWorkload,

@@ -1,8 +1,19 @@
-"""The balancer interface the simulator drives once per epoch."""
+"""The balancer interface: pure policy over a snapshot, plan out.
+
+A balancer never touches the simulator. Once per epoch it receives an
+immutable :class:`~repro.core.view.ClusterView` and returns an
+:class:`~repro.core.plan.EpochPlan` (or ``None`` for "do nothing"); the
+mechanism layer applies the plan. This is the paper's §3.1 N-to-1 message
+passing as a typed contract, and it is what makes policies unit-testable
+in isolation and experiment configs picklable for the process-pool engine.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
 
 __all__ = ["Balancer"]
 
@@ -10,74 +21,21 @@ __all__ = ["Balancer"]
 class Balancer(ABC):
     """A metadata load-balancing policy.
 
-    Lifecycle: the simulator calls :meth:`attach` at construction,
-    :meth:`setup` once before the first tick (static schemes pin
-    authorities here), and :meth:`on_epoch` after each epoch's stats close.
-    Policies act through ``self.sim.migrator`` and ``self.sim.authmap``.
+    Lifecycle: the simulator calls :meth:`setup` once before the first tick
+    (static schemes pin authorities here) and :meth:`on_epoch` after each
+    epoch's stats close, passing a fresh :class:`ClusterView` both times.
+    Policies act only through the returned :class:`EpochPlan`: trace events
+    via ``plan.emit``, authority changes via ``plan.namespace``, exports via
+    ``plan.export``. Policies may keep private state across epochs (EWMAs,
+    gossip snapshots) but must not retain or mutate the views they receive.
     """
 
     name = "abstract"
 
-    def __init__(self) -> None:
-        self.sim = None
-
-    def attach(self, sim) -> None:
-        self.sim = sim
-
-    def setup(self) -> None:
+    def setup(self, view: ClusterView) -> EpochPlan | None:
         """One-time initialization before the simulation starts."""
+        return None
 
     @abstractmethod
-    def on_epoch(self, epoch: int) -> None:
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
         """React to the epoch that just closed."""
-
-    # ------------------------------------------------------------- utilities
-    @property
-    def metrics(self):
-        """The simulator's :class:`~repro.obs.registry.MetricsRegistry`."""
-        return self.sim.metrics
-
-    @property
-    def trace(self):
-        """The simulator's :class:`~repro.obs.tracelog.TraceLog`."""
-        return self.sim.trace
-
-    def emit(self, event) -> None:
-        """Record one decision event on the simulator's trace."""
-        self.sim.trace.emit(event)
-
-    def failed_ranks(self) -> set[int]:
-        """Ranks currently down; no policy should plan exports to or from
-        them — a dead importer cannot receive and a replayed exporter will
-        not resume pre-failure plans."""
-        return {m.rank for m in self.sim.mdss if m.failed}
-
-    def loads(self) -> list[float]:
-        """Most recent epoch IOPS per MDS."""
-        return [m.current_load for m in self.sim.mdss]
-
-    def heat_loads(self) -> list[float]:
-        """Per-MDS load as CephFS-Vanilla sees it: decayed popularity.
-
-        CephFS's ``mds_load`` derives from the pop counters of the subtrees
-        an MDS *owns*, not from the requests it serves. For recurrent
-        workloads the two agree; for scans an MDS holding freshly scanned
-        (dead) subtrees looks loaded while serving nothing — the root cause
-        of the paper's first inefficiency. Lunule's contribution is exactly
-        to replace this with observed IOPS (paper §3.2).
-        """
-        sim = self.sim
-        heat = sim.stats.heat_array()
-        out = [0.0] * len(sim.mdss)
-        authmap = sim.authmap
-        for root, auth in authmap.subtree_roots().items():
-            total = float(sum(heat[d] for d in authmap.extent(root)))
-            out[auth] += total
-        return out
-
-    def histories(self) -> list[list[float]]:
-        return [m.load_history for m in self.sim.mdss]
-
-    @property
-    def n_mds(self) -> int:
-        return len(self.sim.mdss)

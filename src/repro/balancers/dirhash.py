@@ -10,6 +10,8 @@ authority boundaries, roughly doubling forwards.
 from __future__ import annotations
 
 from repro.balancers.base import Balancer
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
 from repro.util.rng import derive_seed
 
 __all__ = ["DirHashBalancer"]
@@ -25,17 +27,18 @@ class DirHashBalancer(Balancer):
         self.min_depth = min_depth
         self.hash_seed = hash_seed
 
-    def setup(self) -> None:
-        sim = self.sim
-        tree = sim.tree
-        n = sim.n_mds
+    def setup(self, view: ClusterView) -> EpochPlan | None:
+        plan = view.new_plan()
+        tree = view.tree
+        n = view.n_mds
         for d in tree.walk(0):
             if tree.depth[d] >= self.min_depth:
                 rank = derive_seed(self.hash_seed, "dirhash", tree.path(d)) % n
-                sim.authmap.set_subtree_auth(d, rank)
+                plan.namespace.set_subtree_auth(d, rank)
+        return plan
 
-    def on_epoch(self, epoch: int) -> None:
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
         # Static placement: never migrates. (Directories created at runtime
         # would be pinned on creation in a real system; our workloads only
         # create files, which follow their directory's pin.)
-        return
+        return None

@@ -13,6 +13,8 @@ from __future__ import annotations
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
 from repro.balancers.vanilla import greedy_heat_selection
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
 from repro.obs.events import RoleAssigned
 
 __all__ = ["GreedySpillBalancer"]
@@ -28,18 +30,18 @@ class GreedySpillBalancer(Balancer):
         self.idle_fraction = idle_fraction
         self.max_queue = max_queue
 
-    def on_epoch(self, epoch: int) -> None:
-        sim = self.sim
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
+        epoch = view.epoch
         # Mantle policies read CephFS's popularity-based load metric too.
-        loads = self.heat_loads()
+        loads = view.heat_loads()
         n = len(loads)
         if n < 2:
-            return
+            return None
         # Popularity units are not IOPS; "idle" is relative to the busiest.
         idle_cut = self.idle_fraction * max(max(loads), 1.0)
-        heat = sim.stats.heat_array()
-        down = self.failed_ranks()
-        trace = getattr(sim, "trace", None)
+        heat = view.heat
+        down = view.failed_ranks()
+        plan = view.new_plan()
         for i in range(n):
             j = (i + 1) % n
             # Mantle GreedySpill: "when my load > 0.01 and my neighbor's
@@ -48,15 +50,14 @@ class GreedySpillBalancer(Balancer):
                 continue
             if loads[i] <= idle_cut or loads[j] > idle_cut:
                 continue
-            if sim.migrator.queue_depth(i) >= self.max_queue:
+            if plan.queue_depth(i) >= self.max_queue:
                 continue
             amount = loads[i] / 2.0
-            if trace is not None:
-                trace.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
-                                        amount=amount))
-                trace.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
-                                        amount=amount))
-            raw = candidates_for(sim, i, heat)
+            plan.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
+                                   amount=amount))
+            plan.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
+                                   amount=amount))
+            raw = candidates_for(plan.namespace, i, heat)
             scale = scale_to_load(raw, loads[i])
             if scale <= 0.0:
                 continue
@@ -65,5 +66,6 @@ class GreedySpillBalancer(Balancer):
                           c.self_load * scale, c.self_files)
                 for c in raw
             ]
-            for cand, load in greedy_heat_selection(sim, scaled, amount):
-                sim.migrator.submit_export(i, j, cand.unit, load)
+            for cand, load in greedy_heat_selection(plan.namespace, scaled, amount):
+                plan.export(i, j, cand.unit, load)
+        return plan

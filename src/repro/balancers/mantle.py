@@ -18,14 +18,15 @@ API lacks. This module is that framework:
   howmuch   ``howmuch(env) -> float`` (load units)           my load − mean
   where     ``where(env, amount) -> dict[rank, float]``      fill least
                                                              loaded first
-  which     ``which(env, amount) -> per-dir load estimates`` decayed heat
+  which     ``which(view, env) -> per-dir load estimates``   decayed heat
   ========  ===============================================  ==============
 
 The ``which`` hook is the extension beyond Mantle's API: it returns the
-per-directory load-estimate array candidates are ranked by, so Lunule's
-migration index is expressible as a policy (see
-:func:`lunule_selection_policy`). GreedySpill — the paper's Mantle-hosted
-baseline — ships as :func:`greedyspill_policy`.
+per-directory load-estimate array candidates are ranked by (it receives the
+epoch's :class:`~repro.core.view.ClusterView`, so Lunule's migration index
+is expressible as a policy — see :func:`lunule_selection_policy`).
+GreedySpill — the paper's Mantle-hosted baseline — ships as
+:func:`greedyspill_policy`.
 """
 
 from __future__ import annotations
@@ -38,6 +39,8 @@ import numpy as np
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
 from repro.balancers.vanilla import greedy_heat_selection
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
 
 __all__ = [
     "PolicyEnv",
@@ -63,6 +66,9 @@ class PolicyEnv:
     pending_out: tuple[float, ...]
     #: load already queued/in flight toward each MDS
     pending_in: tuple[float, ...]
+    #: per-MDS capacities on heterogeneous clusters (``None`` → all equal
+    #: to ``capacity``)
+    capacities: tuple[float, ...] | None = None
 
     @property
     def n_mds(self) -> int:
@@ -87,7 +93,7 @@ class PolicyEnv:
 WhenFn = Callable[[PolicyEnv], bool]
 HowMuchFn = Callable[[PolicyEnv], float]
 WhereFn = Callable[[PolicyEnv, float], dict[int, float]]
-WhichFn = Callable[["MantleBalancer", PolicyEnv], np.ndarray]
+WhichFn = Callable[[ClusterView, PolicyEnv], np.ndarray]
 
 
 def _default_when(env: PolicyEnv) -> bool:
@@ -108,8 +114,8 @@ def _default_where(env: PolicyEnv, amount: float) -> dict[int, float]:
     return {j: amount * g / total_gap for j, g in gaps.items() if g > 0}
 
 
-def _default_which(balancer: "MantleBalancer", env: PolicyEnv) -> np.ndarray:
-    return balancer.sim.stats.heat_array()
+def _default_which(view: ClusterView, env: PolicyEnv) -> np.ndarray:
+    return view.heat
 
 
 @dataclass
@@ -134,29 +140,29 @@ class MantleBalancer(Balancer):
         self.overshoot = overshoot
         self.name = f"mantle:{self.policy.name}"
 
-    def _env(self, rank: int, epoch: int, loads, heat) -> PolicyEnv:
-        n = len(loads)
-        mig = self.sim.migrator
+    @staticmethod
+    def _env(view: ClusterView, rank: int, loads, heat) -> PolicyEnv:
         return PolicyEnv(
             whoami=rank,
-            epoch=epoch,
+            epoch=view.epoch,
             loads=tuple(loads),
             heat_loads=tuple(heat),
-            capacity=self.sim.config.mds_capacity,
-            pending_out=tuple(mig.pending_export_load(i) for i in range(n)),
-            pending_in=tuple(mig.pending_import_load(i) for i in range(n)),
+            capacity=view.default_capacity,
+            pending_out=tuple(view.pending_out()),
+            pending_in=tuple(view.pending_in()),
+            capacities=tuple(view.capacities()),
         )
 
-    def on_epoch(self, epoch: int) -> None:
-        sim = self.sim
-        loads = self.loads()
-        heat = self.heat_loads()
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
+        loads = view.loads()
+        heat = view.heat_loads()
         policy = self.policy
+        plan = view.new_plan()
         for rank in range(len(loads)):
-            env = self._env(rank, epoch, loads, heat)
+            env = self._env(view, rank, loads, heat)
             if not policy.when(env):
                 continue
-            if sim.migrator.queue_depth(rank) >= self.max_queue:
+            if plan.queue_depth(rank) >= self.max_queue:
                 continue
             amount = float(policy.howmuch(env))
             if amount <= 0:
@@ -164,8 +170,8 @@ class MantleBalancer(Balancer):
             targets = policy.where(env, amount)
             if not targets:
                 continue
-            per_dir = np.asarray(policy.which(self, env), dtype=np.float64)
-            raw = candidates_for(sim, rank, per_dir)
+            per_dir = np.asarray(policy.which(view, env), dtype=np.float64)
+            raw = candidates_for(plan.namespace, rank, per_dir)
             scale = scale_to_load(raw, loads[rank])
             if scale <= 0:
                 continue
@@ -178,10 +184,12 @@ class MantleBalancer(Balancer):
                 if dst == rank or dst_amount <= 0:
                     continue
                 for cand, load in greedy_heat_selection(
-                        sim, scaled, dst_amount, overshoot=self.overshoot):
-                    if sim.migrator.queue_depth(rank) >= self.max_queue:
-                        return
-                    sim.migrator.submit_export(rank, dst, cand.unit, load)
+                        plan.namespace, scaled, dst_amount,
+                        overshoot=self.overshoot):
+                    if plan.queue_depth(rank) >= self.max_queue:
+                        return plan
+                    plan.export(rank, dst, cand.unit, load)
+        return plan
 
 
 # --------------------------------------------------------------- policies
@@ -213,9 +221,7 @@ def lunule_selection_policy() -> MantlePolicy:
     that the framework's ``which`` hook covers the feature Mantle lacked.)
     """
 
-    def which(balancer: MantleBalancer, env: PolicyEnv) -> np.ndarray:
-        from repro.core.mindex import mindex_per_dir
-
-        return mindex_per_dir(balancer.sim.stats)
+    def which(view: ClusterView, env: PolicyEnv) -> np.ndarray:
+        return view.mindex
 
     return MantlePolicy(which=which, name="lunule-select")

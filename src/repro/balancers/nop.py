@@ -14,5 +14,5 @@ __all__ = ["NopBalancer"]
 class NopBalancer(Balancer):
     name = "nop"
 
-    def on_epoch(self, epoch: int) -> None:
-        return
+    def on_epoch(self, view) -> None:
+        return None

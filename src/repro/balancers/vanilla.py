@@ -23,15 +23,21 @@ import numpy as np
 
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import Candidate, candidates_for, scale_to_load
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
 from repro.obs.events import RoleAssigned
 
 __all__ = ["VanillaBalancer", "greedy_heat_selection"]
 
 
-def greedy_heat_selection(sim, candidates: list[Candidate], amount: float,
+def greedy_heat_selection(ns, candidates: list[Candidate], amount: float,
                           *, overshoot: float = 1.2,
                           ) -> list[tuple[Candidate, float]]:
     """Hottest-first selection, CephFS style.
+
+    ``ns`` is the namespace the selection plans against — normally an
+    :class:`~repro.core.plan.PlanningNamespace`, so the dirfrag splits this
+    makes stay speculative until the plan is applied.
 
     Unlike Lunule's selector this tolerates overshoot up to ``overshoot``
     times the remaining demand — the hottest subtree gets shipped even when
@@ -45,7 +51,7 @@ def greedy_heat_selection(sim, candidates: list[Candidate], amount: float,
     selected_dirs: set[int] = set()
     blocked: set[int] = set()
     remaining = amount
-    tree = sim.tree
+    tree = ns.tree
     for c in candidates:
         if remaining <= 0:
             break
@@ -58,9 +64,9 @@ def greedy_heat_selection(sim, candidates: list[Candidate], amount: float,
         if c.load > overshoot * remaining:
             if (not c.is_frag and c.self_files >= 2
                     and c.self_load >= 0.5 * c.load
-                    and sim.authmap.frag_state(c.dir_id) is None):
+                    and ns.frag_state(c.dir_id) is None):
                 # Too hot to ship whole and flat: split and take one side.
-                frags = sim.authmap.split_dir(c.dir_id, 1)
+                frags = ns.split_dir(c.dir_id, 1)
                 half = c.self_load / 2.0
                 chosen.append((Candidate(frags[0], c.dir_id, half, c.inodes // 2,
                                          half, c.self_files // 2), half))
@@ -93,12 +99,14 @@ class VanillaBalancer(Balancer):
         self._gossiped_heat: np.ndarray | None = None
 
     def smoothed_loads(self) -> np.ndarray:
-        return self._vload.copy() if self._vload is not None else np.zeros(self.n_mds)
+        if self._vload is None:
+            return np.zeros(0)
+        return self._vload.copy()
 
-    def on_epoch(self, epoch: int) -> None:
-        sim = self.sim
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
+        epoch = view.epoch
         # CephFS's load view is owned-subtree popularity, not served IOPS.
-        loads = np.array(self.heat_loads())
+        loads = np.array(view.heat_loads())
         n = loads.size
         if self._vload is None:
             self._vload = loads.astype(float)
@@ -109,19 +117,18 @@ class VanillaBalancer(Balancer):
         vload = self._vload
         avg = float(vload.mean())
         if avg <= 0.0:
-            return
+            return None
 
-        down = self.failed_ranks()
-        trace = getattr(sim, "trace", None)
+        plan = view.new_plan()
+        down = view.failed_ranks()
         # Importer gaps: underloaded peers, roomiest first. A failed rank
         # reads as idle but cannot receive an import.
         gaps = {j: avg - float(vload[j]) for j in range(n)
                 if vload[j] < avg and j not in down}
-        if trace is not None:
-            for j in sorted(gaps):
-                trace.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
-                                        amount=gaps[j]))
-        fresh = sim.stats.heat_array()
+        for j in sorted(gaps):
+            plan.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
+                                   amount=gaps[j]))
+        fresh = view.heat
         heat = self._gossiped_heat if self._gossiped_heat is not None else fresh
         if heat.size < fresh.size:  # namespace grew since last gossip
             heat = np.concatenate([heat, fresh[heat.size:]])
@@ -131,13 +138,12 @@ class VanillaBalancer(Balancer):
                 continue
             if vload[i] <= avg * (1.0 + self.min_offload):
                 continue
-            if sim.migrator.queue_depth(i) >= self.max_queue:
+            if plan.queue_depth(i) >= self.max_queue:
                 continue  # CephFS bounds its export queue
             amount = float(vload[i] - avg)
-            if trace is not None:
-                trace.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
-                                        amount=amount))
-            raw = candidates_for(sim, i, heat)
+            plan.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
+                                   amount=amount))
+            raw = candidates_for(plan.namespace, i, heat)
             scale = scale_to_load(raw, float(vload[i]))
             if scale <= 0.0:
                 continue
@@ -146,12 +152,13 @@ class VanillaBalancer(Balancer):
                           c.self_load * scale, c.self_files)
                 for c in raw
             ]
-            for cand, load in greedy_heat_selection(sim, scaled, amount):
+            for cand, load in greedy_heat_selection(plan.namespace, scaled, amount):
                 dst = self._pick_destination(gaps, i)
                 if dst is None:
                     break
                 gaps[dst] = gaps.get(dst, 0.0) - load
-                sim.migrator.submit_export(i, dst, cand.unit, load)
+                plan.export(i, dst, cand.unit, load)
+        return plan
 
     @staticmethod
     def _pick_destination(gaps: dict[int, float], src: int) -> int | None:

@@ -3,6 +3,7 @@
 Commands:
 
 - ``run``    — one simulation (workload x balancer) with a summary report,
+- ``sweep``  — a workload x balancer grid on the parallel experiment engine,
 - ``trace``  — run with decision tracing and export/summarize the JSONL,
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``list``   — available workloads, balancers and figure ids.
@@ -65,6 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--data-path", action="store_true",
                        help="enable the OSD data path (end-to-end runs)")
 
+    sw_p = sub.add_parser(
+        "sweep",
+        help="run a workload x balancer grid on the parallel experiment engine")
+    sw_p.add_argument("--workloads", "-w", nargs="+", choices=WORKLOAD_NAMES,
+                      default=["cnn", "nlp", "web", "zipf", "mdtest"])
+    sw_p.add_argument("--balancers", "-b", nargs="+", choices=BALANCER_NAMES,
+                      default=["vanilla", "lunule"])
+    sw_p.add_argument("--clients", "-c", type=int, default=20)
+    sw_p.add_argument("--seed", type=int, default=7)
+    sw_p.add_argument("--scale", type=float, default=1.0,
+                      help="dataset/op-count multiplier")
+    sw_p.add_argument("--workers", "-j", type=int, default=None,
+                      help="worker processes (default: CPU count)")
+
     tr_p = sub.add_parser(
         "trace",
         help="run one simulation with decision tracing; dump/summarize JSONL")
@@ -125,6 +140,42 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    import os
+    import time
+
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.report import render_table
+    from repro.experiments.runner import run_matrix
+
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    if workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    base = ExperimentConfig(n_clients=args.clients, seed=args.seed,
+                            scale=args.scale)
+    engine = ExperimentEngine(workers=workers)
+    start = time.perf_counter()
+    matrix = run_matrix(list(args.workloads), list(args.balancers), base,
+                        engine=engine)
+    elapsed = time.perf_counter() - start
+    rows = []
+    for (w, b), res in matrix.items():
+        sustained = sum(res.served_per_mds) / max(1, res.finished_tick)
+        rows.append([w, b, res.mean_if(skip=2), sustained,
+                     float(res.finished_tick),
+                     res.migrated_series[-1] if res.migrated_series else 0])
+    print(render_table(
+        ["workload", "balancer", "mean IF", "sustained IOPS", "runtime",
+         "migrated"],
+        rows,
+        title=f"Sweep — {len(rows)} runs, {workers} worker(s), seed {args.seed}"),
+        file=out)
+    print(f"  wall-clock {elapsed:.2f}s; engine cache: {engine.misses} run, "
+          f"{engine.hits} reused", file=out)
+    return 0
+
+
 def _cmd_trace(args, out) -> int:
     from repro.obs.tracelog import read_jsonl
 
@@ -175,7 +226,8 @@ def _cmd_list(out) -> int:
     print("balancers :", ", ".join(BALANCER_NAMES), file=out)
     print("figures   :", ", ".join(sorted(FIGURES)), file=out)
     print("extras    : overhead (paper §3.4 accounting), "
-          "trace (decision-trace JSONL export)", file=out)
+          "trace (decision-trace JSONL export), "
+          "sweep (parallel workload x balancer grids)", file=out)
     return 0
 
 
@@ -192,6 +244,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
     if args.command == "figure":

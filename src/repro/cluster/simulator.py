@@ -6,10 +6,14 @@ per-MDS capacity credits, giving processor-sharing queueing behaviour: an
 MDS hosting all the hot subtrees saturates at its capacity while its peers
 sit idle — the load-imbalance phenomenon the paper studies.
 
-Balancers are duck-typed objects with ``attach(sim)``, ``setup()`` and
-``on_epoch(epoch)``; they act by submitting export tasks to the
-:class:`~repro.cluster.migration.Migrator` (and, for static schemes, by
-pinning authorities during ``setup``).
+Balancers are pure policies: once per epoch the simulator builds an
+immutable :class:`~repro.core.view.ClusterView` snapshot (see
+:meth:`Simulator.snapshot_view`) and hands it to the balancer's
+``setup``/``on_epoch``; the returned
+:class:`~repro.core.plan.EpochPlan` is replayed in action order by
+:meth:`Simulator.apply_plan` — trace events onto the trace, dirfrag
+splits and pins onto the authority map, exports into the
+:class:`~repro.cluster.migration.Migrator`.
 """
 
 from __future__ import annotations
@@ -24,6 +28,8 @@ from repro.cluster.results import SimResult
 from repro.cluster.router import Router
 from repro.cluster.stats import AccessStats
 from repro.core.if_model import imbalance_factor
+from repro.core.plan import EmitEvent, EpochPlan, ExportUnit, PinSubtree, SplitDir
+from repro.core.view import ClusterView, build_cluster_view
 from repro.namespace.subtree import AuthorityMap
 from repro.obs.events import EpochStart, IfComputed, MdsFailed, MdsRecovered
 from repro.obs.registry import MetricsRegistry
@@ -149,7 +155,6 @@ class Simulator:
         self._wait_ticks_epoch = 0
         self._served_epoch_total = 0
         self.balancer = balancer
-        balancer.attach(self)
 
         self.result = SimResult(
             workload=instance.name,
@@ -162,10 +167,25 @@ class Simulator:
     def n_mds(self) -> int:
         return len(self.mdss)
 
-    def add_mds(self, count: int = 1) -> None:
-        """Cluster expansion (paper Fig. 12a)."""
+    def add_mds(self, count: int = 1, capacity: float | None = None) -> None:
+        """Cluster expansion (paper Fig. 12a).
+
+        New ranks default to the capacity their rank would have had at
+        construction: the per-rank entry of ``config.mds_capacities`` when
+        one exists, else the homogeneous ``config.mds_capacity``. Pass
+        ``capacity`` to add a rank of any other size (heterogeneous
+        growth).
+        """
+        caps = self.config.mds_capacities
         for _ in range(count):
-            self.mdss.append(MDS(len(self.mdss), self.config.mds_capacity))
+            rank = len(self.mdss)
+            if capacity is not None:
+                cap = capacity
+            elif caps is not None and rank < len(caps):
+                cap = caps[rank]
+            else:
+                cap = self.config.mds_capacity
+            self.mdss.append(MDS(rank, cap))
 
     def add_clients(self, clients: list[Client]) -> None:
         """Client growth (paper Fig. 12b). New clients start at once."""
@@ -201,9 +221,45 @@ class Simulator:
         self.mdss[rank].failed = False
         self.trace.emit(MdsRecovered(tick=self.tick, rank=rank))
 
+    # ------------------------------------------------- policy/mechanism seam
+    def snapshot_view(self) -> ClusterView:
+        """The immutable epoch snapshot handed to the balancer."""
+        return build_cluster_view(
+            epoch=self.epoch,
+            mdss=self.mdss,
+            stats=self.stats,
+            authmap=self.authmap,
+            migrator=self.migrator,
+            default_capacity=self.config.mds_capacity,
+            metrics=self.metrics,
+        )
+
+    def apply_plan(self, plan: EpochPlan | None) -> None:
+        """Replay a policy's plan onto the live cluster, in action order.
+
+        Order preservation is what keeps decision traces identical to a
+        policy acting directly: an export's ``MigrationPlanned`` event (the
+        migrator emits it on submission) lands exactly where the policy
+        placed the export between its trace events.
+        """
+        if plan is None:
+            return
+        for action in plan.actions:
+            if isinstance(action, EmitEvent):
+                self.trace.emit(action.event)
+            elif isinstance(action, SplitDir):
+                self.authmap.split_dir(action.dir_id, action.bits)
+            elif isinstance(action, PinSubtree):
+                self.authmap.set_subtree_auth(action.dir_id, action.rank)
+            elif isinstance(action, ExportUnit):
+                self.migrator.submit_export(action.src, action.dst,
+                                            action.unit, action.load)
+            else:
+                raise TypeError(f"unknown plan action {action!r}")
+
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
-        self.balancer.setup()
+        self.apply_plan(self.balancer.setup(self.snapshot_view()))
         cfg = self.config
         while self.tick < cfg.max_ticks:
             self._fire_schedule(self.tick)
@@ -364,7 +420,7 @@ class Simulator:
         for rank, load in enumerate(loads):
             m.gauge("mds.load", rank=rank).set(load)
 
-        self.balancer.on_epoch(self.epoch)
+        self.apply_plan(self.balancer.on_epoch(self.snapshot_view()))
         # Housekeeping CephFS also performs: merge subtree roots and frag
         # maps that migrations have made redundant, so the authority map
         # (and resolution cost) stays proportional to real fragmentation.

@@ -7,12 +7,27 @@
   temporal/spatial locality factors alpha/beta and loads l_t/l_s,
 - :mod:`repro.core.mindex` — per-subtree migration index (paper Eq. 4),
 - :mod:`repro.core.selector` — the three-path subtree selection,
+- :mod:`repro.core.view` — the immutable per-epoch :class:`ClusterView`
+  snapshot every policy plans from,
+- :mod:`repro.core.plan` — the declarative :class:`EpochPlan` the
+  mechanism layer replays,
 - :mod:`repro.core.balancer` — Lunule and Lunule-Light orchestration.
 """
 
 from repro.core.if_model import coefficient_of_variation, imbalance_factor, urgency
 from repro.core.initiator import MdsLoad, MigrationInitiator, decide_roles
-from repro.core.balancer import LunuleBalancer, LunuleLightBalancer
+
+
+def __getattr__(name: str):
+    # Lazy: repro.core.balancer builds on repro.balancers.base, which in
+    # turn imports repro.core.plan/.view — an eager import here would make
+    # that a cycle through this package's own initialization.
+    if name in ("LunuleBalancer", "LunuleLightBalancer"):
+        from repro.core import balancer
+
+        return getattr(balancer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "coefficient_of_variation",

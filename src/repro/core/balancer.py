@@ -4,7 +4,8 @@ Per epoch: Load Monitors report per-MDS IOPS to the Migration Initiator
 (N-to-1); the initiator computes the IF and — above the threshold — runs
 Algorithm 1 to produce per-exporter migration decisions; each exporter's
 Workload-aware Migration Planner ranks its subtrees by migration index and
-the Subtree Selector fulfils the decision; chosen units go to the Migrator.
+the Subtree Selector fulfils the decision; chosen units become export
+actions on the returned :class:`~repro.core.plan.EpochPlan`.
 
 *Lunule-Light* is the paper's ablation variant: same IF-model trigger and
 Algorithm 1 amounts, but the default (decayed-heat) candidate ranking
@@ -20,8 +21,9 @@ import numpy as np
 from repro.balancers.base import Balancer
 from repro.balancers.candidates import candidates_for, scale_to_load
 from repro.core.initiator import InitiatorConfig, MigrationInitiator
-from repro.core.mindex import mindex_per_dir
+from repro.core.plan import EpochPlan
 from repro.core.selector import SubtreeSelector
+from repro.core.view import ClusterView
 
 __all__ = ["LunuleBalancer", "LunuleLightBalancer"]
 
@@ -31,50 +33,50 @@ class LunuleBalancer(Balancer):
 
     def __init__(self, config: InitiatorConfig | None = None, *,
                  tolerance: float = 0.1) -> None:
-        super().__init__()
         self.initiator_config = config or InitiatorConfig()
         self.tolerance = tolerance
+        #: created on first use — the capacity C comes from the first view
         self.initiator: MigrationInitiator | None = None
 
-    def attach(self, sim) -> None:
-        super().attach(sim)
-        self.initiator = MigrationInitiator(
-            sim.config.mds_capacity, self.initiator_config,
-            trace=getattr(sim, "trace", None),
-            metrics=getattr(sim, "metrics", None))
-
     # What the Pattern Analyzer feeds the selector (overridden by -Light).
-    def per_dir_load(self) -> np.ndarray:
-        return mindex_per_dir(self.sim.stats)
+    def per_dir_load(self, view: ClusterView) -> np.ndarray:
+        return view.mindex
 
-    def on_epoch(self, epoch: int) -> None:
-        sim = self.sim
-        n = self.n_mds
-        migrator = sim.migrator
-        pending_out = [migrator.pending_export_load(i) for i in range(n)]
-        pending_in = [migrator.pending_import_load(i) for i in range(n)]
+    def on_epoch(self, view: ClusterView) -> EpochPlan | None:
+        plan = view.new_plan()
+        if self.initiator is None:
+            self.initiator = MigrationInitiator(
+                view.default_capacity, self.initiator_config,
+                trace=plan, metrics=view.metrics)
+        else:
+            # The initiator writes its decision events into this epoch's plan.
+            self.initiator.trace = plan
+            self.initiator.metrics = view.metrics
+        loads = view.loads()
         decisions = self.initiator.plan(
-            epoch, self.loads(), self.histories(), pending_out, pending_in,
-            exclude=self.failed_ranks(),
+            view.epoch, loads, view.histories(),
+            view.pending_out(), view.pending_in(),
+            exclude=view.failed_ranks(),
+            capacities=view.capacities(),
         )
         if not decisions:
-            return
-        per_dir = self.per_dir_load()
-        loads = self.loads()
+            return plan
+        per_dir = self.per_dir_load(view)
         for msg in decisions:
             src = msg.exporter
-            raw = candidates_for(sim, src, per_dir)
+            raw = candidates_for(plan.namespace, src, per_dir)
             scale = scale_to_load(raw, loads[src])
             if scale <= 0.0:
                 continue
             scaled = [replace(c, load=c.load * scale, self_load=c.self_load * scale)
                       for c in raw]
-            selector = SubtreeSelector(sim, scaled, tolerance=self.tolerance,
+            selector = SubtreeSelector(plan, scaled, tolerance=self.tolerance,
                                        exporter=src)
             for dst, amount in sorted(msg.assignments.items(),
                                       key=lambda kv: kv[1], reverse=True):
-                for plan in selector.select(amount, importer=dst):
-                    migrator.submit_export(src, dst, plan.unit, plan.load)
+                for export in selector.select(amount, importer=dst):
+                    plan.export(src, dst, export.unit, export.load)
+        return plan
 
 
 class LunuleLightBalancer(LunuleBalancer):
@@ -82,5 +84,5 @@ class LunuleLightBalancer(LunuleBalancer):
 
     name = "lunule-light"
 
-    def per_dir_load(self) -> np.ndarray:
-        return self.sim.stats.heat_array()
+    def per_dir_load(self, view: ClusterView) -> np.ndarray:
+        return view.heat

@@ -45,14 +45,18 @@ class MdsLoad:
     ild: float = 0.0  # import capacity (set for importers)
 
 
-def decide_roles(stats: list[MdsLoad], threshold: float, cap: float) -> np.ndarray:
+def decide_roles(stats: list[MdsLoad], threshold: float, cap: float,
+                 caps: dict[int, float] | None = None) -> np.ndarray:
     """Paper Algorithm 1: returns the export matrix ``E``.
 
     ``E[i, j]`` is the load amount MDS ``i`` must ship to MDS ``j``, indexed
     by *rank* (the matrix is sized to the highest participating rank, so a
     stats list with gaps — failed ranks sit out the round — still indexes
     correctly). ``threshold`` is the squared relative-deviation gate ``L``;
-    ``cap`` is the per-epoch migration capacity in load units.
+    ``cap`` is the per-epoch migration capacity in load units. For
+    heterogeneous clusters ``caps`` overrides the capacity per rank (the
+    paper assumes homogeneity; a big MDS can absorb proportionally more
+    per epoch than a small one).
     """
     n = len(stats)
     dim = max((m.rank for m in stats), default=-1) + 1
@@ -65,15 +69,16 @@ def decide_roles(stats: list[MdsLoad], threshold: float, cap: float) -> np.ndarr
     exporters: list[MdsLoad] = []
     importers: list[MdsLoad] = []
     for m in stats:
+        m_cap = cap if caps is None else caps.get(m.rank, cap)
         delta = abs(m.cld - mean)
         if (delta / mean) ** 2 <= threshold:
             continue
         if m.cld > mean:
             exporters.append(m)
-            m.eld = min(cap, delta)
+            m.eld = min(m_cap, delta)
         elif m.fld - m.cld < delta:
             importers.append(m)
-            m.ild = min(cap, delta - (m.fld - m.cld))
+            m.ild = min(m_cap, delta - (m.fld - m.cld))
     # Pair the heaviest exporters with the roomiest importers first so the
     # largest gaps close in one epoch when possible.
     exporters.sort(key=lambda m: m.eld, reverse=True)
@@ -130,6 +135,7 @@ class MigrationInitiator:
         pending_out: list[float] | None = None,
         pending_in: list[float] | None = None,
         exclude: set[int] | frozenset[int] = frozenset(),
+        capacities: list[float] | None = None,
     ) -> list[MigrationDecision]:
         """One epoch of decision making; returns per-exporter decisions.
 
@@ -138,7 +144,11 @@ class MigrationInitiator:
         loads so the initiator plans against the post-migration picture.
         ``exclude`` ranks (failed MDSs) neither report load nor receive a
         role: their zero IOPS would otherwise read as import headroom and
-        Algorithm 1 would ship subtrees to a dead daemon.
+        Algorithm 1 would ship subtrees to a dead daemon. ``capacities``
+        optionally gives per-rank capacities for heterogeneous clusters;
+        the IF normalizes by the largest and Algorithm 1's per-epoch cap
+        scales per rank. Homogeneous capacities reproduce the default path
+        exactly.
         """
         n = len(loads)
         alive = [i for i in range(n) if i not in exclude]
@@ -146,8 +156,14 @@ class MigrationInitiator:
             self.bytes_received += wire_size(ImbalanceState(rank, epoch, loads[rank]))
         cfg = self.config
         alive_loads = [loads[i] for i in alive]
+        if capacities is not None and alive:
+            cap_ref = max(capacities[i] for i in alive)
+            caps = {i: cfg.cap_fraction * capacities[i] for i in alive}
+        else:
+            cap_ref = self.capacity
+            caps = None
         if cfg.use_urgency:
-            self.last_if = imbalance_factor(alive_loads, self.capacity,
+            self.last_if = imbalance_factor(alive_loads, cap_ref,
                                             cfg.urgency_smoothness)
         else:
             self.last_if = (coefficient_of_variation(alive_loads)
@@ -173,7 +189,8 @@ class MigrationInitiator:
             )
             for i in alive
         ]
-        E = decide_roles(stats, cfg.deviation_threshold, cfg.cap_fraction * self.capacity)
+        E = decide_roles(stats, cfg.deviation_threshold,
+                         cfg.cap_fraction * cap_ref, caps=caps)
         dim = E.shape[0]
         if self.trace is not None:
             for i in alive:

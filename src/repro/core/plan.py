@@ -1,0 +1,151 @@
+"""Declarative epoch plans: what a policy decided, not yet applied.
+
+Balancers are pure policies: they consume a :class:`~repro.core.view.ClusterView`
+snapshot and return an :class:`EpochPlan` — an *ordered* stream of actions
+the mechanism layer (``Simulator``/``Migrator``/``AuthorityMap``) replays.
+The ordering matters: trace events interleave with exports exactly the way
+they would if the policy acted directly, which is what keeps the golden
+decision traces byte-identical across the policy/mechanism split.
+
+Planning may need to mutate authority state *speculatively* — the subtree
+selector fragments a directory and then selects some of the resulting
+frags. :class:`PlanningNamespace` provides that: a detached copy of the
+authority map whose mutators both update the local overlay and record the
+corresponding action, so the real map replays the same mutation at apply
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.namespace.dirfrag import FragId
+from repro.namespace.subtree import AuthorityMap
+
+__all__ = [
+    "EmitEvent",
+    "SplitDir",
+    "PinSubtree",
+    "ExportUnit",
+    "PlanningNamespace",
+    "EpochPlan",
+]
+
+
+@dataclass(frozen=True)
+class EmitEvent:
+    """Record one decision event on the simulator's trace."""
+
+    event: object
+
+
+@dataclass(frozen=True)
+class SplitDir:
+    """Fragment a directory into ``2**bits`` dirfrags."""
+
+    dir_id: int
+    bits: int
+
+
+@dataclass(frozen=True)
+class PinSubtree:
+    """Delegate the subtree rooted at ``dir_id`` to ``rank``."""
+
+    dir_id: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class ExportUnit:
+    """Ship one subtree or dirfrag from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    unit: int | FragId
+    load: float
+
+
+class PlanningNamespace(AuthorityMap):
+    """A plan-local authority overlay.
+
+    Read methods (``subtree_roots``, ``frag_state``, ``extent``, ...) are
+    inherited unchanged from :class:`AuthorityMap` and operate on detached
+    copies, so planning never touches live cluster state. The two mutators
+    a policy may use — :meth:`split_dir` and :meth:`set_subtree_auth` —
+    update the overlay *and* append the matching action to the owning
+    :class:`EpochPlan`, preserving exact mutation order for replay.
+    """
+
+    def __init__(self, tree, subtree_auth: dict[int, int],
+                 frags: dict[int, tuple[int, dict[int, int]]],
+                 plan: "EpochPlan") -> None:
+        super().__init__(tree)
+        self._subtree_auth = dict(subtree_auth)
+        self._frags = {d: (bits, dict(owners)) for d, (bits, owners) in frags.items()}
+        self._plan = plan
+
+    def split_dir(self, dir_id: int, bits: int) -> list[FragId]:
+        frags = super().split_dir(dir_id, bits)
+        self._plan.actions.append(SplitDir(dir_id, bits))
+        return frags
+
+    def set_subtree_auth(self, dir_id: int, mds: int) -> None:
+        super().set_subtree_auth(dir_id, mds)
+        self._plan.actions.append(PinSubtree(dir_id, mds))
+
+
+class EpochPlan:
+    """Ordered action stream produced by one policy invocation.
+
+    Duck-compatible with :class:`~repro.obs.tracelog.TraceLog` on the
+    ``emit`` side, so components written against a trace sink (e.g. the
+    migration initiator) can write decision events straight into the plan.
+    """
+
+    def __init__(self, *, epoch: int, tree, subtree_auth: dict[int, int],
+                 frags: dict[int, tuple[int, dict[int, int]]],
+                 queue_depths: dict[int, int] | None = None) -> None:
+        self.epoch = epoch
+        self.actions: list[object] = []
+        self.namespace = PlanningNamespace(tree, subtree_auth, frags, self)
+        self._queue_base = dict(queue_depths or {})
+        self._planned_exports: dict[int, int] = {}
+
+    @classmethod
+    def from_authority(cls, authority: AuthorityMap, *, epoch: int = 0,
+                       queue_depths: dict[int, int] | None = None) -> "EpochPlan":
+        """Plan against a live authority map (unit tests, standalone use)."""
+        subtree_auth, frags = authority.snapshot_state()
+        return cls(epoch=epoch, tree=authority.tree, subtree_auth=subtree_auth,
+                   frags=frags, queue_depths=queue_depths)
+
+    # -------------------------------------------------------------- recording
+    def emit(self, event) -> None:
+        """Append a decision event (replayed onto the trace in order)."""
+        self.actions.append(EmitEvent(event))
+
+    def export(self, src: int, dst: int, unit: int | FragId, load: float) -> None:
+        """Append one export; replayed as ``Migrator.submit_export``."""
+        self.actions.append(ExportUnit(src, dst, unit, load))
+        self._planned_exports[src] = self._planned_exports.get(src, 0) + 1
+
+    # ------------------------------------------------------------- inspection
+    def queue_depth(self, rank: int) -> int:
+        """Snapshot queue depth plus exports planned for ``rank`` so far.
+
+        Matches what ``Migrator.queue_depth`` would report mid-epoch if the
+        policy were submitting directly, so queue-bounding policies behave
+        identically under planning.
+        """
+        return self._queue_base.get(rank, 0) + self._planned_exports.get(rank, 0)
+
+    @property
+    def exports(self) -> list[ExportUnit]:
+        return [a for a in self.actions if isinstance(a, ExportUnit)]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __bool__(self) -> bool:
+        # An empty plan is still a plan; application of either is a no-op.
+        return True

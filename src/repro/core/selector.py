@@ -17,6 +17,11 @@ Selections made for one importer stay blocked for subsequent importers in
 the same epoch (no unit is exported twice), as are ancestors/descendants of
 selected units (exporting both a directory and its parent would double-ship
 the child).
+
+The selector is pure policy: it operates on an
+:class:`~repro.core.plan.EpochPlan`, splitting directories through the
+plan's namespace overlay and recording selections as trace events on the
+plan — nothing happens to the live cluster until the plan is applied.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import math
 from dataclasses import dataclass
 
 from repro.balancers.candidates import Candidate
+from repro.core.plan import EpochPlan
 from repro.namespace.dirfrag import MAX_FRAG_BITS, FragId
 from repro.obs.events import SubtreeSelected, encode_unit
 
@@ -42,9 +48,11 @@ class ExportPlan:
 class SubtreeSelector:
     """Stateful per-epoch selector for one exporter MDS."""
 
-    def __init__(self, sim, candidates: list[Candidate], *, tolerance: float = 0.1,
-                 min_load: float = 1e-9, exporter: int | None = None) -> None:
-        self.sim = sim
+    def __init__(self, plan: EpochPlan, candidates: list[Candidate], *,
+                 tolerance: float = 0.1, min_load: float = 1e-9,
+                 exporter: int | None = None) -> None:
+        self.plan = plan
+        self.ns = plan.namespace
         self.tolerance = tolerance
         self.min_load = min_load
         #: rank this selector plans for; selections are traced when known
@@ -61,7 +69,7 @@ class SubtreeSelector:
             return False
         if not c.is_frag and c.dir_id in self._blocked_dirs:
             return False
-        for a in self.sim.tree.ancestors(c.dir_id):
+        for a in self.ns.tree.ancestors(c.dir_id):
             if a in self._selected_dirs:
                 return False
         return True
@@ -75,7 +83,7 @@ class SubtreeSelector:
         else:
             self._taken_units.add(("dir", c.unit))
             self._selected_dirs.add(c.dir_id)
-            for a in self.sim.tree.ancestors(c.dir_id):
+            for a in self.ns.tree.ancestors(c.dir_id):
                 if a != c.dir_id:
                     self._blocked_dirs.add(a)
         return ExportPlan(c.unit, c.load)
@@ -86,14 +94,13 @@ class SubtreeSelector:
 
         When the selector knows which decision it fulfils (``exporter`` set
         at construction, ``importer`` passed here) each chosen unit is
-        recorded on the simulator's decision trace.
+        recorded on the plan's decision-event stream.
         """
         plans = self._select(amount)
-        trace = getattr(self.sim, "trace", None)
-        if plans and trace is not None and self.exporter is not None:
-            epoch = getattr(self.sim, "epoch", 0)
+        if plans and self.exporter is not None:
+            epoch = self.plan.epoch
             for p in plans:
-                trace.emit(SubtreeSelected(
+                self.plan.emit(SubtreeSelected(
                     epoch=epoch, exporter=self.exporter,
                     importer=-1 if importer is None else importer,
                     unit=encode_unit(p.unit), load=p.load))
@@ -125,7 +132,7 @@ class SubtreeSelector:
         for c in over:
             if (not c.is_frag and c.self_files >= 2
                     and c.self_load >= 0.5 * c.load
-                    and self.sim.authmap.frag_state(c.dir_id) is None):
+                    and self.ns.frag_state(c.dir_id) is None):
                 plans.extend(self._split_and_take(c, amount))
             elif c.is_frag and c.unit.bits < MAX_FRAG_BITS:
                 plans.extend(self._resplit_and_take(c, amount))
@@ -151,7 +158,7 @@ class SubtreeSelector:
         """Fragment ``c``'s directory and take ~``amount`` worth of frags."""
         ratio = c.self_load / amount if amount > 0 else 2.0
         bits = min(MAX_FRAG_BITS, max(1, math.ceil(math.log2(max(ratio, 2.0)))))
-        frags = self.sim.authmap.split_dir(c.dir_id, bits)
+        frags = self.ns.split_dir(c.dir_id, bits)
         per_frag_load = c.self_load / (1 << bits)
         if per_frag_load <= self.min_load:
             return []
@@ -160,7 +167,7 @@ class SubtreeSelector:
         # by the next epoch's decision
         k = max(1, min(len(frags) - 1, int(amount // per_frag_load)))
         self._blocked_dirs.add(c.dir_id)
-        for a in self.sim.tree.ancestors(c.dir_id):
+        for a in self.ns.tree.ancestors(c.dir_id):
             self._blocked_dirs.add(a)
         plans = []
         for frag in frags[:k]:
@@ -178,7 +185,7 @@ class SubtreeSelector:
         """
         old: FragId = c.unit  # type: ignore[assignment]
         new_bits = old.bits + 1
-        self.sim.authmap.split_dir(old.dir_id, new_bits)
+        self.ns.split_dir(old.dir_id, new_bits)
         subs = [FragId(old.dir_id, new_bits, old.frag_no),
                 FragId(old.dir_id, new_bits, old.frag_no + (1 << old.bits))]
         per_sub = c.load / 2.0

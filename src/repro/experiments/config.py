@@ -68,7 +68,13 @@ def default_workload(name: str, n_clients: int = 20, *, scale: float = 1.0) -> W
 
 @dataclass
 class ExperimentConfig:
-    """One simulation run: workload x balancer x cluster."""
+    """One simulation run: workload x balancer x cluster.
+
+    The config is a plain picklable dataclass — it is the unit of work the
+    process-pool :class:`~repro.experiments.engine.ExperimentEngine` ships
+    to workers, and (canonically JSON-serialized) the key its result cache
+    hashes. Keep every field picklable and value-comparable.
+    """
 
     workload: str = "zipf"
     balancer: str = "lunule"
@@ -77,6 +83,19 @@ class ExperimentConfig:
     scale: float = 1.0
     data_path: bool = False
     sim: SimConfig = field(default_factory=lambda: BENCH_SIM_CONFIG)
+    #: attribute overrides applied to the built workload (e.g.
+    #: ``{"creates_per_client": 800}``) — lets sweeps express per-point
+    #: workload tweaks without bypassing the engine
+    workload_overrides: dict | None = None
+    #: keyword arguments for the balancer factory (e.g.
+    #: ``{"config": InitiatorConfig(if_threshold=0.3)}``)
+    balancer_kwargs: dict | None = None
 
     def build_workload(self) -> Workload:
-        return default_workload(self.workload, self.n_clients, scale=self.scale)
+        wl = default_workload(self.workload, self.n_clients, scale=self.scale)
+        for attr, value in (self.workload_overrides or {}).items():
+            if not hasattr(wl, attr):
+                raise AttributeError(
+                    f"workload {self.workload!r} has no attribute {attr!r}")
+            setattr(wl, attr, value)
+        return wl

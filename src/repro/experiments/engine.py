@@ -1,0 +1,124 @@
+"""Process-pool experiment engine with config-hash result caching.
+
+The policy/mechanism split makes an :class:`ExperimentConfig` a closed,
+picklable description of one run, which is exactly the unit of work a
+process pool wants: the engine ships whole configs to worker processes,
+runs them with :func:`~repro.experiments.runner.run_traced`, and returns
+results **in input order** regardless of completion order — a sweep's
+output is byte-for-byte the same at any worker count.
+
+Caching: each config is hashed over its canonical JSON form
+(:func:`config_hash`); results are memoized per engine instance, so a
+sweep that revisits a configuration (the ablation benchmarks share their
+baseline point across sweeps) pays for it once. The cache never changes
+results — simulations are deterministic functions of their config.
+
+Workers are plain ``multiprocessing`` children (fork on Linux), so the
+engine needs nothing installed beyond the repository itself. If a pool
+cannot be created (restricted sandboxes), the engine degrades to serial
+execution with identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, is_dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_traced
+
+__all__ = ["config_hash", "ExperimentEngine"]
+
+
+def _jsonable(obj):
+    """Canonical JSON-compatible form of anything a config may hold."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _jsonable(v) for k, v in asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_hash(cfg: ExperimentConfig) -> str:
+    """Stable content hash of a config (equal configs -> equal hashes)."""
+    canonical = json.dumps(_jsonable(cfg), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _execute(cfg: ExperimentConfig, with_trace: bool):
+    """Worker entry point: one full simulation, optionally with its trace.
+
+    Returns ``result`` or ``(result, trace_jsonl)`` — the trace crosses the
+    process boundary as its canonical JSONL string, the same bytes
+    ``TraceLog.dumps`` yields in-process (what the golden tests compare).
+    """
+    result, sim = run_traced(cfg, balancer_kwargs=cfg.balancer_kwargs)
+    if with_trace:
+        return result, sim.trace.dumps()
+    return result
+
+
+class ExperimentEngine:
+    """Runs batches of :class:`ExperimentConfig` with caching + parallelism.
+
+    ``workers=None`` or ``1`` runs serially in-process. Results always come
+    back in the order configs were given.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or 1
+        self._cache: dict[tuple[str, bool], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -------------------------------------------------------------- running
+    def run(self, cfgs: list[ExperimentConfig], *, with_trace: bool = False):
+        """Run every config; returns results in input order.
+
+        With ``with_trace`` each result is ``(SimResult, trace_jsonl)``.
+        Duplicate configs (same hash) run once.
+        """
+        keys = [(config_hash(c), with_trace) for c in cfgs]
+        pending: dict[tuple[str, bool], ExperimentConfig] = {}
+        for key, cfg in zip(keys, cfgs):
+            if key in self._cache:
+                self.hits += 1
+            elif key not in pending:
+                self.misses += 1
+                pending[key] = cfg
+            else:
+                self.hits += 1
+        if pending:
+            self._cache.update(self._run_pending(pending, with_trace))
+        return [self._cache[key] for key in keys]
+
+    def _run_pending(self, pending, with_trace: bool):
+        items = list(pending.items())
+        if self.workers > 1 and len(items) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    results = list(pool.map(
+                        _execute, [cfg for _, cfg in items],
+                        [with_trace] * len(items)))
+                return {key: res for (key, _), res in zip(items, results)}
+            except (OSError, PermissionError):
+                pass  # no subprocess support here; fall through to serial
+        return {key: _execute(cfg, with_trace) for key, cfg in items}
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -21,14 +21,12 @@ from repro.cluster.simulator import SimConfig, Simulator
 from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig, default_workload
 from repro.experiments.metrics import (
     downsample,
-    head_share,
     jct_percentiles,
     mean_if_reduction,
     time_to_balance,
 )
 from repro.experiments.report import render_kv, render_series, render_table
-from repro.experiments.runner import run_experiment
-from repro.workloads import WORKLOADS
+from repro.experiments.runner import run_experiment, run_matrix
 
 __all__ = [
     "FigureResult",
@@ -156,13 +154,17 @@ def fig4_migrated_inodes(scale: float = 1.0, seed: int = 7) -> FigureResult:
 
 # --------------------------------------------------------------- Figures 6 & 7
 def eval_matrix(scale: float = 1.0, seed: int = 7,
-                workloads=SINGLE_WORKLOADS, balancers=EVAL_BALANCERS) -> dict:
-    """The 5-workload x 4-balancer run grid shared by Figures 6 and 7."""
-    out = {}
-    for w in workloads:
-        for b in balancers:
-            out[(w, b)] = run_experiment(_cfg(w, b, scale=scale, seed=seed))
-    return out
+                workloads=SINGLE_WORKLOADS, balancers=EVAL_BALANCERS, *,
+                workers: int = 1, engine=None) -> dict:
+    """The 5-workload x 4-balancer run grid shared by Figures 6 and 7.
+
+    ``workers`` fans the grid out over the process-pool engine; results are
+    identical at any worker count (each cell is an independent, fully
+    deterministic simulation).
+    """
+    base = _cfg(workloads[0], balancers[0], scale=scale, seed=seed)
+    return run_matrix(list(workloads), list(balancers), base,
+                      workers=workers, engine=engine)
 
 
 def fig6_imbalance_factor(scale: float = 1.0, seed: int = 7,
@@ -195,7 +197,6 @@ def fig7_throughput(scale: float = 1.0, seed: int = 7,
     balancers = [b for b in EVAL_BALANCERS if any((w, b) in matrix for w in workloads)]
     rows, series = [], {}
     for w in workloads:
-        peaks = {b: matrix[(w, b)].peak_iops() for b in balancers}
         # Mean sustained throughput = total ops / runtime: completion-time
         # based, robust to different run lengths.
         sustained = {
@@ -378,18 +379,33 @@ def fig12b_client_growth(scale: float = 1.0, seed: int = 7) -> FigureResult:
 
 # ------------------------------------------------------------------- Figure 13
 def fig13a_scalability(scale: float = 1.0, seed: int = 7,
-                       cluster_sizes=(1, 2, 4, 8, 16)) -> FigureResult:
-    """Fig. 13a: peak MD throughput vs cluster size, Lunule."""
+                       cluster_sizes=(1, 2, 4, 8, 16), *,
+                       workers: int = 1, engine=None) -> FigureResult:
+    """Fig. 13a: peak MD throughput vs cluster size, Lunule.
+
+    Each cluster size is one :class:`ExperimentConfig` (the per-size client
+    count and run length are workload overrides), so the sweep runs through
+    the engine — ``workers`` parallelizes across cluster sizes.
+    """
+    from repro.experiments.engine import ExperimentEngine
+
+    cfgs = [
+        ExperimentConfig(
+            workload="mdtest", balancer="lunule", n_clients=4 * n, seed=seed,
+            scale=scale, sim=BENCH_SIM_CONFIG.with_(n_mds=n),
+            # larger clusters need a longer run: the initial spread from
+            # MDS-0 takes a fixed number of epochs regardless of cluster size
+            workload_overrides={
+                "creates_per_client": max(500, round((1000 + 200 * n) * scale)),
+            },
+        )
+        for n in cluster_sizes
+    ]
+    eng = engine if engine is not None else ExperimentEngine(workers=workers)
+    results = eng.run(cfgs)
     rows, peaks = [], {}
     base_peak = None
-    for n in cluster_sizes:
-        wl = default_workload("mdtest", 4 * n, scale=scale)
-        # larger clusters need a longer run: the initial spread from MDS-0
-        # takes a fixed number of epochs regardless of cluster size
-        wl.creates_per_client = max(500, round((1000 + 200 * n) * scale))
-        inst = wl.materialize(seed=seed)
-        cfg = BENCH_SIM_CONFIG.with_(n_mds=n)
-        res = Simulator(inst, make_balancer("lunule"), cfg).run()
+    for n, res in zip(cluster_sizes, results):
         peak = res.peak_iops()
         peaks[n] = peak
         if base_peak is None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable
 
 from repro.balancers import make_balancer
@@ -33,12 +34,17 @@ def run_traced(cfg: ExperimentConfig, *,
                balancer_kwargs: dict | None = None,
                trace_path: str | os.PathLike | None = None):
     """Like :func:`run_experiment` but returns ``(result, simulator)`` so
-    callers can inspect the decision trace and metrics registry."""
+    callers can inspect the decision trace and metrics registry.
+
+    Balancer kwargs come from ``cfg.balancer_kwargs`` merged with the
+    ``balancer_kwargs`` argument (the argument wins on conflicts).
+    """
     sim_cfg = cfg.sim
     if cfg.data_path and not sim_cfg.data_path:
         sim_cfg = sim_cfg.with_(data_path=True)
     instance = cfg.build_workload().materialize(seed=cfg.seed)
-    balancer = make_balancer(cfg.balancer, **(balancer_kwargs or {}))
+    kwargs = {**(cfg.balancer_kwargs or {}), **(balancer_kwargs or {})}
+    balancer = make_balancer(cfg.balancer, **kwargs)
     sim = Simulator(instance, balancer, sim_cfg, schedule=schedule)
     result = sim.run()
     if trace_path is not None:
@@ -47,14 +53,21 @@ def run_traced(cfg: ExperimentConfig, *,
 
 
 def run_matrix(workloads: list[str], balancers: list[str],
-               base: ExperimentConfig | None = None) -> dict[tuple[str, str], object]:
-    """Run a workload x balancer cross product (Figures 6 and 7)."""
+               base: ExperimentConfig | None = None, *,
+               workers: int = 1,
+               engine=None) -> dict[tuple[str, str], object]:
+    """Run a workload x balancer cross product (Figures 6 and 7).
+
+    ``workers`` parallelizes the cells over a process pool; pass an
+    existing :class:`~repro.experiments.engine.ExperimentEngine` to share
+    its result cache across matrices. Cell order (and therefore the
+    returned dict's iteration order) is the same at any worker count.
+    """
+    from repro.experiments.engine import ExperimentEngine
+
     base = base or ExperimentConfig()
-    out: dict[tuple[str, str], object] = {}
-    for w in workloads:
-        for b in balancers:
-            cfg = ExperimentConfig(workload=w, balancer=b, n_clients=base.n_clients,
-                                   seed=base.seed, scale=base.scale,
-                                   data_path=base.data_path, sim=base.sim)
-            out[(w, b)] = run_experiment(cfg)
-    return out
+    cells = [(w, b) for w in workloads for b in balancers]
+    cfgs = [replace(base, workload=w, balancer=b) for w, b in cells]
+    eng = engine if engine is not None else ExperimentEngine(workers=workers)
+    results = eng.run(cfgs)
+    return dict(zip(cells, results))

@@ -67,6 +67,25 @@ class AuthorityMap:
         """Copy of the subtree-root -> MDS mapping."""
         return dict(self._subtree_auth)
 
+    def snapshot_state(self) -> tuple[dict[int, int], dict[int, tuple[int, dict[int, int]]]]:
+        """Detached copies of ``(subtree_auth, frag_map)``.
+
+        Insertion order is preserved, so iteration over a snapshot matches
+        iteration over the live map — policies planning from a snapshot see
+        candidates in the same order they would see them live.
+        """
+        frags = {d: (bits, dict(owners)) for d, (bits, owners) in self._frags.items()}
+        return dict(self._subtree_auth), frags
+
+    @classmethod
+    def from_state(cls, tree: NamespaceTree, subtree_auth: dict[int, int],
+                   frags: dict[int, tuple[int, dict[int, int]]]) -> "AuthorityMap":
+        """Rebuild an authority map from a :meth:`snapshot_state` snapshot."""
+        ns = cls(tree)
+        ns._subtree_auth = dict(subtree_auth)
+        ns._frags = {d: (bits, dict(owners)) for d, (bits, owners) in frags.items()}
+        return ns
+
     def is_subtree_root(self, dir_id: int) -> bool:
         return dir_id in self._subtree_auth
 

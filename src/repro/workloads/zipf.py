@@ -16,7 +16,7 @@ from repro.namespace.builder import BuiltNamespace, build_private_dirs
 from repro.namespace.tree import NamespaceTree
 from repro.util.rng import substream
 from repro.util.zipf import ZipfSampler
-from repro.workloads.base import OP_OPEN, OP_STAT, Op, Workload
+from repro.workloads.base import OP_OPEN, Op, Workload
 
 __all__ = ["ZipfWorkload"]
 

@@ -1,0 +1,61 @@
+"""Architecture invariants of the policy/mechanism split.
+
+Policies plan from a :class:`~repro.core.view.ClusterView` and return an
+:class:`~repro.core.plan.EpochPlan`; only the mechanism layer (the
+``cluster`` package) may touch the simulator. These tests walk the import
+graph statically so a reintroduced ``repro.cluster.simulator`` dependency
+fails CI before it becomes a runtime entanglement.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+POLICY_PACKAGES = ("balancers", "core")
+FORBIDDEN = "repro.cluster.simulator"
+
+
+def policy_modules() -> list[pathlib.Path]:
+    out = []
+    for pkg in POLICY_PACKAGES:
+        out.extend(sorted((SRC / pkg).rglob("*.py")))
+    assert out, f"no modules found under {SRC}"
+    return out
+
+
+def imported_names(path: pathlib.Path) -> set[str]:
+    """Every module name the file imports, at any nesting depth."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module)
+            # `from repro.cluster import simulator` is the same dependency
+            names.update(f"{node.module}.{alias.name}" for alias in node.names)
+    return names
+
+
+@pytest.mark.parametrize("path", policy_modules(),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_policy_layer_never_imports_the_simulator(path):
+    offending = {n for n in imported_names(path)
+                 if n == FORBIDDEN or n.startswith(FORBIDDEN + ".")}
+    assert not offending, (
+        f"{path.relative_to(SRC)} imports {sorted(offending)}; policies must "
+        f"consume ClusterView and return EpochPlan instead of touching the "
+        f"simulator")
+
+
+def test_policy_layer_covers_every_balancer():
+    """The invariant above actually scans the modules it claims to."""
+    names = {p.name for p in policy_modules()}
+    for expected in ("balancer.py", "vanilla.py", "greedyspill.py",
+                     "mantle.py", "dirhash.py", "nop.py", "base.py",
+                     "initiator.py", "selector.py", "view.py", "plan.py"):
+        assert expected in names

@@ -1,7 +1,5 @@
 """Candidate enumeration and load aggregation."""
 
-from types import SimpleNamespace
-
 import numpy as np
 import pytest
 
@@ -12,110 +10,112 @@ from repro.namespace.subtree import AuthorityMap
 
 
 @pytest.fixture
-def sim(tree):
-    return SimpleNamespace(tree=tree, authmap=AuthorityMap(tree, 0))
+def ns(tree):
+    # candidates_for takes any authority namespace; a bare AuthorityMap
+    # works (balancers pass the plan's PlanningNamespace overlay).
+    return AuthorityMap(tree, 0)
 
 
-def loads_for(sim, values: dict[int, float]):
-    arr = np.zeros(sim.tree.n_dirs)
+def loads_for(ns, values: dict[int, float]):
+    arr = np.zeros(ns.tree.n_dirs)
     for d, v in values.items():
         arr[d] = v
     return arr
 
 
 class TestAggregation:
-    def test_subtree_load_sums_descendants(self, sim):
-        per_dir = loads_for(sim, {2: 5.0, 3: 7.0, 4: 1.0})
-        cs = {c.unit: c for c in candidates_for(sim, 0, per_dir)}
+    def test_subtree_load_sums_descendants(self, ns):
+        per_dir = loads_for(ns, {2: 5.0, 3: 7.0, 4: 1.0})
+        cs = {c.unit: c for c in candidates_for(ns, 0, per_dir)}
         assert cs[2].load == pytest.approx(13.0)
         assert cs[3].load == pytest.approx(7.0)
         assert cs[2].self_load == pytest.approx(5.0)
 
-    def test_root_dir_never_a_candidate(self, sim):
-        cs = candidates_for(sim, 0, loads_for(sim, {1: 1.0}))
+    def test_root_dir_never_a_candidate(self, ns):
+        cs = candidates_for(ns, 0, loads_for(ns, {1: 1.0}))
         assert all(c.unit != 0 for c in cs)
 
-    def test_inode_counts(self, sim):
-        cs = {c.unit: c for c in candidates_for(sim, 0, np.zeros(sim.tree.n_dirs))}
+    def test_inode_counts(self, ns):
+        cs = {c.unit: c for c in candidates_for(ns, 0, np.zeros(ns.tree.n_dirs))}
         # dir 2 subtree: dirs {2,3,4} + files 2+4+0
         assert cs[2].inodes == 9
         assert cs[1].inodes == 4
 
-    def test_sorted_descending(self, sim):
-        per_dir = loads_for(sim, {1: 2.0, 3: 9.0})
-        cs = candidates_for(sim, 0, per_dir)
+    def test_sorted_descending(self, ns):
+        per_dir = loads_for(ns, {1: 2.0, 3: 9.0})
+        cs = candidates_for(ns, 0, per_dir)
         loads = [c.load for c in cs]
         assert loads == sorted(loads, reverse=True)
 
-    def test_nested_foreign_subtree_excluded(self, sim):
-        sim.authmap.set_subtree_auth(3, 1)
-        per_dir = loads_for(sim, {2: 5.0, 3: 7.0})
-        cs = {c.unit: c for c in candidates_for(sim, 0, per_dir)}
+    def test_nested_foreign_subtree_excluded(self, ns):
+        ns.set_subtree_auth(3, 1)
+        per_dir = loads_for(ns, {2: 5.0, 3: 7.0})
+        cs = {c.unit: c for c in candidates_for(ns, 0, per_dir)}
         assert cs[2].load == pytest.approx(5.0)  # dir 3 now someone else's
         assert 3 not in cs
 
-    def test_other_mds_sees_its_extent(self, sim):
-        sim.authmap.set_subtree_auth(3, 1)
-        per_dir = loads_for(sim, {3: 7.0})
-        cs = {c.unit: c for c in candidates_for(sim, 1, per_dir)}
+    def test_other_mds_sees_its_extent(self, ns):
+        ns.set_subtree_auth(3, 1)
+        per_dir = loads_for(ns, {3: 7.0})
+        cs = {c.unit: c for c in candidates_for(ns, 1, per_dir)}
         assert set(cs) == {3}
         assert cs[3].load == pytest.approx(7.0)
 
 
 class TestFragCandidates:
-    def test_owned_frags_emitted(self, sim):
-        sim.authmap.split_dir(3, 1)
-        sim.authmap.set_frag_auth(FragId(3, 1, 1), 2)
-        per_dir = loads_for(sim, {3: 8.0})
-        cs = candidates_for(sim, 0, per_dir)
+    def test_owned_frags_emitted(self, ns):
+        ns.split_dir(3, 1)
+        ns.set_frag_auth(FragId(3, 1, 1), 2)
+        per_dir = loads_for(ns, {3: 8.0})
+        cs = candidates_for(ns, 0, per_dir)
         frags = [c for c in cs if c.is_frag]
         assert len(frags) == 1
         assert frags[0].unit == FragId(3, 1, 0)
         assert frags[0].load == pytest.approx(4.0)  # half the files
 
-    def test_fragmented_dir_candidate_excludes_file_load(self, sim):
-        sim.authmap.split_dir(3, 1)
-        per_dir = loads_for(sim, {3: 8.0})
-        cs = {c.unit: c for c in candidates_for(sim, 0, per_dir)}
+    def test_fragmented_dir_candidate_excludes_file_load(self, ns):
+        ns.split_dir(3, 1)
+        per_dir = loads_for(ns, {3: 8.0})
+        cs = {c.unit: c for c in candidates_for(ns, 0, per_dir)}
         assert cs[3].load == 0.0  # files route by frag now
         assert cs[FragId(3, 1, 0)].load + cs[FragId(3, 1, 1)].load == pytest.approx(8.0)
 
-    def test_foreign_frags_not_emitted(self, sim):
-        sim.authmap.split_dir(3, 1)
-        sim.authmap.set_frag_auth(FragId(3, 1, 0), 1)
-        sim.authmap.set_frag_auth(FragId(3, 1, 1), 1)
-        cs = candidates_for(sim, 0, loads_for(sim, {3: 8.0}))
+    def test_foreign_frags_not_emitted(self, ns):
+        ns.split_dir(3, 1)
+        ns.set_frag_auth(FragId(3, 1, 0), 1)
+        ns.set_frag_auth(FragId(3, 1, 1), 1)
+        cs = candidates_for(ns, 0, loads_for(ns, {3: 8.0}))
         assert not any(c.is_frag for c in cs)
 
 
 class TestScaleToLoad:
-    def test_partition_scales_exactly(self, sim):
-        per_dir = loads_for(sim, {1: 3.0, 3: 7.0})
-        cs = candidates_for(sim, 0, per_dir)
+    def test_partition_scales_exactly(self, ns):
+        per_dir = loads_for(ns, {1: 3.0, 3: 7.0})
+        cs = candidates_for(ns, 0, per_dir)
         scale = scale_to_load(cs, 100.0)
         assert scale == pytest.approx(10.0)
 
-    def test_zero_estimate_returns_zero(self, sim):
-        cs = candidates_for(sim, 0, np.zeros(sim.tree.n_dirs))
+    def test_zero_estimate_returns_zero(self, ns):
+        cs = candidates_for(ns, 0, np.zeros(ns.tree.n_dirs))
         assert scale_to_load(cs, 100.0) == 0.0
 
-    def test_zero_measured_load_returns_zero(self, sim):
-        cs = candidates_for(sim, 0, loads_for(sim, {1: 3.0}))
+    def test_zero_measured_load_returns_zero(self, ns):
+        cs = candidates_for(ns, 0, loads_for(ns, {1: 3.0}))
         assert scale_to_load(cs, 0.0) == 0.0
 
-    def test_frag_partition_not_double_counted(self, sim):
-        sim.authmap.split_dir(3, 1)
-        per_dir = loads_for(sim, {3: 8.0, 1: 2.0})
-        cs = candidates_for(sim, 0, per_dir)
+    def test_frag_partition_not_double_counted(self, ns):
+        ns.split_dir(3, 1)
+        per_dir = loads_for(ns, {3: 8.0, 1: 2.0})
+        cs = candidates_for(ns, 0, per_dir)
         assert scale_to_load(cs, 10.0) == pytest.approx(1.0)
 
 
 class TestFanoutScale:
     def test_many_dirs(self):
         b = build_fanout(50, 4)
-        sim = SimpleNamespace(tree=b.tree, authmap=AuthorityMap(b.tree, 0))
+        ns = AuthorityMap(b.tree, 0)
         per_dir = np.ones(b.tree.n_dirs)
-        cs = candidates_for(sim, 0, per_dir)
+        cs = candidates_for(ns, 0, per_dir)
         by_unit = {c.unit: c for c in cs}
         # the workload root aggregates all 50 leaf dirs plus itself
         assert by_unit[b.root].load == pytest.approx(51.0)

@@ -1,6 +1,5 @@
 """The Mantle-style programmable policy framework."""
 
-import numpy as np
 import pytest
 
 from repro.balancers.mantle import (
@@ -66,7 +65,8 @@ class TestDefaultPolicy:
         for m in sim.mdss:
             m.end_epoch(sim.config.epoch_len)
         depth_before = sum(sim.migrator.queue_depth(i) for i in range(sim.n_mds))
-        bal.on_epoch(999)
+        plan = bal.on_epoch(sim.snapshot_view())
+        sim.apply_plan(plan)
         depth_after = sum(sim.migrator.queue_depth(i) for i in range(sim.n_mds))
         assert depth_after == depth_before
 
@@ -91,16 +91,16 @@ class TestCustomHooks:
         assert res.served_per_mds[3] == 0
         assert res.served_per_mds[1] > 0
 
-    def test_which_receives_balancer_and_env(self):
+    def test_which_receives_view_and_env(self):
         seen = {}
 
-        def which(balancer, env):
-            seen["type"] = type(balancer).__name__
+        def which(view, env):
+            seen["type"] = type(view).__name__
             seen["epoch"] = env.epoch
-            return balancer.sim.stats.heat_array()
+            return view.heat
 
         _, res = run(MantleBalancer(MantlePolicy(which=which, name="spy")))
-        assert seen["type"] == "MantleBalancer"
+        assert seen["type"] == "ClusterView"
         assert seen["epoch"] >= 0
 
 

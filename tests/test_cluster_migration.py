@@ -48,7 +48,7 @@ class TestTransfer:
         migrator.submit_export(0, 1, 2)  # 9 inodes, rate 2, latency 1
         ticks = 0
         while authmap.resolve_dir(3)[0] == 0:
-            committed = migrator.tick()
+            migrator.tick()
             ticks += 1
             assert ticks < 50
         assert authmap.resolve_dir(3)[0] == 1

@@ -1,6 +1,5 @@
 """AccessStats: heat, cutting windows, locality classification."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.stats import AccessStats

@@ -1,12 +1,11 @@
 """Lunule orchestration: trigger gating, pending-awareness, variant wiring."""
 
-import pytest
 
 from repro.balancers import make_balancer
 from repro.cluster.simulator import SimConfig, Simulator
 from repro.core.balancer import LunuleBalancer, LunuleLightBalancer
 from repro.core.initiator import InitiatorConfig
-from repro.workloads import CnnWorkload, ZipfWorkload
+from repro.workloads import ZipfWorkload
 
 CFG = SimConfig(n_mds=4, mds_capacity=50, epoch_len=5, max_ticks=4000,
                 migration_rate=100)
@@ -70,14 +69,16 @@ class TestVariantWiring:
         light = LunuleLightBalancer()
         sim, _ = run(light)
         import numpy as np
-        assert np.array_equal(light.per_dir_load(), sim.stats.heat_array())
+        view = sim.snapshot_view()
+        assert np.array_equal(light.per_dir_load(view), sim.stats.heat_array())
 
     def test_full_ranks_by_mindex(self):
         full = LunuleBalancer()
         sim, _ = run(full)
         from repro.core.mindex import mindex_per_dir
         import numpy as np
-        assert np.array_equal(full.per_dir_load(), mindex_per_dir(sim.stats))
+        view = sim.snapshot_view()
+        assert np.array_equal(full.per_dir_load(view), mindex_per_dir(sim.stats))
 
     def test_factory_kwargs_forwarded(self):
         bal = make_balancer("lunule", config=InitiatorConfig(if_threshold=0.5))

@@ -1,6 +1,5 @@
 """The IF model (paper Eq. 1-3)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

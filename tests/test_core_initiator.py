@@ -77,7 +77,6 @@ class TestDecideRoles:
     def test_exports_bounded_by_demands(self, loads, cap):
         stats = [mk(i, l) for i, l in enumerate(loads)]
         E = decide_roles(stats, 0.01, cap)
-        n = len(loads)
         assert (E >= 0).all()
         assert np.diagonal(E).sum() == 0.0
         # no exporter ships more than cap; no importer receives more than cap

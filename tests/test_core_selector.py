@@ -1,79 +1,85 @@
 """Subtree Selector: the three search paths and blocking rules."""
 
-from types import SimpleNamespace
-
 import numpy as np
 import pytest
 
-from repro.balancers.candidates import Candidate, candidates_for
+from repro.balancers.candidates import candidates_for
+from repro.core.plan import EpochPlan, SplitDir
 from repro.core.selector import SubtreeSelector
 from repro.namespace.builder import build_fanout
 from repro.namespace.dirfrag import FragId
 from repro.namespace.subtree import AuthorityMap
 
 
-def make_sim(n_dirs=6, files_per_dir=10):
+def make_ns(n_dirs=6, files_per_dir=10):
     built = build_fanout(n_dirs, files_per_dir)
-    authmap = AuthorityMap(built.tree, 0)
-    return SimpleNamespace(tree=built.tree, authmap=authmap), built
+    return AuthorityMap(built.tree, 0), built
 
 
-def cands(sim, loads: dict[int, float]):
-    per_dir = np.zeros(sim.tree.n_dirs)
+def cands(ns, loads: dict[int, float]):
+    per_dir = np.zeros(ns.tree.n_dirs)
     for d, v in loads.items():
         per_dir[d] = v
-    return candidates_for(sim, 0, per_dir)
+    return candidates_for(ns, 0, per_dir)
+
+
+def selector_for(ns, cs) -> SubtreeSelector:
+    return SubtreeSelector(EpochPlan.from_authority(ns), cs)
 
 
 class TestPathOne:
     def test_exact_match_single_subtree(self):
-        sim, b = make_sim()
-        cs = cands(sim, {b.dirs[0]: 50.0, b.dirs[1]: 20.0})
-        sel = SubtreeSelector(sim, cs)
+        ns, b = make_ns()
+        cs = cands(ns, {b.dirs[0]: 50.0, b.dirs[1]: 20.0})
+        sel = selector_for(ns, cs)
         plans = sel.select(52.0)  # within 10% of 50
         assert len(plans) == 1
         assert plans[0].unit == b.dirs[0]
 
     def test_prefers_not_overshooting_grossly(self):
-        sim, b = make_sim()
-        cs = cands(sim, {b.dirs[0]: 100.0, b.dirs[1]: 10.0})
-        sel = SubtreeSelector(sim, cs)
+        ns, b = make_ns()
+        cs = cands(ns, {b.dirs[0]: 100.0, b.dirs[1]: 10.0})
+        sel = selector_for(ns, cs)
         plans = sel.select(10.0)
         assert all(p.load <= 11.0 + 1e-9 for p in plans)
 
 
 class TestPathTwoSplit:
     def test_flat_hot_dir_gets_fragmented(self):
-        sim, b = make_sim(n_dirs=2)
+        ns, b = make_ns(n_dirs=2)
         hot = b.dirs[0]
-        cs = cands(sim, {hot: 80.0})
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, {hot: 80.0})
+        sel = selector_for(ns, cs)
         plans = sel.select(20.0)
         assert plans, "selector found nothing to export"
         assert all(isinstance(p.unit, FragId) for p in plans)
-        assert sim.authmap.frag_state(hot) is not None
+        # The split is speculative — recorded on the plan, live map untouched.
+        assert sel.plan.namespace.frag_state(hot) is not None
+        assert ns.frag_state(hot) is None
+        assert any(isinstance(a, SplitDir) and a.dir_id == hot
+                   for a in sel.plan.actions)
         got = sum(p.load for p in plans)
         assert got == pytest.approx(20.0, rel=0.5)
 
     def test_frag_resplit_when_frag_too_big(self):
-        sim, b = make_sim(n_dirs=2)
+        ns, b = make_ns(n_dirs=2)
         hot = b.dirs[0]
-        sim.authmap.split_dir(hot, 1)  # two frags of load 40 each
-        cs = cands(sim, {hot: 80.0})
-        sel = SubtreeSelector(sim, cs)
+        ns.split_dir(hot, 1)  # two frags of load 40 each
+        cs = cands(ns, {hot: 80.0})
+        sel = selector_for(ns, cs)
         plans = sel.select(15.0)
         assert plans
-        bits = sim.authmap.frag_state(hot)[0]
+        bits = sel.plan.namespace.frag_state(hot)[0]
         assert bits == 2  # deepened by one level
         assert all(isinstance(p.unit, FragId) for p in plans)
 
     def test_nested_load_picks_descendants_not_split(self):
-        sim, b = make_sim(n_dirs=8)
+        ns, b = make_ns(n_dirs=8)
         # load lives in the children of the workload root: the root subtree
         # aggregates it but must not be frag-split (its own files are cold)
         loads = {d: 10.0 for d in b.dirs}
-        cs = cands(sim, loads)
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, loads)
+        sel = selector_for(ns, cs)
         plans = sel.select(30.0)
         got = sum(p.load for p in plans)
         assert got == pytest.approx(30.0, rel=0.15)
@@ -82,59 +88,59 @@ class TestPathTwoSplit:
 
 class TestPathThreeGreedy:
     def test_accumulates_minimal_set(self):
-        sim, b = make_sim()
+        ns, b = make_ns()
         loads = {b.dirs[i]: v for i, v in enumerate([40.0, 25.0, 12.0, 6.0, 3.0])}
-        cs = cands(sim, loads)
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, loads)
+        sel = selector_for(ns, cs)
         plans = sel.select(37.0)
         got = sum(p.load for p in plans)
         assert got == pytest.approx(37.0, rel=0.15)
 
     def test_zero_load_candidates_never_selected(self):
-        sim, b = make_sim()
-        cs = cands(sim, {b.dirs[0]: 10.0})
-        sel = SubtreeSelector(sim, cs)
+        ns, b = make_ns()
+        cs = cands(ns, {b.dirs[0]: 10.0})
+        sel = selector_for(ns, cs)
         plans = sel.select(50.0)
         assert all(p.load > 0 for p in plans)
 
     def test_zero_amount_selects_nothing(self):
-        sim, b = make_sim()
-        cs = cands(sim, {b.dirs[0]: 10.0})
-        assert SubtreeSelector(sim, cs).select(0.0) == []
+        ns, b = make_ns()
+        cs = cands(ns, {b.dirs[0]: 10.0})
+        assert selector_for(ns, cs).select(0.0) == []
 
 
 class TestBlocking:
     def test_unit_not_reused_across_decisions(self):
-        sim, b = make_sim()
+        ns, b = make_ns()
         loads = {b.dirs[i]: 20.0 for i in range(4)}
-        cs = cands(sim, loads)
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, loads)
+        sel = selector_for(ns, cs)
         first = sel.select(20.0)
         second = sel.select(20.0)
         assert first and second
         assert {p.unit for p in first}.isdisjoint({p.unit for p in second})
 
     def test_descendant_of_selected_blocked(self):
-        sim, b = make_sim()
+        ns, b = make_ns()
         loads = {d: 10.0 for d in b.dirs}
-        cs = cands(sim, loads)
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, loads)
+        sel = selector_for(ns, cs)
         # take the whole workload root (60 total across 6 dirs)
         plans = sel.select(60.0)
         taken = {p.unit for p in plans}
         more = sel.select(10.0)
         for p in more:
-            for a in sim.tree.ancestors(p.unit if not isinstance(p.unit, FragId)
-                                        else p.unit.dir_id):
+            for a in ns.tree.ancestors(p.unit if not isinstance(p.unit, FragId)
+                                       else p.unit.dir_id):
                 assert a not in taken
 
     def test_ancestor_of_selected_blocked(self):
-        sim, b = make_sim()
+        ns, b = make_ns()
         loads = {d: 10.0 for d in b.dirs}
-        cs = cands(sim, loads)
-        sel = SubtreeSelector(sim, cs)
+        cs = cands(ns, loads)
+        sel = selector_for(ns, cs)
         first = sel.select(10.0)  # one leaf dir
         assert len(first) == 1 and first[0].unit in b.dirs
         # now the parent (workload root) may not be exported wholesale
         second = sel.select(60.0)
-        assert all(p.unit != sim.tree.parent[first[0].unit] for p in second)
+        assert all(p.unit != ns.tree.parent[first[0].unit] for p in second)

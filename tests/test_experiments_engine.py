@@ -1,0 +1,126 @@
+"""The process-pool experiment engine: hashing, caching, determinism.
+
+The engine's promise is simple: any sweep's results are a pure function of
+its configs — identical at any worker count, in input order, with the
+decision trace crossing the process boundary byte-intact. The golden
+traces double as the cross-process fixture: a 2-worker run of the golden
+scenarios must reproduce ``tests/golden/*.jsonl`` exactly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cluster.simulator import SimConfig
+from repro.core.initiator import InitiatorConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, config_hash
+from repro.experiments.runner import run_matrix
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: a deliberately tiny grid — the engine's behaviour, not simulation cost,
+#: is under test
+FAST = ExperimentConfig(n_clients=4, scale=0.15,
+                        sim=SimConfig(n_mds=3, mds_capacity=60.0, epoch_len=5,
+                                      max_ticks=2000, migration_rate=50))
+
+
+class TestConfigHash:
+    def test_equal_configs_equal_hashes(self):
+        a = ExperimentConfig(workload="zipf", n_clients=4)
+        b = ExperimentConfig(workload="zipf", n_clients=4)
+        assert config_hash(a) == config_hash(b)
+
+    def test_any_field_changes_the_hash(self):
+        base = ExperimentConfig()
+        variants = [
+            ExperimentConfig(workload="cnn"),
+            ExperimentConfig(balancer="vanilla"),
+            ExperimentConfig(n_clients=21),
+            ExperimentConfig(seed=8),
+            ExperimentConfig(scale=0.5),
+            ExperimentConfig(data_path=True),
+            ExperimentConfig(sim=SimConfig(n_mds=3)),
+            ExperimentConfig(workload_overrides={"reads_per_client": 10}),
+            ExperimentConfig(balancer_kwargs={"tolerance": 0.2}),
+        ]
+        h = config_hash(base)
+        for v in variants:
+            assert config_hash(v) != h, v
+
+    def test_nested_dataclass_kwargs_hash_by_value(self):
+        a = ExperimentConfig(
+            balancer_kwargs={"config": InitiatorConfig(if_threshold=0.3)})
+        b = ExperimentConfig(
+            balancer_kwargs={"config": InitiatorConfig(if_threshold=0.3)})
+        c = ExperimentConfig(
+            balancer_kwargs={"config": InitiatorConfig(if_threshold=0.4)})
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
+
+
+class TestCaching:
+    def test_repeat_configs_hit_the_cache(self):
+        eng = ExperimentEngine()
+        cfg = FAST
+        first = eng.run([cfg])
+        assert (eng.hits, eng.misses) == (0, 1)
+        second = eng.run([cfg])
+        assert (eng.hits, eng.misses) == (1, 1)
+        assert first[0] is second[0]
+
+    def test_duplicates_within_a_batch_run_once(self):
+        eng = ExperimentEngine()
+        results = eng.run([FAST, FAST, FAST])
+        assert eng.misses == 1 and eng.hits == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_clear_cache(self):
+        eng = ExperimentEngine()
+        eng.run([FAST])
+        eng.clear_cache()
+        assert eng.cache_size == 0
+        eng.run([FAST])
+        assert eng.misses == 1
+
+
+class TestDeterminism:
+    def test_two_workers_match_serial_run_matrix(self):
+        serial = run_matrix(["zipf", "mdtest"], ["nop", "lunule"], FAST)
+        parallel = run_matrix(["zipf", "mdtest"], ["nop", "lunule"], FAST,
+                              workers=2)
+        assert list(serial) == list(parallel)  # cell order preserved
+        assert serial == parallel  # SimResult dataclass equality
+
+    def test_results_come_back_in_input_order(self):
+        from dataclasses import replace
+
+        cfgs = [replace(FAST, workload=w, balancer=b)
+                for w in ("mdtest", "zipf") for b in ("lunule", "nop")]
+        results = ExperimentEngine(workers=2).run(cfgs)
+        for cfg, res in zip(cfgs, results):
+            assert res.workload == cfg.workload
+            assert res.balancer == cfg.balancer
+
+
+class TestCrossProcessTraces:
+    @pytest.mark.parametrize("name,workload,balancer", [
+        ("mdtest_lunule", "mdtest", "lunule"),
+        ("mixed_vanilla", "mixed", "vanilla"),
+    ])
+    def test_worker_traces_byte_match_goldens(self, name, workload, balancer):
+        """A 2-worker engine run reproduces the golden traces byte-for-byte."""
+        path = GOLDEN_DIR / f"{name}.jsonl"
+        if not path.exists():
+            pytest.skip("golden trace not generated yet")
+        golden_sim = SimConfig(n_mds=3, mds_capacity=60.0, epoch_len=5,
+                               max_ticks=3000, migration_rate=50, seed=0)
+        cfgs = [ExperimentConfig(workload=w, balancer=b, n_clients=8, seed=7,
+                                 scale=0.15, sim=golden_sim)
+                for w, b in ((workload, balancer), ("mdtest", "vanilla"))]
+        results = ExperimentEngine(workers=2).run(cfgs, with_trace=True)
+        _, trace = results[0]
+        assert trace == path.read_text(encoding="utf-8")

@@ -1,0 +1,130 @@
+"""Heterogeneous MDS capacities, end to end.
+
+The paper assumes a homogeneous cluster; the reproduction generalises the
+capacity model: ``SimConfig.mds_capacities`` sizes each rank, the
+ClusterView carries per-rank capacities to the policy layer, and
+Algorithm 1 scales its per-epoch migration cap per rank. The homogeneous
+case must collapse to the original arithmetic exactly — that equality is
+what keeps the golden traces byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.core.initiator import InitiatorConfig, MdsLoad, MigrationInitiator, decide_roles
+from repro.workloads import ZipfWorkload
+
+
+def make_sim(balancer="lunule", *, capacities=None, n_mds=3, **over):
+    cfg = SimConfig(n_mds=n_mds, mds_capacity=60.0, epoch_len=5,
+                    max_ticks=3000, migration_rate=50,
+                    mds_capacities=capacities, **over)
+    wl = ZipfWorkload(8, files_per_dir=60, reads_per_client=600)
+    return Simulator(wl.materialize(seed=5), make_balancer(balancer), cfg)
+
+
+class TestDecideRolesCaps:
+    STATS = lambda self: [MdsLoad(0, 100.0, 100.0), MdsLoad(1, 10.0, 10.0),
+                          MdsLoad(2, 10.0, 10.0)]
+
+    def test_per_rank_cap_limits_the_big_exporter(self):
+        uniform = decide_roles(self.STATS(), 0.01, 30.0)
+        capped = decide_roles(self.STATS(), 0.01, 30.0, caps={0: 12.0})
+        assert uniform[0].sum() == pytest.approx(30.0)
+        assert capped[0].sum() == pytest.approx(12.0)
+
+    def test_uniform_caps_dict_matches_scalar_cap(self):
+        scalar = decide_roles(self.STATS(), 0.01, 30.0)
+        explicit = decide_roles(self.STATS(), 0.01, 30.0,
+                                caps={0: 30.0, 1: 30.0, 2: 30.0})
+        np.testing.assert_array_equal(scalar, explicit)
+
+    def test_importer_headroom_scales_with_its_cap(self):
+        # with a tiny cap on importer 1, the export flow shifts toward 2
+        capped = decide_roles(self.STATS(), 0.01, 30.0, caps={1: 5.0})
+        assert capped[0, 1] <= 5.0 + 1e-9
+        assert capped[0, 2] > capped[0, 1]
+
+
+class TestInitiatorCapacities:
+    def plan(self, capacities):
+        init = MigrationInitiator(60.0, InitiatorConfig(if_threshold=0.05))
+        loads = [90.0, 5.0, 5.0]
+        hist = [[v] * 3 for v in loads]
+        return init.plan(1, loads, hist, capacities=capacities)
+
+    def test_homogeneous_capacities_reproduce_default_path(self):
+        default = self.plan(None)
+        explicit = self.plan([60.0, 60.0, 60.0])
+        assert [(d.exporter, d.assignments) for d in default] == \
+               [(d.exporter, d.assignments) for d in explicit]
+        assert default, "scenario must actually trigger migration"
+
+    def test_small_exporter_ships_less_per_epoch(self):
+        big = self.plan([60.0, 60.0, 60.0])
+        small = self.plan([20.0, 60.0, 60.0])  # rank 0 is the exporter
+        total = lambda ds: sum(a for d in ds for a in d.assignments.values())
+        assert total(small) < total(big)
+
+
+class TestSimulatorWiring:
+    def test_config_capacities_size_each_rank(self):
+        sim = make_sim(capacities=(30.0, 60.0, 90.0))
+        assert [m.capacity for m in sim.mdss] == [30.0, 60.0, 90.0]
+
+    def test_capacities_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mds_capacities"):
+            make_sim(capacities=(30.0, 60.0))
+
+    def test_view_carries_per_rank_capacities(self):
+        sim = make_sim(capacities=(30.0, 60.0, 90.0))
+        assert sim.snapshot_view().capacities() == [30.0, 60.0, 90.0]
+
+    def test_add_mds_explicit_capacity(self):
+        sim = make_sim()
+        sim.add_mds(capacity=17.0)
+        assert sim.mdss[-1].capacity == 17.0
+
+    def test_add_mds_defaults_from_config_capacities(self):
+        # ranks within mds_capacities resume the configured ladder;
+        # ranks beyond it fall back to the homogeneous default
+        cfg = SimConfig(n_mds=2, mds_capacity=60.0, epoch_len=5,
+                        max_ticks=100, mds_capacities=None)
+        wl = ZipfWorkload(4, files_per_dir=20, reads_per_client=50)
+        sim = Simulator(wl.materialize(seed=1), make_balancer("nop"), cfg)
+        sim.add_mds()
+        assert sim.mdss[-1].capacity == 60.0
+
+        het = make_sim(capacities=(30.0, 60.0, 90.0))
+        removed = het.mdss.pop()  # simulate a rank that never came up
+        assert removed.rank == 2
+        het.add_mds()
+        assert het.mdss[-1].capacity == 90.0  # from mds_capacities[2]
+        het.add_mds()
+        assert het.mdss[-1].capacity == 60.0  # past the ladder: default
+
+
+class TestEndToEnd:
+    def test_heterogeneous_run_completes_and_balances(self):
+        sim = make_sim(capacities=(120.0, 30.0, 30.0))
+        res = sim.run()
+        assert res.meta_ops > 0
+        assert res.migrated_series[-1] > 0  # skew still gets corrected
+
+    def test_homogeneous_explicit_equals_implicit(self):
+        """mds_capacities=(c, c, c) is byte-for-byte the default run."""
+        implicit = make_sim().run()
+        explicit = make_sim(capacities=(60.0, 60.0, 60.0)).run()
+        assert implicit.if_series == explicit.if_series
+        assert implicit.migrated_series == explicit.migrated_series
+        assert implicit.meta_ops == explicit.meta_ops
+
+    @pytest.mark.parametrize("balancer", ["lunule", "vanilla", "greedyspill"])
+    def test_all_plan_returning_balancers_accept_heterogeneity(self, balancer):
+        sim = make_sim(balancer, capacities=(90.0, 45.0, 45.0))
+        res = sim.run()
+        assert res.meta_ops > 0

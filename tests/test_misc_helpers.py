@@ -1,6 +1,5 @@
 """Coverage of remaining small public helpers."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import ExperimentConfig

@@ -1,9 +1,7 @@
 """Subtree-root and dirfrag merging (authority-map housekeeping)."""
 
-import pytest
 
 from repro.namespace.dirfrag import FragId
-from repro.namespace.subtree import AuthorityMap
 
 
 class TestMergeRedundantRoots:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.namespace.dirfrag import FragId
-from repro.namespace.subtree import AuthorityMap
 
 
 class TestResolve:

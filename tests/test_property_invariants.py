@@ -8,14 +8,12 @@ stays in its documented range.
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.migration import Migrator
 from repro.core.if_model import imbalance_factor
 from repro.namespace.builder import build_fanout
-from repro.namespace.dirfrag import FragId, frag_of
 from repro.namespace.subtree import AuthorityMap
 from repro.namespace.tree import NamespaceTree
 
@@ -82,7 +80,7 @@ class TestFragPartition:
         tree.add_files(d, n_files)
         am = AuthorityMap(tree, 0)
         am.split_dir(d, bits1)
-        state = am.frag_state(d)
+        am.frag_state(d)
         owners_before = [am.resolve(d, i) for i in range(n_files)]
         if bits2 > bits1:
             am.split_dir(d, bits2)

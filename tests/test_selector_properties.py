@@ -1,12 +1,10 @@
 """Property-based tests of the Subtree Selector over random candidate sets."""
 
-from types import SimpleNamespace
-
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.balancers.candidates import candidates_for
+from repro.core.plan import EpochPlan
 from repro.core.selector import SubtreeSelector
 from repro.namespace.builder import build_fanout
 from repro.namespace.dirfrag import FragId
@@ -16,12 +14,15 @@ from repro.namespace.subtree import AuthorityMap
 def make_env(loads: list[int]):
     """A fanout namespace with one leaf dir per load entry."""
     built = build_fanout(max(1, len(loads)), 10)
-    authmap = AuthorityMap(built.tree, 0)
-    sim = SimpleNamespace(tree=built.tree, authmap=authmap)
+    ns = AuthorityMap(built.tree, 0)
     per_dir = np.zeros(built.tree.n_dirs)
     for d, load in zip(built.dirs, loads):
         per_dir[d] = float(load)
-    return sim, candidates_for(sim, 0, per_dir)
+    return ns, candidates_for(ns, 0, per_dir)
+
+
+def selector_for(ns, cands) -> SubtreeSelector:
+    return SubtreeSelector(EpochPlan.from_authority(ns), cands)
 
 
 loads_strategy = st.lists(st.integers(0, 100), min_size=1, max_size=20)
@@ -32,8 +33,8 @@ class TestSelectorProperties:
     @given(loads_strategy, amount_strategy)
     @settings(max_examples=60, deadline=None)
     def test_no_unit_selected_twice(self, loads, amount):
-        sim, cands = make_env(loads)
-        sel = SubtreeSelector(sim, cands)
+        ns, cands = make_env(loads)
+        sel = selector_for(ns, cands)
         plans = sel.select(amount) + sel.select(amount)
         units = [p.unit for p in plans]
         assert len(units) == len(set(units))
@@ -41,8 +42,8 @@ class TestSelectorProperties:
     @given(loads_strategy, amount_strategy)
     @settings(max_examples=60, deadline=None)
     def test_all_plans_positive_load(self, loads, amount):
-        sim, cands = make_env(loads)
-        plans = SubtreeSelector(sim, cands).select(amount)
+        ns, cands = make_env(loads)
+        plans = selector_for(ns, cands).select(amount)
         assert all(p.load > 0 for p in plans)
 
     @given(loads_strategy, amount_strategy)
@@ -50,41 +51,43 @@ class TestSelectorProperties:
     def test_selection_bounded_by_demand(self, loads, amount):
         # greedy never overshoots beyond tolerance; a path-1/2 single pick
         # may exceed by its 10% band
-        sim, cands = make_env(loads)
-        plans = SubtreeSelector(sim, cands).select(amount)
+        ns, cands = make_env(loads)
+        plans = selector_for(ns, cands).select(amount)
         got = sum(p.load for p in plans)
         assert got <= max(amount * 1.3, amount + 1.0)
 
     @given(loads_strategy, amount_strategy)
     @settings(max_examples=60, deadline=None)
     def test_no_ancestor_descendant_pairs(self, loads, amount):
-        sim, cands = make_env(loads)
-        plans = SubtreeSelector(sim, cands).select(amount)
+        ns, cands = make_env(loads)
+        plans = selector_for(ns, cands).select(amount)
         dir_units = [p.unit for p in plans if not isinstance(p.unit, FragId)]
         taken = set(dir_units)
         for d in dir_units:
-            for a in sim.tree.ancestors(d):
+            for a in ns.tree.ancestors(d):
                 assert a == d or a not in taken
 
     @given(loads_strategy)
     @settings(max_examples=30, deadline=None)
     def test_zero_amount_empty(self, loads):
-        sim, cands = make_env(loads)
-        assert SubtreeSelector(sim, cands).select(0.0) == []
+        ns, cands = make_env(loads)
+        assert selector_for(ns, cands).select(0.0) == []
 
     @given(amount_strategy)
     @settings(max_examples=20, deadline=None)
     def test_cold_namespace_selects_nothing(self, amount):
-        sim, cands = make_env([0, 0, 0, 0])
-        assert SubtreeSelector(sim, cands).select(amount) == []
+        ns, cands = make_env([0, 0, 0, 0])
+        assert selector_for(ns, cands).select(amount) == []
 
     @given(loads_strategy, amount_strategy)
     @settings(max_examples=40, deadline=None)
     def test_frag_plans_reference_real_splits(self, loads, amount):
-        sim, cands = make_env(loads)
-        plans = SubtreeSelector(sim, cands).select(amount)
+        ns, cands = make_env(loads)
+        sel = selector_for(ns, cands)
+        plans = sel.select(amount)
         for p in plans:
             if isinstance(p.unit, FragId):
-                state = sim.authmap.frag_state(p.unit.dir_id)
+                # splits land on the plan's namespace overlay, not the live map
+                state = sel.plan.namespace.frag_state(p.unit.dir_id)
                 assert state is not None
                 assert state[0] == p.unit.bits

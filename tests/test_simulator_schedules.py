@@ -5,7 +5,6 @@ client waves) must never violate the core invariants: op conservation,
 inode-total conservation, valid authority resolution, aligned series.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.balancers import make_balancer

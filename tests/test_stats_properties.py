@@ -5,7 +5,6 @@ below pin down the window algebra regardless of access pattern.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.stats import AccessStats

@@ -1,7 +1,6 @@
 """Deterministic RNG substreams."""
 
 import numpy as np
-import pytest
 
 from repro.util.rng import derive_seed, substream
 

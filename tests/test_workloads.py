@@ -12,7 +12,6 @@ from repro.workloads import (
     ZipfWorkload,
     OP_CREATE,
     OP_OPEN,
-    OP_READDIR,
     OP_STAT,
 )
 
