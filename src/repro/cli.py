@@ -2,9 +2,14 @@
 
 Commands:
 
-- ``run``    — one simulation (workload x balancer) with a summary report,
-- ``sweep``  — a workload x balancer grid on the parallel experiment engine,
-- ``trace``  — run with decision tracing and export/summarize the JSONL,
+- ``run``    — one simulation (workload x balancer) with a summary report;
+  ``--record DIR`` turns on the flight recorder and writes the run's
+  artifacts (time series, trace, metrics, Perfetto spans) to DIR,
+- ``report`` — render a recorded run directory into a Markdown/HTML report,
+- ``sweep``  — a workload x balancer grid on the parallel experiment
+  engine; ``--record DIR`` aggregates observability across the pool,
+- ``trace``  — run with decision tracing and export/summarize the JSONL
+  (sliceable with ``--etype`` / ``--epoch-range``),
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``list``   — available workloads, balancers and figure ids.
 """
@@ -19,6 +24,7 @@ from repro.experiments import figures as F
 from repro.experiments.config import BENCH_SIM_CONFIG, ExperimentConfig
 from repro.experiments.report import render_kv, render_trace_summary
 from repro.experiments.runner import run_experiment, run_traced
+from repro.obs.events import EVENT_TYPES
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dataset/op-count multiplier")
     run_p.add_argument("--data-path", action="store_true",
                        help="enable the OSD data path (end-to-end runs)")
+    run_p.add_argument("--record", metavar="DIR",
+                       help="enable the flight recorder and write the run's "
+                            "artifacts (time series, trace, metrics, Perfetto "
+                            "spans) to DIR")
+    run_p.add_argument("--clock", choices=("logical", "wall"), default="logical",
+                       help="span clock for --record (logical = byte-stable)")
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render a recorded run directory (repro run --record DIR) into "
+             "a Markdown report")
+    rep_p.add_argument("dir", metavar="DIR",
+                       help="artifact directory written by repro run --record")
+    rep_p.add_argument("--html", action="store_true",
+                       help="also write a self-contained report.html")
 
     sw_p = sub.add_parser(
         "sweep",
@@ -79,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="dataset/op-count multiplier")
     sw_p.add_argument("--workers", "-j", type=int, default=None,
                       help="worker processes (default: CPU count)")
+    sw_p.add_argument("--record", metavar="DIR",
+                      help="record every run and write the deterministically "
+                           "aggregated observability (merged metrics, "
+                           "per-run time series, combined Perfetto trace) "
+                           "to DIR")
 
     tr_p = sub.add_parser(
         "trace",
@@ -98,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep only the most recent N events (O(1) memory)")
     tr_p.add_argument("--from", dest="from_file", metavar="FILE",
                       help="summarize an existing JSONL trace instead of running")
+    tr_p.add_argument("--etype", action="append", choices=sorted(EVENT_TYPES),
+                      metavar="TYPE",
+                      help="keep only events of this type (repeatable; one of: "
+                           + ", ".join(sorted(EVENT_TYPES)) + ")")
+    tr_p.add_argument("--epoch-range", metavar="LO:HI",
+                      help="keep only events in this inclusive epoch range "
+                           "(e.g. 2:5; open ends allowed: ':5', '2:', '3')")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
@@ -115,11 +148,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args, out) -> int:
     sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity)
+    if args.record:
+        sim_cfg = sim_cfg.with_(record=True, record_clock=args.clock)
     cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
                            n_clients=args.clients, seed=args.seed,
                            scale=args.scale, data_path=args.data_path,
                            sim=sim_cfg)
-    res = run_experiment(cfg)
+    if args.record:
+        from repro.experiments.recording import write_run_artifacts
+
+        res, sim = run_traced(cfg)
+        paths = write_run_artifacts(
+            args.record, sim, res,
+            extra_meta={"seed": args.seed, "n_clients": args.clients,
+                        "scale": args.scale})
+    else:
+        res = run_experiment(cfg)
     jct = res.job_completion_times()
     pairs = [
         ("workload", res.workload),
@@ -137,6 +181,41 @@ def _cmd_run(args, out) -> int:
         ("metadata-op ratio", res.meta_ratio()),
     ]
     print(render_kv("Simulation summary", pairs), file=out)
+    if args.record:
+        print(f"  recorded {len(paths)} artifacts in {args.record} "
+              f"(render with: repro report {args.record})", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    import pathlib
+
+    from repro.experiments.recording import load_run_artifacts
+    from repro.obs.report import render_html, render_run_report
+
+    try:
+        loaded = load_run_artifacts(args.dir)
+    except (FileNotFoundError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    markdown = render_run_report(
+        loaded["meta"], timeseries=loaded["timeseries"],
+        events=loaded["events"], metrics=loaded["metrics"],
+        span_events=loaded["span_events"])
+    run_dir = pathlib.Path(args.dir)
+    md_path = run_dir / "report.md"
+    md_path.write_text(markdown, encoding="utf-8", newline="\n")
+    written = [str(md_path)]
+    if args.html:
+        meta = loaded["meta"]
+        title = (f"repro run report — {meta.get('workload', '?')} x "
+                 f"{meta.get('balancer', '?')}")
+        html_path = run_dir / "report.html"
+        html_path.write_text(render_html(markdown, title=title),
+                             encoding="utf-8", newline="\n")
+        written.append(str(html_path))
+    print(markdown, file=out)
+    print(f"  wrote {', '.join(written)}", file=out)
     return 0
 
 
@@ -156,8 +235,11 @@ def _cmd_sweep(args, out) -> int:
                             scale=args.scale)
     engine = ExperimentEngine(workers=workers)
     start = time.perf_counter()
-    matrix = run_matrix(list(args.workloads), list(args.balancers), base,
-                        engine=engine)
+    if args.record:
+        matrix, agg_paths = _sweep_recorded(args, base, engine)
+    else:
+        matrix = run_matrix(list(args.workloads), list(args.balancers), base,
+                            engine=engine)
     elapsed = time.perf_counter() - start
     rows = []
     for (w, b), res in matrix.items():
@@ -173,16 +255,78 @@ def _cmd_sweep(args, out) -> int:
         file=out)
     print(f"  wall-clock {elapsed:.2f}s; engine cache: {engine.misses} run, "
           f"{engine.hits} reused", file=out)
+    if args.record:
+        print(f"  recorded aggregate observability in {args.record} "
+              f"({', '.join(sorted(agg_paths))})", file=out)
     return 0
 
 
+def _sweep_recorded(args, base, engine):
+    """Run the sweep grid with the flight recorder on and write the
+    deterministic cross-run aggregate into ``args.record``."""
+    import json
+    import pathlib
+    from dataclasses import replace
+
+    from repro.obs.prom import write_textfile
+
+    cells = [(w, b) for w in args.workloads for b in args.balancers]
+    cfgs = [replace(base, workload=w, balancer=b) for w, b in cells]
+    labels = [f"{w}x{b}" for w, b in cells]
+    results, aggregate = engine.run_with_obs(cfgs, labels=labels)
+    matrix = dict(zip(cells, results))
+
+    out_dir = pathlib.Path(args.record)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    agg_path = out_dir / "aggregate.json"
+    with open(agg_path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(aggregate, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    spans_path = out_dir / "sweep.perfetto.json"
+    with open(spans_path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump({"traceEvents": aggregate["spans"],
+                   "displayTimeUnit": "ms"},
+                  fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    prom_path = out_dir / "metrics.prom"
+    write_textfile(aggregate["metrics"], prom_path)
+    return matrix, [p.name for p in (agg_path, spans_path, prom_path)]
+
+
+def _parse_epoch_range(spec: str) -> tuple[int, int]:
+    """``'2:5'`` -> (2, 5); open ends: ``':5'``, ``'2:'``; bare ``'3'``."""
+    text = spec.strip()
+    try:
+        if ":" not in text:
+            lo = hi = int(text)
+        else:
+            lo_s, _, hi_s = text.partition(":")
+            lo = int(lo_s) if lo_s.strip() else 0
+            hi = int(hi_s) if hi_s.strip() else sys.maxsize
+    except ValueError:
+        raise ValueError(
+            f"bad --epoch-range {spec!r}: expected LO:HI, ':HI', 'LO:' or "
+            f"a single epoch number") from None
+    if lo > hi:
+        raise ValueError(f"bad --epoch-range {spec!r}: {lo} > {hi}")
+    return lo, hi
+
+
 def _cmd_trace(args, out) -> int:
-    from repro.obs.tracelog import read_jsonl
+    from repro.obs.tracelog import filter_events, read_jsonl, write_jsonl
 
     if args.ring is not None and args.ring < 1:
         print(f"error: --ring must be a positive event count, got {args.ring}",
               file=sys.stderr)
         return 2
+    epoch_range = None
+    if args.epoch_range is not None:
+        try:
+            epoch_range = _parse_epoch_range(args.epoch_range)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    filtering = args.etype is not None or epoch_range is not None
 
     if args.from_file:
         try:
@@ -191,9 +335,18 @@ def _cmd_trace(args, out) -> int:
             print(f"error: cannot read trace {args.from_file}: {exc}",
                   file=sys.stderr)
             return 2
+        total = len(events)
+        if filtering:
+            events = filter_events(events, etypes=args.etype,
+                                   epoch_range=epoch_range)
         print(render_trace_summary(events,
                                    title=f"Decision trace ({args.from_file})"),
               file=out)
+        if filtering:
+            print(f"  (filters kept {len(events)} of {total} events)", file=out)
+        if args.out:
+            write_jsonl(args.out, events)
+            print(f"  wrote {len(events)} events to {args.out}", file=out)
         return 0
 
     sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity,
@@ -201,14 +354,22 @@ def _cmd_trace(args, out) -> int:
     cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
                            n_clients=args.clients, seed=args.seed,
                            scale=args.scale, sim=sim_cfg)
-    res, sim = run_traced(cfg, trace_path=args.out)
+    res, sim = run_traced(cfg)
+    events = list(sim.trace)
+    if filtering:
+        events = filter_events(events, etypes=args.etype,
+                               epoch_range=epoch_range)
     title = f"Decision trace ({res.workload} x {res.balancer}, seed {args.seed})"
-    print(render_trace_summary(sim.trace, title=title), file=out)
+    print(render_trace_summary(events, title=title), file=out)
     if sim.trace.dropped:
         print(f"  (ring buffer kept {len(sim.trace)} of "
               f"{sim.trace.emitted} events)", file=out)
+    if filtering:
+        print(f"  (filters kept {len(events)} of {len(sim.trace)} events)",
+              file=out)
     if args.out:
-        print(f"  wrote {len(sim.trace)} events to {args.out}", file=out)
+        write_jsonl(args.out, events)
+        print(f"  wrote {len(events)} events to {args.out}", file=out)
     return 0
 
 
@@ -244,6 +405,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
     if args.command == "trace":

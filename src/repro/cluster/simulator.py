@@ -27,11 +27,12 @@ from repro.cluster.osd import OsdPool
 from repro.cluster.results import SimResult
 from repro.cluster.router import Router
 from repro.cluster.stats import AccessStats
-from repro.core.if_model import imbalance_factor
+from repro.core.if_model import imbalance_factor, urgency
 from repro.core.plan import EmitEvent, EpochPlan, ExportUnit, PinSubtree, SplitDir
 from repro.core.view import ClusterView, build_cluster_view
 from repro.namespace.subtree import AuthorityMap
 from repro.obs.events import EpochStart, IfComputed, MdsFailed, MdsRecovered
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracelog import TraceLog
 from repro.workloads.base import OP_CREATE, OP_READDIR, Client, WorkloadInstance
@@ -87,6 +88,15 @@ class SimConfig:
     #: (tracing is epoch-granular, so even long runs stay small), an int
     #: bounds memory to the most recent N events for always-on deployments
     trace_capacity: int | None = None
+    #: flight recorder: per-epoch time-series sampling + phase spans
+    #: (see ``repro.obs.recorder``); off by default, ~0% cost when off
+    record: bool = False
+    #: span timestamp source — "logical" is byte-stable across runs (what
+    #: golden snapshots and cross-worker aggregation need), "wall" gives
+    #: real phase times in µs for benchmarks
+    record_clock: str = "logical"
+    #: time-series ring capacity in epochs (``None`` keeps every epoch)
+    record_capacity: int | None = None
 
     def with_(self, **kwargs) -> "SimConfig":
         """Copy with overrides (convenience for sweeps)."""
@@ -129,7 +139,15 @@ class Simulator:
         ]
         #: always-on observability: every component below feeds these two
         self.metrics = MetricsRegistry()
-        self.trace = TraceLog(capacity=config.trace_capacity)
+        self.trace = TraceLog(
+            capacity=config.trace_capacity,
+            drop_counter=self.metrics.counter("trace.events_dropped"))
+        #: opt-in flight recorder (per-epoch time series + phase spans)
+        self.recorder: FlightRecorder | None = (
+            FlightRecorder(clock=config.record_clock,
+                           capacity=config.record_capacity)
+            if config.record else None
+        )
         self.router = Router(self.authmap, config.forward_charge,
                              lease_ttl=config.client_lease_ttl,
                              metrics=self.metrics)
@@ -259,12 +277,25 @@ class Simulator:
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
-        self.apply_plan(self.balancer.setup(self.snapshot_view()))
+        # the profiler handle is hoisted so the common (recorder-off) path
+        # pays a single None check per phase, nothing more
+        prof = self.recorder.spans if self.recorder is not None else None
+        if prof is not None:
+            with prof.span("setup"):
+                self.apply_plan(self.balancer.setup(self.snapshot_view()))
+        else:
+            self.apply_plan(self.balancer.setup(self.snapshot_view()))
         cfg = self.config
         while self.tick < cfg.max_ticks:
             self._fire_schedule(self.tick)
             self._begin_tick()
-            self._serve_tick(self.tick)
+            if prof is None:
+                self._serve_tick(self.tick)
+            else:
+                if self.tick % cfg.epoch_len == 0:
+                    prof.begin("epoch")
+                with prof.span("serve"):
+                    self._serve_tick(self.tick)
             if self.osd is not None:
                 now = self.tick
                 self.osd.tick()
@@ -279,10 +310,16 @@ class Simulator:
                     elif left <= window:
                         self._data_busy.discard(cid)
             down = {m.rank for m in self.mdss if m.failed}
-            self.migrator.tick(down)
+            if prof is None:
+                self.migrator.tick(down)
+            else:
+                with prof.span("migration"):
+                    self.migrator.tick(down)
             self.tick += 1
             if self.tick % cfg.epoch_len == 0:
                 self._end_epoch()
+                if prof is not None:
+                    prof.end("epoch")
                 if cfg.stop_when_done and self._all_done():
                     break
         return self._finalize()
@@ -420,7 +457,18 @@ class Simulator:
         for rank, load in enumerate(loads):
             m.gauge("mds.load", rank=rank).set(load)
 
-        self.apply_plan(self.balancer.on_epoch(self.snapshot_view()))
+        rec = self.recorder
+        if rec is None:
+            self.apply_plan(self.balancer.on_epoch(self.snapshot_view()))
+        else:
+            spans = rec.spans
+            with spans.span("snapshot_view"):
+                view = self.snapshot_view()
+            with spans.span("plan"):
+                plan = self.balancer.on_epoch(view)
+            with spans.span("apply_plan"):
+                self.apply_plan(plan)
+            self._record_epoch(rec, if_value, loads, ops)
         # Housekeeping CephFS also performs: merge subtree roots and frag
         # maps that migrations have made redundant, so the authority map
         # (and resolution cost) stays proportional to real fragmentation.
@@ -429,8 +477,37 @@ class Simulator:
         self.authmap.merge_uniform_frags(exclude=self.migrator.pending_frag_dirs())
         self.epoch += 1
 
+    def _record_epoch(self, rec: FlightRecorder, if_value: float,
+                      loads: list[float], ops: int) -> None:
+        """One flight-recorder sample: the epoch's row in the time series.
+
+        Queue depths are read *after* the plan applied, so the row shows
+        the migration backlog this epoch's decisions actually created.
+        """
+        cfg = self.config
+        capacity = max(m.capacity for m in self.mdss)
+        queue_depths = [self.migrator.queue_depth(m.rank) for m in self.mdss]
+        record: dict[str, float | int] = {
+            "epoch": self.epoch,
+            "tick": self.tick,
+            "if": if_value,
+            "urgency": urgency(max(loads), capacity, cfg.urgency_smoothness),
+            "ops": ops,
+            "latency": self.result.latency_series[-1],
+            "migrated": self.migrator.migrated_inodes,
+            "forwards": self.router.total_forwards,
+            "queue": sum(queue_depths),
+        }
+        for rank, load in enumerate(loads):
+            record[f"load.{rank}"] = load
+        for rank, depth in enumerate(queue_depths):
+            record[f"queue.{rank}"] = depth
+        rec.sample(record, registry=self.metrics)
+
     # -------------------------------------------------------------- finalize
     def _finalize(self) -> SimResult:
+        if self.recorder is not None:
+            self.recorder.finalize()
         r = self.result
         r.completion_ticks = {
             c.cid: c.done_at for c in self.clients if c.done_at is not None

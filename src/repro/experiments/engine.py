@@ -24,12 +24,12 @@ from __future__ import annotations
 import hashlib
 import json
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, is_dataclass
+from dataclasses import asdict, is_dataclass, replace
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_traced
 
-__all__ = ["config_hash", "ExperimentEngine"]
+__all__ = ["config_hash", "ExperimentEngine", "aggregate_obs"]
 
 
 def _jsonable(obj):
@@ -51,17 +51,35 @@ def config_hash(cfg: ExperimentConfig) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _execute(cfg: ExperimentConfig, with_trace: bool):
-    """Worker entry point: one full simulation, optionally with its trace.
+def _execute(cfg: ExperimentConfig, with_trace: bool, with_obs: bool = False):
+    """Worker entry point: one full simulation, optionally with extras.
 
-    Returns ``result`` or ``(result, trace_jsonl)`` — the trace crosses the
-    process boundary as its canonical JSONL string, the same bytes
-    ``TraceLog.dumps`` yields in-process (what the golden tests compare).
+    The trace crosses the process boundary as its canonical JSONL string,
+    the same bytes ``TraceLog.dumps`` yields in-process (what the golden
+    tests compare). ``with_obs`` forces the flight recorder on (logical
+    clock, unless the config already chose one) and ships back the
+    metrics/time-series snapshots and the span stream — all deterministic
+    functions of the config, so aggregation in the parent is worker-count
+    independent.
+
+    Return shape: ``result``, then the trace if requested, then the obs
+    payload if requested.
     """
+    if with_obs and not cfg.sim.record:
+        cfg = replace(cfg, sim=cfg.sim.with_(record=True))
     result, sim = run_traced(cfg, balancer_kwargs=cfg.balancer_kwargs)
+    if not with_trace and not with_obs:
+        return result
+    out: list = [result]
     if with_trace:
-        return result, sim.trace.dumps()
-    return result
+        out.append(sim.trace.dumps())
+    if with_obs:
+        out.append({
+            "metrics": sim.metrics.snapshot(),
+            "timeseries": sim.recorder.timeseries.snapshot(),
+            "spans": sim.recorder.spans.events(),
+        })
+    return tuple(out)
 
 
 class ExperimentEngine:
@@ -80,14 +98,19 @@ class ExperimentEngine:
         self.misses = 0
 
     # -------------------------------------------------------------- running
-    def run(self, cfgs: list[ExperimentConfig], *, with_trace: bool = False):
+    def run(self, cfgs: list[ExperimentConfig], *, with_trace: bool = False,
+            with_obs: bool = False):
         """Run every config; returns results in input order.
 
-        With ``with_trace`` each result is ``(SimResult, trace_jsonl)``.
-        Duplicate configs (same hash) run once.
+        Each returned item is the bare ``SimResult``, or a tuple growing
+        the requested extras in order: the canonical trace JSONL
+        (``with_trace``) and the observability payload (``with_obs``: the
+        run's metrics snapshot, time-series snapshot and span stream —
+        see :func:`aggregate_obs`). Duplicate configs (same hash) run
+        once.
         """
-        keys = [(config_hash(c), with_trace) for c in cfgs]
-        pending: dict[tuple[str, bool], ExperimentConfig] = {}
+        keys = [(config_hash(c), with_trace, with_obs) for c in cfgs]
+        pending: dict[tuple, ExperimentConfig] = {}
         for key, cfg in zip(keys, cfgs):
             if key in self._cache:
                 self.hits += 1
@@ -97,21 +120,37 @@ class ExperimentEngine:
             else:
                 self.hits += 1
         if pending:
-            self._cache.update(self._run_pending(pending, with_trace))
+            self._cache.update(self._run_pending(pending, with_trace, with_obs))
         return [self._cache[key] for key in keys]
 
-    def _run_pending(self, pending, with_trace: bool):
+    def _run_pending(self, pending, with_trace: bool, with_obs: bool):
         items = list(pending.items())
         if self.workers > 1 and len(items) > 1:
             try:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
                     results = list(pool.map(
                         _execute, [cfg for _, cfg in items],
-                        [with_trace] * len(items)))
+                        [with_trace] * len(items), [with_obs] * len(items)))
                 return {key: res for (key, _), res in zip(items, results)}
             except (OSError, PermissionError):
                 pass  # no subprocess support here; fall through to serial
-        return {key: _execute(cfg, with_trace) for key, cfg in items}
+        return {key: _execute(cfg, with_trace, with_obs)
+                for key, cfg in items}
+
+    def run_with_obs(self, cfgs: list[ExperimentConfig],
+                     labels: list[str] | None = None):
+        """Run configs and return ``(results, aggregate)``.
+
+        ``aggregate`` is the deterministic merge of every run's
+        observability payload (see :func:`aggregate_obs`); ``labels``
+        name the runs in it (default: their input index).
+        """
+        items = self.run(cfgs, with_obs=True)
+        results = [item[0] for item in items]
+        payloads = [item[-1] for item in items]
+        if labels is None:
+            labels = [str(i) for i in range(len(cfgs))]
+        return results, aggregate_obs(payloads, labels)
 
     # ------------------------------------------------------------ inspection
     @property
@@ -122,3 +161,28 @@ class ExperimentEngine:
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+
+
+def aggregate_obs(payloads: list[dict], labels: list[str]) -> dict:
+    """Merge per-run obs payloads into one deterministic structure.
+
+    Metrics snapshots merge by kind (counters/histograms sum, gauges last
+    in input order); span streams concatenate with ``pid = input index``
+    (a labelled Perfetto process per run); time series stay per-run under
+    their label. Input order — not completion order — drives everything,
+    so serial and pooled sweeps aggregate to identical bytes
+    (``json.dumps(..., sort_keys=True)`` of this value is the contract
+    ``tests/test_experiments_engine.py`` holds).
+    """
+    from repro.obs.aggregate import merge_metrics_snapshots
+    from repro.obs.spans import merge_span_events
+
+    if len(payloads) != len(labels):
+        raise ValueError("payloads and labels must match 1:1")
+    return {
+        "metrics": merge_metrics_snapshots([p["metrics"] for p in payloads]),
+        "spans": merge_span_events([p["spans"] for p in payloads],
+                                   labels=list(labels)),
+        "runs": {label: {"timeseries": p["timeseries"]}
+                 for label, p in zip(labels, payloads)},
+    }

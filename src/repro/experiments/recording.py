@@ -1,0 +1,121 @@
+"""Recorded-run artifact directories: write on ``run --record``, read on
+``repro report``.
+
+One recorded run becomes one self-describing directory:
+
+====================  ====================================================
+``run.json``          run metadata (workload, balancer, seed, clock, ...)
+``timeseries.csv``    the per-epoch table, human/golden-friendly
+``timeseries.jsonl``  the same rows, loss-lessly reloadable
+``trace.jsonl``       the balancer-decision trace (canonical JSONL)
+``metrics.json``      the metrics-registry snapshot
+``metrics.prom``      the same snapshot as OpenMetrics text
+``spans.perfetto.json``  the phase spans, loadable in ui.perfetto.dev
+====================  ====================================================
+
+Everything is plain text and deterministic for logical-clock runs, so an
+artifact directory can be diffed, archived next to a paper figure, or
+uploaded as a CI artifact wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.obs.prom import write_textfile
+from repro.obs.timeseries import TimeSeriesStore
+from repro.obs.tracelog import read_jsonl
+
+__all__ = ["ARTIFACT_FILES", "write_run_artifacts", "load_run_artifacts"]
+
+ARTIFACT_FILES = {
+    "meta": "run.json",
+    "timeseries_csv": "timeseries.csv",
+    "timeseries": "timeseries.jsonl",
+    "trace": "trace.jsonl",
+    "metrics": "metrics.json",
+    "metrics_prom": "metrics.prom",
+    "spans": "spans.perfetto.json",
+}
+
+
+def write_run_artifacts(dirpath: str | os.PathLike, sim, result,
+                        extra_meta: dict | None = None) -> dict[str, str]:
+    """Dump one recorded simulation into ``dirpath``; returns the paths.
+
+    ``sim`` must have run with ``SimConfig(record=True)`` — the flight
+    recorder is where the time series and spans live.
+    """
+    if sim.recorder is None:
+        raise ValueError(
+            "simulator ran without a flight recorder; use "
+            "SimConfig(record=True) (CLI: repro run --record DIR)")
+    out = pathlib.Path(dirpath)
+    out.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "schema": 1,
+        "workload": result.workload,
+        "balancer": result.balancer,
+        "epoch_len": result.epoch_len,
+        "n_mds": sim.n_mds,
+        "epochs": len(result.if_series),
+        "finished_tick": result.finished_tick,
+        "clock": sim.recorder.clock,
+        **(extra_meta or {}),
+    }
+    paths = {key: str(out / name) for key, name in ARTIFACT_FILES.items()}
+    with open(paths["meta"], "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    sim.recorder.timeseries.dump_csv(paths["timeseries_csv"])
+    sim.recorder.timeseries.dump_jsonl(paths["timeseries"])
+    sim.trace.dump_jsonl(paths["trace"])
+    with open(paths["metrics"], "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(sim.metrics.to_json(indent=2))
+        fh.write("\n")
+    write_textfile(sim.metrics, paths["metrics_prom"])
+    sim.recorder.spans.dump_perfetto(paths["spans"])
+    return paths
+
+
+def load_run_artifacts(dirpath: str | os.PathLike) -> dict:
+    """Read an artifact directory back into renderer-ready pieces.
+
+    Returns ``{"meta", "timeseries", "events", "metrics", "span_events"}``
+    — exactly the keyword surface of
+    :func:`repro.obs.report.render_run_report`. Missing optional files
+    load as empty; a directory with no ``run.json`` raises
+    :class:`FileNotFoundError` (it is not an artifact directory).
+    """
+    src = pathlib.Path(dirpath)
+    meta_path = src / ARTIFACT_FILES["meta"]
+    if not meta_path.exists():
+        raise FileNotFoundError(
+            f"{src} is not a recorded-run directory (no {ARTIFACT_FILES['meta']}); "
+            f"produce one with: repro run --record {src}")
+    with open(meta_path, encoding="utf-8") as fh:
+        meta = json.load(fh)
+
+    ts_path = src / ARTIFACT_FILES["timeseries"]
+    timeseries = (TimeSeriesStore.load_jsonl(ts_path).snapshot()
+                  if ts_path.exists() else {})
+
+    trace_path = src / ARTIFACT_FILES["trace"]
+    events = list(read_jsonl(trace_path)) if trace_path.exists() else []
+
+    metrics_path = src / ARTIFACT_FILES["metrics"]
+    metrics = {}
+    if metrics_path.exists():
+        with open(metrics_path, encoding="utf-8") as fh:
+            metrics = json.load(fh)
+
+    spans_path = src / ARTIFACT_FILES["spans"]
+    span_events = []
+    if spans_path.exists():
+        with open(spans_path, encoding="utf-8") as fh:
+            span_events = json.load(fh).get("traceEvents", [])
+
+    return {"meta": meta, "timeseries": timeseries, "events": events,
+            "metrics": metrics, "span_events": span_events}

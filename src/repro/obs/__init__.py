@@ -1,4 +1,4 @@
-"""Observability: metrics registry + structured balancer-decision tracing.
+"""Observability: metrics, decision tracing, and the flight recorder.
 
 Two always-on primitives every :class:`repro.cluster.Simulator` carries:
 
@@ -10,7 +10,23 @@ Two always-on primitives every :class:`repro.cluster.Simulator` carries:
   computations, role assignments, subtree selections, migration
   plan/commit/abort, failure injection), exportable as canonical JSONL.
 
-See ``docs/OBSERVABILITY.md`` for the event schema and CLI usage.
+And the opt-in flight recorder (``SimConfig(record=True)``):
+
+- :class:`~repro.obs.timeseries.TimeSeriesStore` — columnar per-epoch
+  samples (per-MDS load, IF, urgency, queue depth, migrated inodes),
+  snapshot-able to CSV/JSONL;
+- :class:`~repro.obs.spans.SpanProfiler` — hierarchical phase spans with
+  Chrome/Perfetto trace-event export (logical or wall clock);
+- :mod:`~repro.obs.prom` — OpenMetrics text exposition of any registry
+  snapshot, plus a self-check parser;
+- :mod:`~repro.obs.report` — self-contained Markdown/HTML run reports
+  (``repro report``);
+- :mod:`~repro.obs.aggregate` — deterministic cross-worker merging for
+  the process-pool experiment engine.
+
+This package never imports the simulator (enforced by
+``tests/test_architecture.py``). See ``docs/OBSERVABILITY.md`` for the
+schemas and CLI usage.
 """
 
 from repro.obs.events import (
@@ -32,17 +48,42 @@ from repro.obs.events import (
     event_to_dict,
     event_to_json,
 )
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.tracelog import TraceLog, read_jsonl, write_jsonl
+from repro.obs.aggregate import merge_metrics_snapshots
+from repro.obs.prom import parse_openmetrics, render_openmetrics, write_textfile
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+)
+from repro.obs.report import render_html, render_run_report
+from repro.obs.spans import SpanProfiler, merge_span_events, totals_from_events
+from repro.obs.timeseries import TimeSeriesStore
+from repro.obs.tracelog import TraceLog, filter_events, read_jsonl, write_jsonl
 
 __all__ = [
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
+    "histogram_quantile",
     "TraceLog",
     "read_jsonl",
     "write_jsonl",
+    "filter_events",
+    "FlightRecorder",
+    "TimeSeriesStore",
+    "SpanProfiler",
+    "merge_span_events",
+    "totals_from_events",
+    "merge_metrics_snapshots",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "write_textfile",
+    "render_run_report",
+    "render_html",
     "TraceEvent",
     "EpochStart",
     "IfComputed",

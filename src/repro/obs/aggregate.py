@@ -1,0 +1,79 @@
+"""Deterministic cross-run aggregation of observability payloads.
+
+The process-pool experiment engine runs each config in its own worker;
+every worker comes home with a metrics snapshot, a time-series snapshot
+and a span stream. Merging happens here, **in input order**, with sorted
+serialization — so a sweep's aggregated observability is byte-identical
+at any worker count (held by ``tests/test_experiments_engine.py``).
+
+Merge semantics per metric kind:
+
+- **counter**: values sum per ``(name, labels)`` series;
+- **gauge**: last writer (input order) wins — a gauge is a point-in-time
+  reading, summing "current IF" across runs would mean nothing;
+- **histogram**: bucket-by-bucket sum (cumulative counts add), plus
+  ``count`` and ``sum``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["merge_metrics_snapshots"]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def merge_metrics_snapshots(snapshots: list[dict]) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts into one (same schema).
+
+    Mixing kinds under one name raises ``ValueError`` — the per-registry
+    invariant (one name, one kind) holds across the merge too.
+    """
+    kinds: dict[str, str] = {}
+    series: dict[str, dict[tuple, dict]] = {}
+    for snap in snapshots:
+        for name, family in snap.items():
+            kind = family["kind"]
+            if kinds.setdefault(name, kind) != kind:
+                raise ValueError(
+                    f"metric {name!r} is {kinds[name]} in one snapshot and "
+                    f"{kind} in another")
+            per_name = series.setdefault(name, {})
+            for s in family["series"]:
+                key = _label_key(s["labels"])
+                merged = per_name.get(key)
+                if merged is None:
+                    per_name[key] = _copy_series(s)
+                else:
+                    _merge_into(kind, merged, s, name)
+    out: dict = {}
+    for name in sorted(series):
+        out[name] = {
+            "kind": kinds[name],
+            "series": [per for _, per in sorted(series[name].items())],
+        }
+    return out
+
+
+def _copy_series(s: dict) -> dict:
+    copied = dict(s)
+    copied["labels"] = dict(s["labels"])
+    if "buckets" in s:
+        copied["buckets"] = dict(s["buckets"])
+    return copied
+
+
+def _merge_into(kind: str, merged: dict, s: dict, name: str) -> None:
+    if kind == "counter":
+        merged["value"] += s["value"]
+    elif kind == "gauge":
+        merged["value"] = s["value"]
+    elif kind == "histogram":
+        buckets = merged["buckets"]
+        for le, count in s["buckets"].items():
+            buckets[le] = buckets.get(le, 0) + count
+        merged["count"] += s["count"]
+        merged["sum"] += s["sum"]
+    else:
+        raise ValueError(f"unknown metric kind {kind!r} for {name!r}")

@@ -1,0 +1,217 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry` snapshot.
+
+Renders the registry's counters, gauges and histograms in the OpenMetrics
+text format (the Prometheus exposition format plus the mandatory ``# EOF``
+terminator): counters gain the ``_total`` suffix, histograms expose
+cumulative ``_bucket{le=...}`` series ending at ``+Inf`` plus ``_count``
+and ``_sum``. Metric and label names are sanitized to the Prometheus
+charset (``sim.epochs`` becomes ``sim_epochs``).
+
+:func:`write_textfile` is the node-exporter *textfile collector* pattern:
+atomically replace one ``.prom`` file per scrape interval — the flight
+recorder can do it per epoch — and any Prometheus in reach of the
+directory picks the run up with zero servers involved.
+
+:func:`parse_openmetrics` is a deliberately small self-check parser used
+by the test suite and CI: it validates the frame (TYPE-before-samples,
+final ``# EOF``, parseable values, counter ``_total`` suffixes, monotone
+histogram buckets), not the full spec.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+
+__all__ = ["sanitize_metric_name", "render_openmetrics", "write_textfile",
+           "parse_openmetrics"]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL_ITEM = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: exposition suffixes each metric kind may emit samples under
+_KIND_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum"),
+}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Prometheus-legal metric name (dots and dashes become underscores)."""
+    out = _INVALID_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    items = ",".join(
+        f'{sanitize_metric_name(str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items()))
+    return "{" + items + "}"
+
+
+def _sorted_buckets(buckets: dict) -> list[tuple[float, float]]:
+    """Snapshot bucket dict -> [(bound, cumulative count)], +Inf last."""
+    out = []
+    for key, count in buckets.items():
+        bound = math.inf if key == "+Inf" else float(key)
+        out.append((bound, count))
+    return sorted(out)
+
+
+def render_openmetrics(source) -> str:
+    """OpenMetrics text for a registry or an already-taken snapshot dict."""
+    snap = source if isinstance(source, dict) else source.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap):
+        family = snap[name]
+        kind = family["kind"]
+        mname = sanitize_metric_name(name)
+        lines.append(f"# TYPE {mname} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "counter":
+                lines.append(f"{mname}_total{_render_labels(labels)} "
+                             f"{_fmt_value(series['value'])}")
+            elif kind == "gauge":
+                lines.append(f"{mname}{_render_labels(labels)} "
+                             f"{_fmt_value(series['value'])}")
+            elif kind == "histogram":
+                for bound, count in _sorted_buckets(series["buckets"]):
+                    le = "+Inf" if math.isinf(bound) else repr(bound)
+                    lines.append(
+                        f"{mname}_bucket{_render_labels({**labels, 'le': le})} "
+                        f"{_fmt_value(count)}")
+                lines.append(f"{mname}_count{_render_labels(labels)} "
+                             f"{_fmt_value(series['count'])}")
+                lines.append(f"{mname}_sum{_render_labels(labels)} "
+                             f"{_fmt_value(series['sum'])}")
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(source, path: str | os.PathLike) -> str:
+    """Atomically (write + rename) dump the exposition to a ``.prom`` file.
+
+    The rename keeps a concurrently scraping textfile collector from ever
+    seeing a half-written exposition. Returns the text written.
+    """
+    text = render_openmetrics(source)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return text
+
+
+# --------------------------------------------------------------- self-check
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> tuple[str, str]:
+    """Resolve a sample to its declared family; raises when undeclared."""
+    for family, kind in types.items():
+        for suffix in _KIND_SUFFIXES[kind]:
+            if sample_name == family + suffix:
+                return family, suffix
+    raise ValueError(f"sample {sample_name!r} has no preceding # TYPE family")
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Validate an exposition; returns ``family -> {type, samples}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``. Raises
+    :class:`ValueError` on structural violations: a missing ``# EOF``,
+    samples before their ``# TYPE``, unparseable lines or values, counter
+    samples without ``_total``, or non-monotone/inconsistent histogram
+    buckets.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    types: dict[str, str] = {}
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, name, kind = line.split(" ")
+            except ValueError:
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            if kind not in _KIND_SUFFIXES:
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            if name in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            types[name] = kind
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment {line!r}")
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        family, _suffix = _family_of(m.group("name"), types)
+        labels = {k: v for k, v in _LABEL_ITEM.findall(m.group("labels") or "")}
+        value = _parse_value(m.group("value"))
+        families[family]["samples"].append((m.group("name"), labels, value))
+    for family, info in families.items():
+        if info["type"] == "histogram":
+            _check_histogram(family, info["samples"])
+    return families
+
+
+def _check_histogram(family: str, samples: list[tuple]) -> None:
+    """Buckets must be cumulative (monotone) and end at +Inf == _count."""
+    by_series: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if name == family + "_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{family}: bucket sample without le label")
+            by_series.setdefault(key, []).append((_parse_value(labels["le"]), value))
+        elif name == family + "_count":
+            counts[key] = value
+    for key, buckets in by_series.items():
+        buckets.sort()
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            raise ValueError(f"{family}: bucket counts are not cumulative")
+        if not math.isinf(buckets[-1][0]):
+            raise ValueError(f"{family}: missing +Inf bucket")
+        if key in counts and buckets[-1][1] != counts[key]:
+            raise ValueError(f"{family}: +Inf bucket != _count")

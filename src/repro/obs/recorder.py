@@ -1,0 +1,51 @@
+"""The flight recorder: per-epoch time series + phase spans, one handle.
+
+A :class:`FlightRecorder` is what ``SimConfig(record=True)`` hangs on the
+simulator: a :class:`~repro.obs.timeseries.TimeSeriesStore` sampled once
+per epoch and a :class:`~repro.obs.spans.SpanProfiler` wrapped around the
+epoch phases. It is plain composition — the recorder knows nothing about
+the simulator (the architecture suite keeps ``obs`` import-free of
+``repro.cluster``); the simulator pushes samples in.
+
+With ``textfile_path`` set, every sample also rewrites an OpenMetrics
+``.prom`` file (node-exporter textfile-collector style), so an external
+Prometheus can scrape a live run without any server in the loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.obs.spans import SpanProfiler
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bundles the per-epoch store and the span profiler of one run."""
+
+    def __init__(self, clock: str = "logical", capacity: int | None = None,
+                 textfile_path: str | None = None) -> None:
+        self.timeseries = TimeSeriesStore(capacity=capacity)
+        self.spans = SpanProfiler(clock=clock)
+        self.textfile_path = textfile_path
+        #: epochs sampled (lifetime, unaffected by the ring)
+        self.samples = 0
+
+    @property
+    def clock(self) -> str:
+        return self.spans.clock
+
+    def sample(self, record: Mapping, registry=None) -> None:
+        """Record one epoch; optionally refresh the OpenMetrics textfile."""
+        self.timeseries.append(record)
+        self.samples += 1
+        if self.textfile_path is not None and registry is not None:
+            from repro.obs.prom import write_textfile
+
+            write_textfile(registry, self.textfile_path)
+
+    def finalize(self) -> None:
+        """Close any span left open (a run stopped mid-epoch)."""
+        self.spans.close_open()

@@ -25,7 +25,8 @@ import json
 import time
 from collections.abc import Iterator
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+           "histogram_quantile"]
 
 #: default histogram buckets: powers of ten with 2.5/5 subdivisions, which
 #: covers both tick-latencies (1-100) and inode counts (10^2-10^6)
@@ -121,6 +122,19 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Prometheus ``histogram_quantile`` semantics: the rank is located
+        in the cumulative bucket counts and interpolated linearly between
+        the bucket's bounds (the first bucket's lower edge is 0 when its
+        upper bound is positive). Observations that landed in the +Inf
+        bucket cap the estimate at the highest finite bound. An empty
+        histogram returns NaN.
+        """
+        return histogram_quantile(self.bounds, self.cumulative_counts()[:-1],
+                                  self.count, q)
+
     def snapshot(self) -> dict:
         return {
             "buckets": {
@@ -130,6 +144,34 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
         }
+
+
+def histogram_quantile(bounds: tuple[float, ...] | list[float],
+                       cumulative: list[int], count: int, q: float) -> float:
+    """Quantile from cumulative-bucket data (shared with snapshot dicts).
+
+    ``bounds`` are the finite upper edges (ascending) and ``cumulative``
+    the observation counts at or below each — exactly what
+    :meth:`Histogram.snapshot` serializes, so run reports can compute
+    p50/p95/p99 from a metrics JSON without the live objects.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(bounds) != len(cumulative):
+        raise ValueError("bounds and cumulative counts must align")
+    if count <= 0 or not bounds:
+        return float("nan")
+    target = q * count
+    for i, bound in enumerate(bounds):
+        if cumulative[i] >= target and cumulative[i] > 0:
+            below = cumulative[i - 1] if i > 0 else 0
+            in_bucket = cumulative[i] - below
+            lo = bounds[i - 1] if i > 0 else (0.0 if bound > 0 else bound)
+            if in_bucket <= 0:
+                return float(bound)
+            return lo + (bound - lo) * (target - below) / in_bucket
+    # the rank falls in the +Inf bucket: cap at the highest finite edge
+    return float(bounds[-1])
 
 
 class _Timer:

@@ -1,0 +1,280 @@
+"""Self-contained Markdown/HTML run reports from flight-recorder data.
+
+``render_run_report`` turns the artifacts of one recorded run — run
+metadata, the per-epoch time-series snapshot, the decision trace, the
+metrics snapshot and the span stream — into a single Markdown document
+answering the longitudinal questions the paper's figures ask: how did IF
+evolve, who carried the load, what migrated where, and where did the
+wall-clock go. Everything is computed from plain dicts/event lists, so
+the renderer works on loaded artifacts as well as live objects and stays
+import-free of the simulator.
+
+``render_html`` wraps the same report in a minimal standalone HTML page
+(no external assets), for sharing a run without a Markdown viewer.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.obs.registry import histogram_quantile
+from repro.obs.spans import totals_from_events
+
+__all__ = ["render_run_report", "render_html", "sparkline"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-line unicode plot of a series (empty string for no data)."""
+    vals = [v for v in values if v is not None and v == v]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None or v != v:
+            out.append(" ")
+            continue
+        idx = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x != x:
+            return "nan"
+        if abs(x) >= 1000:
+            return f"{x:,.0f}"
+        return f"{x:.3f}" if abs(x) < 10 else f"{x:.1f}"
+    return str(x)
+
+
+def _md_table(headers: list[str], rows: list[list]) -> list[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return lines
+
+
+def _series(timeseries: dict, name: str) -> list:
+    cols = timeseries.get("columns", [])
+    if name not in cols:
+        return []
+    i = cols.index(name)
+    return [row[i] for row in timeseries.get("rows", [])]
+
+
+def _rank_columns(timeseries: dict, prefix: str) -> list[tuple[int, str]]:
+    out = []
+    for col in timeseries.get("columns", []):
+        head, _, rank = col.partition(".")
+        if head == prefix and rank.isdigit():
+            out.append((int(rank), col))
+    return sorted(out)
+
+
+# ------------------------------------------------------------------ sections
+def _section_header(meta: dict) -> list[str]:
+    title = meta.get("title") or (
+        f"{meta.get('workload', '?')} × {meta.get('balancer', '?')}")
+    lines = [f"# Run report — {title}", ""]
+    keys = ("workload", "balancer", "seed", "n_clients", "n_mds", "scale",
+            "epoch_len", "epochs", "finished_tick", "clock")
+    rows = [[k, meta[k]] for k in keys if k in meta]
+    for k in sorted(set(meta) - set(keys) - {"title", "schema"}):
+        rows.append([k, meta[k]])
+    if rows:
+        lines += _md_table(["field", "value"], rows)
+        lines.append("")
+    return lines
+
+
+def _section_if(timeseries: dict) -> list[str]:
+    ifs = [v for v in _series(timeseries, "if") if v is not None]
+    if not ifs:
+        return []
+    lines = ["## Imbalance-factor trajectory", ""]
+    lines.append(f"`{sparkline(ifs)}`  ({len(ifs)} epochs)")
+    lines.append("")
+    rows = [["first", ifs[0]], ["peak", max(ifs)],
+            ["mean", sum(ifs) / len(ifs)], ["last", ifs[-1]]]
+    urg = [v for v in _series(timeseries, "urgency") if v is not None]
+    if urg:
+        rows.append(["peak urgency", max(urg)])
+    lines += _md_table(["IF", "value"], rows)
+    lines.append("")
+    return lines
+
+
+def _section_per_mds(timeseries: dict) -> list[str]:
+    load_cols = _rank_columns(timeseries, "load")
+    if not load_cols:
+        return []
+    lines = ["## Per-MDS load", ""]
+    rows = []
+    for rank, col in load_cols:
+        series = [v for v in _series(timeseries, col) if v is not None]
+        if not series:
+            continue
+        queue = _series(timeseries, f"queue.{rank}")
+        queue_last = next((v for v in reversed(queue) if v is not None), 0)
+        rows.append([rank, sum(series) / len(series), max(series), series[-1],
+                     queue_last, sparkline(series)])
+    lines += _md_table(
+        ["rank", "mean load", "peak load", "last load", "queue", "trend"], rows)
+    lines.append("")
+    return lines
+
+
+def _section_migration(events: list) -> list[str]:
+    if not events:
+        return []
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.etype] = counts.get(e.etype, 0) + 1
+    committed = [e for e in events if e.etype == "migration_committed"]
+    lines = ["## Migration summary", ""]
+    lines += _md_table(["metric", "value"], [
+        ["planned", counts.get("migration_planned", 0)],
+        ["committed", counts.get("migration_committed", 0)],
+        ["aborted", counts.get("migration_aborted", 0)],
+        ["inodes moved", sum(e.inodes for e in committed)],
+    ])
+    lines.append("")
+    if committed:
+        per_unit: dict[str, list] = {}
+        for e in committed:
+            entry = per_unit.setdefault(str(e.unit), [0, 0, set(), set()])
+            entry[0] += 1
+            entry[1] += e.inodes
+            entry[2].add(e.src)
+            entry[3].add(e.dst)
+        top = sorted(per_unit.items(), key=lambda kv: (-kv[1][1], kv[0]))[:10]
+        lines.append("### Top exported subtrees")
+        lines.append("")
+        lines += _md_table(
+            ["unit", "exports", "inodes", "from", "to"],
+            [[unit, c, inodes,
+              " ".join(map(str, sorted(srcs))), " ".join(map(str, sorted(dsts)))]
+             for unit, (c, inodes, srcs, dsts) in top])
+        lines.append("")
+    return lines
+
+
+def _section_phases(span_events: list, clock: str) -> list[str]:
+    if not span_events:
+        return []
+    totals = totals_from_events(span_events)
+    if not totals:
+        return []
+    unit = "µs" if clock == "wall" else "steps"
+    grand = sum(t["total"] for t in totals.values()) or 1
+    lines = [f"## Phase-time breakdown ({unit}, inclusive)", ""]
+    rows = [[name, t["count"], t["total"], f"{100 * t['total'] / grand:.1f}%"]
+            for name, t in sorted(totals.items(),
+                                  key=lambda kv: -kv[1]["total"])]
+    lines += _md_table(["phase", "spans", f"total {unit}", "share"], rows)
+    lines.append("")
+    if clock != "wall":
+        lines.append("_Logical clock: totals count begin/end steps, not "
+                     "seconds — rerun with `record_clock=\"wall\"` for "
+                     "wall-time attribution._")
+        lines.append("")
+    return lines
+
+
+def _section_metrics(metrics: dict) -> list[str]:
+    if not metrics:
+        return []
+    lines = []
+    hist_rows = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        if family["kind"] != "histogram":
+            continue
+        for s in family["series"]:
+            if not s["count"]:
+                continue
+            finite = sorted((float(k), v) for k, v in s["buckets"].items()
+                            if k != "+Inf")
+            bounds = [b for b, _ in finite]
+            cumulative = [c for _, c in finite]
+            qs = [histogram_quantile(bounds, cumulative, s["count"], q)
+                  for q in (0.5, 0.95, 0.99)]
+            label = name + ("" if not s["labels"] else
+                            "{" + ",".join(f"{k}={v}" for k, v in
+                                           sorted(s["labels"].items())) + "}")
+            hist_rows.append([label, s["count"], s["sum"], *qs])
+    if hist_rows:
+        lines += ["## Distributions (from metrics histograms)", ""]
+        lines += _md_table(["histogram", "count", "sum", "p50", "p95", "p99"],
+                           hist_rows)
+        lines.append("")
+    counters = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        if family["kind"] != "counter":
+            continue
+        for s in family["series"]:
+            if s["value"]:
+                label = name + ("" if not s["labels"] else
+                                "{" + ",".join(f"{k}={v}" for k, v in
+                                               sorted(s["labels"].items())) + "}")
+                counters.append([label, s["value"]])
+    if counters:
+        lines += ["## Counters", ""]
+        lines += _md_table(["counter", "value"], counters)
+        lines.append("")
+    return lines
+
+
+def render_run_report(meta: dict, *, timeseries: dict | None = None,
+                      events: list | None = None,
+                      metrics: dict | None = None,
+                      span_events: list | None = None) -> str:
+    """One recorded run as a self-contained Markdown document.
+
+    Every input is optional — sections render only from what is present,
+    so partial artifact sets (e.g. a trace without a recorder) still get
+    a useful report.
+    """
+    lines: list[str] = []
+    lines += _section_header(meta or {})
+    lines += _section_if(timeseries or {})
+    lines += _section_per_mds(timeseries or {})
+    lines += _section_migration(events or [])
+    lines += _section_phases(span_events or [],
+                             (meta or {}).get("clock", "logical"))
+    lines += _section_metrics(metrics or {})
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+_HTML_PAGE = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace;
+        max-width: 72rem; margin: 2rem auto; padding: 0 1rem;
+        color: #1a1a2e; background: #fafafa; line-height: 1.45; }}
+pre {{ white-space: pre-wrap; }}
+</style>
+</head>
+<body>
+<pre>{body}</pre>
+</body>
+</html>
+"""
+
+
+def render_html(markdown: str, title: str = "Run report") -> str:
+    """The Markdown report as one dependency-free HTML page."""
+    return _HTML_PAGE.format(title=_html.escape(title),
+                             body=_html.escape(markdown))

@@ -1,0 +1,150 @@
+"""Columnar per-epoch time-series store — the flight recorder's memory.
+
+One :meth:`TimeSeriesStore.append` per epoch records a flat mapping of
+column name to number (``if``, ``latency``, per-rank ``load.<rank>`` ...);
+the store keeps the values column-major so a whole series comes back as
+one list without row scans. Two retention modes, mirroring
+:class:`~repro.obs.tracelog.TraceLog`:
+
+- **unbounded** (default): the full run, what golden snapshots and run
+  reports consume;
+- **ring buffer** (``capacity=N``): the most recent N epochs in O(1)
+  memory per append, for always-on recording of long runs.
+
+Columns may appear mid-run (a grown cluster adds ``load.<new rank>``);
+earlier rows read ``None`` for them, so the table is always rectangular.
+Serialization is deterministic — columns sorted, floats ``repr``-encoded —
+so a fixed-seed run snapshots to the same bytes every time (the golden
+time-series suite relies on this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from collections.abc import Iterator, Mapping
+
+__all__ = ["TimeSeriesStore"]
+
+#: value types a cell may hold (None marks "column did not exist yet")
+Cell = int | float | None
+
+
+def _fmt_cell(value: Cell) -> str:
+    """CSV cell encoding: None is empty, floats are shortest round-trip."""
+    if value is None:
+        return ""
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class TimeSeriesStore:
+    """Append-only columnar store of one numeric record per epoch."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring capacity must be positive (or None)")
+        self.capacity = capacity
+        self._cols: dict[str, deque[Cell]] = {}
+        #: lifetime appended row count — keeps growing when the ring drops
+        self.appended = 0
+
+    # ---------------------------------------------------------------- writing
+    def append(self, record: Mapping[str, Cell]) -> None:
+        """Record one epoch's sample; unknown columns are created on the fly.
+
+        Columns absent from ``record`` get ``None`` for this row, so every
+        column always holds exactly ``len(self)`` cells.
+        """
+        if not record:
+            raise ValueError("refusing to append an empty record")
+        n = len(self)
+        for name in record:
+            if name not in self._cols:
+                col: deque[Cell] = deque(maxlen=self.capacity)
+                col.extend([None] * n)
+                self._cols[name] = col
+        for name, col in self._cols.items():
+            col.append(record.get(name))
+        self.appended += 1
+
+    # ---------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        for col in self._cols.values():
+            return len(col)
+        return 0
+
+    @property
+    def dropped(self) -> int:
+        """Rows the ring buffer has discarded."""
+        return self.appended - len(self)
+
+    def columns(self) -> list[str]:
+        """Column names, sorted (the deterministic serialization order)."""
+        return sorted(self._cols)
+
+    def column(self, name: str) -> list[Cell]:
+        """One full series; raises KeyError for a never-recorded column."""
+        return list(self._cols[name])
+
+    def rows(self) -> Iterator[dict[str, Cell]]:
+        """Row-major view; ``None`` cells are omitted from each dict."""
+        names = self.columns()
+        cols = [self._cols[n] for n in names]
+        for values in zip(*cols):
+            yield {n: v for n, v in zip(names, values) if v is not None}
+
+    def last(self, name: str, default: Cell = None) -> Cell:
+        """Most recent value of a column (``default`` when absent/empty)."""
+        col = self._cols.get(name)
+        if not col or col[-1] is None:
+            return default
+        return col[-1]
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> dict:
+        """Deterministic dict view: sorted columns, row-major cells."""
+        names = self.columns()
+        return {
+            "columns": names,
+            "rows": [list(vals) for vals in zip(*(self._cols[n] for n in names))],
+            "appended": self.appended,
+        }
+
+    def dumps_csv(self) -> str:
+        """The table as CSV (sorted header, trailing newline, byte-stable)."""
+        names = self.columns()
+        lines = [",".join(names)]
+        for values in zip(*(self._cols[n] for n in names)):
+            lines.append(",".join(_fmt_cell(v) for v in values))
+        return "\n".join(lines) + "\n"
+
+    def dump_csv(self, path: str | os.PathLike) -> int:
+        """Write the CSV form to ``path``; returns rows written."""
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(self.dumps_csv())
+        return len(self)
+
+    def dumps_jsonl(self) -> str:
+        """One canonical JSON object per row (sorted keys, no whitespace)."""
+        return "".join(
+            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+            for row in self.rows()
+        )
+
+    def dump_jsonl(self, path: str | os.PathLike) -> int:
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(self.dumps_jsonl())
+        return len(self)
+
+    @classmethod
+    def load_jsonl(cls, path: str | os.PathLike,
+                   capacity: int | None = None) -> "TimeSeriesStore":
+        """Rebuild a store from its JSONL dump (round-trips exactly)."""
+        store = cls(capacity=capacity)
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store.append(json.loads(line))
+        return store

@@ -15,28 +15,39 @@ time, so tracing stays out of the simulator's hot loop entirely.
 
 from __future__ import annotations
 
+import bisect
 import os
 from collections import deque
 from collections.abc import Iterable, Iterator
 
 from repro.obs.events import TraceEvent, event_from_json, event_to_json
 
-__all__ = ["TraceLog", "read_jsonl", "write_jsonl"]
+__all__ = ["TraceLog", "read_jsonl", "write_jsonl", "filter_events"]
 
 
 class TraceLog:
-    """Ordered, optionally ring-buffered, event sink."""
+    """Ordered, optionally ring-buffered, event sink.
 
-    def __init__(self, capacity: int | None = None) -> None:
+    ``drop_counter`` (anything with ``.inc()``, typically a registry
+    :class:`~repro.obs.registry.Counter`) is bumped once per event the
+    ring buffer evicts, so always-on deployments see the loss as a
+    ``trace_events_dropped_total`` series instead of silence.
+    """
+
+    def __init__(self, capacity: int | None = None, drop_counter=None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("ring capacity must be positive (or None)")
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         #: lifetime appended count — keeps growing even when the ring drops
         self.emitted = 0
+        self.drop_counter = drop_counter
 
     # ---------------------------------------------------------------- writing
     def emit(self, event: TraceEvent) -> None:
+        if (self.capacity is not None and self.drop_counter is not None
+                and len(self._events) == self.capacity):
+            self.drop_counter.inc()
         self._events.append(event)
         self.emitted += 1
 
@@ -95,6 +106,48 @@ def read_jsonl(path: str | os.PathLike) -> Iterator[TraceEvent]:
             line = line.strip()
             if line:
                 yield event_from_json(line)
+
+
+def filter_events(events: Iterable[TraceEvent],
+                  etypes: Iterable[str] | None = None,
+                  epoch_range: tuple[int, int] | None = None,
+                  ) -> list[TraceEvent]:
+    """Slice a trace by event type and/or epoch without external tooling.
+
+    ``etypes`` keeps only the given type tags. ``epoch_range`` is an
+    inclusive ``(lo, hi)``: events carrying an ``epoch`` field use it
+    directly; tick-stamped events (migration plan/commit/abort, failures)
+    are assigned the epoch whose ``epoch_start`` boundary tick is the
+    first at or after their tick — exact, because ``epoch_start(k)`` is
+    emitted at epoch *k*'s closing tick. Tick events past the last
+    boundary belong to the (unclosed) next epoch; when a trace has no
+    boundaries at all, tick-only events are dropped as unattributable.
+    """
+    events = list(events)
+    # epoch boundaries come from the *unfiltered* stream, so a type filter
+    # that drops epoch_start does not break tick-to-epoch attribution
+    boundaries = [(e.tick, e.epoch) for e in events if e.etype == "epoch_start"]
+    if etypes is not None:
+        wanted = set(etypes)
+        events = [e for e in events if e.etype in wanted]
+    if epoch_range is None:
+        return events
+    lo, hi = epoch_range
+    if lo > hi:
+        raise ValueError(f"empty epoch range {lo}..{hi}")
+    ticks = [t for t, _ in boundaries]
+    kept: list[TraceEvent] = []
+    for e in events:
+        epoch = getattr(e, "epoch", None)
+        if epoch is None:
+            tick = getattr(e, "tick", None)
+            if tick is None or not ticks:
+                continue
+            i = bisect.bisect_left(ticks, tick)
+            epoch = boundaries[i][1] if i < len(ticks) else boundaries[-1][1] + 1
+        if lo <= epoch <= hi:
+            kept.append(e)
+    return kept
 
 
 def write_jsonl(path: str | os.PathLike, events: Iterable[TraceEvent]) -> int:

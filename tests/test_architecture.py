@@ -2,9 +2,12 @@
 
 Policies plan from a :class:`~repro.core.view.ClusterView` and return an
 :class:`~repro.core.plan.EpochPlan`; only the mechanism layer (the
-``cluster`` package) may touch the simulator. These tests walk the import
-graph statically so a reintroduced ``repro.cluster.simulator`` dependency
-fails CI before it becomes a runtime entanglement.
+``cluster`` package) may touch the simulator. The observability layer
+(``obs``) is likewise simulator-free: the simulator feeds it, never the
+other way around, so traces/metrics/recorders stay reusable from tests
+and offline tooling. These tests walk the import graph statically so a
+reintroduced ``repro.cluster.simulator`` dependency fails CI before it
+becomes a runtime entanglement.
 """
 
 from __future__ import annotations
@@ -15,13 +18,13 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
-POLICY_PACKAGES = ("balancers", "core")
+SCANNED_PACKAGES = ("balancers", "core", "obs")
 FORBIDDEN = "repro.cluster.simulator"
 
 
 def policy_modules() -> list[pathlib.Path]:
     out = []
-    for pkg in POLICY_PACKAGES:
+    for pkg in SCANNED_PACKAGES:
         out.extend(sorted((SRC / pkg).rglob("*.py")))
     assert out, f"no modules found under {SRC}"
     return out
@@ -57,5 +60,9 @@ def test_policy_layer_covers_every_balancer():
     names = {p.name for p in policy_modules()}
     for expected in ("balancer.py", "vanilla.py", "greedyspill.py",
                      "mantle.py", "dirhash.py", "nop.py", "base.py",
-                     "initiator.py", "selector.py", "view.py", "plan.py"):
+                     "initiator.py", "selector.py", "view.py", "plan.py",
+                     # observability stays simulator-free too
+                     "registry.py", "tracelog.py", "events.py",
+                     "timeseries.py", "spans.py", "prom.py", "recorder.py",
+                     "aggregate.py", "report.py"):
         assert expected in names

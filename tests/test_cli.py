@@ -56,6 +56,119 @@ class TestRun:
         assert code == 0
 
 
+class TestRecordAndReport:
+    RUN_ARGS = ("run", "-w", "mdtest", "-b", "lunule", "-c", "6", "-m", "3",
+                "--scale", "0.1")
+
+    def test_record_then_report_round_trip(self, tmp_path):
+        run_dir = tmp_path / "flight"
+        code, text = run_cli(*self.RUN_ARGS, "--record", str(run_dir))
+        assert code == 0
+        assert "recorded" in text
+        for name in ("run.json", "timeseries.csv", "trace.jsonl",
+                     "metrics.json", "metrics.prom", "spans.perfetto.json"):
+            assert (run_dir / name).exists(), f"missing artifact {name}"
+
+        code, text = run_cli("report", str(run_dir), "--html")
+        assert code == 0
+        assert "# Run report" in text
+        assert "## Imbalance-factor trajectory" in text
+        assert (run_dir / "report.md").exists()
+        assert (run_dir / "report.html").exists()
+
+    def test_recorded_artifacts_are_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        run_cli(*self.RUN_ARGS, "--record", str(a))
+        run_cli(*self.RUN_ARGS, "--record", str(b))
+        for name in ("timeseries.csv", "spans.perfetto.json", "metrics.prom"):
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+
+    def test_prom_artifact_passes_the_self_check(self, tmp_path):
+        from repro.obs.prom import parse_openmetrics
+
+        run_dir = tmp_path / "flight"
+        run_cli(*self.RUN_ARGS, "--record", str(run_dir))
+        families = parse_openmetrics(
+            (run_dir / "metrics.prom").read_text(encoding="utf-8"))
+        assert "sim_epochs" in families
+
+    def test_report_on_a_non_artifact_dir_fails(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path)], out=io.StringIO())
+        assert code == 2
+        assert "repro run --record" in capsys.readouterr().err
+
+
+class TestTraceFilters:
+    TRACE_ARGS = ("trace", "-w", "mdtest", "-b", "lunule", "-c", "6",
+                  "-m", "3", "--scale", "0.1")
+
+    def test_etype_filter_limits_the_dump(self, tmp_path):
+        from repro.obs.tracelog import read_jsonl
+
+        out_path = tmp_path / "t.jsonl"
+        code, text = run_cli(*self.TRACE_ARGS, "--etype", "epoch_start",
+                             "-o", str(out_path))
+        assert code == 0
+        assert "filters kept" in text
+        events = list(read_jsonl(out_path))
+        assert events
+        assert {e.etype for e in events} == {"epoch_start"}
+
+    def test_epoch_range_filter(self, tmp_path):
+        from repro.obs.tracelog import read_jsonl
+
+        out_path = tmp_path / "t.jsonl"
+        code, _ = run_cli(*self.TRACE_ARGS, "--epoch-range", "0:1",
+                          "-o", str(out_path))
+        assert code == 0
+        starts = [e for e in read_jsonl(out_path) if e.etype == "epoch_start"]
+        assert [e.epoch for e in starts] == [0, 1]
+
+    def test_filters_apply_to_existing_files_too(self, tmp_path):
+        from repro.obs.tracelog import read_jsonl
+
+        full = tmp_path / "full.jsonl"
+        run_cli(*self.TRACE_ARGS, "-o", str(full))
+        sliced = tmp_path / "sliced.jsonl"
+        code, text = run_cli("trace", "--from", str(full),
+                             "--etype", "migration_committed",
+                             "--epoch-range", "1:",
+                             "-o", str(sliced))
+        assert code == 0
+        n_full = len(list(read_jsonl(full)))
+        events = list(read_jsonl(sliced))
+        assert len(events) < n_full
+        assert all(e.etype == "migration_committed" for e in events)
+
+    def test_bad_epoch_range_is_a_usage_error(self, capsys):
+        code = main([*self.TRACE_ARGS, "--epoch-range", "5:2"],
+                    out=io.StringIO())
+        assert code == 2
+        assert "epoch-range" in capsys.readouterr().err
+
+    def test_unknown_etype_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--etype", "bogus"])
+
+
+class TestSweepRecord:
+    def test_sweep_record_writes_the_aggregate(self, tmp_path):
+        import json
+
+        run_dir = tmp_path / "sweep"
+        code, text = run_cli("sweep", "-w", "mdtest", "-b", "vanilla",
+                             "lunule", "-c", "6", "--scale", "0.1",
+                             "-j", "1", "--record", str(run_dir))
+        assert code == 0
+        assert "recorded aggregate observability" in text
+        with open(run_dir / "aggregate.json", encoding="utf-8") as fh:
+            agg = json.load(fh)
+        assert set(agg) == {"metrics", "spans", "runs"}
+        assert set(agg["runs"]) == {"mdtestxvanilla", "mdtestxlunule"}
+        assert (run_dir / "sweep.perfetto.json").exists()
+        assert (run_dir / "metrics.prom").exists()
+
+
 class TestOverhead:
     def test_overhead_report(self):
         code, text = run_cli("overhead", "-m", "3")

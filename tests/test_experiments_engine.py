@@ -106,6 +106,50 @@ class TestDeterminism:
             assert res.balancer == cfg.balancer
 
 
+class TestCrossProcessObservability:
+    GRID = [("mdtest", "lunule"), ("mdtest", "vanilla"),
+            ("zipf", "lunule"), ("zipf", "nop")]
+
+    def _run(self, workers: int):
+        from dataclasses import replace
+
+        cfgs = [replace(FAST, workload=w, balancer=b) for w, b in self.GRID]
+        labels = [f"{w}x{b}" for w, b in self.GRID]
+        return ExperimentEngine(workers=workers).run_with_obs(cfgs,
+                                                              labels=labels)
+
+    def test_two_workers_aggregate_byte_identical_to_serial(self):
+        """The acceptance bar: pooled obs aggregation == serial, as bytes."""
+        import json
+
+        _, serial = self._run(1)
+        _, pooled = self._run(2)
+        dumps = lambda agg: json.dumps(agg, sort_keys=True)  # noqa: E731
+        assert dumps(serial) == dumps(pooled)
+
+    def test_aggregate_shape(self):
+        results, agg = self._run(2)
+        assert len(results) == len(self.GRID)
+        assert set(agg) == {"metrics", "spans", "runs"}
+        assert set(agg["runs"]) == {f"{w}x{b}" for w, b in self.GRID}
+        # per-run process labels survive the merge, in input order
+        meta = [e for e in agg["spans"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == \
+            [f"{w}x{b}" for w, b in self.GRID]
+        # merged counters sum across runs: the aggregate epoch count covers
+        # every run's own epochs
+        epochs = agg["metrics"]["sim.epochs"]["series"][0]["value"]
+        assert epochs == sum(len(res.if_series) for res in results)
+
+    def test_with_obs_forces_the_recorder_without_touching_results(self):
+        eng = ExperimentEngine()
+        plain = eng.run([FAST])[0]
+        result, payload = eng.run([FAST], with_obs=True)[0]
+        assert result == plain
+        assert payload["timeseries"]["rows"]
+        assert payload["spans"]
+
+
 class TestCrossProcessTraces:
     @pytest.mark.parametrize("name,workload,balancer", [
         ("mdtest_lunule", "mdtest", "lunule"),

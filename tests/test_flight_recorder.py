@@ -1,0 +1,220 @@
+"""The flight recorder end to end: simulator sampling, span phases,
+Perfetto validity, artifact round-trips and run reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.recording import ARTIFACT_FILES, load_run_artifacts, write_run_artifacts
+from repro.obs.aggregate import merge_metrics_snapshots
+from repro.obs.prom import parse_openmetrics
+from repro.obs.report import render_html, render_run_report, sparkline
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def recorded(make_sim):
+    sim = make_sim("lunule", record=True)
+    res = sim.run()
+    return sim, res
+
+
+class TestSimulatorSampling:
+    def test_recorder_is_off_by_default(self, make_sim):
+        sim = make_sim("lunule")
+        sim.run()
+        assert sim.recorder is None
+
+    def test_one_row_per_epoch(self, recorded):
+        sim, res = recorded
+        assert len(sim.recorder.timeseries) == len(res.if_series)
+        assert sim.recorder.samples == len(res.if_series)
+
+    def test_core_columns_present(self, recorded):
+        sim, _ = recorded
+        cols = set(sim.recorder.timeseries.columns())
+        assert {"epoch", "tick", "if", "urgency", "ops", "latency",
+                "migrated", "forwards", "queue"} <= cols
+        for rank in range(sim.n_mds):
+            assert f"load.{rank}" in cols
+            assert f"queue.{rank}" in cols
+
+    def test_if_column_matches_result_series(self, recorded):
+        sim, res = recorded
+        assert sim.recorder.timeseries.column("if") == res.if_series
+
+    def test_migrated_column_matches_result_series(self, recorded):
+        sim, res = recorded
+        assert sim.recorder.timeseries.column("migrated") == res.migrated_series
+
+    def test_recording_does_not_change_decisions(self, make_sim):
+        plain = make_sim("lunule")
+        plain.run()
+        rec = make_sim("lunule", record=True)
+        rec.run()
+        assert rec.trace.dumps() == plain.trace.dumps()
+
+    def test_ring_capacity_bounds_epoch_memory(self, make_sim):
+        sim = make_sim("lunule", record=True, record_capacity=3)
+        res = sim.run()
+        ts = sim.recorder.timeseries
+        assert len(ts) == min(3, len(res.if_series))
+        assert ts.appended == len(res.if_series)
+        assert ts.column("if") == res.if_series[-3:]
+
+
+class TestSpanPhases:
+    def test_expected_phases_cover_the_run(self, recorded):
+        sim, res = recorded
+        totals = sim.recorder.spans.totals()
+        n_epochs = len(res.if_series)
+        assert totals["setup"]["count"] == 1
+        assert totals["epoch"]["count"] == n_epochs
+        assert totals["snapshot_view"]["count"] == n_epochs
+        assert totals["plan"]["count"] == n_epochs
+        assert totals["apply_plan"]["count"] == n_epochs
+        assert totals["serve"]["count"] == totals["migration"]["count"]
+
+    def test_run_stopped_mid_epoch_still_exports(self, make_sim):
+        # max_ticks not a multiple of epoch_len leaves the epoch span open
+        sim = make_sim("lunule", record=True, max_ticks=13, stop_when_done=False)
+        sim.run()
+        assert sim.recorder.spans.depth == 0
+        assert sim.recorder.spans.events()  # does not raise
+
+    def test_wall_clock_mode_runs(self, make_sim):
+        sim = make_sim("lunule", record=True, record_clock="wall")
+        sim.run()
+        stamps = [e["ts"] for e in sim.recorder.spans.events()]
+        assert stamps == sorted(stamps)
+
+
+class TestPerfettoValidity:
+    def test_events_are_structurally_valid_and_nested(self, recorded):
+        sim, _ = recorded
+        doc = json.loads(sim.recorder.spans.dumps_perfetto())
+        assert "traceEvents" in doc
+        stack = []
+        for event in doc["traceEvents"]:
+            assert {"ph", "ts", "pid", "name"} <= set(event)
+            if event["ph"] == "B":
+                stack.append(event["name"])
+            elif event["ph"] == "E":
+                assert stack, "E event with nothing open"
+                assert stack.pop() == event["name"], "interleaved B/E pair"
+        assert stack == [], "unclosed B events in the export"
+
+    def test_two_runs_export_identical_bytes(self, make_sim):
+        a = make_sim("lunule", record=True)
+        a.run()
+        b = make_sim("lunule", record=True)
+        b.run()
+        assert a.recorder.spans.dumps_perfetto() == b.recorder.spans.dumps_perfetto()
+        assert a.recorder.timeseries.dumps_csv() == b.recorder.timeseries.dumps_csv()
+
+
+class TestArtifacts:
+    def test_round_trip(self, recorded, tmp_path):
+        sim, res = recorded
+        run_dir = tmp_path / "flight"
+        paths = write_run_artifacts(run_dir, sim, res, extra_meta={"seed": 1})
+        assert set(paths) == set(ARTIFACT_FILES)
+        loaded = load_run_artifacts(run_dir)
+        assert loaded["meta"]["balancer"] == res.balancer
+        assert loaded["meta"]["seed"] == 1
+        assert loaded["timeseries"] == sim.recorder.timeseries.snapshot()
+        assert [e for e in loaded["events"]] == sim.trace.events()
+        assert loaded["metrics"] == sim.metrics.snapshot()
+        assert loaded["span_events"] == sim.recorder.spans.events()
+
+    def test_prom_artifact_parses(self, recorded, tmp_path):
+        sim, res = recorded
+        paths = write_run_artifacts(tmp_path / "flight", sim, res)
+        with open(paths["metrics_prom"], encoding="utf-8") as fh:
+            families = parse_openmetrics(fh.read())
+        assert "sim_epochs" in families
+
+    def test_unrecorded_sim_is_rejected(self, make_sim, tmp_path):
+        sim = make_sim("lunule")
+        res = sim.run()
+        with pytest.raises(ValueError, match="record=True"):
+            write_run_artifacts(tmp_path / "flight", sim, res)
+
+    def test_loading_a_non_artifact_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="repro run --record"):
+            load_run_artifacts(tmp_path)
+
+
+class TestRunReport:
+    def test_report_has_every_section(self, recorded, tmp_path):
+        sim, res = recorded
+        run_dir = tmp_path / "flight"
+        write_run_artifacts(run_dir, sim, res)
+        loaded = load_run_artifacts(run_dir)
+        report = render_run_report(
+            loaded["meta"], timeseries=loaded["timeseries"],
+            events=loaded["events"], metrics=loaded["metrics"],
+            span_events=loaded["span_events"])
+        for heading in ("# Run report", "## Imbalance-factor trajectory",
+                        "## Per-MDS load", "## Migration summary",
+                        "## Phase-time breakdown", "## Counters"):
+            assert heading in report
+
+    def test_report_degrades_to_present_data(self):
+        report = render_run_report({"workload": "zipf", "balancer": "lunule"})
+        assert "# Run report" in report
+        assert "## Imbalance-factor trajectory" not in report
+
+    def test_html_wraps_and_escapes(self):
+        page = render_html("# A <report> & more", title="zipf <x>")
+        assert page.startswith("<!doctype html>")
+        assert "&lt;report&gt;" in page
+        assert "zipf &lt;x&gt;" in page
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([0.0, None, 1.0])[1] == " "
+
+
+class TestMetricsMerge:
+    def test_counters_sum_and_gauges_take_the_last_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops", mds=0).inc(3)
+        b.counter("ops", mds=0).inc(4)
+        b.counter("ops", mds=1).inc(5)
+        a.gauge("if").set(0.9)
+        b.gauge("if").set(0.1)
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        assert [s["value"] for s in merged["ops"]["series"]] == [7.0, 5.0]
+        assert merged["if"]["series"][0]["value"] == 0.1
+
+    def test_histograms_sum_bucket_by_bucket(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, values in ((a, (0.5, 5.0)), (b, (0.7, 50.0))):
+            h = reg.histogram("lat", buckets=(1.0, 10.0))
+            for v in values:
+                h.observe(v)
+        merged = merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+        series = merged["lat"]["series"][0]
+        assert series["buckets"] == {"1.0": 2, "10.0": 3, "+Inf": 4}
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(56.2)
+
+    def test_kind_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ValueError, match="counter"):
+            merge_metrics_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_one_is_identity_modulo_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.0)
+        merged = merge_metrics_snapshots([reg.snapshot()])
+        assert merged == dict(sorted(reg.snapshot().items()))

@@ -40,10 +40,11 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str):
+def run_scenario(name: str, record: bool = False):
     workload, balancer = SCENARIOS[name]
+    sim = GOLDEN_SIM.with_(record=True) if record else GOLDEN_SIM
     cfg = ExperimentConfig(workload=workload, balancer=balancer, n_clients=8,
-                           seed=7, scale=0.15, sim=GOLDEN_SIM)
+                           seed=7, scale=0.15, sim=sim)
     return run_traced(cfg)
 
 
@@ -85,6 +86,40 @@ def test_golden_traces_round_trip(name):
     for e in events:
         log.emit(e)
     assert log.dumps() == path.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", ["mdtest_lunule", "mixed_vanilla"])
+def test_golden_timeseries(name, update_golden):
+    """The flight recorder's per-epoch table is byte-stable too.
+
+    Logical clocks and repr-encoded floats make the recorded CSV a pure
+    function of the (seeded) run, so it goldens exactly like the decision
+    trace — one snapshot guards the whole sampling pipeline: column set,
+    epoch cadence and every recorded value.
+    """
+    result, sim = run_scenario(name, record=True)
+    path = GOLDEN_DIR / f"{name}.timeseries.csv"
+    produced = sim.recorder.timeseries.dumps_csv()
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(produced, encoding="utf-8", newline="\n")
+        pytest.skip(f"golden time series {path.name} rewritten")
+
+    assert path.exists(), (
+        f"missing golden time series {path}; run with --update-golden to "
+        f"create it")
+    assert produced == path.read_text(encoding="utf-8"), (
+        f"recorded time series for {name} diverged from {path.name}; if the "
+        f"change is intentional, re-bless with --update-golden")
+
+
+@pytest.mark.parametrize("name", ["mdtest_lunule", "mixed_vanilla"])
+def test_recording_leaves_the_decision_trace_untouched(name):
+    """Turning the recorder on must observe, never perturb."""
+    _, plain = run_scenario(name)
+    _, recorded = run_scenario(name, record=True)
+    assert recorded.trace.dumps() == plain.trace.dumps()
 
 
 def test_golden_traces_cover_the_decision_pipeline():

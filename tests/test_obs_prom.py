@@ -1,0 +1,115 @@
+"""OpenMetrics exposition + the self-check parser that CI runs against it."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.prom import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_textfile,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("sim.ops", mds=0).inc(3)
+    r.counter("sim.ops", mds=1).inc(4)
+    r.gauge("sim.if").set(0.25)
+    h = r.histogram("op.latency", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    return r
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("sim.epochs") == "sim_epochs"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestRender:
+    def test_counters_gain_total_suffix(self, reg):
+        text = render_openmetrics(reg)
+        assert "# TYPE sim_ops counter" in text
+        assert 'sim_ops_total{mds="0"} 3.0' in text
+        assert 'sim_ops_total{mds="1"} 4.0' in text
+
+    def test_histogram_exposes_cumulative_buckets(self, reg):
+        text = render_openmetrics(reg)
+        assert 'op_latency_bucket{le="1.0"} 1.0' in text
+        assert 'op_latency_bucket{le="10.0"} 2.0' in text
+        assert 'op_latency_bucket{le="+Inf"} 3.0' in text
+        assert "op_latency_count 3.0" in text
+        assert "op_latency_sum 55.5" in text
+
+    def test_ends_with_eof(self, reg):
+        assert render_openmetrics(reg).endswith("# EOF\n")
+
+    def test_snapshot_dict_renders_identically(self, reg):
+        assert render_openmetrics(reg.snapshot()) == render_openmetrics(reg)
+
+    def test_textfile_write_is_atomic_rename(self, reg, tmp_path):
+        path = tmp_path / "run.prom"
+        text = write_textfile(reg, path)
+        assert path.read_text(encoding="utf-8") == text
+        assert not (tmp_path / "run.prom.tmp").exists()
+
+
+class TestSelfCheckParser:
+    def test_round_trip(self, reg):
+        families = parse_openmetrics(render_openmetrics(reg))
+        assert families["sim_ops"]["type"] == "counter"
+        assert [(n, lab["mds"], v)
+                for n, lab, v in families["sim_ops"]["samples"]] == \
+            [("sim_ops_total", "0", 3.0), ("sim_ops_total", "1", 4.0)]
+        bucket_values = [v for n, lab, v in families["op_latency"]["samples"]
+                        if n == "op_latency_bucket"]
+        assert bucket_values == [1.0, 2.0, 3.0]
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE a gauge\na 1.0\n")
+
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_openmetrics("a_total 1.0\n# TYPE a counter\n# EOF\n")
+
+    def test_counter_sample_without_total_rejected(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            parse_openmetrics("# TYPE a counter\na 1.0\n# EOF\n")
+
+    def test_non_cumulative_buckets_rejected(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1.0"} 5.0\n'
+               'h_bucket{le="+Inf"} 3.0\n'
+               "h_count 3.0\nh_sum 1.0\n# EOF\n")
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_openmetrics(bad)
+
+    def test_missing_inf_bucket_rejected(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1.0"} 1.0\n'
+               "h_count 1.0\nh_sum 0.5\n# EOF\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_openmetrics(bad)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="+Inf"} 2.0\n'
+               "h_count 3.0\nh_sum 1.0\n# EOF\n")
+        with pytest.raises(ValueError, match="_count"):
+            parse_openmetrics(bad)
+
+    def test_special_values_parse(self):
+        text = ("# TYPE g gauge\ng{k=\"v\"} +Inf\ng{k=\"w\"} NaN\n# EOF\n")
+        samples = parse_openmetrics(text)["g"]["samples"]
+        assert samples[0][2] == math.inf
+        assert math.isnan(samples[1][2])

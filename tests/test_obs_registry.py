@@ -4,7 +4,9 @@ import json
 
 import pytest
 
-from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+import math
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry, histogram_quantile
 
 
 @pytest.fixture
@@ -74,6 +76,66 @@ class TestHistogram:
 
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestHistogramQuantile:
+    def test_linear_interpolation_inside_a_bucket(self, reg):
+        h = reg.histogram("lat", buckets=(10.0, 20.0))
+        for v in (1.0, 2.0, 3.0, 4.0):  # all land in (0, 10]
+            h.observe(v)
+        # rank 2 of 4 in a bucket spanning (0, 10] -> midpoint
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interpolates_between_bucket_edges(self, reg):
+        h = reg.histogram("lat", buckets=(10.0, 20.0))
+        for v in (5.0, 15.0, 15.0, 15.0):
+            h.observe(v)
+        # target rank 3 of 4: 2 of the 3 in-bucket ranks into (10, 20]
+        assert h.quantile(0.75) == pytest.approx(10.0 + 10.0 * 2 / 3)
+
+    def test_empty_histogram_is_nan(self, reg):
+        h = reg.histogram("lat", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_single_bucket(self, reg):
+        h = reg.histogram("lat", buckets=(4.0,))
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+    def test_rank_in_inf_bucket_caps_at_highest_finite_bound(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1000.0)  # +Inf bucket
+        assert h.quantile(0.99) == 10.0
+
+    def test_out_of_range_q_rejected(self, reg):
+        h = reg.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_negative_first_bucket_uses_its_own_bound_as_lower_edge(self):
+        # a first bucket with a non-positive upper edge has no natural 0
+        # lower edge; the estimate degrades to the bound itself
+        assert histogram_quantile([-5.0, 0.0], [2, 2], 2, 0.5) == -5.0
+
+    def test_standalone_function_matches_snapshot_data(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.snapshot()
+        bounds = sorted(float(k) for k in snap["buckets"] if k != "+Inf")
+        cumulative = [snap["buckets"][repr(b)] for b in bounds]
+        via_snapshot = histogram_quantile(bounds, cumulative,
+                                          snap["count"], 0.95)
+        assert via_snapshot == pytest.approx(h.quantile(0.95))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0, 2.0], [1], 1, 0.5)
 
 
 class TestRegistry:

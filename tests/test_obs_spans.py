@@ -1,0 +1,139 @@
+"""The span profiler: nesting discipline, clocks, Perfetto export, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import SpanProfiler, merge_span_events, totals_from_events
+
+
+def profile_one_epoch(prof: SpanProfiler) -> None:
+    with prof.span("epoch"):
+        with prof.span("serve"):
+            pass
+        with prof.span("plan"):
+            pass
+
+
+class TestSpanDiscipline:
+    def test_context_manager_pairs_b_and_e(self):
+        prof = SpanProfiler()
+        profile_one_epoch(prof)
+        phs = [e["ph"] for e in prof.events()]
+        names = [e["name"] for e in prof.events()]
+        assert phs == ["B", "B", "E", "B", "E", "E"]
+        assert names == ["epoch", "serve", "serve", "plan", "plan", "epoch"]
+
+    def test_end_asserts_innermost_name(self):
+        prof = SpanProfiler()
+        prof.begin("outer")
+        prof.begin("inner")
+        with pytest.raises(RuntimeError, match="nesting"):
+            prof.end("outer")
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            SpanProfiler().end()
+
+    def test_export_with_open_spans_raises(self):
+        prof = SpanProfiler()
+        prof.begin("epoch")
+        with pytest.raises(RuntimeError, match="open spans"):
+            prof.events()
+
+    def test_close_open_ends_everything_lifo(self):
+        prof = SpanProfiler()
+        prof.begin("epoch")
+        prof.begin("serve")
+        assert prof.close_open() == 2
+        assert prof.depth == 0
+        assert [e["name"] for e in prof.events() if e["ph"] == "E"] == \
+            ["serve", "epoch"]
+
+
+class TestClocks:
+    def test_logical_clock_is_a_pure_function_of_control_flow(self):
+        a, b = SpanProfiler(clock="logical"), SpanProfiler(clock="logical")
+        profile_one_epoch(a)
+        profile_one_epoch(b)
+        assert a.dumps_perfetto() == b.dumps_perfetto()
+        assert [e["ts"] for e in a.events()] == [1, 2, 3, 4, 5, 6]
+
+    def test_wall_clock_is_monotone_microseconds(self):
+        prof = SpanProfiler(clock="wall")
+        profile_one_epoch(prof)
+        stamps = [e["ts"] for e in prof.events()]
+        assert stamps == sorted(stamps)
+        assert all(isinstance(ts, int) for ts in stamps)
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ValueError):
+            SpanProfiler(clock="sundial")
+
+    def test_totals_count_closed_spans(self):
+        prof = SpanProfiler()
+        profile_one_epoch(prof)
+        profile_one_epoch(prof)
+        totals = prof.totals()
+        assert totals["epoch"]["count"] == 2
+        assert totals["serve"]["count"] == 2
+        # inclusive: the epoch span covers its children
+        assert totals["epoch"]["total"] > totals["serve"]["total"]
+
+
+class TestPerfettoExport:
+    def test_structure_loads_in_a_trace_viewer(self):
+        prof = SpanProfiler()
+        profile_one_epoch(prof)
+        doc = json.loads(prof.dumps_perfetto())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for event in doc["traceEvents"]:
+            assert {"ph", "name", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("B", "E")
+
+    def test_dump_writes_canonical_json(self, tmp_path):
+        prof = SpanProfiler()
+        profile_one_epoch(prof)
+        path = tmp_path / "trace.json"
+        prof.dump_perfetto(path)
+        assert path.read_text(encoding="utf-8") == prof.dumps_perfetto() + "\n"
+
+
+class TestMergeAndReplay:
+    def test_merge_restamps_pids_in_input_order(self):
+        profs = [SpanProfiler(), SpanProfiler()]
+        for p in profs:
+            profile_one_epoch(p)
+        merged = merge_span_events([p.events() for p in profs],
+                                   labels=["run-a", "run-b"])
+        meta = [e for e in merged if e["ph"] == "M"]
+        assert [(e["pid"], e["args"]["name"]) for e in meta] == \
+            [(0, "run-a"), (1, "run-b")]
+        assert {e["pid"] for e in merged if e["ph"] != "M"} == {0, 1}
+
+    def test_merge_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_span_events([[]], labels=["a", "b"])
+
+    def test_totals_from_events_matches_live_totals(self):
+        prof = SpanProfiler()
+        profile_one_epoch(prof)
+        assert totals_from_events(prof.events()) == prof.totals()
+
+    def test_totals_from_merged_stream_keeps_pids_apart(self):
+        profs = [SpanProfiler(), SpanProfiler()]
+        for p in profs:
+            profile_one_epoch(p)
+        merged = merge_span_events([p.events() for p in profs], labels=["a", "b"])
+        totals = totals_from_events(merged)
+        assert totals["epoch"]["count"] == 2
+
+    def test_totals_rejects_unpaired_streams(self):
+        with pytest.raises(ValueError, match="unpaired"):
+            totals_from_events([{"ph": "E", "name": "x", "ts": 1,
+                                 "pid": 0, "tid": 0}])
+        with pytest.raises(ValueError, match="unpaired"):
+            totals_from_events([{"ph": "B", "name": "x", "ts": 1,
+                                 "pid": 0, "tid": 0}])

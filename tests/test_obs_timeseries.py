@@ -1,0 +1,112 @@
+"""The columnar per-epoch time-series store behind the flight recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def filled() -> TimeSeriesStore:
+    ts = TimeSeriesStore()
+    ts.append({"epoch": 0, "if": 0.9, "load.0": 50.0})
+    ts.append({"epoch": 1, "if": 0.4, "load.0": 30.0})
+    ts.append({"epoch": 2, "if": 0.1, "load.0": 10.0})
+    return ts
+
+
+class TestAppendAndRead:
+    def test_columns_sorted_and_series_come_back_whole(self):
+        ts = filled()
+        assert ts.columns() == ["epoch", "if", "load.0"]
+        assert ts.column("if") == [0.9, 0.4, 0.1]
+        assert len(ts) == 3
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            filled().column("load.9")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore().append({})
+
+    def test_late_column_backfills_none(self):
+        """A rank added mid-run (cluster growth) keeps the table rectangular."""
+        ts = TimeSeriesStore()
+        ts.append({"epoch": 0, "load.0": 5.0})
+        ts.append({"epoch": 1, "load.0": 4.0, "load.1": 2.0})
+        assert ts.column("load.1") == [None, 2.0]
+        # and a column absent from a later record reads None there
+        ts.append({"epoch": 2, "load.1": 3.0})
+        assert ts.column("load.0") == [5.0, 4.0, None]
+
+    def test_rows_omit_none_cells(self):
+        ts = TimeSeriesStore()
+        ts.append({"epoch": 0, "load.0": 5.0})
+        ts.append({"epoch": 1, "load.1": 2.0})
+        assert list(ts.rows()) == [{"epoch": 0, "load.0": 5.0},
+                                   {"epoch": 1, "load.1": 2.0}]
+
+    def test_last(self):
+        ts = filled()
+        assert ts.last("if") == 0.1
+        assert ts.last("nope", default=-1) == -1
+
+
+class TestRingBuffer:
+    def test_capacity_keeps_most_recent_rows(self):
+        ts = TimeSeriesStore(capacity=2)
+        for epoch in range(5):
+            ts.append({"epoch": epoch})
+        assert ts.column("epoch") == [3, 4]
+        assert ts.appended == 5
+        assert ts.dropped == 3
+
+    def test_late_column_in_a_full_ring_stays_aligned(self):
+        ts = TimeSeriesStore(capacity=2)
+        ts.append({"epoch": 0})
+        ts.append({"epoch": 1})
+        ts.append({"epoch": 2, "if": 0.5})
+        assert ts.column("epoch") == [1, 2]
+        assert ts.column("if") == [None, 0.5]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=0)
+
+
+class TestSerialization:
+    def test_snapshot_shape(self):
+        snap = filled().snapshot()
+        assert snap["columns"] == ["epoch", "if", "load.0"]
+        assert snap["rows"][0] == [0, 0.9, 50.0]
+        assert snap["appended"] == 3
+
+    def test_csv_is_byte_stable_and_encodes_none_as_empty(self):
+        ts = TimeSeriesStore()
+        ts.append({"epoch": 0, "load.0": 5.0})
+        ts.append({"epoch": 1, "load.1": 0.1})
+        csv = ts.dumps_csv()
+        assert csv == ts.dumps_csv()
+        assert csv == ("epoch,load.0,load.1\n"
+                       "0,5.0,\n"
+                       "1,,0.1\n")
+
+    def test_csv_floats_round_trip_exactly(self):
+        ts = TimeSeriesStore()
+        ts.append({"x": 0.1 + 0.2})
+        value = ts.dumps_csv().splitlines()[1]
+        assert float(value) == 0.1 + 0.2
+
+    def test_jsonl_round_trip(self, tmp_path):
+        ts = filled()
+        path = tmp_path / "ts.jsonl"
+        ts.dump_jsonl(path)
+        back = TimeSeriesStore.load_jsonl(path)
+        assert back.snapshot() == ts.snapshot()
+        assert back.dumps_csv() == ts.dumps_csv()
+
+    def test_dump_csv_writes_rows(self, tmp_path):
+        path = tmp_path / "ts.csv"
+        assert filled().dump_csv(path) == 3
+        assert path.read_text(encoding="utf-8").count("\n") == 4

@@ -4,8 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.events import EVENT_TYPES, EpochStart, IfComputed
-from repro.obs.tracelog import TraceLog, read_jsonl
+from repro.obs.events import (
+    EVENT_TYPES,
+    EpochStart,
+    IfComputed,
+    MdsFailed,
+    MigrationPlanned,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceLog, filter_events, read_jsonl
 
 
 class TestSimulatorEmission:
@@ -98,6 +105,35 @@ class TestRingBufferMode:
         ring.run()
         assert ring.trace.events() == full.trace.events()[-16:]
 
+    def test_evictions_feed_the_drop_counter(self):
+        reg = MetricsRegistry()
+        log = TraceLog(capacity=2, drop_counter=reg.counter("trace.events_dropped"))
+        for tick in range(5):
+            log.emit(EpochStart(epoch=tick, tick=tick))
+        assert reg.get_value("trace.events_dropped") == 3.0
+        assert log.dropped == 3
+
+    def test_unbounded_log_never_counts_drops(self):
+        reg = MetricsRegistry()
+        log = TraceLog(drop_counter=reg.counter("trace.events_dropped"))
+        for tick in range(5):
+            log.emit(EpochStart(epoch=tick, tick=tick))
+        assert reg.get_value("trace.events_dropped") == 0.0
+
+    def test_simulator_exposes_drops_as_a_metric(self, make_sim):
+        sim = make_sim("lunule", trace_capacity=16)
+        sim.run()
+        assert sim.metrics.get_value("trace.events_dropped") == sim.trace.dropped
+        # and the OpenMetrics exposition names it _total, counter-style
+        from repro.obs.prom import render_openmetrics
+
+        assert "trace_events_dropped_total" in render_openmetrics(sim.metrics)
+
+    def test_full_log_exposes_zero_drops(self, make_sim):
+        sim = make_sim("lunule")
+        sim.run()
+        assert sim.metrics.get_value("trace.events_dropped") == 0.0
+
 
 class TestJsonlExport:
     def test_dump_and_read_round_trip(self, make_sim, tmp_path):
@@ -141,6 +177,72 @@ def test_trace_events_are_frozen(make_sim):
     assert isinstance(e, EpochStart)
     with pytest.raises(Exception):
         e.epoch = 99  # type: ignore[misc]
+
+
+class TestFilterEvents:
+    """Trace slicing behind ``repro trace --etype / --epoch-range``."""
+
+    @staticmethod
+    def sample_trace() -> list:
+        return [
+            EpochStart(epoch=0, tick=5),
+            IfComputed(epoch=0, value=0.9, loads=(9.0, 1.0), source="simulator"),
+            MigrationPlanned(tick=5, src=0, dst=1, unit=3, inodes=40, load=4.0),
+            MigrationPlanned(tick=8, src=0, dst=1, unit=4, inodes=10, load=1.0),
+            EpochStart(epoch=1, tick=10),
+            IfComputed(epoch=1, value=0.2, loads=(5.0, 5.0), source="simulator"),
+            MdsFailed(tick=12, rank=1),
+        ]
+
+    def test_etype_filter(self):
+        kept = filter_events(self.sample_trace(), etypes=["epoch_start"])
+        assert [e.epoch for e in kept] == [0, 1]
+
+    def test_epoch_range_uses_the_event_epoch_when_present(self):
+        kept = filter_events(self.sample_trace(), etypes=["if_computed"],
+                             epoch_range=(1, 1))
+        assert [e.value for e in kept] == [0.2]
+
+    def test_tick_events_attributed_to_the_enclosing_epoch(self):
+        # epoch 0 closes at tick 5: the plan at tick 5 belongs to epoch 0,
+        # the one at tick 8 to epoch 1, the failure at tick 12 to epoch 2
+        kept = filter_events(self.sample_trace(), epoch_range=(0, 0))
+        assert [e.etype for e in kept] == \
+            ["epoch_start", "if_computed", "migration_planned"]
+        kept = filter_events(self.sample_trace(), epoch_range=(1, 1))
+        assert [(e.etype, getattr(e, "unit", None)) for e in kept] == \
+            [("migration_planned", 4), ("epoch_start", None),
+             ("if_computed", None)]
+
+    def test_events_past_the_last_boundary_belong_to_the_next_epoch(self):
+        kept = filter_events(self.sample_trace(), epoch_range=(2, 99))
+        assert [e.etype for e in kept] == ["mds_failed"]
+
+    def test_attribution_survives_filtering_out_epoch_starts(self):
+        kept = filter_events(self.sample_trace(), etypes=["migration_planned"],
+                             epoch_range=(1, 1))
+        assert [e.unit for e in kept] == [4]
+
+    def test_no_boundaries_drops_tick_only_events(self):
+        kept = filter_events([MdsFailed(tick=3, rank=0)], epoch_range=(0, 9))
+        assert kept == []
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            filter_events(self.sample_trace(), epoch_range=(3, 1))
+
+    def test_no_filters_is_identity(self):
+        events = self.sample_trace()
+        assert filter_events(events) == events
+
+    def test_on_a_real_run_partitions_the_trace(self, make_sim):
+        sim = make_sim("lunule")
+        sim.run()
+        events = sim.trace.events()
+        n_epochs = len(sim.trace.events("epoch_start"))
+        sliced = [filter_events(events, epoch_range=(k, k))
+                  for k in range(n_epochs + 1)]
+        assert sum(len(s) for s in sliced) == len(events)
 
 
 def test_initiator_if_uses_same_loads_as_simulator(make_sim):
