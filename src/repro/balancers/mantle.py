@@ -31,8 +31,8 @@ GreedySpill — the paper's Mantle-hosted baseline — ships as
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 

@@ -11,6 +11,8 @@ Commands:
 - ``trace``  — run with decision tracing and export/summarize the JSONL
   (sliceable with ``--etype`` / ``--epoch-range``),
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
+- ``lint``   — run the repo's AST invariant linter (determinism, layering,
+  trace schema, float equality; see ``docs/STATIC_ANALYSIS.md``),
 - ``list``   — available workloads, balancers and figure ids.
 """
 
@@ -136,6 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
     fig_p.add_argument("--scale", type=float, default=1.0)
     fig_p.add_argument("--seed", type=int, default=7)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter over the tree (exit 1 on findings)")
+    lint_p.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json is the CI artifact form)")
+    lint_p.add_argument("--rule", action="append", metavar="RULE_ID",
+                        help="run only this rule id (repeatable; unknown ids "
+                             "are an error — see --list-rules)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="list registered rule ids and exit")
 
     ovh_p = sub.add_parser("overhead",
                            help="control-plane overhead accounting (paper §3.4)")
@@ -388,8 +403,26 @@ def _cmd_list(out) -> int:
     print("figures   :", ", ".join(sorted(FIGURES)), file=out)
     print("extras    : overhead (paper §3.4 accounting), "
           "trace (decision-trace JSONL export), "
-          "sweep (parallel workload x balancer grids)", file=out)
+          "sweep (parallel workload x balancer grids), "
+          "lint (AST invariant linter)", file=out)
     return 0
+
+
+def _cmd_lint(args, out) -> int:
+    from repro.lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rid, rule in sorted(all_rules().items()):
+            print(f"{rid:16} {rule.description}", file=out)
+        return 0
+    try:
+        result = lint_paths(args.paths, rules=args.rule)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result), end="", file=out)
+    return result.exit_code
 
 
 def _cmd_overhead(args, out) -> int:
@@ -413,6 +446,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "overhead":
         return _cmd_overhead(args, out)
     if args.command == "list":

@@ -18,8 +18,8 @@ balancing dynamics depend on:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.namespace.dirfrag import FragId, frag_file_count
 from repro.namespace.subtree import AuthorityMap

@@ -18,8 +18,8 @@ splits and pins onto the authority map, exports into the
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
-from typing import Callable
 
 from repro.cluster.mds import MDS
 from repro.cluster.migration import Migrator
@@ -98,7 +98,7 @@ class SimConfig:
     #: time-series ring capacity in epochs (``None`` keeps every epoch)
     record_capacity: int | None = None
 
-    def with_(self, **kwargs) -> "SimConfig":
+    def with_(self, **kwargs) -> SimConfig:
         """Copy with overrides (convenience for sweeps)."""
         return replace(self, **kwargs)
 
@@ -107,14 +107,14 @@ class SimConfig:
 class _ScheduledEvent:
     tick: int
     order: int
-    fn: Callable[["Simulator"], None] = field(compare=False)
+    fn: Callable[[Simulator], None] = field(compare=False)
 
 
 class Simulator:
     """Runs one workload instance under one balancer."""
 
     def __init__(self, instance: WorkloadInstance, balancer, config: SimConfig,
-                 schedule: list[tuple[int, Callable[["Simulator"], None]]] | None = None,
+                 schedule: list[tuple[int, Callable[[Simulator], None]]] | None = None,
                  ) -> None:
         if config.n_mds <= 0:
             raise ValueError("need at least one MDS")

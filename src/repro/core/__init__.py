@@ -18,7 +18,7 @@ from repro.core.if_model import coefficient_of_variation, imbalance_factor, urge
 from repro.core.initiator import MdsLoad, MigrationInitiator, decide_roles
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy: repro.core.balancer builds on repro.balancers.base, which in
     # turn imports repro.core.plan/.view — an eager import here would make
     # that a cycle through this package's own initialization.

@@ -46,7 +46,7 @@ def imbalance_factor(loads: Sequence[float], capacity: float,
     if n < 2:
         return 0.0
     cov = coefficient_of_variation(loads)
-    if cov == 0.0:
+    if cov <= 0.0:
         return 0.0
     u = urgency(max(loads), capacity, smoothness)
     return (cov / math.sqrt(n)) * u

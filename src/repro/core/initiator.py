@@ -29,6 +29,8 @@ from repro.cluster.messages import ImbalanceState, MigrationDecision, wire_size
 from repro.core.if_model import imbalance_factor
 from repro.core.regression import predict_future_load
 from repro.obs.events import IfComputed, RoleAssigned
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceSink
 from repro.util.stats import coefficient_of_variation
 
 __all__ = ["MdsLoad", "decide_roles", "MigrationInitiator", "InitiatorConfig"]
@@ -113,7 +115,8 @@ class MigrationInitiator:
     """Centralized decision maker residing on one MDS (rank 0 by default)."""
 
     def __init__(self, capacity: float, config: InitiatorConfig | None = None,
-                 *, trace=None, metrics=None) -> None:
+                 *, trace: TraceSink | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = float(capacity)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.namespace.dirfrag import FragId
 from repro.namespace.subtree import AuthorityMap
+from repro.namespace.tree import NamespaceTree
 
 __all__ = [
     "EmitEvent",
@@ -76,9 +77,9 @@ class PlanningNamespace(AuthorityMap):
     :class:`EpochPlan`, preserving exact mutation order for replay.
     """
 
-    def __init__(self, tree, subtree_auth: dict[int, int],
+    def __init__(self, tree: NamespaceTree, subtree_auth: dict[int, int],
                  frags: dict[int, tuple[int, dict[int, int]]],
-                 plan: "EpochPlan") -> None:
+                 plan: EpochPlan) -> None:
         super().__init__(tree)
         self._subtree_auth = dict(subtree_auth)
         self._frags = {d: (bits, dict(owners)) for d, (bits, owners) in frags.items()}
@@ -102,7 +103,8 @@ class EpochPlan:
     migration initiator) can write decision events straight into the plan.
     """
 
-    def __init__(self, *, epoch: int, tree, subtree_auth: dict[int, int],
+    def __init__(self, *, epoch: int, tree: NamespaceTree,
+                 subtree_auth: dict[int, int],
                  frags: dict[int, tuple[int, dict[int, int]]],
                  queue_depths: dict[int, int] | None = None) -> None:
         self.epoch = epoch
@@ -113,14 +115,14 @@ class EpochPlan:
 
     @classmethod
     def from_authority(cls, authority: AuthorityMap, *, epoch: int = 0,
-                       queue_depths: dict[int, int] | None = None) -> "EpochPlan":
+                       queue_depths: dict[int, int] | None = None) -> EpochPlan:
         """Plan against a live authority map (unit tests, standalone use)."""
         subtree_auth, frags = authority.snapshot_state()
         return cls(epoch=epoch, tree=authority.tree, subtree_auth=subtree_auth,
                    frags=frags, queue_depths=queue_depths)
 
     # -------------------------------------------------------------- recording
-    def emit(self, event) -> None:
+    def emit(self, event: object) -> None:
         """Append a decision event (replayed onto the trace in order)."""
         self.actions.append(EmitEvent(event))
 

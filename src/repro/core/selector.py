@@ -69,10 +69,8 @@ class SubtreeSelector:
             return False
         if not c.is_frag and c.dir_id in self._blocked_dirs:
             return False
-        for a in self.ns.tree.ancestors(c.dir_id):
-            if a in self._selected_dirs:
-                return False
-        return True
+        return all(a not in self._selected_dirs
+                   for a in self.ns.tree.ancestors(c.dir_id))
 
     def _take(self, c: Candidate) -> ExportPlan:
         if c.is_frag:

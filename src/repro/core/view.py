@@ -16,11 +16,16 @@ simulator either.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.namespace.subtree import AuthorityMap
+
+if TYPE_CHECKING:
+    from repro.core.plan import EpochPlan
 
 __all__ = ["RankView", "ClusterView", "build_cluster_view"]
 
@@ -142,7 +147,7 @@ class ClusterView:
         return cached
 
     # --------------------------------------------------------------- planning
-    def new_plan(self):
+    def new_plan(self) -> EpochPlan:
         """A fresh :class:`~repro.core.plan.EpochPlan` against this view."""
         from repro.core.plan import EpochPlan
 
@@ -151,8 +156,10 @@ class ClusterView:
                          queue_depths=self.queue_depths())
 
 
-def build_cluster_view(*, epoch: int, mdss, stats, authmap, migrator,
-                       default_capacity: float, metrics=None) -> ClusterView:
+def build_cluster_view(*, epoch: int, mdss: Iterable[Any], stats: Any,
+                       authmap: AuthorityMap, migrator: Any,
+                       default_capacity: float,
+                       metrics: object | None = None) -> ClusterView:
     """Assemble a :class:`ClusterView` from duck-typed cluster components.
 
     ``mdss`` is a sequence of :class:`~repro.cluster.mds.MDS`-likes,

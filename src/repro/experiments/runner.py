@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import os
+from collections.abc import Callable
 from dataclasses import replace
-from typing import Callable
 
 from repro.balancers import make_balancer
 from repro.cluster.simulator import Simulator

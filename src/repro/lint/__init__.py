@@ -1,0 +1,34 @@
+"""repro lint: AST-based invariant linting for the reproduction.
+
+The engine (:mod:`repro.lint.engine`) walks Python sources and runs every
+registered :class:`~repro.lint.engine.Rule`; the shipped rules enforce
+the determinism contract, the layer DAG, the trace/metric schema closure
+and float-equality hygiene (see ``docs/STATIC_ANALYSIS.md``). Entry
+points: ``repro lint [PATHS]`` on the command line, or
+:func:`repro.lint.engine.lint_paths` from code.
+"""
+
+from repro.lint.engine import (
+    LintResult,
+    all_rules,
+    build_project,
+    lint_paths,
+    rule_ids,
+)
+from repro.lint.findings import ERROR, WARNING, Finding, Severity
+from repro.lint.reporters import parse_json, render_json, render_text
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Severity",
+    "LintResult",
+    "all_rules",
+    "build_project",
+    "lint_paths",
+    "rule_ids",
+    "parse_json",
+    "render_json",
+    "render_text",
+]

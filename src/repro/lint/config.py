@@ -1,0 +1,121 @@
+"""Declarative configuration of every shipped lint rule.
+
+This module is data, not logic: the layer DAG, the determinism scopes and
+the forbidden-call tables live here so that "what does the repo promise"
+is readable (and reviewable) in one place, separate from the AST walking
+that enforces it.
+
+Layer model
+-----------
+
+``LAYER_DAG`` maps each first-level package under ``repro`` to the set of
+sibling packages (or specific ``pkg.module`` entries) it may import.
+Intra-package imports are always allowed; the top-level modules
+(``repro``, ``repro.cli``, ``repro.__main__``) sit above every layer and
+may import anything. The table is module-granular where the package
+graph is deliberately not a DAG:
+
+- ``core`` and ``balancers`` are mutually stratified: balancers (pure
+  policies) build on all of ``core``, while ``core`` reaches back only to
+  the policy *interfaces* (``balancers.base``) and the shared candidate
+  enumeration (``balancers.candidates``);
+- ``core`` may read the mechanism's passive data carriers
+  (``cluster.stats``, ``cluster.messages``) but never the simulator —
+  the policy/mechanism split the golden traces rest on;
+- ``workloads`` drives the cluster only through ``cluster.router``.
+
+``repro.cluster.simulator`` appears in no allowlist outside ``cluster``
+and ``experiments``: policies consume a ClusterView and return an
+EpochPlan instead of touching the simulator (see
+``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LAYER_DAG",
+    "ROOT_MODULES",
+    "DETERMINISM_PACKAGES",
+    "PLAN_PACKAGES",
+    "FLOAT_EQ_MODULES",
+    "WALL_CLOCK_CALLS",
+    "GLOBAL_RNG_PREFIXES",
+    "GLOBAL_RNG_ALLOWED",
+    "LISTING_CALLS",
+    "RNG_HINT",
+]
+
+#: package -> packages/modules it may import (``repro.`` prefix implied).
+#: An entry like ``"cluster.stats"`` whitelists exactly that module.
+LAYER_DAG: dict[str, frozenset[str]] = {
+    "util": frozenset(),
+    "namespace": frozenset({"util"}),
+    "obs": frozenset({"util", "namespace"}),
+    "workloads": frozenset({"util", "namespace", "cluster.router"}),
+    "core": frozenset({
+        "util", "namespace", "obs",
+        "cluster.stats", "cluster.messages",
+        "balancers.base", "balancers.candidates",
+    }),
+    "balancers": frozenset({"util", "namespace", "obs", "core"}),
+    "cluster": frozenset({"util", "namespace", "obs", "core", "workloads"}),
+    "experiments": frozenset({
+        "util", "namespace", "obs", "core", "balancers", "cluster",
+        "workloads",
+    }),
+    #: the linter itself: engine/rules plus the runtime schema hooks it
+    #: cross-checks (obs.prom's metric-name grammar)
+    "lint": frozenset({"util", "obs"}),
+}
+
+#: modules above every layer (the CLI face of the package)
+ROOT_MODULES = frozenset({"repro", "repro.cli", "repro.__main__"})
+
+#: packages whose code must be deterministic: no wall clock, no global
+#: RNG, no per-process ``hash()`` — a fixed seed must replay byte-for-byte
+DETERMINISM_PACKAGES = ("core", "balancers", "obs")
+
+#: packages whose modules produce (or feed) an EpochPlan: iteration order
+#: here becomes migration order, so unordered containers are forbidden
+PLAN_PACKAGES = ("core", "balancers")
+
+#: modules (path suffixes) where ``==``/``!=`` on float expressions is
+#: forbidden — the numeric kernel of the IF model and its predictors
+FLOAT_EQ_MODULES = (
+    "repro/core/if_model.py",
+    "repro/core/mindex.py",
+    "repro/core/regression.py",
+)
+
+#: fully-resolved call targets that read the wall clock.
+#: ``time.perf_counter``/``perf_counter_ns`` stay allowed: they feed the
+#: opt-in wall-clock span profiler and never a decision.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: dotted-name prefixes whose calls draw from process-global randomness
+GLOBAL_RNG_PREFIXES = ("random.", "os.urandom", "uuid.", "numpy.random.")
+
+#: exceptions under the prefixes above: explicitly seeded constructors
+GLOBAL_RNG_ALLOWED = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+})
+
+#: directory-listing calls whose OS-dependent order must pass through
+#: ``sorted()`` before anything iterates it
+LISTING_CALLS = frozenset({"os.listdir", "os.scandir"})
+
+#: appended to determinism findings so the fix is one import away
+RNG_HINT = "use repro.util.rng.substream(seed, *names) for seeded streams"

@@ -1,0 +1,155 @@
+"""Determinism rules: the byte-identical-replay contract, enforced.
+
+Everything under ``core/``, ``balancers/`` and ``obs/`` must be a pure
+function of (config, seed): the golden decision-trace suite replays
+fixed-seed runs byte-for-byte, and the 2-worker sweep must equal serial
+bytes. Four rules guard the ways that contract quietly breaks:
+
+- ``wall-clock`` — ``time.time``/``datetime.now``-style calls;
+- ``global-rng`` — ``random.*``, ``os.urandom``, ``uuid.*`` and unseeded
+  ``numpy.random`` module functions (seeded streams come from
+  :func:`repro.util.rng.substream`);
+- ``unsorted-iter`` — iterating a ``set`` literal/comprehension/call, or
+  a directory listing not wrapped in ``sorted()``, in plan-producing
+  modules: iteration order there becomes migration order;
+- ``str-hash`` — ``hash()`` on strings (or anything non-numeric):
+  salted per process (PYTHONHASHSEED), so it is never stable across the
+  experiment engine's worker pool.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint import config
+from repro.lint.engine import (
+    ModuleInfo,
+    Project,
+    Rule,
+    import_alias_map,
+    register,
+    resolve_call_name,
+    walk_with_parents,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["WallClockRule", "GlobalRngRule", "UnsortedIterRule", "StrHashRule"]
+
+
+def _calls(module: ModuleInfo) -> Iterator[tuple[ast.Call, str | None]]:
+    aliases = import_alias_map(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node, resolve_call_name(node.func, aliases)
+
+
+@register
+class WallClockRule(Rule):
+    id = "wall-clock"
+    description = ("forbid wall-clock reads (time.time, datetime.now, ...) "
+                   "in deterministic packages")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not module.in_packages(config.DETERMINISM_PACKAGES):
+            return
+        for call, name in _calls(module):
+            if name in config.WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, call,
+                    f"{name}() reads the wall clock; deterministic code "
+                    f"must take time from the simulator's tick/epoch")
+
+
+@register
+class GlobalRngRule(Rule):
+    id = "global-rng"
+    description = ("forbid process-global randomness (random.*, os.urandom, "
+                   "uuid, unseeded numpy.random) in deterministic packages")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not module.in_packages(config.DETERMINISM_PACKAGES):
+            return
+        for call, name in _calls(module):
+            if name is None or name in config.GLOBAL_RNG_ALLOWED:
+                continue
+            if any(name == p or name.startswith(p)
+                   for p in config.GLOBAL_RNG_PREFIXES):
+                yield self.finding(
+                    module, call,
+                    f"{name}() draws from process-global randomness; "
+                    f"{config.RNG_HINT}")
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register
+class UnsortedIterRule(Rule):
+    id = "unsorted-iter"
+    description = ("forbid iterating sets or unsorted directory listings "
+                   "in plan-producing modules")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not module.in_packages(config.PLAN_PACKAGES):
+            return
+        aliases = import_alias_map(module.tree)
+        for node, parent in walk_with_parents(module.tree):
+            # for x in {…} / {… for …} / set(…)
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self._set_finding(module, node.iter)
+            elif isinstance(node, ast.comprehension) and _is_set_expr(node.iter):
+                yield self._set_finding(module, node.iter)
+            elif isinstance(node, ast.Call):
+                name = resolve_call_name(node.func, aliases)
+                if name in config.LISTING_CALLS and not self._sorted_parent(parent):
+                    yield self.finding(
+                        module, node,
+                        f"{name}() order is OS-dependent; wrap the call in "
+                        f"sorted(...) before anything iterates it")
+
+    @staticmethod
+    def _sorted_parent(parent: ast.AST | None) -> bool:
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted")
+
+    def _set_finding(self, module: ModuleInfo, node: ast.expr) -> Finding:
+        return self.finding(
+            module, node,
+            "iteration order of a set is arbitrary and feeds the epoch "
+            "plan; iterate sorted(...) instead")
+
+
+@register
+class StrHashRule(Rule):
+    id = "str-hash"
+    description = ("forbid hash() on strings/objects in deterministic "
+                   "packages (salted per process; use util.rng.derive_seed)")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not module.in_packages(config.DETERMINISM_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash" and node.args
+                    and not self._numeric(node.args[0])):
+                yield self.finding(
+                    module, node,
+                    "hash() is salted per process (PYTHONHASHSEED) and "
+                    "differs across the worker pool; use "
+                    "repro.util.rng.derive_seed for stable hashing")
+
+    @staticmethod
+    def _numeric(arg: ast.expr) -> bool:
+        return (isinstance(arg, ast.Constant)
+                and isinstance(arg.value, (int, float))
+                and not isinstance(arg.value, bool))

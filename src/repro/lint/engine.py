@@ -1,0 +1,389 @@
+"""The reusable AST lint engine: rule registry, module model, suppressions.
+
+A lint run is: collect ``.py`` files → parse each into a
+:class:`ModuleInfo` → hand every module to every registered
+:class:`Rule` → hand the whole :class:`Project` to every rule's
+cross-module pass → filter findings through inline suppressions → report.
+
+Rules are plain classes registered with :func:`register`; each has a
+stable kebab-case ``id`` (what ``--rule`` selects and what suppressions
+name), a severity, and one or both of ``check_module`` /
+``check_project``.
+
+Suppressions are inline comments::
+
+    risky_line()  # repro-lint: disable=wall-clock
+    other()       # repro-lint: disable=str-hash,float-eq
+
+A suppression silences matching findings *on its own line only*. Every
+suppression must earn its keep: one that silences nothing is itself
+reported (rule id ``unused-suppression``), so stale opt-outs cannot
+accumulate as the tree changes underneath them.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import pathlib
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.lint.findings import ERROR, Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "build_project",
+    "lint_paths",
+    "LintResult",
+    "resolve_call_name",
+    "import_alias_map",
+    "UNUSED_SUPPRESSION",
+    "PARSE_ERROR",
+]
+
+UNUSED_SUPPRESSION = "unused-suppression"
+PARSE_ERROR = "parse-error"
+
+_SUPPRESS_RE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules ask about it."""
+
+    path: pathlib.Path
+    #: path as reported in findings (relative to the lint root when possible)
+    display: str
+    #: dotted module name when the file sits under a ``repro`` directory
+    #: (``repro.core.plan``); None for free-standing files
+    module: str | None
+    tree: ast.Module
+    source: str
+    #: line -> rule ids suppressed on that line
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def layer(self) -> str | None:
+        """First-level package under ``repro`` (``core``, ``obs``, ...)."""
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        return parts[1] if len(parts) >= 2 else None
+
+    def in_packages(self, packages: Iterable[str]) -> bool:
+        return self.layer in set(packages)
+
+
+@dataclass
+class Project:
+    """Every module of one lint run, with by-name lookup for rules."""
+
+    modules: list[ModuleInfo]
+    by_module: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_module = {m.module: m for m in self.modules
+                          if m.module is not None}
+
+    def find_suffix(self, suffix: str) -> ModuleInfo | None:
+        """The module whose path ends with ``suffix`` (``obs/events.py``)."""
+        want = pathlib.PurePosixPath(suffix).parts
+        for m in self.modules:
+            if m.path.parts[-len(want):] == want:
+                return m
+        return None
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``description``, register."""
+
+    id: str = ""
+    description: str = ""
+    severity: str = ERROR
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        """Per-module findings; default none."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Cross-module findings (cycles, schema closure); default none."""
+        return ()
+
+    # ------------------------------------------------------------- helpers
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str,
+                severity: str | None = None) -> Finding:
+        return Finding(
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = cls()
+    if not rule.id or not rule.description:
+        raise ValueError(f"{cls.__name__} must set id and description")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+_RULES_LOADED = False
+
+
+def _load_rules() -> None:
+    # Import for side effect: each module registers its rules on import.
+    # Guarded by a flag, not by registry emptiness: importing one rule
+    # module directly must not stop the others from loading later.
+    global _RULES_LOADED
+    if _RULES_LOADED:
+        return
+    _RULES_LOADED = True
+    from repro.lint import determinism, floats, layering, schema  # noqa: F401
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registry, loading the shipped rule modules on first use."""
+    _load_rules()
+    return dict(_REGISTRY)
+
+
+def rule_ids() -> list[str]:
+    return sorted(all_rules())
+
+
+# ----------------------------------------------------------------- parsing
+def _module_name(path: pathlib.Path) -> str | None:
+    """Dotted name from the last ``repro`` path component downward.
+
+    Works for the real tree (``src/repro/core/plan.py``) and for fixture
+    corpora that mirror it (``tests/lint_fixtures/x/repro/obs/bad.py``),
+    so layer- and scope-aware rules apply to both.
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    tail = parts[idx:]
+    tail[-1] = tail[-1].removesuffix(".py")
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+def _scan_suppressions(source: str) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                ids = {part.strip() for part in m.group(1).split(",")}
+                out.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # the parse error finding covers it
+    return out
+
+
+def _display_path(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def parse_module(path: pathlib.Path, root: pathlib.Path,
+                 ) -> tuple[ModuleInfo | None, Finding | None]:
+    display = _display_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return None, Finding(path=display, line=line, col=1, rule=PARSE_ERROR,
+                             message=f"cannot lint {display}: {exc}")
+    return ModuleInfo(
+        path=path, display=display, module=_module_name(path), tree=tree,
+        source=source, suppressions=_scan_suppressions(source),
+    ), None
+
+
+def _collect_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            key = f.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out
+
+
+def build_project(paths: Sequence[str | pathlib.Path],
+                  root: str | pathlib.Path | None = None,
+                  ) -> tuple[Project, list[Finding]]:
+    """Parse every ``.py`` under ``paths``; unparseable files become
+    :data:`PARSE_ERROR` findings instead of aborting the run."""
+    root_path = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for path in _collect_files(paths):
+        info, err = parse_module(path, root_path)
+        if info is not None:
+            modules.append(info)
+        if err is not None:
+            errors.append(err)
+    return Project(modules=modules), errors
+
+
+# ------------------------------------------------------------------ running
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    #: modules successfully parsed
+    checked: int
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def _apply_suppressions(project: Project,
+                        findings: list[Finding]) -> list[Finding]:
+    """Drop suppressed findings; report suppressions that did nothing."""
+    by_display = {m.display: m for m in project.modules}
+    used: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for f in findings:
+        mod = by_display.get(f.path)
+        ids = mod.suppressions.get(f.line, set()) if mod is not None else set()
+        if f.rule in ids:
+            used.add((f.path, f.line, f.rule))
+        else:
+            kept.append(f)
+    known = set(all_rules()) | {UNUSED_SUPPRESSION, PARSE_ERROR}
+    for mod in project.modules:
+        for line, ids in sorted(mod.suppressions.items()):
+            for rule_id in sorted(ids):
+                if (mod.display, line, rule_id) in used:
+                    continue
+                extra = ("" if rule_id in known
+                         else " (no such rule — typo in the suppression?)")
+                kept.append(Finding(
+                    path=mod.display, line=line, col=1,
+                    rule=UNUSED_SUPPRESSION,
+                    message=f"suppression of {rule_id!r} matches no "
+                            f"finding{extra}; remove it"))
+    return kept
+
+
+def lint_paths(paths: Sequence[str | pathlib.Path],
+               rules: Iterable[str] | None = None,
+               root: str | pathlib.Path | None = None) -> LintResult:
+    """Run the (optionally filtered) rule set over ``paths``.
+
+    ``rules`` selects rule ids; unknown ids raise ``ValueError`` so a CI
+    typo cannot silently lint nothing.
+    """
+    registry = all_rules()
+    if rules is not None:
+        wanted = list(rules)
+        unknown = sorted(set(wanted) - set(registry))
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {sorted(registry)}")
+        registry = {rid: registry[rid] for rid in registry if rid in wanted}
+    project, findings = build_project(paths, root=root)
+    for rule in registry.values():
+        for mod in project.modules:
+            findings.extend(rule.check_module(mod, project))
+        findings.extend(rule.check_project(project))
+    findings = _apply_suppressions(project, findings)
+    unique = sorted(set(findings))
+    return LintResult(findings=unique, checked=len(project.modules))
+
+
+# ------------------------------------------------- shared AST helpers
+def import_alias_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted origin, from every import in the module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``. Nested (lazy)
+    imports are included: a wall-clock call is no less wall-clock for
+    being inside a function.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_name(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Dotted origin of a call target, resolved through import aliases.
+
+    The attribute chain's head is substituted by its import origin:
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; ``datetime.now`` with ``from datetime import
+    datetime`` resolves to ``datetime.datetime.now``. Returns None for
+    non-name targets (lambdas, subscripts, call results).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head, rest = parts[0], parts[1:]
+    resolved_head = aliases.get(head, head)
+    return ".".join([resolved_head, *rest])
+
+
+def walk_with_parents(tree: ast.Module) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+    """Yield ``(node, parent)`` for every node in the tree."""
+    parents: dict[int, ast.AST | None] = {id(tree): None}
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node, parents[id(node)]
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+            stack.append(child)

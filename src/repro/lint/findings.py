@@ -1,0 +1,53 @@
+"""The lint engine's output vocabulary.
+
+A :class:`Finding` is one violation at one source location, carrying the
+rule id that produced it — the ``file:line:rule-id`` triple is the
+contract every reporter, test and CI job keys on. Findings are frozen and
+totally ordered (by file, then line/column, then rule id) so a lint run
+over the same tree always reports in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["Severity", "Finding", "ERROR", "WARNING"]
+
+#: severities a rule (or a single finding) may carry; only ``ERROR``
+#: findings make ``repro lint`` exit non-zero
+ERROR = "error"
+WARNING = "warning"
+Severity = str
+
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = ERROR
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"severity must be one of {_SEVERITIES}, "
+                             f"got {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable half of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (round-trips through :func:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Finding:
+        return cls(**data)

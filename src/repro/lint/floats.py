@@ -1,0 +1,90 @@
+"""Float-equality rule for the numeric kernel.
+
+``float-eq`` forbids ``==``/``!=`` where either side is statically
+float-valued — a float literal, a true division, a ``float(...)``/
+``math.*`` call — in the modules listed in
+:data:`repro.lint.config.FLOAT_EQ_MODULES`: the IF model and its
+predictors. There, an exact-equality guard is either a masked domain
+check (write the inequality it means, e.g. ``cov <= 0.0``) or a latent
+platform-dependence bug; ``math.isclose`` is the sanctioned escape hatch
+when closeness really is the question.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections.abc import Iterable
+
+from repro.lint.config import FLOAT_EQ_MODULES
+from repro.lint.engine import (
+    ModuleInfo,
+    Project,
+    Rule,
+    import_alias_map,
+    register,
+    resolve_call_name,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["FloatEqRule"]
+
+_FLOAT_CALLS = ("float", "math.", "abs")
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    parts = module.path.parts
+    for suffix in FLOAT_EQ_MODULES:
+        want = pathlib.PurePosixPath(suffix).parts
+        if parts[-len(want):] == want:
+            return True
+    return False
+
+
+def _is_floatish(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """Statically float-valued: literal, true division, float()/math.*."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return (_is_floatish(node.left, aliases)
+                or _is_floatish(node.right, aliases))
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, aliases)
+    if isinstance(node, ast.Call):
+        name = resolve_call_name(node.func, aliases)
+        if name is None:
+            return False
+        return (name == "float" or name.startswith("math.")
+                or (name == "abs" and any(_is_floatish(a, aliases)
+                                          for a in node.args)))
+    return False
+
+
+@register
+class FloatEqRule(Rule):
+    id = "float-eq"
+    description = ("no ==/!= against float expressions in the numeric "
+                   "kernel (if_model, mindex, regression)")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        aliases = import_alias_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_floatish(left, aliases) or _is_floatish(right, aliases):
+                    tok = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module, node,
+                        f"{tok} against a float expression; write the "
+                        f"inequality the guard means (e.g. <= 0.0) or use "
+                        f"math.isclose")

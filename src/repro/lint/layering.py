@@ -1,0 +1,211 @@
+"""Layering rules: the declarative layer DAG and import-cycle detection.
+
+``layer-dag`` generalizes the original ``tests/test_architecture.py``
+import scan: every ``repro.*`` import in every module must be permitted
+by :data:`repro.lint.config.LAYER_DAG`. Imports at any nesting depth
+count — a lazy import is no less a dependency.
+
+``import-cycle`` walks only *module-scope* imports (function-level lazy
+imports are the sanctioned way to break an import cycle, and
+``TYPE_CHECKING`` blocks never execute) and reports every strongly
+connected component of size > 1 across the scanned tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.config import LAYER_DAG, ROOT_MODULES
+from repro.lint.engine import ModuleInfo, Project, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["LayerDagRule", "ImportCycleRule"]
+
+_SIMULATOR = "cluster.simulator"
+
+
+def _import_candidates(node: ast.stmt) -> Iterator[str]:
+    """Most-specific dotted names one import statement depends on."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        for alias in node.names:
+            if alias.name == "*":
+                yield node.module
+            else:
+                yield f"{node.module}.{alias.name}"
+
+
+def _target_keys(candidate: str) -> tuple[str | None, str | None]:
+    """``repro.cluster.stats.AccessStats`` -> (``cluster``, ``cluster.stats``)."""
+    parts = candidate.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None, None
+    layer = parts[1]
+    modkey = layer if len(parts) == 2 else f"{parts[1]}.{parts[2]}"
+    return layer, modkey
+
+
+@register
+class LayerDagRule(Rule):
+    id = "layer-dag"
+    description = ("every repro.* import must be allowed by the layer DAG "
+                   "in repro.lint.config.LAYER_DAG")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if module.module is None or module.module in ROOT_MODULES:
+            return
+        src_layer = module.layer
+        if src_layer is None:
+            return
+        if src_layer not in LAYER_DAG and src_layer not in ("cli", "__main__"):
+            yield self.finding(
+                module, module.tree,
+                f"package {src_layer!r} has no entry in the layer DAG "
+                f"(repro.lint.config.LAYER_DAG); declare its allowed "
+                f"imports there")
+            return
+        allowed = LAYER_DAG.get(src_layer, frozenset())
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for candidate in _import_candidates(node):
+                layer, modkey = _target_keys(candidate)
+                if layer is None or layer == src_layer:
+                    continue
+                if layer in allowed or modkey in allowed:
+                    continue
+                if modkey == _SIMULATOR:
+                    yield self.finding(
+                        module, node,
+                        f"imports {candidate}; policies must consume "
+                        f"ClusterView and return EpochPlan instead of "
+                        f"touching the simulator")
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"layer {src_layer!r} may not import repro.{layer} "
+                        f"(got {candidate}); allowed: "
+                        f"{sorted(allowed) or 'nothing'}")
+
+
+def _module_scope_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Imports that execute at module import time (incl. try/if bodies),
+    excluding ``if TYPE_CHECKING:`` blocks."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, ast.If):
+            if not _is_type_checking(node.test):
+                stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+@register
+class ImportCycleRule(Rule):
+    id = "import-cycle"
+    description = ("no module-scope import cycles anywhere under repro "
+                   "(lazy function-level imports are the sanctioned break)")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        modules = project.by_module
+        edges: dict[str, set[str]] = {name: set() for name in modules}
+        edge_stmt: dict[tuple[str, str], ast.stmt] = {}
+        for name, info in modules.items():
+            for stmt in _module_scope_imports(info.tree):
+                for candidate in _import_candidates(stmt):
+                    target = _resolve(candidate, modules)
+                    if target is not None and target != name:
+                        edges[name].add(target)
+                        edge_stmt.setdefault((name, target), stmt)
+        for scc in _tarjan(edges):
+            if len(scc) < 2:
+                continue
+            cycle = sorted(scc)
+            for name in cycle:
+                info = modules[name]
+                others = [t for t in edges[name] if t in scc]
+                stmt = edge_stmt.get((name, others[0])) if others else None
+                yield self.finding(
+                    info, stmt if stmt is not None else info.tree,
+                    f"{name} is part of a module-scope import cycle: "
+                    f"{' <-> '.join(cycle)}; break it with a lazy "
+                    f"(function-level) import")
+
+
+def _resolve(candidate: str, modules: dict[str, ModuleInfo]) -> str | None:
+    """Longest dotted prefix of ``candidate`` that is a scanned module."""
+    parts = candidate.split(".")
+    for end in range(len(parts), 0, -1):
+        name = ".".join(parts[:end])
+        if name in modules:
+            return name
+    return None
+
+
+def _tarjan(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan SCC (recursion-free: the tree is arbitrary size)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(edges[root])))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs

@@ -1,0 +1,45 @@
+"""Text and JSON renderings of a :class:`LintResult`.
+
+The text form is one ``path:line:col: severity: message [rule-id]`` line
+per finding plus a one-line summary — grep- and editor-jump-friendly. The
+JSON form is a single object (``findings``/``checked``/``exit_code``)
+whose findings round-trip through :meth:`Finding.from_dict`; CI uploads
+it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+__all__ = ["render_text", "render_json", "parse_json"]
+
+
+def render_text(result: LintResult) -> str:
+    lines = [
+        f"{f.location}: {f.severity}: {f.message} [{f.rule}]"
+        for f in result.findings
+    ]
+    n_err = len(result.errors)
+    n_warn = len(result.findings) - n_err
+    lines.append(
+        f"checked {result.checked} module(s): "
+        f"{n_err} error(s), {n_warn} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "checked": result.checked,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Findings back out of :func:`render_json` output (the CI artifact)."""
+    payload = json.loads(text)
+    return [Finding.from_dict(d) for d in payload["findings"]]

@@ -1,0 +1,185 @@
+"""Trace-schema and metric-name rules: the audit schema, closed.
+
+``trace-schema`` recovers the declared event set from ``obs/events.py``'s
+AST (every ``TraceEvent`` subclass with an ``etype`` ClassVar, plus the
+``EVENT_TYPES`` registry tuple) and closes it against the tree:
+
+- every ``*.emit(SomeEvent(...))`` constructor must be a declared,
+  registered event type — an event renamed in ``events.py`` but not at
+  its emit sites is caught before a golden trace ever runs;
+- every declared type must be registered in ``EVENT_TYPES`` (or replay
+  silently fails on it);
+- vice versa, every declared type must be emitted *somewhere*, checked
+  only when the emitting layers (``cluster``/``balancers``) are part of
+  the lint run so partial-path lints stay quiet.
+
+``metric-name`` checks literal names handed to the metrics registry
+(``.counter/.gauge/.histogram/.timer``) against the grammar published by
+:data:`repro.obs.prom.METRIC_NAME_RE`, so every name survives OpenMetrics
+sanitization 1:1.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.engine import (
+    ModuleInfo,
+    Project,
+    Rule,
+    import_alias_map,
+    register,
+    resolve_call_name,
+)
+from repro.lint.findings import Finding
+from repro.obs.prom import METRIC_NAME_RE, is_valid_metric_name
+
+__all__ = ["TraceSchemaRule", "MetricNameRule"]
+
+_EVENTS_SUFFIX = "obs/events.py"
+_EVENTS_MODULE_PREFIX = "repro.obs.events."
+#: the abstract base; declared but never (and never to be) emitted
+_BASE_EVENT = "TraceEvent"
+_REGISTRY_NAME = "EVENT_TYPES"
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
+
+
+def _declared_events(events: ModuleInfo) -> dict[str, tuple[str, ast.ClassDef]]:
+    """Class name -> (etype tag, class node) for every declared event."""
+    out: dict[str, tuple[str, ast.ClassDef]] = {}
+    for node in events.tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name == _BASE_EVENT:
+            continue
+        for stmt in node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "etype"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)):
+                out[node.name] = (stmt.value.value, node)
+    return out
+
+
+def _registered_names(events: ModuleInfo) -> tuple[set[str], ast.stmt | None]:
+    """Class names listed in the ``EVENT_TYPES`` registry comprehension."""
+    for node in events.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == _REGISTRY_NAME
+                   for t in targets):
+            continue
+        names = {n.id for n in ast.walk(value)
+                 if isinstance(n, ast.Name) and n.id != _BASE_EVENT
+                 and n.id[:1].isupper()}
+        return names, node
+    return set(), None
+
+
+def _emitted_constructors(module: ModuleInfo) -> Iterable[tuple[str, ast.Call]]:
+    """(constructor dotted name, ctor node) per ``*.emit(Ctor(...))`` call."""
+    aliases = import_alias_map(module.tree)
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit" and node.args
+                and isinstance(node.args[0], ast.Call)):
+            ctor = node.args[0]
+            name = resolve_call_name(ctor.func, aliases)
+            if name is not None:
+                yield name, ctor
+
+
+@register
+class TraceSchemaRule(Rule):
+    id = "trace-schema"
+    description = ("every event type emitted to a TraceLog must be declared "
+                   "and registered in obs/events.py, and vice versa")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        events = project.find_suffix(_EVENTS_SUFFIX)
+        if events is None:
+            return  # partial-path lint without the schema module
+        declared = _declared_events(events)
+        registered, registry_node = _registered_names(events)
+
+        if registry_node is None:
+            yield self.finding(
+                events, events.tree,
+                f"{_EVENTS_SUFFIX} declares no {_REGISTRY_NAME} registry; "
+                f"replay cannot resolve event tags")
+        else:
+            for name, (_etype, cls_node) in sorted(declared.items()):
+                if name not in registered:
+                    yield self.finding(
+                        events, cls_node,
+                        f"event {name} is declared but missing from "
+                        f"{_REGISTRY_NAME}; event_from_json cannot decode it")
+            for name in sorted(registered - set(declared)):
+                yield self.finding(
+                    events, registry_node,
+                    f"{_REGISTRY_NAME} registers {name}, which declares no "
+                    f"etype ClassVar in {_EVENTS_SUFFIX}")
+
+        emitted: set[str] = set()
+        for module in project.modules:
+            for dotted, ctor in _emitted_constructors(module):
+                cls = self._event_class(dotted, declared)
+                if cls is None:
+                    continue
+                emitted.add(cls)
+                if cls not in declared:
+                    yield self.finding(
+                        module, ctor,
+                        f"emits {cls}, which {_EVENTS_SUFFIX} does not "
+                        f"declare; add the event type (with an etype "
+                        f"ClassVar) before emitting it")
+
+        # Only a run that includes the emitting layers can prove absence.
+        layers = {m.layer for m in project.modules}
+        if {"cluster", "balancers"} <= layers:
+            for name, (etype, cls_node) in sorted(declared.items()):
+                if name not in emitted:
+                    yield self.finding(
+                        events, cls_node,
+                        f"event {name} ({etype!r}) is declared but never "
+                        f"emitted anywhere in the tree; dead schema entries "
+                        f"rot — emit it or remove it")
+
+    @staticmethod
+    def _event_class(dotted: str,
+                     declared: dict[str, tuple[str, ast.ClassDef]]) -> str | None:
+        """Constructor name when it plausibly names a trace event."""
+        if dotted.startswith(_EVENTS_MODULE_PREFIX):
+            return dotted.removeprefix(_EVENTS_MODULE_PREFIX)
+        if "." not in dotted and dotted in declared:
+            return dotted
+        return None
+
+
+@register
+class MetricNameRule(Rule):
+    id = "metric-name"
+    description = ("literal metric names handed to the registry must match "
+                   "the OpenMetrics sanitizer grammar (obs.prom"
+                   ".METRIC_NAME_RE)")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _METRIC_FACTORIES
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and not is_valid_metric_name(node.args[0].value)):
+                yield self.finding(
+                    module, node.args[0],
+                    f"metric name {node.args[0].value!r} does not match the "
+                    f"sanitizer grammar {METRIC_NAME_RE.pattern!r}; it would "
+                    f"be mangled in the OpenMetrics exposition")

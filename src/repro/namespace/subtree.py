@@ -79,7 +79,7 @@ class AuthorityMap:
 
     @classmethod
     def from_state(cls, tree: NamespaceTree, subtree_auth: dict[int, int],
-                   frags: dict[int, tuple[int, dict[int, int]]]) -> "AuthorityMap":
+                   frags: dict[int, tuple[int, dict[int, int]]]) -> AuthorityMap:
         """Rebuild an authority map from a :meth:`snapshot_state` snapshot."""
         ns = cls(tree)
         ns._subtree_auth = dict(subtree_auth)

@@ -37,6 +37,7 @@ __all__ = [
     "MdsFailed",
     "MdsRecovered",
     "EVENT_TYPES",
+    "declared_event_types",
     "encode_unit",
     "decode_unit",
     "event_to_dict",
@@ -183,6 +184,16 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         MdsFailed, MdsRecovered,
     )
 }
+
+
+def declared_event_types() -> frozenset[str]:
+    """Every registered event-type tag — the trace-schema closure hook.
+
+    ``repro lint``'s trace-schema rule statically recovers the same set
+    from this module's AST; ``tests/test_lint_schema.py`` cross-checks the
+    two so the linter can never drift from the runtime registry.
+    """
+    return frozenset(EVENT_TYPES)
 
 
 def event_to_dict(event: TraceEvent) -> dict:

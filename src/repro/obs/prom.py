@@ -24,10 +24,23 @@ import math
 import os
 import re
 
-__all__ = ["sanitize_metric_name", "render_openmetrics", "write_textfile",
-           "parse_openmetrics"]
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["METRIC_NAME_RE", "is_valid_metric_name", "sanitize_metric_name",
+           "render_openmetrics", "write_textfile", "parse_openmetrics"]
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: registry-name grammar: what :func:`sanitize_metric_name` maps onto the
+#: Prometheus charset without surprises — letters/digits/underscores/colons
+#: plus dots (which become underscores), starting with a letter or
+#: underscore. ``repro lint``'s metric-name rule checks literals against it.
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_.:]*\Z")
+
+
+def is_valid_metric_name(name: str) -> bool:
+    """True when ``name`` sanitizes 1:1 (no mangled or collapsed chars)."""
+    return METRIC_NAME_RE.fullmatch(name) is not None
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
@@ -81,7 +94,7 @@ def _sorted_buckets(buckets: dict) -> list[tuple[float, float]]:
     return sorted(out)
 
 
-def render_openmetrics(source) -> str:
+def render_openmetrics(source: MetricsRegistry | dict) -> str:
     """OpenMetrics text for a registry or an already-taken snapshot dict."""
     snap = source if isinstance(source, dict) else source.snapshot()
     lines: list[str] = []
@@ -114,7 +127,8 @@ def render_openmetrics(source) -> str:
     return "\n".join(lines) + "\n"
 
 
-def write_textfile(source, path: str | os.PathLike) -> str:
+def write_textfile(source: MetricsRegistry | dict,
+                   path: str | os.PathLike) -> str:
     """Atomically (write + rename) dump the exposition to a ``.prom`` file.
 
     The rename keeps a concurrently scraping textfile collector from ever
@@ -171,7 +185,8 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             try:
                 _, _, name, kind = line.split(" ")
             except ValueError:
-                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+                raise ValueError(
+                    f"line {lineno}: malformed TYPE line {line!r}") from None
             if kind not in _KIND_SUFFIXES:
                 raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
             if name in types:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanProfiler
 from repro.obs.timeseries import TimeSeriesStore
 
@@ -37,7 +38,8 @@ class FlightRecorder:
     def clock(self) -> str:
         return self.spans.clock
 
-    def sample(self, record: Mapping, registry=None) -> None:
+    def sample(self, record: Mapping,
+               registry: MetricsRegistry | None = None) -> None:
         """Record one epoch; optionally refresh the OpenMetrics textfile."""
         self.timeseries.append(record)
         self.samples += 1

@@ -24,6 +24,7 @@ import bisect
 import json
 import time
 from collections.abc import Iterator
+from typing import Any, TypeVar
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
            "histogram_quantile"]
@@ -183,12 +184,17 @@ class _Timer:
         self.hist = hist
         self._start = 0.0
 
-    def __enter__(self) -> "_Timer":
+    def __enter__(self) -> _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.hist.observe(time.perf_counter() - self._start)
+
+
+#: any concrete metric the registry can hold
+Metric = Counter | Gauge | Histogram
+_M = TypeVar("_M", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -200,12 +206,12 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
         self._kinds: dict[str, str] = {}
 
     # -------------------------------------------------------------- factories
-    def _get(self, cls, name: str, labels: dict[str, object],
-             **kwargs):
+    def _get(self, cls: type[_M], name: str, labels: dict[str, object],
+             **kwargs: Any) -> _M:
         if not name:
             raise ValueError("metric name must be non-empty")
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
@@ -223,30 +229,30 @@ class MetricsRegistry:
         self._kinds[name] = cls.kind
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-                  **labels) -> Histogram:
+                  **labels: object) -> Histogram:
         return self._get(Histogram, name, labels, buckets=buckets)
 
     def timer(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-              **labels) -> _Timer:
+              **labels: object) -> _Timer:
         """``with registry.timer("phase.serve"): ...`` — seconds observed."""
         return _Timer(self.histogram(name, buckets=buckets, **labels))
 
     # ------------------------------------------------------------- inspection
-    def __iter__(self) -> Iterator[object]:
+    def __iter__(self) -> Iterator[Metric]:
         for key in sorted(self._series):
             yield self._series[key]
 
     def __len__(self) -> int:
         return len(self._series)
 
-    def get_value(self, name: str, **labels) -> float | None:
+    def get_value(self, name: str, **labels: object) -> float | None:
         """Value of a counter/gauge series, or None if never registered."""
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         metric = self._series.get(key)

@@ -42,7 +42,7 @@ def sparkline(values: list[float]) -> str:
     return "".join(out)
 
 
-def _fmt(x) -> str:
+def _fmt(x: object) -> str:
     if isinstance(x, float):
         if x != x:
             return "nan"

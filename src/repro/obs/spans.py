@@ -33,15 +33,15 @@ class _SpanCtx:
 
     __slots__ = ("_prof", "_name")
 
-    def __init__(self, prof: "SpanProfiler", name: str) -> None:
+    def __init__(self, prof: SpanProfiler, name: str) -> None:
         self._prof = prof
         self._name = name
 
-    def __enter__(self) -> "_SpanCtx":
+    def __enter__(self) -> _SpanCtx:
         self._prof.begin(self._name)
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._prof.end(self._name)
 
 

@@ -139,7 +139,7 @@ class TimeSeriesStore:
 
     @classmethod
     def load_jsonl(cls, path: str | os.PathLike,
-                   capacity: int | None = None) -> "TimeSeriesStore":
+                   capacity: int | None = None) -> TimeSeriesStore:
         """Rebuild a store from its JSONL dump (round-trips exactly)."""
         store = cls(capacity=capacity)
         with open(path, encoding="utf-8") as fh:

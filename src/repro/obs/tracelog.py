@@ -19,10 +19,25 @@ import bisect
 import os
 from collections import deque
 from collections.abc import Iterable, Iterator
+from typing import Any, Protocol
 
 from repro.obs.events import TraceEvent, event_from_json, event_to_json
+from repro.obs.registry import Counter
 
-__all__ = ["TraceLog", "read_jsonl", "write_jsonl", "filter_events"]
+__all__ = ["TraceSink", "TraceLog", "read_jsonl", "write_jsonl",
+           "filter_events"]
+
+
+class TraceSink(Protocol):
+    """Anything decision events can be emitted into.
+
+    Satisfied by :class:`TraceLog` and by
+    :class:`~repro.core.plan.EpochPlan` (which records the event as a
+    replayable action) — the duck type components like the migration
+    initiator are written against.
+    """
+
+    def emit(self, event: Any) -> None: ...
 
 
 class TraceLog:
@@ -34,7 +49,8 @@ class TraceLog:
     ``trace_events_dropped_total`` series instead of silence.
     """
 
-    def __init__(self, capacity: int | None = None, drop_counter=None) -> None:
+    def __init__(self, capacity: int | None = None,
+                 drop_counter: Counter | None = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("ring capacity must be positive (or None)")
         self.capacity = capacity
@@ -92,7 +108,7 @@ class TraceLog:
 
     @classmethod
     def load_jsonl(cls, path: str | os.PathLike,
-                   capacity: int | None = None) -> "TraceLog":
+                   capacity: int | None = None) -> TraceLog:
         log = cls(capacity=capacity)
         for event in read_jsonl(path):
             log.emit(event)

@@ -56,7 +56,7 @@ class Trace:
             yield (int(k), int(d), int(f), int(b))
 
     @classmethod
-    def from_ops(cls, ops) -> "Trace":
+    def from_ops(cls, ops) -> Trace:
         rows = list(ops)
         if not rows:
             return cls(*(np.zeros(0, dtype=np.int64) for _ in range(4)))
@@ -70,12 +70,12 @@ class Trace:
                             files=self.files, nbytes=self.nbytes)
 
     @classmethod
-    def load(cls, path: str | Path) -> "Trace":
+    def load(cls, path: str | Path) -> Trace:
         with np.load(path) as data:
             return cls(data["kinds"], data["dirs"], data["files"], data["nbytes"])
 
     # ------------------------------------------------------------- transforms
-    def slice(self, start: int, stop: int | None = None) -> "Trace":
+    def slice(self, start: int, stop: int | None = None) -> Trace:
         return Trace(self.kinds[start:stop], self.dirs[start:stop],
                      self.files[start:stop], self.nbytes[start:stop])
 

@@ -1,0 +1,5 @@
+"""Positive fixture: hash() on a string is salted per process."""
+
+
+def slot(path: str, n: int) -> int:
+    return hash(path) % n               # line 5: str-hash

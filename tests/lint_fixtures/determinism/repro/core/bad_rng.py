@@ -1,0 +1,17 @@
+"""Positive fixture: process-global randomness in a deterministic package."""
+import random
+import uuid
+
+import numpy as np
+
+
+def pick(xs):
+    return random.choice(xs)    # line 9: global-rng
+
+
+def tag():
+    return uuid.uuid4()         # line 13: global-rng
+
+
+def noise():
+    return np.random.rand()     # line 17: global-rng (module-level numpy)

@@ -1,0 +1,16 @@
+"""Positive fixture: unordered iteration feeding a plan."""
+import os
+
+
+def order(xs):
+    return [x for x in {1, 2, 3}]       # line 6: unsorted-iter (set literal)
+
+
+def walk(root):
+    for entry in os.listdir(root):      # line 10: unsorted-iter (listing)
+        yield entry
+
+
+def spread(xs):
+    for x in set(xs):                   # line 15: unsorted-iter (set() call)
+        yield x

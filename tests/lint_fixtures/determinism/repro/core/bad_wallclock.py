@@ -1,0 +1,11 @@
+"""Positive fixture: wall-clock reads inside a deterministic package."""
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()          # line 7: wall-clock
+
+
+def day() -> str:
+    return datetime.now().isoformat()  # line 11: wall-clock (via alias map)

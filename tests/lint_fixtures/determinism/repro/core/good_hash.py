@@ -1,0 +1,10 @@
+"""Negative fixture: derive_seed is the stable cross-process hash."""
+from repro.util.rng import derive_seed
+
+
+def slot(path: str, n: int) -> int:
+    return derive_seed(0, "slot", path) % n
+
+
+def numeric() -> int:
+    return hash(42)  # hashing a literal int is stable

@@ -1,0 +1,12 @@
+"""Negative fixture: seeded substreams and explicit generators only."""
+import numpy as np
+
+from repro.util.rng import substream
+
+
+def pick(seed: int, n: int) -> int:
+    return int(substream(seed, "pick").integers(n))
+
+
+def explicit(seed: int) -> float:
+    return float(np.random.default_rng(seed).random())

@@ -1,0 +1,15 @@
+"""Negative fixture: sorted iteration and membership-only sets."""
+import os
+
+
+def order(xs):
+    return [x for x in sorted({1, 2, 3})]
+
+
+def walk(root):
+    for entry in sorted(os.listdir(root)):
+        yield entry
+
+
+def member(xs, probe) -> bool:
+    return probe in set(xs)

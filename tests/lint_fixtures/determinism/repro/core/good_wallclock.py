@@ -1,0 +1,10 @@
+"""Negative fixture: perf_counter is the sanctioned (span-only) clock."""
+import time
+
+
+def span() -> int:
+    return time.perf_counter_ns()
+
+
+def tick_based(tick: int) -> int:
+    return tick + 1

@@ -1,0 +1,12 @@
+"""Positive fixture: exact float equality in the numeric kernel."""
+import math
+
+
+def gate(cov: float) -> float:
+    if cov == 0.0:                      # line 6: float-eq (literal)
+        return 0.0
+    return cov
+
+
+def ratio(a: float, b: float) -> bool:
+    return a / b != math.sqrt(2.0)      # line 12: float-eq (division/math)

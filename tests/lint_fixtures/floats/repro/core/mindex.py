@@ -1,0 +1,16 @@
+"""Negative fixture: inequalities and isclose, plus int equality."""
+import math
+
+
+def gate(cov: float) -> float:
+    if cov <= 0.0:
+        return 0.0
+    return cov
+
+
+def near(a: float, b: float) -> bool:
+    return math.isclose(a, b)
+
+
+def count_ok(n: int) -> bool:
+    return n == 0

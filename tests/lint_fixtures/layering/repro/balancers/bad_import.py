@@ -1,0 +1,7 @@
+"""Positive fixture: a policy reaching into mechanism and harness."""
+from repro.cluster.simulator import Simulator          # line 2: layer-dag
+from repro.experiments.engine import ExperimentEngine  # line 3: layer-dag
+
+
+def plan(sim: Simulator, engine: ExperimentEngine):
+    return None

@@ -1,0 +1,7 @@
+"""Negative fixture: a policy consuming the typed view, as designed."""
+from repro.core.plan import EpochPlan
+from repro.core.view import ClusterView
+
+
+def plan(view: ClusterView) -> EpochPlan:
+    return view.new_plan()

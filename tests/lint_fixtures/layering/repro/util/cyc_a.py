@@ -1,0 +1,6 @@
+"""Positive fixture (with cyc_b): a module-scope import cycle."""
+from repro.util.cyc_b import beta  # line 2: import-cycle
+
+
+def alpha() -> int:
+    return beta() + 1

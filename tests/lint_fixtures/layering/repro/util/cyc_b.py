@@ -1,0 +1,6 @@
+"""Positive fixture (with cyc_a): a module-scope import cycle."""
+from repro.util.cyc_a import alpha  # line 2: import-cycle
+
+
+def beta() -> int:
+    return alpha() + 1

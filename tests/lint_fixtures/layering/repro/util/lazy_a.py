@@ -1,0 +1,7 @@
+"""Negative fixture: the cycle with lazy_b is broken by a lazy import."""
+
+
+def alpha() -> int:
+    from repro.util.lazy_b import beta  # sanctioned cycle break
+
+    return beta() + 1

@@ -1,0 +1,6 @@
+"""Negative fixture: imports lazy_a at module scope; no cycle results."""
+from repro.util.lazy_a import alpha
+
+
+def beta() -> int:
+    return alpha() + 1

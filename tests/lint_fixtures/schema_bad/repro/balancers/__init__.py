@@ -1,0 +1,1 @@
+"""Layer stub: makes the never-emitted check applicable to this corpus."""

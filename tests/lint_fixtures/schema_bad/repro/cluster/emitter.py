@@ -1,0 +1,8 @@
+"""Positive fixture: emits an event type the schema never declared."""
+from repro.obs import events
+from repro.obs.events import Alpha
+
+
+def run(log, epoch: int) -> None:
+    log.emit(Alpha(epoch=epoch))
+    log.emit(events.Gamma(epoch=epoch))  # line 8: trace-schema (undeclared)

@@ -1,0 +1,5 @@
+"""Positive fixture: a metric name the sanitizer would mangle."""
+
+
+def observe(registry, n: int) -> None:
+    registry.counter("sim ops/served!").inc(n)  # line 5: metric-name

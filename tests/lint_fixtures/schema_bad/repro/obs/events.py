@@ -1,0 +1,32 @@
+"""Positive fixture: a trace schema with every closure violation."""
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    etype: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class Alpha(TraceEvent):
+    etype: ClassVar[str] = "alpha"
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Beta(TraceEvent):                 # line 18: declared, unregistered,
+    etype: ClassVar[str] = "beta"       # and never emitted
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Delta(TraceEvent):                # line 24: registered but never emitted
+    etype: ClassVar[str] = "delta"
+    epoch: int
+
+
+EVENT_TYPES = {                         # line 29: registers undeclared Missing
+    cls.etype: cls
+    for cls in (Alpha, Delta, Missing)  # noqa: F821 — deliberately undeclared
+}

@@ -1,0 +1,7 @@
+"""Negative fixture: emits only declared events, legal metric names."""
+from repro.obs.events import Alpha
+
+
+def run(log, registry, epoch: int) -> None:
+    log.emit(Alpha(epoch=epoch))
+    registry.counter("sim.ops_served").inc()

@@ -1,0 +1,17 @@
+"""Negative fixture: a closed trace schema."""
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    etype: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class Alpha(TraceEvent):
+    etype: ClassVar[str] = "alpha"
+    epoch: int
+
+
+EVENT_TYPES = {cls.etype: cls for cls in (Alpha,)}

@@ -1,0 +1,6 @@
+"""Fixture: a finding silenced by an inline suppression."""
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=wall-clock

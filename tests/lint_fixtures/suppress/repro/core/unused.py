@@ -1,0 +1,9 @@
+"""Fixture: suppressions that silence nothing are themselves findings."""
+
+
+def quiet() -> int:
+    return 1  # repro-lint: disable=wall-clock
+
+
+def typo() -> int:
+    return 2  # repro-lint: disable=wall-clok

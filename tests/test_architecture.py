@@ -2,67 +2,71 @@
 
 Policies plan from a :class:`~repro.core.view.ClusterView` and return an
 :class:`~repro.core.plan.EpochPlan`; only the mechanism layer (the
-``cluster`` package) may touch the simulator. The observability layer
-(``obs``) is likewise simulator-free: the simulator feeds it, never the
-other way around, so traces/metrics/recorders stay reusable from tests
-and offline tooling. These tests walk the import graph statically so a
-reintroduced ``repro.cluster.simulator`` dependency fails CI before it
-becomes a runtime entanglement.
+``cluster`` package) may touch the simulator, and ``obs`` is likewise
+simulator-free. Since PR 4 the whole invariant lives in the ``layer-dag``
+and ``import-cycle`` lint rules (``repro lint``, driven by the
+declarative table in :mod:`repro.lint.config`); these tests delegate to
+those rules, keeping one parametrized test per scanned module so a
+violation still fails CI with a per-file message — now for *any* illegal
+cross-layer import, not just the simulator.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 
 import pytest
 
-SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
-SCANNED_PACKAGES = ("balancers", "core", "obs")
-FORBIDDEN = "repro.cluster.simulator"
+from repro.lint.config import LAYER_DAG
+from repro.lint.engine import build_project
+from repro.lint.layering import ImportCycleRule, LayerDagRule
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+SCANNED_PACKAGES = tuple(sorted(LAYER_DAG))
+
+_PROJECT, _PARSE_ERRORS = build_project([SRC], root=SRC.parent.parent)
 
 
-def policy_modules() -> list[pathlib.Path]:
-    out = []
-    for pkg in SCANNED_PACKAGES:
-        out.extend(sorted((SRC / pkg).rglob("*.py")))
+def layered_modules():
+    out = [m for m in _PROJECT.modules if m.layer in SCANNED_PACKAGES]
     assert out, f"no modules found under {SRC}"
     return out
 
 
-def imported_names(path: pathlib.Path) -> set[str]:
-    """Every module name the file imports, at any nesting depth."""
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            names.update(alias.name for alias in node.names)
-        elif isinstance(node, ast.ImportFrom) and node.module:
-            names.add(node.module)
-            # `from repro.cluster import simulator` is the same dependency
-            names.update(f"{node.module}.{alias.name}" for alias in node.names)
-    return names
+@pytest.mark.parametrize("module", layered_modules(),
+                         ids=lambda m: str(m.path.relative_to(SRC)))
+def test_module_obeys_the_layer_dag(module):
+    findings = list(LayerDagRule().check_module(module, _PROJECT))
+    assert not findings, "\n".join(
+        f"{f.location}: {f.message}" for f in findings)
 
 
-@pytest.mark.parametrize("path", policy_modules(),
-                         ids=lambda p: str(p.relative_to(SRC)))
-def test_policy_layer_never_imports_the_simulator(path):
-    offending = {n for n in imported_names(path)
-                 if n == FORBIDDEN or n.startswith(FORBIDDEN + ".")}
-    assert not offending, (
-        f"{path.relative_to(SRC)} imports {sorted(offending)}; policies must "
-        f"consume ClusterView and return EpochPlan instead of touching the "
-        f"simulator")
+def test_no_module_scope_import_cycles():
+    findings = list(ImportCycleRule().check_project(_PROJECT))
+    assert not findings, "\n".join(
+        f"{f.location}: {f.message}" for f in findings)
 
 
-def test_policy_layer_covers_every_balancer():
+def test_every_package_sits_in_the_layer_table():
+    assert _PARSE_ERRORS == []
+    packages = {m.layer for m in _PROJECT.modules if m.layer is not None}
+    unlisted = packages - set(LAYER_DAG) - {"cli", "__main__"}
+    assert not unlisted, (
+        f"packages {sorted(unlisted)} have no entry in "
+        f"repro.lint.config.LAYER_DAG")
+
+
+def test_layer_scan_covers_every_balancer():
     """The invariant above actually scans the modules it claims to."""
-    names = {p.name for p in policy_modules()}
+    names = {m.path.name for m in layered_modules()}
     for expected in ("balancer.py", "vanilla.py", "greedyspill.py",
                      "mantle.py", "dirhash.py", "nop.py", "base.py",
                      "initiator.py", "selector.py", "view.py", "plan.py",
                      # observability stays simulator-free too
                      "registry.py", "tracelog.py", "events.py",
                      "timeseries.py", "spans.py", "prom.py", "recorder.py",
-                     "aggregate.py", "report.py"):
+                     "aggregate.py", "report.py",
+                     # mechanism and harness are scanned since PR 4
+                     "simulator.py", "migration.py", "engine.py",
+                     "runner.py"):
         assert expected in names

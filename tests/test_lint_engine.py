@@ -1,0 +1,138 @@
+"""Engine-level tests: suppressions, reporters, rule selection, the CLI."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    ERROR,
+    Finding,
+    all_rules,
+    lint_paths,
+    parse_json,
+    render_json,
+    render_text,
+)
+from repro.lint.engine import PARSE_ERROR, UNUSED_SUPPRESSION
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+SUPPRESS = FIXTURES / "suppress"
+
+
+def _suppress_result():
+    return lint_paths([SUPPRESS], rules=["wall-clock"], root=SUPPRESS)
+
+
+# ------------------------------------------------------------- suppressions
+def test_inline_suppression_silences_the_finding():
+    result = _suppress_result()
+    assert not any(f.path.endswith("suppressed.py") for f in result.findings)
+
+
+def test_unused_suppressions_are_reported():
+    result = _suppress_result()
+    unused = [f for f in result.findings if f.rule == UNUSED_SUPPRESSION]
+    assert sorted(f.line for f in unused) == [5, 9]
+    by_line = {f.line: f.message for f in unused}
+    assert "wall-clock" in by_line[5]
+    assert "no such rule" not in by_line[5]
+    assert "wall-clok" in by_line[9]
+    assert "no such rule" in by_line[9]  # typo'd id gets the extra hint
+
+
+# ----------------------------------------------------------------- findings
+def test_finding_round_trips_through_dict():
+    f = Finding(path="a.py", line=3, col=7, rule="wall-clock", message="m")
+    assert Finding.from_dict(f.to_dict()) == f
+    assert f.location == "a.py:3:7"
+    assert f.severity == ERROR
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError, match="severity"):
+        Finding(path="a.py", line=1, col=1, rule="r", message="m",
+                severity="fatal")
+
+
+def test_findings_are_reported_in_stable_order():
+    result = lint_paths([FIXTURES / "determinism"],
+                        root=FIXTURES / "determinism")
+    assert result.findings == sorted(result.findings)
+
+
+# ---------------------------------------------------------------- reporters
+def test_json_report_round_trips_through_json_loads():
+    result = _suppress_result()
+    payload = json.loads(render_json(result))
+    assert payload["exit_code"] == result.exit_code
+    assert payload["checked"] == result.checked
+    assert parse_json(render_json(result)) == result.findings
+
+
+def test_text_report_carries_location_rule_and_summary():
+    result = _suppress_result()
+    text = render_text(result)
+    for f in result.findings:
+        assert f"{f.location}: {f.severity}: " in text
+        assert f"[{f.rule}]" in text
+    assert text.endswith("error(s), 0 warning(s)\n")
+
+
+# ------------------------------------------------------------ rule registry
+def test_unknown_rule_id_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([SUPPRESS], rules=["wall-clok"])
+
+
+def test_registry_ids_are_kebab_case_and_described():
+    rules = all_rules()
+    assert len(rules) >= 9
+    for rid, rule in rules.items():
+        assert rid == rule.id
+        assert rid == rid.lower() and " " not in rid
+        assert rule.description
+
+
+def test_parse_error_becomes_a_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    result = lint_paths([bad], root=tmp_path)
+    (finding,) = result.findings
+    assert finding.rule == PARSE_ERROR
+    assert result.exit_code == 1
+    assert result.checked == 0
+
+
+# ----------------------------------------------------------------- CLI face
+def test_cli_lint_json_on_fixture_exits_nonzero():
+    out = io.StringIO()
+    rc = main(["lint", str(FIXTURES / "determinism"),
+               "--rule", "wall-clock", "--format", "json"], out=out)
+    assert rc == 1
+    payload = json.loads(out.getvalue())
+    assert any(f["rule"] == "wall-clock" for f in payload["findings"])
+
+
+def test_cli_lint_clean_tree_exits_zero():
+    out = io.StringIO()
+    repo = pathlib.Path(__file__).resolve().parents[1]
+    rc = main(["lint", str(repo / "src" / "repro" / "util")], out=out)
+    assert rc == 0
+    assert "0 error(s)" in out.getvalue()
+
+
+def test_cli_lint_unknown_rule_exits_two(capsys):
+    rc = main(["lint", str(SUPPRESS), "--rule", "nope"], out=io.StringIO())
+    assert rc == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules():
+    out = io.StringIO()
+    assert main(["lint", "--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for rid in ("wall-clock", "layer-dag", "trace-schema", "float-eq"):
+        assert rid in text

@@ -1,0 +1,118 @@
+"""Rule-level tests over the fixture corpus in ``tests/lint_fixtures/``.
+
+Every rule has at least one positive fixture (the rule fires, at known
+lines) and one negative twin (the rule stays quiet on the idiomatic
+version of the same code). A final test pins the acceptance criterion:
+the repo's own ``src/repro`` tree lints clean under the full rule set.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _lint(case: str, rule: str):
+    return lint_paths([FIXTURES / case], rules=[rule], root=FIXTURES / case)
+
+
+def _lines(result, rule: str, filename: str) -> list[int]:
+    return sorted(f.line for f in result.findings
+                  if f.rule == rule and f.path.endswith(filename))
+
+
+POSITIVE = [
+    ("determinism", "wall-clock", "bad_wallclock.py", [7, 11]),
+    ("determinism", "global-rng", "bad_rng.py", [9, 13, 17]),
+    ("determinism", "unsorted-iter", "bad_set_iter.py", [6, 10, 15]),
+    ("determinism", "str-hash", "bad_hash.py", [5]),
+    ("layering", "layer-dag", "bad_import.py", [2, 3]),
+    ("layering", "import-cycle", "cyc_a.py", [2]),
+    ("layering", "import-cycle", "cyc_b.py", [2]),
+    ("floats", "float-eq", "if_model.py", [6, 12]),
+]
+
+NEGATIVE = [
+    ("determinism", "wall-clock", "good_wallclock.py"),
+    ("determinism", "global-rng", "good_rng.py"),
+    ("determinism", "unsorted-iter", "good_set_iter.py"),
+    ("determinism", "str-hash", "good_hash.py"),
+    ("layering", "layer-dag", "good_import.py"),
+    ("layering", "import-cycle", "lazy_a.py"),
+    ("layering", "import-cycle", "lazy_b.py"),
+    ("floats", "float-eq", "mindex.py"),
+]
+
+
+@pytest.mark.parametrize("case,rule,filename,lines", POSITIVE,
+                         ids=[f"{r}:{f}" for _, r, f, _ in POSITIVE])
+def test_positive_fixture_fires_at_known_lines(case, rule, filename, lines):
+    result = _lint(case, rule)
+    assert _lines(result, rule, filename) == lines
+    assert result.exit_code == 1
+    for f in result.findings:
+        assert f.rule in (rule, "unused-suppression")
+        assert f.location.startswith(f.path)
+
+
+@pytest.mark.parametrize("case,rule,filename", NEGATIVE,
+                         ids=[f"{r}:{f}" for _, r, f in NEGATIVE])
+def test_negative_fixture_stays_quiet(case, rule, filename):
+    result = _lint(case, rule)
+    assert _lines(result, rule, filename) == []
+
+
+def test_layer_dag_simulator_import_names_the_design_rule():
+    result = _lint("layering", "layer-dag")
+    (sim_finding,) = [f for f in result.findings if "simulator" in f.message]
+    assert sim_finding.line == 2
+    assert "ClusterView" in sim_finding.message
+    assert "EpochPlan" in sim_finding.message
+
+
+def test_import_cycle_message_names_both_members():
+    result = _lint("layering", "import-cycle")
+    for f in result.findings:
+        assert "repro.util.cyc_a" in f.message
+        assert "repro.util.cyc_b" in f.message
+        assert "repro.util.lazy_a" not in f.message
+        assert "repro.util.lazy_b" not in f.message
+
+
+def test_trace_schema_positive_closure_violations():
+    result = _lint("schema_bad", "trace-schema")
+    found = [(f.path, f.line, f.message) for f in result.findings]
+    events = "repro/obs/events.py"
+    assert any(p == events and ln == 18 and "missing from EVENT_TYPES" in m
+               for p, ln, m in found)
+    assert any(p == events and ln == 29 and "Missing" in m
+               for p, ln, m in found)
+    assert any(p == "repro/cluster/emitter.py" and ln == 8 and "Gamma" in m
+               for p, ln, m in found)
+    never = [m for _p, _ln, m in found if "never emitted" in m]
+    assert len(never) == 2
+    assert any("Beta" in m for m in never)
+    assert any("Delta" in m for m in never)
+
+
+def test_trace_schema_negative_is_closed():
+    assert _lint("schema_good", "trace-schema").findings == []
+
+
+def test_metric_name_fixture_pair():
+    bad = _lint("schema_bad", "metric-name")
+    assert _lines(bad, "metric-name", "metrics.py") == [5]
+    assert "sim ops/served!" in bad.findings[0].message
+    assert _lint("schema_good", "metric-name").findings == []
+
+
+def test_repo_tree_lints_clean_under_full_rule_set():
+    result = lint_paths([REPO / "src"], root=REPO)
+    assert result.findings == [], "\n".join(
+        f"{f.location}: {f.message} [{f.rule}]" for f in result.findings)
+    assert result.exit_code == 0
+    assert result.checked > 70

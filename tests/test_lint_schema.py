@@ -1,0 +1,62 @@
+"""Cross-checks between the linter's static schema view and the runtime.
+
+The trace-schema rule recovers the event set from ``obs/events.py``'s
+AST; these tests pin that static view to the runtime registry
+(:func:`repro.obs.events.declared_event_types`) so neither can drift, and
+pin the metric-name grammar to what the OpenMetrics sanitizer actually
+accepts unchanged.
+"""
+
+import pathlib
+
+from repro.lint.engine import build_project
+from repro.lint.schema import _declared_events, _registered_names
+from repro.obs.events import EVENT_TYPES, declared_event_types
+from repro.obs.prom import is_valid_metric_name, sanitize_metric_name
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+
+def _events_module():
+    project, errors = build_project([SRC / "repro" / "obs" / "events.py"],
+                                    root=SRC)
+    assert errors == []
+    (module,) = project.modules
+    return module
+
+
+def test_static_declared_etypes_match_runtime_registry():
+    declared = _declared_events(_events_module())
+    static_etypes = {etype for etype, _node in declared.values()}
+    assert static_etypes == set(declared_event_types())
+    assert declared_event_types() == frozenset(EVENT_TYPES)
+
+
+def test_static_registration_matches_declared_classes():
+    module = _events_module()
+    declared = _declared_events(module)
+    registered, node = _registered_names(module)
+    assert node is not None
+    assert registered == set(declared)
+    # and the runtime agrees class-by-class
+    assert {cls.__name__ for cls in EVENT_TYPES.values()} == registered
+
+
+def test_runtime_etype_tags_are_the_registry_keys():
+    for tag, cls in EVENT_TYPES.items():
+        assert cls.etype == tag
+
+
+def test_metric_name_grammar_accepts_what_sanitize_keeps():
+    good = ["sim.epochs", "mds.load", "migration.task_inodes", "x", "_x",
+            "phase.serve", "a:b", "a1.b2_c3"]
+    for name in good:
+        assert is_valid_metric_name(name), name
+        # dots aside, sanitization is the identity on legal names
+        assert sanitize_metric_name(name) == name.replace(".", "_")
+
+
+def test_metric_name_grammar_rejects_manglable_names():
+    bad = ["", "1abc", "sim epochs", "ops/served", "nope!", "naïve", "a-b"]
+    for name in bad:
+        assert not is_valid_metric_name(name), name
