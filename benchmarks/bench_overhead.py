@@ -4,6 +4,12 @@ Also holds the flight recorder to its budget: per-epoch sampling plus
 phase spans must stay within a few percent of an unrecorded run, and the
 recorder-off path must not regress at all (it is the default for every
 figure benchmark).
+
+Decision-id provenance (the ``did``/``parent`` links behind ``repro
+explain``) rides on the always-on decision trace, so *both* sides of the
+recorder comparison carry it: the <5% gate below holds with provenance
+threading included, and a run that never consults the trace pays only an
+integer increment per decision event.
 """
 
 import time
@@ -68,6 +74,10 @@ def test_flight_recorder_overhead(benchmark, seed):
     assert sim.recorder is not None
     assert sim.recorder.samples > 0
     assert len(sim.recorder.spans) > 0
+    # ...and provenance ids were threaded through the whole run
+    assert sim.decision_ids.allocated > 0
+    assert any(getattr(e, "did", -1) >= 0
+               for e in sim.trace.events("migration_planned"))
     # <5% relative, with a 2 ms absolute floor so micro-runs don't flake
     assert best_on <= best_off * 1.05 + 0.002, (
         f"flight recorder overhead {overhead:.1%} exceeds the 5% budget")

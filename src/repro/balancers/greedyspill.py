@@ -53,10 +53,14 @@ class GreedySpillBalancer(Balancer):
             if plan.queue_depth(i) >= self.max_queue:
                 continue
             amount = loads[i] / 2.0
+            role_id = plan.next_decision_id()
             plan.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
-                                   amount=amount))
+                                   amount=amount, did=role_id,
+                                   parent=view.if_decision_id))
             plan.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
-                                   amount=amount))
+                                   amount=amount,
+                                   did=plan.next_decision_id(),
+                                   parent=view.if_decision_id))
             raw = candidates_for(plan.namespace, i, heat)
             scale = scale_to_load(raw, loads[i])
             if scale <= 0.0:
@@ -67,5 +71,5 @@ class GreedySpillBalancer(Balancer):
                 for c in raw
             ]
             for cand, load in greedy_heat_selection(plan.namespace, scaled, amount):
-                plan.export(i, j, cand.unit, load)
+                plan.export(i, j, cand.unit, load, parent=role_id)
         return plan

@@ -127,7 +127,9 @@ class VanillaBalancer(Balancer):
                 if vload[j] < avg and j not in down}
         for j in sorted(gaps):
             plan.emit(RoleAssigned(epoch=epoch, rank=j, role="importer",
-                                   amount=gaps[j]))
+                                   amount=gaps[j],
+                                   did=plan.next_decision_id(),
+                                   parent=view.if_decision_id))
         fresh = view.heat
         heat = self._gossiped_heat if self._gossiped_heat is not None else fresh
         if heat.size < fresh.size:  # namespace grew since last gossip
@@ -141,8 +143,10 @@ class VanillaBalancer(Balancer):
             if plan.queue_depth(i) >= self.max_queue:
                 continue  # CephFS bounds its export queue
             amount = float(vload[i] - avg)
+            role_id = plan.next_decision_id()
             plan.emit(RoleAssigned(epoch=epoch, rank=i, role="exporter",
-                                   amount=amount))
+                                   amount=amount, did=role_id,
+                                   parent=view.if_decision_id))
             raw = candidates_for(plan.namespace, i, heat)
             scale = scale_to_load(raw, float(vload[i]))
             if scale <= 0.0:
@@ -157,7 +161,7 @@ class VanillaBalancer(Balancer):
                 if dst is None:
                     break
                 gaps[dst] = gaps.get(dst, 0.0) - load
-                plan.export(i, dst, cand.unit, load)
+                plan.export(i, dst, cand.unit, load, parent=role_id)
         return plan
 
     @staticmethod

@@ -9,7 +9,12 @@ Commands:
 - ``sweep``  — a workload x balancer grid on the parallel experiment
   engine; ``--record DIR`` aggregates observability across the pool,
 - ``trace``  — run with decision tracing and export/summarize the JSONL
-  (sliceable with ``--etype`` / ``--epoch-range``),
+  (sliceable with ``--etype`` / ``--epoch-range`` / ``--decision``),
+- ``explain`` — walk a recorded trace's decision-provenance DAG: why each
+  migration happened (IF inputs → role → subtree → commit/abort) and why
+  quiet epochs stayed quiet,
+- ``diff``   — align two recorded traces and report their first semantic
+  divergence with both causal chains and the input deltas,
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``lint``   — run the repo's AST invariant linter (determinism, layering,
   trace schema, float equality; see ``docs/STATIC_ANALYSIS.md``),
@@ -133,6 +138,36 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p.add_argument("--epoch-range", metavar="LO:HI",
                       help="keep only events in this inclusive epoch range "
                            "(e.g. 2:5; open ends allowed: ':5', '2:', '3')")
+    tr_p.add_argument("--decision", type=int, metavar="ID",
+                      help="keep only this decision's causal chain (its "
+                           "ancestors and descendants in the provenance DAG)")
+
+    ex_p = sub.add_parser(
+        "explain",
+        help="why (and why not) a recorded run migrated: per-epoch causal "
+             "chains from the decision-provenance DAG")
+    ex_p.add_argument("run", metavar="RUN",
+                      help="a run directory written by `repro run --record` "
+                           "or a decision-trace .jsonl file")
+    ex_p.add_argument("--epoch", type=int, metavar="E",
+                      help="narrow the report to one epoch")
+    sel = ex_p.add_mutually_exclusive_group()
+    sel.add_argument("--rank", type=int, metavar="R",
+                     help="only migrations touching this MDS rank")
+    sel.add_argument("--subtree", metavar="S",
+                     help="only migrations of this unit (a dir id like '7' "
+                          "or a dirfrag like 'frag:3:1:0')")
+    ex_p.add_argument("--format", choices=("text", "json"), default="text")
+
+    df_p = sub.add_parser(
+        "diff",
+        help="first semantic divergence between two recorded runs "
+             "(exit 0: identical decisions, 1: divergent)")
+    df_p.add_argument("run_a", metavar="RUN_A",
+                      help="run directory or trace .jsonl (baseline)")
+    df_p.add_argument("run_b", metavar="RUN_B",
+                      help="run directory or trace .jsonl (comparison)")
+    df_p.add_argument("--format", choices=("text", "json"), default="text")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
@@ -327,8 +362,29 @@ def _parse_epoch_range(spec: str) -> tuple[int, int]:
     return lo, hi
 
 
+def _apply_trace_filters(events, args, epoch_range):
+    """The ``repro trace`` slicing pipeline (type / epoch / decision chain).
+
+    Raises ``ValueError`` when ``--decision`` names an id the trace never
+    recorded.
+    """
+    from repro.obs.provenance import ProvenanceGraph
+    from repro.obs.tracelog import filter_events
+
+    decision_ids = None
+    if args.decision is not None:
+        graph = ProvenanceGraph(events)
+        if args.decision not in graph:
+            raise ValueError(
+                f"decision {args.decision} is not in this trace "
+                f"({len(graph)} decisions recorded)")
+        decision_ids = graph.chain_ids(args.decision)
+    return filter_events(events, etypes=args.etype, epoch_range=epoch_range,
+                         decision_ids=decision_ids)
+
+
 def _cmd_trace(args, out) -> int:
-    from repro.obs.tracelog import filter_events, read_jsonl, write_jsonl
+    from repro.obs.tracelog import read_jsonl, write_jsonl
 
     if args.ring is not None and args.ring < 1:
         print(f"error: --ring must be a positive event count, got {args.ring}",
@@ -341,7 +397,8 @@ def _cmd_trace(args, out) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    filtering = args.etype is not None or epoch_range is not None
+    filtering = (args.etype is not None or epoch_range is not None
+                 or args.decision is not None)
 
     if args.from_file:
         try:
@@ -352,8 +409,11 @@ def _cmd_trace(args, out) -> int:
             return 2
         total = len(events)
         if filtering:
-            events = filter_events(events, etypes=args.etype,
-                                   epoch_range=epoch_range)
+            try:
+                events = _apply_trace_filters(events, args, epoch_range)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         print(render_trace_summary(events,
                                    title=f"Decision trace ({args.from_file})"),
               file=out)
@@ -372,8 +432,11 @@ def _cmd_trace(args, out) -> int:
     res, sim = run_traced(cfg)
     events = list(sim.trace)
     if filtering:
-        events = filter_events(events, etypes=args.etype,
-                               epoch_range=epoch_range)
+        try:
+            events = _apply_trace_filters(events, args, epoch_range)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     title = f"Decision trace ({res.workload} x {res.balancer}, seed {args.seed})"
     print(render_trace_summary(events, title=title), file=out)
     if sim.trace.dropped:
@@ -386,6 +449,61 @@ def _cmd_trace(args, out) -> int:
         write_jsonl(args.out, events)
         print(f"  wrote {len(events)} events to {args.out}", file=out)
     return 0
+
+
+def _load_trace_events(path: str) -> list:
+    """Events from a run directory (``RUN/trace.jsonl``) or a .jsonl file."""
+    import pathlib
+
+    from repro.obs.tracelog import read_jsonl
+
+    p = pathlib.Path(path)
+    if p.is_dir():
+        p = p / "trace.jsonl"
+    if not p.is_file():
+        raise FileNotFoundError(
+            f"no decision trace at {p} (expected a run directory written by "
+            f"`repro run --record` or a trace .jsonl file)")
+    return list(read_jsonl(p))
+
+
+def _cmd_explain(args, out) -> int:
+    import json
+
+    from repro.obs.provenance import explain, render_explain
+
+    try:
+        events = _load_trace_events(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = explain(events, epoch=args.epoch, rank=args.rank,
+                     subtree=args.subtree)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True), file=out)
+    else:
+        print(render_explain(report), file=out)
+    return 0
+
+
+def _cmd_diff(args, out) -> int:
+    import json
+
+    from repro.obs.diff import diff_traces, render_diff
+
+    try:
+        events_a = _load_trace_events(args.run_a)
+        events_b = _load_trace_events(args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = diff_traces(events_a, events_b)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True), file=out)
+    else:
+        print(render_diff(report), file=out)
+    # diff(1) semantics: 0 = same decisions, 1 = divergent, 2 = trouble
+    return 1 if report["divergent"] else 0
 
 
 def _cmd_figure(args, out) -> int:
@@ -403,6 +521,8 @@ def _cmd_list(out) -> int:
     print("figures   :", ", ".join(sorted(FIGURES)), file=out)
     print("extras    : overhead (paper §3.4 accounting), "
           "trace (decision-trace JSONL export), "
+          "explain (decision-provenance chains), "
+          "diff (first divergence between two runs), "
           "sweep (parallel workload x balancer grids), "
           "lint (AST invariant linter)", file=out)
     return 0
@@ -444,6 +564,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "explain":
+        return _cmd_explain(args, out)
+    if args.command == "diff":
+        return _cmd_diff(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "lint":

@@ -44,6 +44,9 @@ class MigrationDecision:
     epoch: int
     #: importer rank -> load amount (IOPS-equivalent) to migrate
     assignments: dict[int, float] = field(default_factory=dict, hash=False)
+    #: the exporter's ``role_assigned`` decision id (provenance; not wire
+    #: payload — ``wire_size`` deliberately ignores it)
+    decision_id: int = -1
 
 
 def wire_size(msg: object) -> int:

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from repro.namespace.dirfrag import FragId, frag_file_count
 from repro.namespace.subtree import AuthorityMap
 from repro.obs.events import (
+    NO_DECISION,
+    AbortReason,
     MigrationAborted,
     MigrationCommitted,
     MigrationPlanned,
@@ -44,6 +46,11 @@ class ExportTask:
     load_estimate: float = 0.0
     #: two-phase-commit fixed overhead in ticks (freeze + journal + notify)
     latency: int = 2
+    #: provenance: the ``migration_planned`` decision id (pre-allocated by
+    #: the planning policy, or minted at submit time) and the selection
+    #: decision it fulfils — commit/abort events hang under ``decision_id``
+    decision_id: int = NO_DECISION
+    parent_id: int = NO_DECISION
     remaining: int = field(init=False)
     latency_left: int = field(init=False)
 
@@ -100,8 +107,21 @@ class Migrator:
             self._c_inodes = self._h_task_inodes = None
 
     # ------------------------------------------------------------- submission
+    def _next_id(self) -> int:
+        """Mint a decision id from the trace sink (or none when untraced)."""
+        if self.trace is None:
+            return NO_DECISION
+        return self.trace.next_decision_id()
+
     def submit(self, task: ExportTask) -> None:
-        """Queue an export; validation happens again at start and commit."""
+        """Queue an export; validation happens again at start and commit.
+
+        A task arriving without a pre-allocated decision id (direct
+        ``Migrator`` use outside the plan/apply pipeline) is assigned one
+        here so its commit/abort events still chain.
+        """
+        if task.decision_id == NO_DECISION:
+            task.decision_id = self._next_id()
         self._queues.setdefault(task.src, deque()).append(task)
         if self._c_planned is not None:
             self._c_planned.inc()
@@ -109,13 +129,17 @@ class Migrator:
             self.trace.emit(MigrationPlanned(
                 tick=self.clock(), src=task.src, dst=task.dst,
                 unit=encode_unit(task.unit), inodes=task.inodes,
-                load=task.load_estimate))
+                load=task.load_estimate, did=task.decision_id,
+                parent=task.parent_id))
 
     def submit_export(self, src: int, dst: int, unit: int | FragId,
-                      load_estimate: float = 0.0) -> ExportTask:
+                      load_estimate: float = 0.0, *,
+                      decision_id: int = NO_DECISION,
+                      parent_id: int = NO_DECISION) -> ExportTask:
         """Convenience: build a task, sizing inodes from the current tree."""
         task = ExportTask(src, dst, unit, self._unit_inodes(unit), load_estimate,
-                          latency=self.commit_latency)
+                          latency=self.commit_latency, decision_id=decision_id,
+                          parent_id=parent_id)
         self.submit(task)
         return task
 
@@ -244,13 +268,13 @@ class Migrator:
         while queue:
             task = queue.popleft()
             if self._unit_auth(task.unit) != task.src:
-                self._abort(task, "stale_auth")
+                self._abort(task, AbortReason.STALE_AUTH)
             elif self._overlaps_active(task.unit):
                 # A stale re-plan of a unit (or of its ancestor/descendant)
                 # that is already in flight: starting it too would ship the
                 # same inodes twice — exactly the over-migration failure
                 # mode the paper's §2.2 ping-pong analysis describes.
-                self._abort(task, "overlap")
+                self._abort(task, AbortReason.OVERLAP)
             else:
                 return task
         return None
@@ -292,7 +316,7 @@ class Migrator:
                          if t.src != rank and t.dst != rank)
             for t in self._queues[src]:
                 if t.src == rank or t.dst == rank:
-                    self._abort(t, "mds_failed")
+                    self._abort(t, AbortReason.MDS_FAILED)
                     dropped += 1
             if keep:
                 self._queues[src] = keep
@@ -303,24 +327,28 @@ class Migrator:
             for t in list(tasks):
                 if t.src == rank or t.dst == rank:
                     tasks.remove(t)
-                    self._abort(t, "mds_failed")
+                    self._abort(t, AbortReason.MDS_FAILED)
                     dropped += 1
             if not tasks:
                 del self._active[src]
         return dropped
 
-    def _abort(self, task: ExportTask, reason: str) -> None:
+    def _abort(self, task: ExportTask, reason: AbortReason) -> None:
+        # Normalizing through the enum keeps the reason vocabulary closed
+        # (rejects free-form strings) and the metric label set bounded.
+        value = AbortReason(reason).value
         self.aborted_tasks += 1
         if self.metrics is not None:
-            self.metrics.counter("migration.aborted", reason=reason).inc()
+            self.metrics.counter("migration.aborted", reason=value).inc()
         if self.trace is not None:
             self.trace.emit(MigrationAborted(
                 tick=self.clock(), src=task.src, dst=task.dst,
-                unit=encode_unit(task.unit), reason=reason))
+                unit=encode_unit(task.unit), reason=value,
+                did=self._next_id(), parent=task.decision_id))
 
     def _commit(self, task: ExportTask) -> None:
         if self._unit_auth(task.unit) != task.src:
-            self._abort(task, "stale_auth")
+            self._abort(task, AbortReason.STALE_AUTH)
             return
         if isinstance(task.unit, FragId):
             for frag in self._covered_frags(task.unit):
@@ -336,4 +364,5 @@ class Migrator:
         if self.trace is not None:
             self.trace.emit(MigrationCommitted(
                 tick=self.clock(), src=task.src, dst=task.dst,
-                unit=encode_unit(task.unit), inodes=task.inodes))
+                unit=encode_unit(task.unit), inodes=task.inodes,
+                did=self._next_id(), parent=task.decision_id))

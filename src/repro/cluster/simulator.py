@@ -31,7 +31,14 @@ from repro.core.if_model import imbalance_factor, urgency
 from repro.core.plan import EmitEvent, EpochPlan, ExportUnit, PinSubtree, SplitDir
 from repro.core.view import ClusterView, build_cluster_view
 from repro.namespace.subtree import AuthorityMap
-from repro.obs.events import EpochStart, IfComputed, MdsFailed, MdsRecovered
+from repro.obs.events import (
+    DecisionIds,
+    EpochStart,
+    IfComputed,
+    MdsFailed,
+    MdsRecovered,
+    NO_DECISION,
+)
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracelog import TraceLog
@@ -139,9 +146,17 @@ class Simulator:
         ]
         #: always-on observability: every component below feeds these two
         self.metrics = MetricsRegistry()
+        #: run-wide decision-id sequence, shared between the trace log
+        #: (mechanism-side events) and every epoch view/plan (policy-side
+        #: events) so provenance ids stay monotone in trace order
+        self.decision_ids = DecisionIds()
         self.trace = TraceLog(
             capacity=config.trace_capacity,
-            drop_counter=self.metrics.counter("trace.events_dropped"))
+            drop_counter=self.metrics.counter("trace.events_dropped"),
+            ids=self.decision_ids)
+        #: the reporting ``if_computed`` did of the current epoch — policies
+        #: parent their decisions under it via the view
+        self._last_if_id = NO_DECISION
         #: opt-in flight recorder (per-epoch time series + phase spans)
         self.recorder: FlightRecorder | None = (
             FlightRecorder(clock=config.record_clock,
@@ -250,6 +265,8 @@ class Simulator:
             migrator=self.migrator,
             default_capacity=self.config.mds_capacity,
             metrics=self.metrics,
+            decision_ids=self.decision_ids,
+            if_decision_id=self._last_if_id,
         )
 
     def apply_plan(self, plan: EpochPlan | None) -> None:
@@ -271,7 +288,9 @@ class Simulator:
                 self.authmap.set_subtree_auth(action.dir_id, action.rank)
             elif isinstance(action, ExportUnit):
                 self.migrator.submit_export(action.src, action.dst,
-                                            action.unit, action.load)
+                                            action.unit, action.load,
+                                            decision_id=action.did,
+                                            parent_id=action.parent)
             else:
                 raise TypeError(f"unknown plan action {action!r}")
 
@@ -448,8 +467,10 @@ class Simulator:
         # Decision trace + metrics: the epoch boundary and the reporting IF
         # (the balancer below adds its own trigger/role/selection events).
         self.trace.emit(EpochStart(epoch=self.epoch, tick=self.tick))
+        self._last_if_id = self.trace.next_decision_id()
         self.trace.emit(IfComputed(epoch=self.epoch, value=if_value,
-                                   loads=tuple(loads), source="simulator"))
+                                   loads=tuple(loads), source="simulator",
+                                   did=self._last_if_id))
         m = self.metrics
         m.counter("sim.epochs").inc()
         m.counter("sim.ops_served").inc(ops)

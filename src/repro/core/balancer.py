@@ -71,11 +71,12 @@ class LunuleBalancer(Balancer):
             scaled = [replace(c, load=c.load * scale, self_load=c.self_load * scale)
                       for c in raw]
             selector = SubtreeSelector(plan, scaled, tolerance=self.tolerance,
-                                       exporter=src)
+                                       exporter=src, parent=msg.decision_id)
             for dst, amount in sorted(msg.assignments.items(),
                                       key=lambda kv: kv[1], reverse=True):
                 for export in selector.select(amount, importer=dst):
-                    plan.export(src, dst, export.unit, export.load)
+                    plan.export(src, dst, export.unit, export.load,
+                                parent=export.decision_id)
         return plan
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from repro.cluster.messages import ImbalanceState, MigrationDecision, wire_size
 from repro.core.if_model import imbalance_factor
 from repro.core.regression import predict_future_load
-from repro.obs.events import IfComputed, RoleAssigned
+from repro.obs.events import NO_DECISION, EpochSkipped, IfComputed, RoleAssigned
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracelog import TraceSink
 from repro.util.stats import coefficient_of_variation
@@ -165,18 +165,28 @@ class MigrationInitiator:
         else:
             cap_ref = self.capacity
             caps = None
+        plain_if = (coefficient_of_variation(alive_loads)
+                    / math.sqrt(max(1, len(alive))))
         if cfg.use_urgency:
             self.last_if = imbalance_factor(alive_loads, cap_ref,
                                             cfg.urgency_smoothness)
         else:
-            self.last_if = (coefficient_of_variation(alive_loads)
-                            / math.sqrt(max(1, len(alive))))
+            self.last_if = plain_if
+        if_id = NO_DECISION
         if self.trace is not None:
+            if_id = self.trace.next_decision_id()
             self.trace.emit(IfComputed(epoch=epoch, value=self.last_if,
-                                       loads=tuple(loads), source="initiator"))
+                                       loads=tuple(loads), source="initiator",
+                                       did=if_id))
         if self.metrics is not None:
             self.metrics.gauge("initiator.if").set(self.last_if)
         if self.last_if <= cfg.if_threshold:
+            # "Why not": benign imbalance the urgency term (Eq. 2-3)
+            # deliberately tolerated, or plain not-enough imbalance.
+            reason = ("urgency_low"
+                      if cfg.use_urgency and plain_if > cfg.if_threshold
+                      else "if_below_threshold")
+            self._skip(epoch, reason, parent=if_id)
             return []
         self.triggers += 1
         if self.metrics is not None:
@@ -195,6 +205,7 @@ class MigrationInitiator:
         E = decide_roles(stats, cfg.deviation_threshold,
                          cfg.cap_fraction * cap_ref, caps=caps)
         dim = E.shape[0]
+        role_ids: dict[int, int] = {}  # exporter rank -> role_assigned did
         if self.trace is not None:
             for i in alive:
                 if i >= dim:
@@ -202,18 +213,36 @@ class MigrationInitiator:
                 exported = float(E[i].sum())
                 imported = float(E[:, i].sum())
                 if exported > 0:
+                    role_ids[i] = self.trace.next_decision_id()
                     self.trace.emit(RoleAssigned(epoch=epoch, rank=i,
-                                                 role="exporter", amount=exported))
+                                                 role="exporter", amount=exported,
+                                                 did=role_ids[i], parent=if_id))
                 if imported > 0:
-                    self.trace.emit(RoleAssigned(epoch=epoch, rank=i,
-                                                 role="importer", amount=imported))
+                    self.trace.emit(RoleAssigned(
+                        epoch=epoch, rank=i, role="importer", amount=imported,
+                        did=self.trace.next_decision_id(), parent=if_id))
         decisions: list[MigrationDecision] = []
         for i in alive:
             if i >= dim:
                 continue
             assignments = {j: float(E[i, j]) for j in range(dim) if E[i, j] > 0}
             if assignments:
-                msg = MigrationDecision(i, epoch, assignments)
+                msg = MigrationDecision(i, epoch, assignments,
+                                        decision_id=role_ids.get(i, NO_DECISION))
                 self.bytes_sent += wire_size(msg)
                 decisions.append(msg)
+        if not decisions:
+            # Trigger fired but Algorithm 1 produced an empty export matrix
+            # (e.g. every deviation under gate L, or no viable importer).
+            self._skip(epoch, "no_exporters", parent=if_id)
         return decisions
+
+    def _skip(self, epoch: int, reason: str, parent: int) -> None:
+        """Record the "why not" for an epoch the initiator declined to act."""
+        if self.trace is not None:
+            self.trace.emit(EpochSkipped(
+                epoch=epoch, reason=reason, value=self.last_if,
+                threshold=self.config.if_threshold,
+                did=self.trace.next_decision_id(), parent=parent))
+        if self.metrics is not None:
+            self.metrics.counter("initiator.epoch_skipped", reason=reason).inc()

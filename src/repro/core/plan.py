@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.namespace.dirfrag import FragId
+from repro.obs.events import NO_DECISION, DecisionIds
 from repro.namespace.subtree import AuthorityMap
 from repro.namespace.tree import NamespaceTree
 
@@ -58,12 +59,20 @@ class PinSubtree:
 
 @dataclass(frozen=True)
 class ExportUnit:
-    """Ship one subtree or dirfrag from ``src`` to ``dst``."""
+    """Ship one subtree or dirfrag from ``src`` to ``dst``.
+
+    ``did``/``parent`` carry decision provenance across the plan/apply
+    seam: ``did`` is the pre-allocated id the migrator will stamp on the
+    resulting ``migration_planned`` event, ``parent`` the selection (or
+    role) decision this export fulfils.
+    """
 
     src: int
     dst: int
     unit: int | FragId
     load: float
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
 
 
 class PlanningNamespace(AuthorityMap):
@@ -106,30 +115,50 @@ class EpochPlan:
     def __init__(self, *, epoch: int, tree: NamespaceTree,
                  subtree_auth: dict[int, int],
                  frags: dict[int, tuple[int, dict[int, int]]],
-                 queue_depths: dict[int, int] | None = None) -> None:
+                 queue_depths: dict[int, int] | None = None,
+                 decision_ids: DecisionIds | None = None) -> None:
         self.epoch = epoch
         self.actions: list[object] = []
         self.namespace = PlanningNamespace(tree, subtree_auth, frags, self)
         self._queue_base = dict(queue_depths or {})
         self._planned_exports: dict[int, int] = {}
+        #: decision-id allocator shared with the simulator's trace log (the
+        #: view threads it through), so policy-side ids stay monotone with
+        #: mechanism-side ones; standalone plans get their own sequence
+        self.ids = decision_ids if decision_ids is not None else DecisionIds()
 
     @classmethod
     def from_authority(cls, authority: AuthorityMap, *, epoch: int = 0,
-                       queue_depths: dict[int, int] | None = None) -> EpochPlan:
+                       queue_depths: dict[int, int] | None = None,
+                       decision_ids: DecisionIds | None = None) -> EpochPlan:
         """Plan against a live authority map (unit tests, standalone use)."""
         subtree_auth, frags = authority.snapshot_state()
         return cls(epoch=epoch, tree=authority.tree, subtree_auth=subtree_auth,
-                   frags=frags, queue_depths=queue_depths)
+                   frags=frags, queue_depths=queue_depths,
+                   decision_ids=decision_ids)
 
     # -------------------------------------------------------------- recording
     def emit(self, event: object) -> None:
         """Append a decision event (replayed onto the trace in order)."""
         self.actions.append(EmitEvent(event))
 
-    def export(self, src: int, dst: int, unit: int | FragId, load: float) -> None:
-        """Append one export; replayed as ``Migrator.submit_export``."""
-        self.actions.append(ExportUnit(src, dst, unit, load))
+    def next_decision_id(self) -> int:
+        """Mint the next decision id (see :class:`~repro.obs.tracelog.TraceSink`)."""
+        return self.ids.next()
+
+    def export(self, src: int, dst: int, unit: int | FragId, load: float,
+               parent: int = NO_DECISION) -> int:
+        """Append one export; replayed as ``Migrator.submit_export``.
+
+        Pre-allocates the ``migration_planned`` decision id here, at
+        planning time, so trace ids stay monotone in trace order even
+        though the event itself is emitted at apply time. Returns the id.
+        """
+        did = self.next_decision_id()
+        self.actions.append(ExportUnit(src, dst, unit, load, did=did,
+                                       parent=parent))
         self._planned_exports[src] = self._planned_exports.get(src, 0) + 1
+        return did
 
     # ------------------------------------------------------------- inspection
     def queue_depth(self, rank: int) -> int:

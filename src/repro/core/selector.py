@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from repro.balancers.candidates import Candidate
 from repro.core.plan import EpochPlan
 from repro.namespace.dirfrag import MAX_FRAG_BITS, FragId
-from repro.obs.events import SubtreeSelected, encode_unit
+from repro.obs.events import NO_DECISION, SubtreeSelected, encode_unit
 
 __all__ = ["ExportPlan", "SubtreeSelector"]
 
@@ -43,6 +43,9 @@ class ExportPlan:
 
     unit: int | FragId
     load: float
+    #: the ``subtree_selected`` decision id behind this unit (provenance;
+    #: ``NO_DECISION`` for untraced selections)
+    decision_id: int = NO_DECISION
 
 
 class SubtreeSelector:
@@ -50,13 +53,16 @@ class SubtreeSelector:
 
     def __init__(self, plan: EpochPlan, candidates: list[Candidate], *,
                  tolerance: float = 0.1, min_load: float = 1e-9,
-                 exporter: int | None = None) -> None:
+                 exporter: int | None = None,
+                 parent: int = NO_DECISION) -> None:
         self.plan = plan
         self.ns = plan.namespace
         self.tolerance = tolerance
         self.min_load = min_load
         #: rank this selector plans for; selections are traced when known
         self.exporter = exporter
+        #: the exporter's ``role_assigned`` decision id selections hang under
+        self.parent = parent
         self.candidates = [c for c in candidates if c.load > min_load]
         self._selected_dirs: set[int] = set()
         self._blocked_dirs: set[int] = set()
@@ -98,10 +104,12 @@ class SubtreeSelector:
         if plans and self.exporter is not None:
             epoch = self.plan.epoch
             for p in plans:
+                p.decision_id = self.plan.next_decision_id()
                 self.plan.emit(SubtreeSelected(
                     epoch=epoch, exporter=self.exporter,
                     importer=-1 if importer is None else importer,
-                    unit=encode_unit(p.unit), load=p.load))
+                    unit=encode_unit(p.unit), load=p.load,
+                    did=p.decision_id, parent=self.parent))
         return plans
 
     def _select(self, amount: float) -> list[ExportPlan]:

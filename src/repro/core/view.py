@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.namespace.subtree import AuthorityMap
+from repro.obs.events import NO_DECISION, DecisionIds
 
 if TYPE_CHECKING:
     from repro.core.plan import EpochPlan
@@ -71,6 +72,12 @@ class ClusterView:
     stats: object | None = None
     #: the simulator's metrics registry (a sink; optional)
     metrics: object | None = None
+    #: run-wide decision-id allocator, threaded into plans built from this
+    #: view so policy events share the trace log's id sequence
+    decision_ids: DecisionIds | None = None
+    #: the ``did`` of the simulator's reporting ``if_computed`` event for
+    #: this epoch — policies parent their role decisions under it
+    if_decision_id: int = NO_DECISION
     _lazy: dict = field(default_factory=dict, repr=False, compare=False)
 
     # --------------------------------------------------------------- per-rank
@@ -153,13 +160,16 @@ class ClusterView:
 
         return EpochPlan(epoch=self.epoch, tree=self.tree,
                          subtree_auth=self.subtree_auth, frags=self.frags,
-                         queue_depths=self.queue_depths())
+                         queue_depths=self.queue_depths(),
+                         decision_ids=self.decision_ids)
 
 
 def build_cluster_view(*, epoch: int, mdss: Iterable[Any], stats: Any,
                        authmap: AuthorityMap, migrator: Any,
                        default_capacity: float,
-                       metrics: object | None = None) -> ClusterView:
+                       metrics: object | None = None,
+                       decision_ids: DecisionIds | None = None,
+                       if_decision_id: int = NO_DECISION) -> ClusterView:
     """Assemble a :class:`ClusterView` from duck-typed cluster components.
 
     ``mdss`` is a sequence of :class:`~repro.cluster.mds.MDS`-likes,
@@ -192,4 +202,6 @@ def build_cluster_view(*, epoch: int, mdss: Iterable[Any], stats: Any,
         heat=stats.heat_array(),
         stats=stats,
         metrics=metrics,
+        decision_ids=decision_ids,
+        if_decision_id=if_decision_id,
     )

@@ -24,6 +24,11 @@ And the opt-in flight recorder (``SimConfig(record=True)``):
 - :mod:`~repro.obs.aggregate` — deterministic cross-worker merging for
   the process-pool experiment engine.
 
+Decision provenance rides on the trace: :mod:`~repro.obs.provenance`
+rebuilds the causal DAG the ``did``/``parent`` links encode (``repro
+explain``), and :mod:`~repro.obs.diff` aligns two traces and reports
+their first semantic divergence (``repro diff``).
+
 This package never imports the simulator (enforced by
 ``tests/test_architecture.py``). See ``docs/OBSERVABILITY.md`` for the
 schemas and CLI usage.
@@ -31,6 +36,11 @@ schemas and CLI usage.
 
 from repro.obs.events import (
     EVENT_TYPES,
+    NO_DECISION,
+    SKIP_REASONS,
+    AbortReason,
+    DecisionIds,
+    EpochSkipped,
     EpochStart,
     IfComputed,
     MdsFailed,
@@ -49,6 +59,14 @@ from repro.obs.events import (
     event_to_json,
 )
 from repro.obs.aggregate import merge_metrics_snapshots
+from repro.obs.diff import diff_traces, render_diff, signature
+from repro.obs.provenance import (
+    Chain,
+    ProvenanceGraph,
+    explain,
+    format_event,
+    render_explain,
+)
 from repro.obs.prom import parse_openmetrics, render_openmetrics, write_textfile
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import (
@@ -87,6 +105,7 @@ __all__ = [
     "TraceEvent",
     "EpochStart",
     "IfComputed",
+    "EpochSkipped",
     "RoleAssigned",
     "SubtreeSelected",
     "MigrationPlanned",
@@ -95,10 +114,22 @@ __all__ = [
     "MdsFailed",
     "MdsRecovered",
     "EVENT_TYPES",
+    "AbortReason",
+    "SKIP_REASONS",
+    "DecisionIds",
+    "NO_DECISION",
     "encode_unit",
     "decode_unit",
     "event_to_dict",
     "event_from_dict",
     "event_to_json",
     "event_from_json",
+    "ProvenanceGraph",
+    "Chain",
+    "explain",
+    "render_explain",
+    "format_event",
+    "diff_traces",
+    "render_diff",
+    "signature",
 ]

@@ -1,0 +1,192 @@
+"""Differential trace analysis: where did two runs' decisions fork?
+
+Golden-trace regressions tell you *that* two runs differ, byte-wise.
+:func:`diff_traces` tells you *where and why*: it aligns two decision
+traces epoch-by-epoch, finds the first decision present in one run but
+not the other (comparing events *semantically* — decision ids and parent
+links are allocation order, not meaning, and are excluded), and renders
+both sides' causal chains next to the input deltas that explain the fork
+— IF values, per-rank loads, and their differences.
+
+This backs ``repro diff RUN_A RUN_B``: comparing balancers, seeds,
+configs, or a before/after pair when a golden trace breaks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+from repro.obs.events import NO_DECISION, TraceEvent, event_to_dict
+from repro.obs.provenance import ProvenanceGraph, format_event
+
+__all__ = ["signature", "group_by_epoch", "diff_traces", "render_diff"]
+
+
+def signature(event: TraceEvent) -> dict:
+    """An event's semantic content: everything except provenance ids.
+
+    Two runs that made the same decisions in the same order produce
+    identical signature streams even if id allocation drifted (e.g. one
+    run skipped an epoch early, shifting every later id).
+    """
+    d = event_to_dict(event)
+    d.pop("did", None)
+    d.pop("parent", None)
+    return d
+
+
+def group_by_epoch(events: Iterable[TraceEvent]) -> dict[int, list[TraceEvent]]:
+    """Events bucketed by epoch, in trace order within each bucket.
+
+    Epoch-stamped events use their own field; tick-stamped ones are
+    attributed through ``epoch_start`` boundaries exactly like
+    :func:`repro.obs.tracelog.filter_events`. Unattributable events
+    (tick-only events in a boundary-less trace) are dropped.
+    """
+    events = list(events)
+    boundaries = [(e.tick, e.epoch) for e in events  # type: ignore[attr-defined]
+                  if e.etype == "epoch_start"]
+    ticks = [t for t, _ in boundaries]
+    out: dict[int, list[TraceEvent]] = {}
+    for e in events:
+        epoch = getattr(e, "epoch", None)
+        if epoch is None:
+            tick = getattr(e, "tick", None)
+            if tick is None or not ticks:
+                continue
+            i = bisect.bisect_left(ticks, int(tick))
+            epoch = boundaries[i][1] if i < len(ticks) else boundaries[-1][1] + 1
+        out.setdefault(int(epoch), []).append(e)
+    return out
+
+
+def _epoch_inputs(bucket: list[TraceEvent]) -> dict | None:
+    """The decision inputs of an epoch: its IF computation(s)."""
+    by_source: dict[str, TraceEvent] = {}
+    for e in bucket:
+        if e.etype == "if_computed":
+            by_source[e.source] = e  # type: ignore[attr-defined]
+    # the policy's own trigger IF explains decisions best; the simulator's
+    # reporting IF is the fallback every balancer has
+    best = by_source.get("initiator") or by_source.get("simulator")
+    if best is None and by_source:
+        best = by_source[sorted(by_source)[0]]
+    if best is None:
+        return None
+    return {"value": best.value, "loads": list(best.loads),  # type: ignore[attr-defined]
+            "source": best.source}  # type: ignore[attr-defined]
+
+
+def _chain_for(graph: ProvenanceGraph, event: TraceEvent | None) -> list[dict]:
+    if event is None:
+        return []
+    did = getattr(event, "did", NO_DECISION)
+    if did == NO_DECISION or did not in graph:
+        return [signature(event)]
+    chain = graph.chain(did)
+    out = [event_to_dict(e) for e in chain.events]
+    if chain.truncated:
+        out.insert(0, {"e": "truncated", "note": "ancestors evicted"})
+    return out
+
+
+def diff_traces(events_a: Iterable[TraceEvent],
+                events_b: Iterable[TraceEvent]) -> dict:
+    """Compare two decision traces; report the first semantic divergence.
+
+    Returns a JSON-ready dict. ``divergent`` is False when both traces
+    carry the same decision stream (epoch count included). On divergence,
+    ``first_divergence`` holds the epoch, the in-epoch event index, both
+    events (``None`` on the side that has no event there — one run decided
+    more than the other), both causal chains, and the epochs' IF inputs
+    with per-rank load deltas.
+    """
+    ev_a, ev_b = list(events_a), list(events_b)
+    graph_a, graph_b = ProvenanceGraph(ev_a), ProvenanceGraph(ev_b)
+    by_a, by_b = group_by_epoch(ev_a), group_by_epoch(ev_b)
+    epochs = sorted(set(by_a) | set(by_b))
+
+    for k in epochs:
+        bucket_a = by_a.get(k, [])
+        bucket_b = by_b.get(k, [])
+        sigs_a = [signature(e) for e in bucket_a]
+        sigs_b = [signature(e) for e in bucket_b]
+        if sigs_a == sigs_b:
+            continue
+        idx = 0
+        for idx in range(min(len(sigs_a), len(sigs_b))):
+            if sigs_a[idx] != sigs_b[idx]:
+                break
+        else:
+            idx = min(len(sigs_a), len(sigs_b))
+        a = bucket_a[idx] if idx < len(bucket_a) else None
+        b = bucket_b[idx] if idx < len(bucket_b) else None
+        inputs_a = _epoch_inputs(bucket_a)
+        inputs_b = _epoch_inputs(bucket_b)
+        deltas: dict = {}
+        if inputs_a is not None and inputs_b is not None:
+            deltas["if_delta"] = inputs_b["value"] - inputs_a["value"]
+            la, lb = inputs_a["loads"], inputs_b["loads"]
+            deltas["load_deltas"] = [
+                round(y - x, 12) for x, y in zip(la, lb)
+            ] if len(la) == len(lb) else None
+        return {
+            "divergent": True,
+            "first_divergence": {
+                "epoch": k,
+                "index": idx,
+                "a": signature(a) if a is not None else None,
+                "b": signature(b) if b is not None else None,
+                "chain_a": _chain_for(graph_a, a),
+                "chain_b": _chain_for(graph_b, b),
+                "inputs": {"a": inputs_a, "b": inputs_b, **deltas},
+            },
+            "epochs_compared": len(epochs),
+            "events": {"a": len(ev_a), "b": len(ev_b)},
+        }
+
+    return {
+        "divergent": False,
+        "epochs_compared": len(epochs),
+        "events": {"a": len(ev_a), "b": len(ev_b)},
+    }
+
+
+def _fmt_side(chain: list[dict]) -> list[str]:
+    out: list[str] = []
+    for d in chain:
+        if d.get("e") == "truncated":
+            out.append("... (ancestors evicted)")
+        else:
+            out.append(format_event(d))
+    return out or ["(no event)"]
+
+
+def render_diff(report: dict) -> str:
+    """Human-readable rendering of a :func:`diff_traces` report."""
+    if not report["divergent"]:
+        return (f"no divergence: {report['epochs_compared']} epochs, "
+                f"{report['events']['a']}/{report['events']['b']} events")
+    fd = report["first_divergence"]
+    lines = [f"first divergence at epoch {fd['epoch']}, event {fd['index']}"]
+    inputs = fd["inputs"]
+    for side in ("a", "b"):
+        got = inputs.get(side)
+        if got is not None:
+            lines.append(
+                f"  inputs {side}: IF={got['value']:.4f} ({got['source']}) "
+                f"loads={got['loads']}")
+    if "if_delta" in inputs:
+        lines.append(f"  IF delta (b-a): {inputs['if_delta']:+.4f}")
+    if inputs.get("load_deltas"):
+        lines.append(f"  load deltas (b-a): {inputs['load_deltas']}")
+    left = _fmt_side(fd["chain_a"])
+    right = _fmt_side(fd["chain_b"])
+    width = max(len(s) for s in left + ["run A"])
+    lines.append(f"  {'run A':<{width}} | run B")
+    for i in range(max(len(left), len(right))):
+        lhs = left[i] if i < len(left) else ""
+        rhs = right[i] if i < len(right) else ""
+        lines.append(f"  {lhs:<{width}} | {rhs}")
+    return "\n".join(lines)

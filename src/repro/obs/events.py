@@ -15,10 +15,22 @@ Wire format (one JSON object per line, JSONL):
 - serialization is canonical — sorted keys, no whitespace — so a trace of
   a fixed-seed run is byte-stable, which the golden-trace regression
   suite relies on.
+
+Decision provenance: every event on the decision lifecycle
+(``if_computed`` → ``role_assigned`` → ``subtree_selected`` →
+``migration_planned`` → ``migration_committed``/``migration_aborted``,
+plus ``epoch_skipped`` for the "why not" path) carries a run-monotonic
+``did`` (its decision id) and a ``parent`` link (the decision it was made
+under, ``-1`` for roots). The links make a trace a causal DAG —
+:mod:`repro.obs.provenance` reconstructs it, ``repro explain`` walks it.
+Ids are minted by a :class:`DecisionIds` allocator the simulator shares
+between policy (via the epoch plan) and mechanism (via the trace log), so
+ids are monotone in emission order even across the plan/apply seam.
 """
 
 from __future__ import annotations
 
+import enum
 import json
 from dataclasses import asdict, dataclass, fields
 from typing import ClassVar
@@ -29,6 +41,7 @@ __all__ = [
     "TraceEvent",
     "EpochStart",
     "IfComputed",
+    "EpochSkipped",
     "RoleAssigned",
     "SubtreeSelected",
     "MigrationPlanned",
@@ -36,6 +49,10 @@ __all__ = [
     "MigrationAborted",
     "MdsFailed",
     "MdsRecovered",
+    "AbortReason",
+    "SKIP_REASONS",
+    "DecisionIds",
+    "NO_DECISION",
     "EVENT_TYPES",
     "declared_event_types",
     "encode_unit",
@@ -45,6 +62,53 @@ __all__ = [
     "event_to_json",
     "event_from_json",
 ]
+
+#: the ``did``/``parent`` value meaning "no decision id" / "root decision"
+NO_DECISION = -1
+
+
+class DecisionIds:
+    """Monotonic decision-id allocator, shared across one run.
+
+    The simulator creates one instance and threads it through the trace
+    log, the cluster view and every epoch plan, so policy-side events
+    (allocated at planning time) and mechanism-side events (allocated at
+    commit/abort time) draw from a single sequence. Allocation is two
+    attribute ops — cheap enough for the always-on decision trace.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = int(start)
+
+    def next(self) -> int:
+        did = self._next
+        self._next += 1
+        return did
+
+    @property
+    def allocated(self) -> int:
+        """Ids handed out so far (also: the next id to be handed out)."""
+        return self._next
+
+
+class AbortReason(str, enum.Enum):
+    """The closed set of reasons an export task can be dropped.
+
+    Shared between :meth:`repro.cluster.migration.Migrator` call sites and
+    :class:`MigrationAborted` validation, and the label set of the
+    ``migration_aborted_total`` counter — a free-form reason string can no
+    longer drift between the trace and the metrics.
+    """
+
+    STALE_AUTH = "stale_auth"
+    OVERLAP = "overlap"
+    MDS_FAILED = "mds_failed"
+
+
+#: why an initiator declined to act this epoch (``EpochSkipped.reason``)
+SKIP_REASONS = frozenset({"if_below_threshold", "urgency_low", "no_exporters"})
 
 
 def encode_unit(unit: int | FragId) -> int | str:
@@ -93,9 +157,38 @@ class IfComputed(TraceEvent):
     value: float
     loads: tuple[float, ...]
     source: str
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "loads", tuple(float(x) for x in self.loads))
+
+
+@dataclass(frozen=True)
+class EpochSkipped(TraceEvent):
+    """The initiator declined to act this epoch — the "why not" record.
+
+    ``reason`` is one of :data:`SKIP_REASONS`: the IF never cleared the
+    trigger (``if_below_threshold``), it cleared only because the urgency
+    term would have been ignored (``urgency_low`` — benign imbalance the
+    paper's Eq. 2-3 deliberately tolerate), or the trigger fired but
+    Algorithm 1 produced an empty export matrix (``no_exporters``).
+    ``value`` and ``threshold`` are the IF and gate that decided.
+    """
+
+    etype: ClassVar[str] = "epoch_skipped"
+    epoch: int
+    reason: str
+    value: float
+    threshold: float
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
+
+    def __post_init__(self) -> None:
+        if self.reason not in SKIP_REASONS:
+            raise ValueError(
+                f"unknown skip reason {self.reason!r}; expected one of "
+                f"{sorted(SKIP_REASONS)}")
 
 
 @dataclass(frozen=True)
@@ -111,6 +204,8 @@ class RoleAssigned(TraceEvent):
     rank: int
     role: str  # "exporter" | "importer"
     amount: float
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the IfComputed that triggered the round
 
 
 @dataclass(frozen=True)
@@ -123,6 +218,8 @@ class SubtreeSelected(TraceEvent):
     importer: int
     unit: int | str
     load: float
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the exporter's RoleAssigned
 
 
 @dataclass(frozen=True)
@@ -136,6 +233,8 @@ class MigrationPlanned(TraceEvent):
     unit: int | str
     inodes: int
     load: float
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the SubtreeSelected (or RoleAssigned) behind it
 
 
 @dataclass(frozen=True)
@@ -148,6 +247,8 @@ class MigrationCommitted(TraceEvent):
     dst: int
     unit: int | str
     inodes: int
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the MigrationPlanned that started the task
 
 
 @dataclass(frozen=True)
@@ -159,7 +260,15 @@ class MigrationAborted(TraceEvent):
     src: int
     dst: int
     unit: int | str
-    reason: str  # "stale_auth" | "overlap" | "mds_failed"
+    reason: str  # an AbortReason value
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the MigrationPlanned that started the task
+
+    def __post_init__(self) -> None:
+        # Normalize enum members to their value and reject free-form
+        # strings: the reason vocabulary is closed (shared with the
+        # migration_aborted_total counter's reason label).
+        object.__setattr__(self, "reason", AbortReason(self.reason).value)
 
 
 @dataclass(frozen=True)
@@ -179,7 +288,7 @@ class MdsRecovered(TraceEvent):
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.etype: cls
     for cls in (
-        EpochStart, IfComputed, RoleAssigned, SubtreeSelected,
+        EpochStart, IfComputed, EpochSkipped, RoleAssigned, SubtreeSelected,
         MigrationPlanned, MigrationCommitted, MigrationAborted,
         MdsFailed, MdsRecovered,
     )

@@ -1,0 +1,293 @@
+"""The decision-provenance DAG: why the balancer did (or didn't) migrate.
+
+Every decision event carries a run-monotonic ``did`` and a ``parent`` link
+(see :mod:`repro.obs.events`), so a JSONL trace *is* a causal DAG:
+
+    if_computed ─→ role_assigned ─→ subtree_selected ─→ migration_planned
+                                                    └─→ migration_committed
+    if_computed ─→ epoch_skipped                        / migration_aborted
+
+:class:`ProvenanceGraph` reconstructs the DAG from a trace and answers
+chain queries; :func:`explain` turns it into the per-epoch report behind
+``repro explain`` — for each migration the complete causal chain from IF
+inputs to commit/abort, and for each quiet epoch the recorded reason.
+
+Ring-buffer traces may have evicted a decision's ancestors. Chains are
+then *partial*: the walk stops at the first missing ancestor and the
+chain is flagged ``truncated`` instead of failing — always-on production
+tracing keeps only recent history, and recent history must stay
+explainable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.obs.events import NO_DECISION, TraceEvent, event_to_dict
+from repro.obs.tracelog import read_jsonl
+
+__all__ = ["Chain", "ProvenanceGraph", "explain", "format_event",
+           "render_explain"]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One decision's ancestry, root-first, ending at the decision itself.
+
+    ``truncated`` is True when an ancestor's id is referenced by a parent
+    link but absent from the trace (ring-buffer eviction, or a sliced
+    trace) — the chain is still usable, it just starts mid-lineage.
+    """
+
+    target: int
+    events: tuple[TraceEvent, ...]
+    truncated: bool
+
+    def dids(self) -> list[int]:
+        return [getattr(e, "did", NO_DECISION) for e in self.events]
+
+
+class ProvenanceGraph:
+    """Causal DAG over one trace: nodes are events, edges are parent links.
+
+    Events without a ``did`` (epoch boundaries, failures, legacy traces)
+    are kept in :attr:`events` for epoch attribution but are not nodes.
+    """
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self.events: list[TraceEvent] = list(events)
+        #: did -> event (first occurrence wins; ids are unique per run)
+        self.nodes: dict[int, TraceEvent] = {}
+        #: parent did -> child dids, in trace order
+        self.children: dict[int, list[int]] = {}
+        for e in self.events:
+            did = getattr(e, "did", NO_DECISION)
+            if did == NO_DECISION or did in self.nodes:
+                continue
+            self.nodes[did] = e
+            parent = getattr(e, "parent", NO_DECISION)
+            if parent != NO_DECISION:
+                self.children.setdefault(parent, []).append(did)
+        #: epoch_start boundaries for tick->epoch attribution (same rule
+        #: as :func:`repro.obs.tracelog.filter_events`)
+        self._boundaries: list[tuple[int, int]] = [
+            (e.tick, e.epoch) for e in self.events  # type: ignore[attr-defined]
+            if e.etype == "epoch_start"
+        ]
+
+    @classmethod
+    def from_jsonl(cls, path: str | os.PathLike[str]) -> ProvenanceGraph:
+        return cls(read_jsonl(path))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, did: int) -> bool:
+        return did in self.nodes
+
+    # ------------------------------------------------------------------ chains
+    def chain(self, did: int) -> Chain:
+        """Root-first ancestor chain of ``did`` (inclusive).
+
+        Raises ``KeyError`` for an id the trace never recorded; a *known*
+        id whose ancestors were evicted yields a truncated chain instead.
+        """
+        if did not in self.nodes:
+            raise KeyError(f"decision {did} not in trace")
+        lineage: list[TraceEvent] = []
+        seen: set[int] = set()
+        cur = did
+        truncated = False
+        while cur != NO_DECISION and cur not in seen:
+            seen.add(cur)
+            node = self.nodes.get(cur)
+            if node is None:
+                # referenced by a parent link but evicted from the trace
+                truncated = True
+                break
+            lineage.append(node)
+            cur = getattr(node, "parent", NO_DECISION)
+        lineage.reverse()
+        return Chain(target=did, events=tuple(lineage), truncated=truncated)
+
+    def descendants(self, did: int) -> list[int]:
+        """Every decision downstream of ``did``, in ascending id order."""
+        out: list[int] = []
+        frontier = list(self.children.get(did, ()))
+        seen: set[int] = set()
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            out.append(cur)
+            frontier.extend(self.children.get(cur, ()))
+        return sorted(out)
+
+    def chain_ids(self, did: int) -> set[int]:
+        """Ancestors ∪ {did} ∪ descendants — the full causal neighbourhood.
+
+        This is what ``repro trace --decision ID`` feeds to
+        :func:`repro.obs.tracelog.filter_events`.
+        """
+        ids = {d for d in self.chain(did).dids() if d != NO_DECISION}
+        ids.update(self.descendants(did))
+        return ids
+
+    # ------------------------------------------------------------ attribution
+    def epoch_of(self, did: int) -> int | None:
+        """Best-effort epoch of a decision.
+
+        Prefers the event's own ``epoch`` field, then the nearest ancestor
+        that has one, then ``epoch_start`` tick boundaries for tick-stamped
+        events; ``None`` when nothing attributes it.
+        """
+        for e in reversed(self.chain(did).events):
+            epoch = getattr(e, "epoch", None)
+            if epoch is not None:
+                return int(epoch)
+        node = self.nodes[did]
+        tick = getattr(node, "tick", None)
+        if tick is None or not self._boundaries:
+            return None
+        ticks = [t for t, _ in self._boundaries]
+        i = bisect.bisect_left(ticks, int(tick))
+        if i < len(ticks):
+            return self._boundaries[i][1]
+        return self._boundaries[-1][1] + 1
+
+    def outcome(self, planned_did: int) -> TraceEvent | None:
+        """The commit/abort event of a ``migration_planned`` decision."""
+        for child in self.children.get(planned_did, ()):
+            node = self.nodes[child]
+            if node.etype in ("migration_committed", "migration_aborted"):
+                return node
+        return None
+
+
+def _unit_matches(unit: object, wanted: str) -> bool:
+    return str(unit) == wanted
+
+
+def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
+            rank: int | None = None, subtree: str | None = None) -> dict:
+    """The "why" report behind ``repro explain``.
+
+    Returns a JSON-ready dict: one entry per epoch with the IF events
+    computed there, the recorded skip reason (when the initiator declined
+    to act), and every migration decision attributed to the epoch with its
+    full root-first causal chain and final outcome. ``epoch`` narrows to
+    one epoch; ``rank`` keeps only migrations touching that rank;
+    ``subtree`` (the unit as printed in the trace, e.g. ``"7"`` or
+    ``"frag:3:1:0"``) keeps only migrations of that unit.
+    """
+    graph = ProvenanceGraph(events)
+    epochs: dict[int, dict] = {}
+
+    def bucket(k: int) -> dict:
+        return epochs.setdefault(k, {
+            "epoch": k, "if": [], "skipped": [], "migrations": [],
+        })
+
+    for did in sorted(graph.nodes):
+        node = graph.nodes[did]
+        k = graph.epoch_of(did)
+        if k is None or (epoch is not None and k != epoch):
+            continue
+        if node.etype == "if_computed":
+            bucket(k)["if"].append(event_to_dict(node))
+        elif node.etype == "epoch_skipped":
+            bucket(k)["skipped"].append(event_to_dict(node))
+        elif node.etype == "migration_planned":
+            if rank is not None and rank not in (node.src, node.dst):  # type: ignore[attr-defined]
+                continue
+            if subtree is not None and not _unit_matches(
+                    node.unit, subtree):  # type: ignore[attr-defined]
+                continue
+            chain = graph.chain(did)
+            end = graph.outcome(did)
+            full = list(chain.events) + ([end] if end is not None else [])
+            bucket(k)["migrations"].append({
+                "did": did,
+                "src": node.src,  # type: ignore[attr-defined]
+                "dst": node.dst,  # type: ignore[attr-defined]
+                "unit": node.unit,  # type: ignore[attr-defined]
+                "outcome": end.etype.removeprefix("migration_")
+                if end is not None else "pending",
+                "reason": getattr(end, "reason", None),
+                "truncated": chain.truncated,
+                "chain": [event_to_dict(e) for e in full],
+            })
+
+    ordered = [epochs[k] for k in sorted(epochs)]
+    n_mig = sum(len(b["migrations"]) for b in ordered)
+    return {
+        "epochs": ordered,
+        "summary": {
+            "epochs": len(ordered),
+            "migrations": n_mig,
+            "committed": sum(1 for b in ordered for m in b["migrations"]
+                             if m["outcome"] == "committed"),
+            "aborted": sum(1 for b in ordered for m in b["migrations"]
+                           if m["outcome"] == "aborted"),
+            "skipped_epochs": sum(1 for b in ordered if b["skipped"]),
+            "truncated_chains": sum(1 for b in ordered for m in b["migrations"]
+                                    if m["truncated"]),
+        },
+    }
+
+
+def format_event(d: dict) -> str:
+    """One-line human rendering of an event dict (shared with ``repro diff``)."""
+    e = d["e"]
+    if e == "if_computed":
+        return (f"if_computed[{d['did']}] {d['source']}: value={d['value']:.4f} "
+                f"loads={d['loads']}")
+    if e == "epoch_skipped":
+        return (f"epoch_skipped[{d['did']}] reason={d['reason']} "
+                f"value={d['value']:.4f} threshold={d['threshold']}")
+    if e == "role_assigned":
+        return (f"role_assigned[{d['did']}] rank {d['rank']} -> {d['role']} "
+                f"amount={d['amount']:.2f}")
+    if e == "subtree_selected":
+        return (f"subtree_selected[{d['did']}] unit {d['unit']} "
+                f"({d['exporter']} -> {d['importer']}) load={d['load']:.2f}")
+    if e == "migration_planned":
+        return (f"migration_planned[{d['did']}] unit {d['unit']} "
+                f"{d['src']} -> {d['dst']} inodes={d['inodes']} tick={d['tick']}")
+    if e == "migration_committed":
+        return (f"migration_committed[{d['did']}] unit {d['unit']} "
+                f"{d['src']} -> {d['dst']} inodes={d['inodes']} tick={d['tick']}")
+    if e == "migration_aborted":
+        return (f"migration_aborted[{d['did']}] unit {d['unit']} "
+                f"{d['src']} -> {d['dst']} reason={d['reason']} tick={d['tick']}")
+    return f"{e}[{d.get('did', '?')}]"
+
+
+def render_explain(report: dict) -> str:
+    """Human-readable rendering of an :func:`explain` report."""
+    lines: list[str] = []
+    for b in report["epochs"]:
+        lines.append(f"epoch {b['epoch']}")
+        for d in b["if"]:
+            lines.append(f"  {format_event(d)}")
+        for d in b["skipped"]:
+            lines.append(f"  no migration: {format_event(d)}")
+        for m in b["migrations"]:
+            flag = " (chain truncated by ring eviction)" if m["truncated"] else ""
+            lines.append(
+                f"  migration {m['did']}: unit {m['unit']} "
+                f"{m['src']} -> {m['dst']} [{m['outcome']}]{flag}")
+            for d in m["chain"]:
+                lines.append(f"    {format_event(d)}")
+        if not (b["if"] or b["skipped"] or b["migrations"]):
+            lines.append("  no decisions recorded")
+    s = report["summary"]
+    lines.append(
+        f"summary: {s['epochs']} epochs, {s['migrations']} migrations "
+        f"({s['committed']} committed, {s['aborted']} aborted), "
+        f"{s['skipped_epochs']} skipped epochs")
+    return "\n".join(lines)

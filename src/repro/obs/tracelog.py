@@ -21,7 +21,7 @@ from collections import deque
 from collections.abc import Iterable, Iterator
 from typing import Any, Protocol
 
-from repro.obs.events import TraceEvent, event_from_json, event_to_json
+from repro.obs.events import DecisionIds, TraceEvent, event_from_json, event_to_json
 from repro.obs.registry import Counter
 
 __all__ = ["TraceSink", "TraceLog", "read_jsonl", "write_jsonl",
@@ -34,10 +34,14 @@ class TraceSink(Protocol):
     Satisfied by :class:`TraceLog` and by
     :class:`~repro.core.plan.EpochPlan` (which records the event as a
     replayable action) — the duck type components like the migration
-    initiator are written against.
+    initiator are written against. Sinks also mint decision ids
+    (:meth:`next_decision_id`) so provenance links stay monotone in
+    emission order whichever side of the plan/apply seam emits.
     """
 
     def emit(self, event: Any) -> None: ...
+
+    def next_decision_id(self) -> int: ...
 
 
 class TraceLog:
@@ -50,7 +54,8 @@ class TraceLog:
     """
 
     def __init__(self, capacity: int | None = None,
-                 drop_counter: Counter | None = None) -> None:
+                 drop_counter: Counter | None = None,
+                 ids: DecisionIds | None = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("ring capacity must be positive (or None)")
         self.capacity = capacity
@@ -58,6 +63,13 @@ class TraceLog:
         #: lifetime appended count — keeps growing even when the ring drops
         self.emitted = 0
         self.drop_counter = drop_counter
+        #: decision-id allocator; the simulator passes its run-wide one so
+        #: mechanism-side events share the policy sequence
+        self.ids = ids if ids is not None else DecisionIds()
+
+    def next_decision_id(self) -> int:
+        """Mint the next decision id (see :class:`TraceSink`)."""
+        return self.ids.next()
 
     # ---------------------------------------------------------------- writing
     def emit(self, event: TraceEvent) -> None:
@@ -127,8 +139,9 @@ def read_jsonl(path: str | os.PathLike) -> Iterator[TraceEvent]:
 def filter_events(events: Iterable[TraceEvent],
                   etypes: Iterable[str] | None = None,
                   epoch_range: tuple[int, int] | None = None,
+                  decision_ids: Iterable[int] | None = None,
                   ) -> list[TraceEvent]:
-    """Slice a trace by event type and/or epoch without external tooling.
+    """Slice a trace by event type, epoch and/or decision id.
 
     ``etypes`` keeps only the given type tags. ``epoch_range`` is an
     inclusive ``(lo, hi)``: events carrying an ``epoch`` field use it
@@ -138,6 +151,9 @@ def filter_events(events: Iterable[TraceEvent],
     emitted at epoch *k*'s closing tick. Tick events past the last
     boundary belong to the (unclosed) next epoch; when a trace has no
     boundaries at all, tick-only events are dropped as unattributable.
+    ``decision_ids`` keeps only events whose ``did`` is in the given set —
+    pair it with :meth:`repro.obs.provenance.ProvenanceGraph.chain_ids`
+    to slice one decision's full causal chain out of a trace.
     """
     events = list(events)
     # epoch boundaries come from the *unfiltered* stream, so a type filter
@@ -146,6 +162,9 @@ def filter_events(events: Iterable[TraceEvent],
     if etypes is not None:
         wanted = set(etypes)
         events = [e for e in events if e.etype in wanted]
+    if decision_ids is not None:
+        dids = set(decision_ids)
+        events = [e for e in events if getattr(e, "did", -1) in dids]
     if epoch_range is None:
         return events
     lo, hi = epoch_range

@@ -194,3 +194,102 @@ class TestFigure:
                     "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13a",
                     "fig13b", "fig14"}
         assert expected == set(FIGURES)
+
+
+class TestExplainAndDiff:
+    RUN = ("run", "-w", "mdtest", "-b", "lunule", "-c", "6", "-m", "3",
+           "--scale", "0.1")
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("prov-runs")
+        a, b = base / "a", base / "b"
+        assert run_cli(*self.RUN, "--seed", "7", "--record", str(a))[0] == 0
+        assert run_cli(*self.RUN, "--seed", "11", "--record", str(b))[0] == 0
+        return a, b
+
+    def test_explain_renders_chains_and_summary(self, runs):
+        code, text = run_cli("explain", str(runs[0]))
+        assert code == 0
+        assert "migration" in text and "summary:" in text
+        assert "if_computed[" in text  # chains start at the IF root
+
+    def test_explain_json_is_valid(self, runs):
+        import json
+
+        code, text = run_cli("explain", str(runs[0]), "--format", "json")
+        assert code == 0
+        report = json.loads(text)
+        assert set(report) == {"epochs", "summary"}
+        assert report["summary"]["migrations"] > 0
+
+    def test_explain_epoch_filter(self, runs):
+        import json
+
+        code, text = run_cli("explain", str(runs[0]), "--epoch", "0",
+                             "--format", "json")
+        assert code == 0
+        report = json.loads(text)
+        assert [b["epoch"] for b in report["epochs"]] in ([], [0])
+
+    def test_explain_rank_and_subtree_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "x", "--rank", "1",
+                                       "--subtree", "7"])
+
+    def test_explain_missing_run_fails(self, tmp_path, capsys):
+        code = main(["explain", str(tmp_path / "nope")], out=io.StringIO())
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_identical_runs_exit_zero(self, runs):
+        code, text = run_cli("diff", str(runs[0]), str(runs[0]))
+        assert code == 0
+        assert "no divergence" in text
+
+    def test_diff_divergent_runs_exit_one(self, runs):
+        code, text = run_cli("diff", str(runs[0]), str(runs[1]))
+        assert code == 1
+        assert "first divergence at epoch" in text
+        assert "run A" in text and "run B" in text
+
+    def test_diff_json(self, runs):
+        import json
+
+        code, text = run_cli("diff", str(runs[0]), str(runs[1]),
+                             "--format", "json")
+        assert code == 1
+        report = json.loads(text)
+        assert report["divergent"] is True
+        assert "first_divergence" in report
+
+    def test_diff_missing_side_fails(self, runs, tmp_path, capsys):
+        code = main(["diff", str(runs[0]), str(tmp_path / "nope")],
+                    out=io.StringIO())
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_decision_filter_slices_one_chain(self, runs, tmp_path):
+        from repro.obs.provenance import ProvenanceGraph
+        from repro.obs.tracelog import read_jsonl
+
+        full = runs[0] / "trace.jsonl"
+        graph = ProvenanceGraph.from_jsonl(full)
+        planned = next(e for e in graph.events
+                       if e.etype == "migration_planned")
+        sliced = tmp_path / "chain.jsonl"
+        code, text = run_cli("trace", "--from", str(full),
+                             "--decision", str(planned.did),
+                             "-o", str(sliced))
+        assert code == 0
+        assert "filters kept" in text
+        dids = {e.did for e in read_jsonl(sliced)}
+        assert dids == graph.chain_ids(planned.did)
+        assert planned.did in dids
+
+    def test_trace_unknown_decision_fails(self, runs, capsys):
+        full = runs[0] / "trace.jsonl"
+        code = main(["trace", "--from", str(full), "--decision", "999999"],
+                    out=io.StringIO())
+        assert code == 2
+        assert "not in this trace" in capsys.readouterr().err

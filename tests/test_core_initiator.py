@@ -144,3 +144,74 @@ class TestInitiator:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
             MigrationInitiator(0.0)
+
+
+class TestEpochSkipped:
+    """The "why not" path: skips are traced, reasoned and counted."""
+
+    def _histories(self, loads):
+        return [[l] * 5 for l in loads]
+
+    @staticmethod
+    def _traced(capacity, config=None):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.tracelog import TraceLog
+
+        trace, metrics = TraceLog(), MetricsRegistry()
+        init = MigrationInitiator(capacity, config, trace=trace,
+                                  metrics=metrics)
+        return init, trace, metrics
+
+    def _skip_reasons(self, metrics):
+        snap = metrics.snapshot().get("initiator.epoch_skipped")
+        if snap is None:
+            return {}
+        return {s["labels"]["reason"]: s["value"] for s in snap["series"]}
+
+    def test_balanced_cluster_skips_below_threshold(self):
+        init, trace, metrics = self._traced(100.0)
+        loads = [50.0, 48.0, 52.0, 50.0]
+        assert init.plan(0, loads, self._histories(loads)) == []
+        (skip,) = trace.events("epoch_skipped")
+        assert skip.reason == "if_below_threshold"
+        assert skip.value == init.last_if
+        assert skip.threshold == init.config.if_threshold
+        assert self._skip_reasons(metrics) == {"if_below_threshold": 1.0}
+
+    def test_benign_imbalance_skips_as_urgency_low(self):
+        # huge capacity: the urgency term damps a large CoV below the
+        # trigger — exactly the benign imbalance Eq. 2-3 tolerate
+        init, trace, metrics = self._traced(1000.0)
+        loads = [100.0, 0.0, 0.0, 0.0]
+        assert init.plan(0, loads, self._histories(loads)) == []
+        (skip,) = trace.events("epoch_skipped")
+        assert skip.reason == "urgency_low"
+        assert self._skip_reasons(metrics) == {"urgency_low": 1.0}
+
+    def test_empty_export_matrix_skips_as_no_exporters(self):
+        # trigger fires, but the only candidate importer's predicted load
+        # growth covers its whole gap: Algorithm 1 pairs nobody
+        init, trace, metrics = self._traced(100.0)
+        loads = [90.0, 10.0]
+        histories = [[90.0] * 5, [10.0, 30.0, 50.0, 70.0, 90.0]]
+        assert init.plan(0, loads, histories) == []
+        assert init.triggers == 1
+        (skip,) = trace.events("epoch_skipped")
+        assert skip.reason == "no_exporters"
+        assert self._skip_reasons(metrics) == {"no_exporters": 1.0}
+
+    def test_skip_is_parented_to_the_if_decision(self):
+        init, trace, _ = self._traced(100.0)
+        loads = [50.0, 50.0]
+        init.plan(0, loads, self._histories(loads))
+        (iff,) = trace.events("if_computed")
+        (skip,) = trace.events("epoch_skipped")
+        assert skip.parent == iff.did
+        assert skip.did > iff.did
+
+    def test_acting_epochs_record_no_skip(self):
+        init, trace, metrics = self._traced(100.0)
+        loads = [100.0, 0.0, 0.0, 0.0]
+        assert init.plan(0, loads, self._histories(loads)) != []
+        assert trace.events("epoch_skipped") == []
+        assert self._skip_reasons(metrics) == {}

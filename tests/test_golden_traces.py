@@ -136,3 +136,31 @@ def test_golden_traces_cover_the_decision_pipeline():
     # migrated-inode accounting in the trace matches the result series
     traced = sum(e.inodes for e in sim.trace.events("migration_committed"))
     assert traced == result.migrated_series[-1]
+
+
+def test_golden_traces_carry_complete_provenance():
+    """Every golden migration chains back to an IF root, ids monotone.
+
+    This is the provenance acceptance bar: a full (un-ringed) trace must
+    explain every migration end-to-end and every quiet epoch by reason.
+    """
+    from repro.obs.provenance import ProvenanceGraph, explain
+
+    for name in sorted(SCENARIOS):
+        _, sim = run_scenario(name)
+        events = list(sim.trace)
+        graph = ProvenanceGraph(events)
+        # decision ids are monotone in emission order
+        dids = [e.did for e in events if getattr(e, "did", -1) != -1]
+        assert dids == sorted(dids), f"{name}: ids out of order"
+        assert len(dids) == len(set(dids)), f"{name}: duplicate ids"
+        for e in sim.trace.events("migration_planned"):
+            chain = graph.chain(e.did)
+            assert not chain.truncated, f"{name}: truncated chain {e.did}"
+            assert chain.events[0].etype == "if_computed", (
+                f"{name}: migration {e.did} does not root at an IF")
+        for e in sim.trace.events("epoch_skipped"):
+            assert graph.chain(e.did).events[0].etype == "if_computed"
+        report = explain(events)
+        assert report["summary"]["truncated_chains"] == 0
+        assert report["summary"]["committed"] == sim.migrator.committed_tasks

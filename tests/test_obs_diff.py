@@ -1,0 +1,195 @@
+"""Differential trace analysis (`repro diff`)."""
+
+import json
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.obs.diff import diff_traces, group_by_epoch, render_diff, signature
+from repro.obs.events import (
+    EpochSkipped,
+    EpochStart,
+    IfComputed,
+    MigrationCommitted,
+    MigrationPlanned,
+    RoleAssigned,
+    SubtreeSelected,
+)
+from repro.workloads import ZipfWorkload
+
+
+def sim_trace(seed, **overrides):
+    wl = ZipfWorkload(8, files_per_dir=60, reads_per_client=600)
+    cfg = SimConfig(n_mds=3, mds_capacity=50, epoch_len=5, max_ticks=5000)
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    sim = Simulator(wl.materialize(seed=seed), make_balancer("lunule"), cfg)
+    sim.run()
+    return list(sim.trace)
+
+
+def base_trace():
+    return [
+        EpochStart(epoch=0, tick=5),
+        IfComputed(epoch=0, value=0.5, loads=(10.0, 0.0), source="initiator",
+                   did=0),
+        RoleAssigned(epoch=0, rank=0, role="exporter", amount=5.0,
+                     did=1, parent=0),
+        SubtreeSelected(epoch=0, exporter=0, importer=1, unit=7, load=5.0,
+                        did=2, parent=1),
+        MigrationPlanned(tick=5, src=0, dst=1, unit=7, inodes=11, load=5.0,
+                         did=3, parent=2),
+        EpochStart(epoch=1, tick=10),
+        IfComputed(epoch=1, value=0.02, loads=(5.0, 5.0), source="initiator",
+                   did=4),
+        EpochSkipped(epoch=1, reason="if_below_threshold", value=0.02,
+                     threshold=0.075, did=5, parent=4),
+    ]
+
+
+class TestSignature:
+    def test_excludes_provenance_ids(self):
+        a = IfComputed(epoch=0, value=0.5, loads=(1.0,), source="x", did=7,
+                       parent=2)
+        b = IfComputed(epoch=0, value=0.5, loads=(1.0,), source="x", did=99)
+        assert signature(a) == signature(b)
+        assert "did" not in signature(a) and "parent" not in signature(a)
+
+    def test_distinguishes_content(self):
+        a = IfComputed(epoch=0, value=0.5, loads=(1.0,), source="x")
+        b = IfComputed(epoch=0, value=0.6, loads=(1.0,), source="x")
+        assert signature(a) != signature(b)
+
+
+class TestGroupByEpoch:
+    def test_tick_events_attributed_through_boundaries(self):
+        groups = group_by_epoch(base_trace())
+        assert set(groups) == {0, 1}
+        # the planned migration at tick 5 lands in epoch 0 (boundary rule)
+        assert any(e.etype == "migration_planned" for e in groups[0])
+
+    def test_boundary_less_tick_events_dropped(self):
+        only = MigrationCommitted(tick=3, src=0, dst=1, unit=2, inodes=1)
+        assert group_by_epoch([only]) == {}
+
+
+class TestDiffTraces:
+    def test_identical_traces_do_not_diverge(self):
+        report = diff_traces(base_trace(), base_trace())
+        assert report == {
+            "divergent": False, "epochs_compared": 2,
+            "events": {"a": 8, "b": 8},
+        }
+
+    def test_id_drift_alone_is_not_divergence(self):
+        shifted = []
+        for e in base_trace():
+            did = getattr(e, "did", None)
+            if did is None:
+                shifted.append(e)
+            else:
+                shifted.append(type(e)(**{**{k: v for k, v in
+                                             signature(e).items()
+                                             if k != "e"},
+                                          "did": did + 10,
+                                          "parent": getattr(e, "parent")}))
+        report = diff_traces(base_trace(), shifted)
+        assert not report["divergent"]
+
+    def test_first_divergence_located_with_both_chains(self):
+        b = base_trace()
+        b[3] = SubtreeSelected(epoch=0, exporter=0, importer=1, unit=9,
+                               load=5.0, did=2, parent=1)
+        b[4] = MigrationPlanned(tick=5, src=0, dst=1, unit=9, inodes=11,
+                                load=5.0, did=3, parent=2)
+        report = diff_traces(base_trace(), b)
+        assert report["divergent"]
+        fd = report["first_divergence"]
+        assert fd["epoch"] == 0 and fd["index"] == 3
+        assert fd["a"]["unit"] == 7 and fd["b"]["unit"] == 9
+        # both sides carry the full root-first causal chain
+        assert [d["e"] for d in fd["chain_a"]] == [
+            "if_computed", "role_assigned", "subtree_selected"]
+        assert fd["chain_b"][-1]["unit"] == 9
+
+    def test_one_side_running_longer_diverges_at_the_tail(self):
+        longer = base_trace() + [
+            IfComputed(epoch=2, value=0.3, loads=(9.0, 1.0),
+                       source="initiator", did=6),
+        ]
+        report = diff_traces(base_trace(), longer)
+        assert report["divergent"]
+        fd = report["first_divergence"]
+        assert fd["epoch"] == 2
+        assert fd["a"] is None and fd["b"]["e"] == "if_computed"
+        assert fd["chain_a"] == []
+
+    def test_input_deltas(self):
+        b = [IfComputed(epoch=0, value=0.7, loads=(12.0, 0.0),
+                        source="initiator", did=0)
+             if e.etype == "if_computed" and e.epoch == 0 else e
+             for e in base_trace()]
+        report = diff_traces(base_trace(), b)
+        inputs = report["first_divergence"]["inputs"]
+        assert inputs["a"]["source"] == "initiator"
+        assert inputs["if_delta"] == 0.7 - 0.5
+        assert inputs["load_deltas"] == [2.0, 0.0]
+
+    def test_load_delta_none_on_rank_count_mismatch(self):
+        b = [IfComputed(epoch=0, value=0.5, loads=(10.0, 0.0, 0.0),
+                        source="initiator", did=0)
+             if e.etype == "if_computed" and e.epoch == 0 else e
+             for e in base_trace()]
+        report = diff_traces(base_trace(), b)
+        assert report["first_divergence"]["inputs"]["load_deltas"] is None
+
+    def test_report_is_json_ready(self):
+        b = base_trace()[:-1]
+        report = diff_traces(base_trace(), b)
+        dumped = json.dumps(report, sort_keys=True)
+        # stable under a decode/encode cycle (tuples flatten to lists once)
+        assert json.dumps(json.loads(dumped), sort_keys=True) == dumped
+
+
+class TestRenderDiff:
+    def test_no_divergence_line(self):
+        text = render_diff(diff_traces(base_trace(), base_trace()))
+        assert text == "no divergence: 2 epochs, 8/8 events"
+
+    def test_divergence_rendering_is_side_by_side(self):
+        b = base_trace()
+        b[1] = IfComputed(epoch=0, value=0.9, loads=(18.0, 0.0),
+                          source="initiator", did=0)
+        text = render_diff(diff_traces(base_trace(), b))
+        assert "first divergence at epoch 0, event 1" in text
+        assert "IF delta (b-a): +0.4000" in text
+        assert "run A" in text and "| run B" in text
+
+    def test_empty_side_rendered_as_placeholder(self):
+        longer = base_trace() + [
+            IfComputed(epoch=2, value=0.3, loads=(9.0, 1.0),
+                       source="initiator", did=6),
+        ]
+        text = render_diff(diff_traces(base_trace(), longer))
+        assert "(no event)" in text
+
+
+class TestDiffOnRealRuns:
+    def test_same_seed_runs_are_semantically_identical(self):
+        report = diff_traces(sim_trace(3), sim_trace(3))
+        assert not report["divergent"]
+
+    def test_different_seeds_diverge_with_explained_fork(self):
+        report = diff_traces(sim_trace(3), sim_trace(11))
+        assert report["divergent"]
+        fd = report["first_divergence"]
+        assert fd["a"] is not None or fd["b"] is not None
+        assert fd["inputs"]["a"] is not None
+        # chains end at the divergent event itself
+        for side, chain in (("a", fd["chain_a"]), ("b", fd["chain_b"])):
+            if fd[side] is not None and chain:
+                assert chain[-1]["e"] == fd[side]["e"]
+        render_diff(report)  # must not raise
+
+    def test_config_change_diverges(self):
+        report = diff_traces(sim_trace(3), sim_trace(3, migration_rate=5))
+        assert report["divergent"]

@@ -1,0 +1,278 @@
+"""Decision provenance: the causal DAG behind ``repro explain``."""
+
+import pytest
+
+from repro.balancers import make_balancer
+from repro.cluster.simulator import SimConfig, Simulator
+from repro.obs.events import (
+    NO_DECISION,
+    AbortReason,
+    EpochSkipped,
+    EpochStart,
+    IfComputed,
+    MigrationAborted,
+    MigrationCommitted,
+    MigrationPlanned,
+    RoleAssigned,
+    SubtreeSelected,
+)
+from repro.obs.provenance import ProvenanceGraph, explain, render_explain
+from repro.obs.tracelog import filter_events
+from repro.workloads import ZipfWorkload
+
+
+def sim_for(balancer="lunule", schedule=None, **overrides):
+    wl = ZipfWorkload(8, files_per_dir=60, reads_per_client=600)
+    cfg = SimConfig(n_mds=3, mds_capacity=50, epoch_len=5, max_ticks=5000)
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    return Simulator(wl.materialize(seed=3), make_balancer(balancer), cfg,
+                     schedule=schedule)
+
+
+def synthetic_trace():
+    """One committed migration in epoch 0, one skipped epoch 1."""
+    return [
+        EpochStart(epoch=0, tick=5),
+        IfComputed(epoch=0, value=0.5, loads=(10.0, 0.0), source="initiator",
+                   did=0),
+        RoleAssigned(epoch=0, rank=0, role="exporter", amount=5.0,
+                     did=1, parent=0),
+        SubtreeSelected(epoch=0, exporter=0, importer=1, unit=7, load=5.0,
+                        did=2, parent=1),
+        MigrationPlanned(tick=5, src=0, dst=1, unit=7, inodes=11, load=5.0,
+                         did=3, parent=2),
+        MigrationCommitted(tick=8, src=0, dst=1, unit=7, inodes=11,
+                           did=4, parent=3),
+        IfComputed(epoch=1, value=0.01, loads=(5.0, 5.0), source="initiator",
+                   did=5),
+        EpochSkipped(epoch=1, reason="if_below_threshold", value=0.01,
+                     threshold=0.075, did=6, parent=5),
+        EpochStart(epoch=1, tick=10),
+    ]
+
+
+class TestProvenanceGraph:
+    def test_nodes_and_children(self):
+        g = ProvenanceGraph(synthetic_trace())
+        assert len(g) == 7  # epoch_start events carry no did
+        assert 3 in g and NO_DECISION not in g
+        assert g.children[0] == [1]
+        assert g.children[3] == [4]
+
+    def test_chain_is_root_first(self):
+        g = ProvenanceGraph(synthetic_trace())
+        chain = g.chain(3)
+        assert chain.dids() == [0, 1, 2, 3]
+        assert [e.etype for e in chain.events] == [
+            "if_computed", "role_assigned", "subtree_selected",
+            "migration_planned"]
+        assert not chain.truncated
+
+    def test_unknown_decision_raises(self):
+        g = ProvenanceGraph(synthetic_trace())
+        with pytest.raises(KeyError):
+            g.chain(99)
+
+    def test_descendants_and_chain_ids(self):
+        g = ProvenanceGraph(synthetic_trace())
+        assert g.descendants(0) == [1, 2, 3, 4]
+        assert g.chain_ids(3) == {0, 1, 2, 3, 4}
+        assert g.chain_ids(6) == {5, 6}
+
+    def test_chain_ids_feed_filter_events(self):
+        events = synthetic_trace()
+        g = ProvenanceGraph(events)
+        kept = filter_events(events, decision_ids=g.chain_ids(3))
+        assert [getattr(e, "did") for e in kept] == [0, 1, 2, 3, 4]
+
+    def test_epoch_attribution_prefers_ancestor_epochs(self):
+        g = ProvenanceGraph(synthetic_trace())
+        # tick-stamped events inherit the epoch of their lineage, not the
+        # tick->boundary guess (commit tick 8 would bisect into epoch 1)
+        assert g.epoch_of(3) == 0
+        assert g.epoch_of(4) == 0
+        assert g.epoch_of(6) == 1
+
+    def test_outcome(self):
+        g = ProvenanceGraph(synthetic_trace())
+        end = g.outcome(3)
+        assert end is not None and end.etype == "migration_committed"
+        assert g.outcome(0) is None  # children exist but none is an outcome
+
+    def test_evicted_ancestors_truncate_instead_of_crashing(self):
+        # simulate ring eviction: the first three events are gone
+        events = synthetic_trace()[4:]
+        g = ProvenanceGraph(events)
+        chain = g.chain(3)
+        assert chain.truncated
+        assert chain.dids() == [3]  # walk stopped at the missing parent 2
+        assert g.chain(4).truncated
+
+    def test_parent_cycles_terminate(self):
+        # corrupt links must not hang the walk
+        events = [
+            RoleAssigned(epoch=0, rank=0, role="exporter", amount=1.0,
+                         did=1, parent=2),
+            RoleAssigned(epoch=0, rank=1, role="importer", amount=1.0,
+                         did=2, parent=1),
+        ]
+        chain = ProvenanceGraph(events).chain(1)
+        assert set(chain.dids()) <= {1, 2}
+
+    def test_duplicate_dids_keep_first_occurrence(self):
+        a = IfComputed(epoch=0, value=0.1, loads=(1.0,), source="a", did=0)
+        b = IfComputed(epoch=1, value=0.2, loads=(2.0,), source="b", did=0)
+        g = ProvenanceGraph([a, b])
+        assert g.nodes[0] is a
+
+
+class TestExplain:
+    def test_report_shape_and_summary(self):
+        report = explain(synthetic_trace())
+        assert [b["epoch"] for b in report["epochs"]] == [0, 1]
+        ep0, ep1 = report["epochs"]
+        assert len(ep0["migrations"]) == 1
+        mig = ep0["migrations"][0]
+        assert mig["outcome"] == "committed"
+        assert [d["e"] for d in mig["chain"]] == [
+            "if_computed", "role_assigned", "subtree_selected",
+            "migration_planned", "migration_committed"]
+        assert ep1["skipped"][0]["reason"] == "if_below_threshold"
+        assert report["summary"] == {
+            "epochs": 2, "migrations": 1, "committed": 1, "aborted": 0,
+            "skipped_epochs": 1, "truncated_chains": 0,
+        }
+
+    def test_epoch_filter(self):
+        report = explain(synthetic_trace(), epoch=1)
+        assert [b["epoch"] for b in report["epochs"]] == [1]
+        assert report["summary"]["migrations"] == 0
+
+    def test_rank_filter(self):
+        keeps = explain(synthetic_trace(), rank=1)
+        drops = explain(synthetic_trace(), rank=2)
+        assert keeps["summary"]["migrations"] == 1
+        assert drops["summary"]["migrations"] == 0
+
+    def test_subtree_filter(self):
+        keeps = explain(synthetic_trace(), subtree="7")
+        drops = explain(synthetic_trace(), subtree="8")
+        assert keeps["summary"]["migrations"] == 1
+        assert drops["summary"]["migrations"] == 0
+
+    def test_render_explains_quiet_epochs(self):
+        text = render_explain(explain(synthetic_trace()))
+        assert "no migration: epoch_skipped[6] reason=if_below_threshold" in text
+        assert "migration 3: unit 7 0 -> 1 [committed]" in text
+        assert text.endswith("summary: 2 epochs, 1 migrations "
+                             "(1 committed, 0 aborted), 1 skipped epochs")
+
+    def test_render_flags_truncated_chains(self):
+        text = render_explain(explain(synthetic_trace()[4:]))
+        assert "(chain truncated by ring eviction)" in text
+
+
+class TestProvenanceInRealRuns:
+    def test_every_migration_chains_back_to_an_if_root(self):
+        sim = sim_for("lunule")
+        sim.run()
+        events = list(sim.trace)
+        g = ProvenanceGraph(events)
+        planned = [e for e in events if e.etype == "migration_planned"]
+        assert planned
+        for e in planned:
+            chain = g.chain(e.did)
+            assert not chain.truncated
+            assert chain.events[0].etype == "if_computed"
+            assert "role_assigned" in {x.etype for x in chain.events}
+
+    def test_outcomes_cover_every_planned_migration(self):
+        sim = sim_for("lunule")
+        sim.run()
+        g = ProvenanceGraph(sim.trace)
+        for e in sim.trace.events("migration_planned"):
+            end = g.outcome(e.did)
+            assert end is not None, f"migration {e.did} has no outcome"
+            assert end.parent == e.did
+
+    def test_failure_chains_terminate_in_aborted_with_reason(self):
+        # migration_rate=5 stretches transfers so the failure lands mid-flight
+        sim = sim_for("lunule", schedule=[(12, lambda s: s.fail_mds(0)),
+                                          (60, lambda s: s.recover_mds(0))],
+                      migration_rate=5)
+        sim.run()
+        aborts = [e for e in sim.trace.events("migration_aborted")
+                  if e.reason == AbortReason.MDS_FAILED.value]
+        assert aborts, "the scheduled failure aborted nothing"
+        g = ProvenanceGraph(sim.trace)
+        for e in aborts:
+            chain = g.chain(e.did)
+            assert chain.events[-1] is e
+            assert chain.events[-2].etype == "migration_planned"
+            assert not chain.truncated
+            assert chain.events[0].etype == "if_computed"
+
+    def test_explain_reports_aborted_outcomes(self):
+        sim = sim_for("lunule", schedule=[(12, lambda s: s.fail_mds(0)),
+                                          (60, lambda s: s.recover_mds(0))],
+                      migration_rate=5)
+        sim.run()
+        report = explain(sim.trace)
+        assert report["summary"]["aborted"] > 0
+        aborted = [m for b in report["epochs"] for m in b["migrations"]
+                   if m["outcome"] == "aborted"]
+        reasons = {m["reason"] for m in aborted}
+        assert "mds_failed" in reasons
+        assert reasons <= {r.value for r in AbortReason}
+
+    def test_ring_buffer_yields_partial_chains_without_crashing(self):
+        sim = sim_for("lunule", trace_capacity=20)
+        sim.run()
+        assert sim.trace.dropped > 0, "capacity too large to exercise eviction"
+        g = ProvenanceGraph(sim.trace)
+        chains = [g.chain(did) for did in sorted(g.nodes)]
+        assert chains
+        assert any(c.truncated for c in chains)
+        # explain still renders a usable report over the partial window
+        render_explain(explain(sim.trace))
+
+    def test_skipped_epochs_are_recorded_with_parent_if(self):
+        sim = sim_for("lunule")
+        sim.run()
+        skips = sim.trace.events("epoch_skipped")
+        assert skips, "run never skipped an epoch"
+        g = ProvenanceGraph(sim.trace)
+        for e in skips:
+            chain = g.chain(e.did)
+            assert chain.events[0].etype == "if_computed"
+            assert chain.events[0].source == "initiator"
+
+
+class TestAbortReasonVocabulary:
+    def test_enum_members_normalize_to_values(self):
+        e = MigrationAborted(tick=1, src=0, dst=1, unit=3,
+                             reason=AbortReason.OVERLAP)
+        assert e.reason == "overlap"
+
+    def test_free_form_reasons_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationAborted(tick=1, src=0, dst=1, unit=3, reason="whatever")
+
+    def test_skip_reason_vocabulary_closed(self):
+        with pytest.raises(ValueError):
+            EpochSkipped(epoch=0, reason="felt_like_it", value=0.1,
+                         threshold=0.075)
+
+    def test_aborted_counter_labels_by_reason(self):
+        sim = sim_for("lunule", schedule=[(12, lambda s: s.fail_mds(0)),
+                                          (60, lambda s: s.recover_mds(0))],
+                      migration_rate=5)
+        sim.run()
+        n_trace = len([e for e in sim.trace.events("migration_aborted")
+                       if e.reason == "mds_failed"])
+        series = sim.metrics.snapshot()["migration.aborted"]["series"]
+        by_reason = {s["labels"]["reason"]: s["value"] for s in series}
+        assert set(by_reason) <= {r.value for r in AbortReason}
+        assert sum(by_reason.values()) == sim.migrator.aborted_tasks
+        assert by_reason["mds_failed"] == n_trace
