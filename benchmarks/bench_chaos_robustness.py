@@ -1,0 +1,99 @@
+"""Chaos robustness ranking: which balancer survives disturbance best.
+
+Sweeps bundled chaos scenarios across seeds x balancers, aggregates the
+robustness scores (recovery epochs, aborted-inode waste, IF overshoot
+area — see ``repro.chaos.score``) and writes the ranked table to
+``BENCH_chaos.json`` next to the printed report. This is the paper's
+Fig. 12 question asked adversarially: not "does the balancer converge"
+but "how fast does it re-converge after we hurt the cluster, and how
+much work does it waste doing so".
+"""
+
+import json
+
+from repro.experiments.chaos import run_chaos
+
+SEEDS = (1, 5, 9)
+BALANCERS = ("vanilla", "greedyspill", "lunule")
+SCENARIOS = ("flap", "blackout", "storm")
+
+
+def _aggregate(reports: list[dict]) -> dict:
+    """Mean robustness metrics over one balancer's runs."""
+    recoveries = [r["score"]["mean_recovery_epochs"] for r in reports]
+    known = [x for x in recoveries if x is not None]
+    return {
+        "runs": len(reports),
+        "mean_recovery_epochs": (round(sum(known) / len(known), 4)
+                                 if known else None),
+        "unrecovered_faults": sum(r["score"]["unrecovered_faults"]
+                                  for r in reports),
+        "aborted_inodes": sum(r["score"]["aborted_inodes"] for r in reports),
+        "aborted_tasks": sum(r["score"]["aborted_tasks"] for r in reports),
+        "if_overshoot_area": round(sum(r["score"]["if_overshoot_area"]
+                                       for r in reports), 4),
+        "mean_if": round(sum(r["run"]["mean_if"] for r in reports)
+                         / len(reports), 4),
+        "mean_finished_tick": round(sum(r["run"]["finished_tick"]
+                                        for r in reports) / len(reports), 1),
+    }
+
+
+def test_chaos_robustness_ranking(benchmark):
+    by_balancer: dict[str, list[dict]] = {b: [] for b in BALANCERS}
+
+    def sweep():
+        for scenario in SCENARIOS:
+            for seed in SEEDS:
+                for b in BALANCERS:
+                    report, _, _ = run_chaos(scenario, seed=seed, balancer=b)
+                    by_balancer[b].append(report)
+        return by_balancer
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    agg = {b: _aggregate(reports) for b, reports in by_balancer.items()}
+    # rank by disturbance absorbed: overshoot area first (integrated extra
+    # imbalance), then wasted work, then mean IF
+    ranked = sorted(
+        BALANCERS,
+        key=lambda b: (agg[b]["if_overshoot_area"],
+                       agg[b]["aborted_inodes"], agg[b]["mean_if"]))
+
+    print()
+    print(f"  chaos robustness — {len(SCENARIOS)} scenarios x "
+          f"{len(SEEDS)} seeds ({', '.join(SCENARIOS)}; "
+          f"seeds {', '.join(map(str, SEEDS))})")
+    header = (f"  {'balancer':<12} {'overshoot':>9} {'waste-inodes':>12} "
+              f"{'aborts':>6} {'recovery-ep':>11} {'mean IF':>8}")
+    print(header)
+    for b in ranked:
+        a = agg[b]
+        rec = ("never" if a["mean_recovery_epochs"] is None
+               else f"{a['mean_recovery_epochs']:.2f}")
+        print(f"  {b:<12} {a['if_overshoot_area']:>9.3f} "
+              f"{a['aborted_inodes']:>12d} {a['aborted_tasks']:>6d} "
+              f"{rec:>11} {a['mean_if']:>8.3f}")
+
+    out = {
+        "schema": 1,
+        "scenarios": list(SCENARIOS),
+        "seeds": list(SEEDS),
+        "ranking": ranked,
+        "aggregates": agg,
+    }
+    with open("BENCH_chaos.json", "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("  wrote BENCH_chaos.json")
+
+    # every cell ran, and faults actually fired everywhere
+    assert all(len(v) == len(SCENARIOS) * len(SEEDS)
+               for v in by_balancer.values())
+    for reports in by_balancer.values():
+        assert all(r["faults_injected"] > 0 for r in reports)
+        assert all(r["faults_injected"] == r["faults_cleared"]
+                   for r in reports)
+    # an active balancer under chaos should still balance better than
+    # vanilla's greedy all-or-nothing: lunule must not rank last
+    assert ranked[-1] != "lunule"

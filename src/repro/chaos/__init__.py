@@ -1,0 +1,69 @@
+"""Chaos scenario engine: declarative fault schedules for the simulator.
+
+The paper's agility claims (Fig. 12's dynamics experiments, and the
+recovery behaviour cephci exercises against live clusters) only mean
+something if the reproduction can disturb a run *reproducibly*. This
+package provides that:
+
+- :mod:`repro.chaos.schedule` — a declarative DSL of timed and
+  seeded-stochastic fault events (fail/recover, flapping restarts,
+  degraded capacity, correlated multi-rank failures) plus TOML/JSON
+  loaders, compiling to a validated, deterministic list of fault windows;
+- :mod:`repro.chaos.controller` — the :class:`ChaosController` that binds
+  a compiled schedule onto a simulator's event timeline, applying and
+  reverting faults through the existing ``fail_mds``/capacity seams and
+  emitting ``fault_injected``/``fault_cleared`` trace events with
+  decision ids, so ``repro explain`` chains an aborted migration back to
+  the fault that killed it;
+- :mod:`repro.chaos.score` — the robustness scorer (recovery epochs back
+  to the pre-fault IF band, aborted-migration waste, IF overshoot area)
+  that turns a disturbed run into comparable numbers;
+- ``scenarios/`` — bundled scenario files (``repro chaos --list``).
+
+Layering: chaos imports only ``util`` and ``obs``. The controller drives
+the simulator through duck-typed public seams (``fail_mds``,
+``recover_mds``, ``mdss[r].capacity``, ``trace``); the simulator merges
+the controller's ``(tick, fn)`` entries into its ordinary event schedule
+and never imports this package.
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.schedule import (
+    ChaosError,
+    ChaosSchedule,
+    CorrelatedFailure,
+    EpochRangeError,
+    FailMds,
+    FaultWindow,
+    FlapMds,
+    OverlapError,
+    RandomFailures,
+    ScheduleError,
+    SlowMds,
+    UnknownRankError,
+    bundled_scenarios,
+    load_schedule,
+    schedule_from_dict,
+)
+from repro.chaos.score import RobustnessScore, score_run
+
+__all__ = [
+    "ChaosController",
+    "ChaosError",
+    "ChaosSchedule",
+    "CorrelatedFailure",
+    "EpochRangeError",
+    "FailMds",
+    "FaultWindow",
+    "FlapMds",
+    "OverlapError",
+    "RandomFailures",
+    "RobustnessScore",
+    "ScheduleError",
+    "SlowMds",
+    "UnknownRankError",
+    "bundled_scenarios",
+    "load_schedule",
+    "schedule_from_dict",
+    "score_run",
+]

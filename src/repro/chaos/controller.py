@@ -1,0 +1,116 @@
+"""The :class:`ChaosController`: compiled fault windows onto a simulator.
+
+``bind(sim)`` expands the schedule against the simulator's cluster size,
+then returns ordinary ``(tick, fn)`` schedule entries — the same seam
+tests already use for ad-hoc ``fail_mds`` injection — so the simulator
+needs no knowledge of the chaos layer. Each window becomes an *inject*
+callback at its start epoch and a *clear* callback at its end epoch.
+
+Tick placement: events emitted at tick ``k * epoch_len`` attribute to the
+*closing* epoch ``k - 1`` (the boundary tick belongs to the epoch it
+ends), so faults fire at ``epoch * epoch_len + 1`` — the first tick
+*inside* the target epoch. That keeps three views consistent: the
+``fault_injected`` event, the ``mds_failed``/aborts it causes, and the
+first behavioural divergence from a fault-free twin all land in the same
+epoch, which is what ``repro diff`` reports and the provenance tests pin.
+
+Provenance: each injection mints a decision id for its
+``fault_injected`` event and passes it as ``cause`` into
+``sim.fail_mds`` so every ``mds_failed`` abort records which fault killed
+it; the matching ``fault_cleared`` parents to the injection, closing the
+window in the DAG.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.schedule import ChaosSchedule, FaultWindow
+from repro.obs.events import NO_DECISION, FaultCleared, FaultInjected
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Applies and reverts a schedule's faults through simulator seams."""
+
+    def __init__(self, schedule: ChaosSchedule, *,
+                 seed: int | None = None) -> None:
+        self.schedule = schedule
+        self.seed = schedule.seed if seed is None else int(seed)
+        #: filled by :meth:`bind`
+        self.windows: list[FaultWindow] = []
+        #: window -> did of its fault_injected event (after injection)
+        self._inject_ids: dict[FaultWindow, int] = {}
+        #: rank -> pre-fault capacity saved across a slow window
+        self._saved_capacity: dict[int, float] = {}
+        self.faults_injected = 0
+        self.faults_cleared = 0
+
+    # ---------------------------------------------------------------- binding
+    def bind(self, sim) -> list[tuple[int, object]]:
+        """Compile the schedule into ``(tick, fn)`` entries for ``sim``.
+
+        Raises the schedule's typed errors (unknown rank, overlap, bad
+        epochs) before the run starts, never mid-run. At a shared tick,
+        clears are ordered before injects so a back-to-back window pair
+        (flapping) reverts the old fault before applying the new one.
+        """
+        self.windows = self.schedule.expand(sim.n_mds, self.seed)
+        epoch_len = sim.config.epoch_len
+
+        def tick_of(epoch: int) -> int:
+            # first tick inside the epoch (see module docstring)
+            return epoch * epoch_len + 1
+
+        entries: list[tuple[int, int, object]] = []
+        for w in self.windows:
+            entries.append((tick_of(w.end_epoch), 0, self._clear_fn(w)))
+            entries.append((tick_of(w.start_epoch), 1, self._inject_fn(w)))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return [(tick, fn) for tick, _, fn in entries]
+
+    def _inject_fn(self, window: FaultWindow):
+        def inject(sim, w=window):
+            self._inject(sim, w)
+        return inject
+
+    def _clear_fn(self, window: FaultWindow):
+        def clear(sim, w=window):
+            self._clear(sim, w)
+        return clear
+
+    # -------------------------------------------------------------- faulting
+    def _inject(self, sim, w: FaultWindow) -> None:
+        did = sim.trace.next_decision_id()
+        self._inject_ids[w] = did
+        sim.trace.emit(FaultInjected(
+            epoch=sim.epoch, tick=sim.tick, kind=w.kind, rank=w.rank,
+            factor=w.factor if w.kind == "slow" else 1.0, did=did))
+        sim.metrics.counter("chaos.faults_injected", kind=w.kind).inc()
+        self.faults_injected += 1
+        if w.kind == "fail":
+            sim.fail_mds(w.rank, cause=did)
+        else:  # "slow": brownout, the rank keeps serving at reduced capacity
+            mds = sim.mdss[w.rank]
+            self._saved_capacity[w.rank] = mds.capacity
+            mds.capacity = mds.capacity * w.factor
+
+    def _clear(self, sim, w: FaultWindow) -> None:
+        parent = self._inject_ids.get(w, NO_DECISION)
+        sim.trace.emit(FaultCleared(
+            epoch=sim.epoch, tick=sim.tick, kind=w.kind, rank=w.rank,
+            did=sim.trace.next_decision_id(), parent=parent))
+        sim.metrics.counter("chaos.faults_cleared", kind=w.kind).inc()
+        self.faults_cleared += 1
+        if w.kind == "fail":
+            sim.recover_mds(w.rank)
+        else:
+            # restore the exact saved float — no drift from re-multiplying
+            sim.mdss[w.rank].capacity = self._saved_capacity.pop(w.rank)
+
+    # ------------------------------------------------------------ inspection
+    def first_fault_epoch(self) -> int | None:
+        return self.windows[0].start_epoch if self.windows else None
+
+    def inject_id(self, window: FaultWindow) -> int:
+        """The ``fault_injected`` did of a window (after it fired)."""
+        return self._inject_ids.get(window, NO_DECISION)

@@ -1,0 +1,451 @@
+"""The declarative fault-schedule DSL and its TOML/JSON loaders.
+
+A schedule is a small, validated description of *when the cluster gets
+hurt*: a list of event dataclasses (:class:`FailMds`, :class:`SlowMds`,
+:class:`FlapMds`, :class:`CorrelatedFailure`, :class:`RandomFailures`)
+with epoch-granular timing. ``ChaosSchedule.expand`` compiles the events
+into a flat, sorted list of :class:`FaultWindow` records — one per
+contiguous fault interval per rank — after validating ranks, epochs and
+overlap freedom; the controller then turns windows into simulator
+callbacks.
+
+Determinism: stochastic events (:class:`RandomFailures`) draw from
+:func:`repro.util.rng.substream` keyed on ``(seed, "chaos", name)``, so
+the same ``(schedule, seed)`` pair always expands to the same windows —
+the property the byte-identical-trace tests pin.
+
+Validation failures raise typed errors, all subclasses of
+:class:`ScheduleError` (itself a ``ValueError``): :class:`UnknownRankError`
+for out-of-range ranks, :class:`EpochRangeError` for negative/zero-length
+timing, :class:`OverlapError` for two windows touching the same rank at
+the same epoch (a second fault on an already-faulted rank has no physical
+meaning in the model — the rank is already down or already slowed).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.util.rng import substream
+
+__all__ = [
+    "ChaosError",
+    "ScheduleError",
+    "UnknownRankError",
+    "OverlapError",
+    "EpochRangeError",
+    "FailMds",
+    "SlowMds",
+    "FlapMds",
+    "CorrelatedFailure",
+    "RandomFailures",
+    "FaultWindow",
+    "ChaosSchedule",
+    "schedule_from_dict",
+    "load_schedule",
+    "loads_toml",
+    "bundled_scenarios",
+    "SCENARIO_DIR",
+]
+
+#: where the bundled scenario files live (``repro chaos --list``)
+SCENARIO_DIR = pathlib.Path(__file__).parent / "scenarios"
+
+
+class ChaosError(Exception):
+    """Base of every chaos-engine error."""
+
+
+class ScheduleError(ChaosError, ValueError):
+    """A schedule failed validation (malformed event or composition)."""
+
+
+class UnknownRankError(ScheduleError):
+    """An event names a rank the cluster does not have."""
+
+
+class OverlapError(ScheduleError):
+    """Two fault windows touch the same rank in the same epoch."""
+
+
+class EpochRangeError(ScheduleError):
+    """An event's timing is negative, zero-length, or inverted."""
+
+
+def _check_epoch(value: int, what: str) -> int:
+    value = int(value)
+    if value < 0:
+        raise EpochRangeError(f"{what} must be >= 0, got {value}")
+    return value
+
+
+def _check_duration(value: int, what: str) -> int:
+    value = int(value)
+    if value <= 0:
+        raise EpochRangeError(f"{what} must be >= 1 epoch, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FailMds:
+    """Rank ``rank`` fails at ``at_epoch`` and recovers ``duration`` later.
+
+    The recovery models a standby daemon replaying the journal and taking
+    over the rank (subtree authority is rank-based and survives).
+    """
+
+    rank: int
+    at_epoch: int
+    duration: int = 2
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.at_epoch, "at_epoch")
+        _check_duration(self.duration, "duration")
+
+    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+        return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
+                            self.rank, "fail", source="fail_mds")]
+
+
+@dataclass(frozen=True)
+class SlowMds:
+    """Rank ``rank`` serves at ``factor`` × capacity for ``duration`` epochs.
+
+    Models brownout rather than blackout: a daemon stalled by heartbeat
+    storms, recovery I/O or a co-located noisy neighbour keeps answering,
+    just slower — the disturbance MIDAS-style hotspot studies care about.
+    """
+
+    rank: int
+    at_epoch: int
+    duration: int = 2
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.at_epoch, "at_epoch")
+        _check_duration(self.duration, "duration")
+        if not 0.0 < self.factor < 1.0:
+            raise ScheduleError(
+                f"slow_mds factor must be in (0, 1), got {self.factor}")
+
+    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+        return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
+                            self.rank, "slow", factor=self.factor,
+                            source="slow_mds")]
+
+
+@dataclass(frozen=True)
+class FlapMds:
+    """Rank ``rank`` restarts repeatedly: ``cycles`` × (down, then up).
+
+    Each cycle fails the rank for ``down`` epochs then lets it serve for
+    ``up`` epochs — the flapping-daemon pattern cephci's MDS-ops system
+    test drives in a loop against live clusters.
+    """
+
+    rank: int
+    at_epoch: int
+    cycles: int = 3
+    down: int = 1
+    up: int = 1
+
+    def __post_init__(self) -> None:
+        _check_epoch(self.at_epoch, "at_epoch")
+        _check_duration(self.cycles, "cycles")
+        _check_duration(self.down, "down")
+        _check_duration(self.up, "up")
+
+    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+        out = []
+        start = self.at_epoch
+        for _ in range(self.cycles):
+            out.append(FaultWindow(start, start + self.down, self.rank,
+                                   "fail", source="flap_mds"))
+            start += self.down + self.up
+        return out
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure:
+    """Several ranks fail together (shared rack / power domain / switch)."""
+
+    ranks: tuple[int, ...]
+    at_epoch: int
+    duration: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
+        if not self.ranks:
+            raise ScheduleError("correlated_failure needs at least one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ScheduleError(
+                f"correlated_failure lists rank(s) twice: {self.ranks}")
+        _check_epoch(self.at_epoch, "at_epoch")
+        _check_duration(self.duration, "duration")
+
+    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+        return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
+                            r, "fail", source="correlated_failure")
+                for r in self.ranks]
+
+
+@dataclass(frozen=True)
+class RandomFailures:
+    """``count`` seeded-random single-rank failures in an epoch range.
+
+    Start epochs and victim ranks are drawn from the schedule's
+    deterministic substream; a draw that would overlap an existing window
+    is re-drawn (bounded), so the expansion either satisfies the same
+    no-overlap invariant as explicit events or raises
+    :class:`OverlapError` when the range is too crowded to place them.
+    """
+
+    count: int
+    start_epoch: int
+    end_epoch: int
+    duration: int = 1
+    ranks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_duration(self.count, "count")
+        _check_epoch(self.start_epoch, "start_epoch")
+        if self.end_epoch <= self.start_epoch:
+            raise EpochRangeError(
+                f"end_epoch ({self.end_epoch}) must be > start_epoch "
+                f"({self.start_epoch})")
+        _check_duration(self.duration, "duration")
+        if self.ranks is not None:
+            object.__setattr__(
+                self, "ranks", tuple(int(r) for r in self.ranks))
+
+    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+        pool = self.ranks if self.ranks is not None else all_ranks
+        placed: list[FaultWindow] = []
+        # bounded rejection sampling: deterministic under the substream,
+        # and a crowded range fails loudly instead of looping forever
+        attempts = 0
+        limit = 64 * self.count
+        while len(placed) < self.count:
+            if attempts >= limit:
+                raise OverlapError(
+                    f"random_failures could not place {self.count} "
+                    f"non-overlapping failures in epochs "
+                    f"[{self.start_epoch}, {self.end_epoch}) after "
+                    f"{limit} draws")
+            attempts += 1
+            start = int(rng.integers(self.start_epoch, self.end_epoch))
+            rank = int(pool[int(rng.integers(0, len(pool)))])
+            w = FaultWindow(start, start + self.duration, rank, "fail",
+                            source="random_failures")
+            if any(w.overlaps(p) for p in placed):
+                continue
+            placed.append(w)
+        return placed
+
+
+#: event-type tag (in TOML/JSON ``kind`` keys) -> dataclass
+EVENT_KINDS = {
+    "fail_mds": FailMds,
+    "slow_mds": SlowMds,
+    "flap_mds": FlapMds,
+    "correlated_failure": CorrelatedFailure,
+    "random_failures": RandomFailures,
+}
+
+ChaosEvent = FailMds | SlowMds | FlapMds | CorrelatedFailure | RandomFailures
+
+
+@dataclass(frozen=True, order=True)
+class FaultWindow:
+    """One compiled fault interval: ``[start_epoch, end_epoch)`` on a rank."""
+
+    start_epoch: int
+    end_epoch: int
+    rank: int
+    kind: str  # "fail" | "slow" (FAULT_KINDS)
+    factor: float = 1.0
+    source: str = ""
+
+    def overlaps(self, other: FaultWindow) -> bool:
+        return (self.rank == other.rank
+                and self.start_epoch < other.end_epoch
+                and other.start_epoch < self.end_epoch)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A named, ordered collection of fault events plus its base seed."""
+
+    name: str
+    events: tuple[ChaosEvent, ...]
+    description: str = ""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if not self.name:
+            raise ScheduleError("schedule needs a non-empty name")
+
+    def expand(self, n_mds: int, seed: int | None = None) -> list[FaultWindow]:
+        """Compile events into validated, sorted fault windows.
+
+        ``seed`` overrides the schedule's own base seed (the CLI's
+        ``--seed``); stochastic events draw from a substream keyed on it
+        and the schedule name, so expansion is a pure function of
+        ``(schedule, n_mds, seed)``.
+        """
+        if n_mds <= 0:
+            raise ScheduleError(f"n_mds must be positive, got {n_mds}")
+        effective = self.seed if seed is None else int(seed)
+        rng = substream(effective, "chaos", self.name)
+        all_ranks = tuple(range(n_mds))
+        windows: list[FaultWindow] = []
+        for ev in self.events:
+            windows.extend(ev.windows(rng, all_ranks))
+        for w in windows:
+            if not 0 <= w.rank < n_mds:
+                raise UnknownRankError(
+                    f"{w.source} names rank {w.rank}; cluster has ranks "
+                    f"0..{n_mds - 1}")
+        windows.sort()
+        by_rank: dict[int, list[FaultWindow]] = {}
+        for w in windows:
+            by_rank.setdefault(w.rank, []).append(w)
+        for ws in by_rank.values():
+            for a, b in zip(ws, ws[1:]):
+                if a.overlaps(b):
+                    raise OverlapError(
+                        f"fault windows overlap on rank {a.rank}: "
+                        f"{a.source}[{a.start_epoch},{a.end_epoch}) and "
+                        f"{b.source}[{b.start_epoch},{b.end_epoch})")
+        return windows
+
+
+# --------------------------------------------------------------- loaders
+def schedule_from_dict(data: dict) -> ChaosSchedule:
+    """Build a schedule from loaded TOML/JSON data, with typed errors."""
+    if not isinstance(data, dict):
+        raise ScheduleError(f"schedule document must be a table, got "
+                            f"{type(data).__name__}")
+    known = {"name", "description", "seed", "events"}
+    extra = set(data) - known
+    if extra:
+        raise ScheduleError(f"unknown schedule keys {sorted(extra)}; "
+                            f"expected a subset of {sorted(known)}")
+    raw_events = data.get("events", [])
+    if not isinstance(raw_events, list) or not raw_events:
+        raise ScheduleError("schedule needs a non-empty [[events]] list")
+    events = []
+    for i, raw in enumerate(raw_events):
+        if not isinstance(raw, dict):
+            raise ScheduleError(f"events[{i}] must be a table")
+        raw = dict(raw)
+        kind = raw.pop("kind", None)
+        cls = EVENT_KINDS.get(kind)
+        if cls is None:
+            raise ScheduleError(
+                f"events[{i}]: unknown event kind {kind!r}; expected one "
+                f"of {sorted(EVENT_KINDS)}")
+        for key in ("ranks",):
+            if key in raw and isinstance(raw[key], list):
+                raw[key] = tuple(raw[key])
+        try:
+            events.append(cls(**raw))
+        except TypeError as exc:
+            raise ScheduleError(f"events[{i}] ({kind}): {exc}") from exc
+    return ChaosSchedule(
+        name=str(data.get("name", "")),
+        description=str(data.get("description", "")),
+        seed=int(data.get("seed", 0)),
+        events=tuple(events),
+    )
+
+
+def loads_toml(text: str) -> dict:
+    """Parse the TOML subset schedules use.
+
+    ``tomllib`` exists only on Python >= 3.11 and the CI matrix still
+    tests 3.10, so this falls back to a small hand parser covering what
+    scenario files need: comments, one level of ``[[events]]``
+    array-of-tables, and ``key = value`` pairs with strings, ints,
+    floats, booleans and flat int lists.
+    """
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+def _parse_toml_value(raw: str, lineno: int):
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_toml_value(p, lineno) for p in inner.split(",")]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise ScheduleError(
+            f"TOML line {lineno}: cannot parse value {raw!r}") from None
+
+
+def _parse_toml_subset(text: str) -> dict:
+    doc: dict = {}
+    target = doc
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        if stripped.startswith("[[") and stripped.endswith("]]"):
+            key = stripped[2:-2].strip()
+            target = {}
+            doc.setdefault(key, []).append(target)
+            continue
+        if stripped.startswith("["):
+            raise ScheduleError(
+                f"TOML line {lineno}: plain [tables] not supported in the "
+                f"schedule subset; use top-level keys and [[events]]")
+        if "=" not in stripped:
+            raise ScheduleError(f"TOML line {lineno}: expected key = value")
+        key, _, raw = stripped.partition("=")
+        target[key.strip()] = _parse_toml_value(raw, lineno)
+    return doc
+
+
+def load_schedule(path: str | pathlib.Path) -> ChaosSchedule:
+    """Load a schedule from a ``.toml`` or ``.json`` file."""
+    path = pathlib.Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScheduleError(f"{path}: invalid JSON: {exc}") from exc
+    elif path.suffix == ".toml":
+        data = loads_toml(text)
+    else:
+        raise ScheduleError(
+            f"{path}: unknown schedule format {path.suffix!r}; "
+            f"expected .toml or .json")
+    if isinstance(data, dict) and not data.get("name"):
+        data = {**data, "name": path.stem}
+    return schedule_from_dict(data)
+
+
+def bundled_scenarios() -> dict[str, pathlib.Path]:
+    """Name -> path of every scenario file shipped with the package."""
+    if not SCENARIO_DIR.is_dir():
+        return {}
+    return {p.stem: p for p in sorted(SCENARIO_DIR.glob("*.toml"))}

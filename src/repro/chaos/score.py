@@ -1,0 +1,173 @@
+"""Robustness scoring: turn a disturbed run into comparable numbers.
+
+Three metrics, all pure functions of the run's per-epoch IF series, the
+compiled fault windows and the decision trace:
+
+- **recovery epochs**: for each fault window, how many epochs after the
+  fault cleared the IF took to re-enter its *pre-fault band* (the mean IF
+  over the window's lead-in epochs, widened by a tolerance) — the paper's
+  Fig. 12 question, "how fast does the balancer re-converge after a
+  disturbance";
+- **aborted-migration waste**: inodes that were in flight (or queued)
+  when a fault killed them — work the balancer paid for and lost, read
+  from ``migration_aborted(reason=mds_failed)`` events joined to their
+  ``migration_planned`` parents for sizes;
+- **IF overshoot area**: the sum of ``max(0, IF - band)`` over all epochs
+  from the first fault to the end of the run — how much *extra* imbalance
+  the disturbance caused, integrated, so a balancer that spikes hard but
+  recovers fast and one that drifts high forever are both penalized in
+  proportion.
+
+Scores are plain dataclasses serializing to stable dicts, so the chaos
+CLI report and ``bench_chaos_robustness.py`` rankings stay byte-stable
+under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.schedule import FaultWindow
+
+__all__ = ["FaultRecovery", "RobustnessScore", "score_run",
+           "IF_BAND_RATIO", "IF_BAND_SLACK"]
+
+#: the pre-fault band is ``baseline * RATIO + SLACK``: a relative margin
+#: for runs that idle at a high IF plus an absolute floor for runs whose
+#: baseline IF is ~0 (perfectly balanced before the fault)
+IF_BAND_RATIO = 1.25
+IF_BAND_SLACK = 0.05
+
+#: how many epochs before a fault feed its baseline estimate
+BASELINE_EPOCHS = 5
+
+
+@dataclass(frozen=True)
+class FaultRecovery:
+    """Recovery record for one fault window."""
+
+    rank: int
+    kind: str
+    start_epoch: int
+    end_epoch: int
+    baseline_if: float
+    band: float
+    #: epochs after ``end_epoch`` until IF re-entered the band;
+    #: ``None`` when the run ended first (never recovered in view)
+    recovery_epochs: int | None
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "kind": self.kind,
+            "start_epoch": self.start_epoch,
+            "end_epoch": self.end_epoch,
+            "baseline_if": round(self.baseline_if, 6),
+            "band": round(self.band, 6),
+            "recovery_epochs": self.recovery_epochs,
+        }
+
+
+@dataclass(frozen=True)
+class RobustnessScore:
+    """The run-level robustness summary fed to reports and benchmarks."""
+
+    faults: tuple[FaultRecovery, ...]
+    #: mean recovery epochs over recovered faults; None when nothing
+    #: recovered (or no faults fired)
+    mean_recovery_epochs: float | None
+    #: windows whose IF never re-entered the band before the run ended
+    unrecovered_faults: int
+    #: inodes lost to mds_failed aborts (planned size of each dead task)
+    aborted_inodes: int
+    aborted_tasks: int
+    #: sum of max(0, IF - band) per epoch from the first fault onward
+    if_overshoot_area: float
+
+    def to_dict(self) -> dict:
+        return {
+            "mean_recovery_epochs": (
+                None if self.mean_recovery_epochs is None
+                else round(self.mean_recovery_epochs, 6)),
+            "unrecovered_faults": self.unrecovered_faults,
+            "aborted_tasks": self.aborted_tasks,
+            "aborted_inodes": self.aborted_inodes,
+            "if_overshoot_area": round(self.if_overshoot_area, 6),
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+
+def _baseline(if_series: list[float], start_epoch: int) -> float:
+    lead_in = if_series[max(0, start_epoch - BASELINE_EPOCHS):start_epoch]
+    if not lead_in:
+        return 0.0
+    return sum(lead_in) / len(lead_in)
+
+
+def _recovery(if_series: list[float], window: FaultWindow) -> FaultRecovery:
+    baseline = _baseline(if_series, window.start_epoch)
+    band = baseline * IF_BAND_RATIO + IF_BAND_SLACK
+    recovery: int | None = None
+    for epoch in range(window.end_epoch, len(if_series)):
+        if if_series[epoch] <= band:
+            recovery = epoch - window.end_epoch
+            break
+    return FaultRecovery(
+        rank=window.rank, kind=window.kind,
+        start_epoch=window.start_epoch, end_epoch=window.end_epoch,
+        baseline_if=baseline, band=band, recovery_epochs=recovery)
+
+
+def _aborted_waste(events) -> tuple[int, int]:
+    """(tasks, inodes) lost to ``mds_failed`` aborts.
+
+    Task sizes come from joining each abort to its ``migration_planned``
+    parent; an abort without a resolvable parent (ring-truncated trace)
+    counts as a task of unknown size, contributing zero inodes.
+    """
+    planned_inodes = {
+        e.did: e.inodes for e in events if e.etype == "migration_planned"
+    }
+    tasks = 0
+    inodes = 0
+    for e in events:
+        if e.etype == "migration_aborted" and e.reason == "mds_failed":
+            tasks += 1
+            inodes += planned_inodes.get(e.parent, 0)
+    return tasks, inodes
+
+
+def score_run(if_series, windows, events) -> RobustnessScore:
+    """Score one disturbed run.
+
+    ``if_series`` is the simulator's per-epoch reporting IF,
+    ``windows`` the controller's compiled :class:`FaultWindow` list and
+    ``events`` the full decision trace (any iterable of trace events).
+    """
+    if_series = list(if_series)
+    events = list(events)
+    windows = sorted(windows)
+    recoveries = tuple(_recovery(if_series, w) for w in windows)
+    recovered = [r.recovery_epochs for r in recoveries
+                 if r.recovery_epochs is not None]
+    tasks, inodes = _aborted_waste(events)
+
+    overshoot = 0.0
+    if windows:
+        first = windows[0].start_epoch
+        # one shared band for the integral: the first fault's pre-fault
+        # band (per-window bands would double-count overlapping tails)
+        band = recoveries[0].band
+        for epoch in range(first, len(if_series)):
+            overshoot += max(0.0, if_series[epoch] - band)
+
+    return RobustnessScore(
+        faults=recoveries,
+        mean_recovery_epochs=(
+            sum(recovered) / len(recovered) if recovered else None),
+        unrecovered_faults=sum(
+            1 for r in recoveries if r.recovery_epochs is None),
+        aborted_tasks=tasks,
+        aborted_inodes=inodes,
+        if_overshoot_area=overshoot,
+    )

@@ -15,6 +15,8 @@ Commands:
   quiet epochs stayed quiet,
 - ``diff``   — align two recorded traces and report their first semantic
   divergence with both causal chains and the input deltas,
+- ``chaos``  — run a declarative fault scenario (bundled or a TOML/JSON
+  file) against a balancer and print/score its robustness report,
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``lint``   — run the repo's AST invariant linter (determinism, layering,
   trace schema, float equality; see ``docs/STATIC_ANALYSIS.md``),
@@ -169,6 +171,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run directory or trace .jsonl (comparison)")
     df_p.add_argument("--format", choices=("text", "json"), default="text")
 
+    ch_p = sub.add_parser(
+        "chaos",
+        help="run a fault scenario (bundled name or TOML/JSON file) and "
+             "score the balancer's recovery")
+    ch_p.add_argument("scenario", metavar="SCENARIO", nargs="?",
+                      help="scenario file path, or a bundled scenario name "
+                           "(see --list)")
+    ch_p.add_argument("--list", action="store_true", dest="list_scenarios",
+                      help="list bundled scenarios and exit")
+    ch_p.add_argument("--seed", type=int, default=0,
+                      help="seeds the run and the schedule's stochastic "
+                           "events (one integer pins everything)")
+    ch_p.add_argument("--balancer", "-b", choices=BALANCER_NAMES,
+                      default="lunule")
+    ch_p.add_argument("--workload", "-w", choices=WORKLOAD_NAMES,
+                      default="mdtest")
+    ch_p.add_argument("--clients", "-c", type=int, default=8)
+    ch_p.add_argument("--mds", "-m", type=int, default=None,
+                      help="cluster size (default: the chaos bench config's)")
+    ch_p.add_argument("--scale", type=float, default=0.15,
+                      help="dataset/op-count multiplier")
+    ch_p.add_argument("--out", "-o", metavar="FILE",
+                      help="write the JSON robustness report to FILE")
+    ch_p.add_argument("--trace", metavar="FILE",
+                      help="write the decision trace as JSONL to FILE")
+    ch_p.add_argument("--record", metavar="DIR",
+                      help="write the full artifact directory (plus "
+                           "chaos.json) to DIR")
+    ch_p.add_argument("--format", choices=("text", "json"), default="text")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
     fig_p.add_argument("--scale", type=float, default=1.0)
@@ -251,7 +283,7 @@ def _cmd_report(args, out) -> int:
     markdown = render_run_report(
         loaded["meta"], timeseries=loaded["timeseries"],
         events=loaded["events"], metrics=loaded["metrics"],
-        span_events=loaded["span_events"])
+        span_events=loaded["span_events"], chaos=loaded.get("chaos"))
     run_dir = pathlib.Path(args.dir)
     md_path = run_dir / "report.md"
     md_path.write_text(markdown, encoding="utf-8", newline="\n")
@@ -506,6 +538,84 @@ def _cmd_diff(args, out) -> int:
     return 1 if report["divergent"] else 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import json
+
+    from repro.chaos.schedule import ChaosError, bundled_scenarios
+    from repro.experiments.chaos import run_chaos
+
+    if args.list_scenarios:
+        from repro.chaos.schedule import load_schedule
+
+        for name, path in sorted(bundled_scenarios().items()):
+            desc = load_schedule(path).description
+            print(f"{name:12} {desc}", file=out)
+        return 0
+    if not args.scenario:
+        print("error: SCENARIO is required (or use --list)", file=sys.stderr)
+        return 2
+    try:
+        report, result, sim = run_chaos(
+            args.scenario, seed=args.seed, balancer=args.balancer,
+            workload=args.workload, n_clients=args.clients, n_mds=args.mds,
+            scale=args.scale, record_dir=args.record)
+    except (ChaosError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        sim.trace.dump_jsonl(args.trace)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8", newline="\n") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True), file=out)
+    else:
+        print(_render_chaos_report(report), file=out)
+        extras = []
+        if args.trace:
+            extras.append(f"trace: {args.trace}")
+        if args.out:
+            extras.append(f"report: {args.out}")
+        if args.record:
+            extras.append(f"artifacts: {args.record}")
+        if extras:
+            print("  wrote " + ", ".join(extras), file=out)
+    return 0
+
+
+def _render_chaos_report(report: dict) -> str:
+    from repro.experiments.report import render_kv
+
+    scn, run, score = report["scenario"], report["run"], report["score"]
+    mean_rec = score["mean_recovery_epochs"]
+    pairs = [
+        ("scenario", f"{scn['name']} (seed {scn['seed']})"),
+        ("description", scn["description"]),
+        ("workload x balancer", f"{run['workload']} x {run['balancer']}"),
+        ("MDSs / clients", f"{run['n_mds']} / {run['n_clients']}"),
+        ("epochs / finished tick", f"{run['epochs']} / {run['finished_tick']}"),
+        ("faults injected / cleared",
+         f"{report['faults_injected']} / {report['faults_cleared']}"),
+        ("mean recovery (epochs)",
+         "never" if mean_rec is None else f"{mean_rec:.2f}"),
+        ("unrecovered faults", score["unrecovered_faults"]),
+        ("aborted tasks (mds_failed)", score["aborted_tasks"]),
+        ("aborted inodes (waste)", score["aborted_inodes"]),
+        ("IF overshoot area", f"{score['if_overshoot_area']:.3f}"),
+        ("mean IF", run["mean_if"]),
+    ]
+    lines = [render_kv("Chaos robustness", pairs)]
+    if report["windows"]:
+        lines.append("  fault windows:")
+        for w in report["windows"]:
+            extra = f" x{w['factor']}" if w["kind"] == "slow" else ""
+            lines.append(f"    rank {w['rank']}: {w['kind']}{extra} "
+                         f"epochs {w['start_epoch']}-{w['end_epoch']} "
+                         f"({w['source']})")
+    return "\n".join(lines)
+
+
 def _cmd_figure(args, out) -> int:
     ids = sorted(FIGURES) if args.id == "all" else [args.id]
     for fid in ids:
@@ -519,10 +629,14 @@ def _cmd_list(out) -> int:
     print("workloads :", ", ".join(WORKLOAD_NAMES), file=out)
     print("balancers :", ", ".join(BALANCER_NAMES), file=out)
     print("figures   :", ", ".join(sorted(FIGURES)), file=out)
+    from repro.chaos.schedule import bundled_scenarios
+
+    print("scenarios :", ", ".join(sorted(bundled_scenarios())), file=out)
     print("extras    : overhead (paper §3.4 accounting), "
           "trace (decision-trace JSONL export), "
           "explain (decision-provenance chains), "
           "diff (first divergence between two runs), "
+          "chaos (fault scenarios + robustness scoring), "
           "sweep (parallel workload x balancer grids), "
           "lint (AST invariant linter)", file=out)
     return 0
@@ -568,6 +682,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_explain(args, out)
     if args.command == "diff":
         return _cmd_diff(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "lint":

@@ -301,14 +301,17 @@ class Migrator:
                     return True
         return False
 
-    def abort_rank(self, rank: int) -> int:
+    def abort_rank(self, rank: int, *, cause: int = NO_DECISION) -> int:
         """Drop every queued or in-flight task touching ``rank``.
 
         Called on MDS failure: CephFS aborts an interrupted export on
         either side's session reset (the exporter keeps authority after
         journal replay; a half-done import is rolled back), so a failed
         rank must not resume stale transfers planned from a pre-failure
-        load picture. Returns the number of tasks dropped.
+        load picture. ``cause`` is the decision id of the external event
+        that killed the rank (a ``fault_injected`` under chaos injection);
+        the aborts record it so ``repro explain`` can chain them back to
+        the fault. Returns the number of tasks dropped.
         """
         dropped = 0
         for src in list(self._queues):
@@ -316,7 +319,7 @@ class Migrator:
                          if t.src != rank and t.dst != rank)
             for t in self._queues[src]:
                 if t.src == rank or t.dst == rank:
-                    self._abort(t, AbortReason.MDS_FAILED)
+                    self._abort(t, AbortReason.MDS_FAILED, cause=cause)
                     dropped += 1
             if keep:
                 self._queues[src] = keep
@@ -327,13 +330,14 @@ class Migrator:
             for t in list(tasks):
                 if t.src == rank or t.dst == rank:
                     tasks.remove(t)
-                    self._abort(t, AbortReason.MDS_FAILED)
+                    self._abort(t, AbortReason.MDS_FAILED, cause=cause)
                     dropped += 1
             if not tasks:
                 del self._active[src]
         return dropped
 
-    def _abort(self, task: ExportTask, reason: AbortReason) -> None:
+    def _abort(self, task: ExportTask, reason: AbortReason, *,
+               cause: int = NO_DECISION) -> None:
         # Normalizing through the enum keeps the reason vocabulary closed
         # (rejects free-form strings) and the metric label set bounded.
         value = AbortReason(reason).value
@@ -344,7 +348,7 @@ class Migrator:
             self.trace.emit(MigrationAborted(
                 tick=self.clock(), src=task.src, dst=task.dst,
                 unit=encode_unit(task.unit), reason=value,
-                did=self._next_id(), parent=task.decision_id))
+                did=self._next_id(), parent=task.decision_id, cause=cause))
 
     def _commit(self, task: ExportTask) -> None:
         if self._unit_auth(task.unit) != task.src:

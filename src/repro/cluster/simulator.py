@@ -122,7 +122,7 @@ class Simulator:
 
     def __init__(self, instance: WorkloadInstance, balancer, config: SimConfig,
                  schedule: list[tuple[int, Callable[[Simulator], None]]] | None = None,
-                 ) -> None:
+                 chaos=None) -> None:
         if config.n_mds <= 0:
             raise ValueError("need at least one MDS")
         self.config = config
@@ -178,8 +178,17 @@ class Simulator:
         self.clients: list[Client] = list(instance.clients)
         self._by_cid = {c.cid: c for c in self.clients}
         self._data_busy: set[int] = set()
+        #: optional chaos controller (duck-typed: anything with ``bind``).
+        #: ``bind`` validates the fault schedule against this cluster and
+        #: returns ordinary ``(tick, fn)`` entries that merge into the
+        #: event schedule — the simulator stays ignorant of the chaos
+        #: layer's types, preserving the layer DAG.
+        entries = list(schedule or [])
+        if chaos is not None:
+            entries.extend(chaos.bind(self))
+        self.chaos = chaos
         self._schedule = sorted(
-            _ScheduledEvent(t, i, fn) for i, (t, fn) in enumerate(schedule or [])
+            _ScheduledEvent(t, i, fn) for i, (t, fn) in enumerate(entries)
         )
         self._schedule_pos = 0
         self.tick = 0
@@ -229,12 +238,14 @@ class Simulator:
             self.clients.append(c)
             self._by_cid[c.cid] = c
 
-    def fail_mds(self, rank: int) -> None:
+    def fail_mds(self, rank: int, *, cause: int = NO_DECISION) -> None:
         """Failure injection: the rank stops serving (clients queue on it).
 
         In CephFS a standby daemon eventually replays the journal and takes
         over the failed rank; model that with a later :meth:`recover_mds`.
         Subtree authority is rank-based, so it survives the failover.
+        ``cause`` is an optional decision id (the ``fault_injected`` event
+        under chaos injection) threaded onto the resulting aborts.
         """
         if not 0 <= rank < len(self.mdss):
             raise ValueError(f"no MDS with rank {rank}")
@@ -245,7 +256,7 @@ class Simulator:
         # half-done import on session reset and the replayed exporter does
         # not resume pre-failure plans, so letting these tasks finish later
         # would hand one subtree to two ranks' accounting.
-        self.migrator.abort_rank(rank)
+        self.migrator.abort_rank(rank, cause=cause)
 
     def recover_mds(self, rank: int) -> None:
         """A standby took over ``rank``; it serves again from the next tick."""

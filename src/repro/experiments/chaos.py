@@ -1,0 +1,137 @@
+"""`repro chaos`: run a fault scenario and score the balancer's recovery.
+
+Glue between the chaos engine (:mod:`repro.chaos`) and the experiment
+stack: resolve a scenario reference (a path, or the name of a bundled
+file under ``repro/chaos/scenarios/``), run the workload with a bound
+:class:`~repro.chaos.ChaosController`, score the disturbed run and build
+the deterministic JSON robustness report the CLI prints, the CI
+chaos-smoke job validates and ``bench_chaos_robustness.py`` aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.chaos import ChaosController, load_schedule
+from repro.chaos.schedule import SCENARIO_DIR, ScheduleError, bundled_scenarios
+from repro.chaos.score import score_run
+from repro.cluster.simulator import SimConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.recording import CHAOS_ARTIFACT, write_run_artifacts
+from repro.experiments.runner import run_traced
+
+__all__ = ["CHAOS_SIM_CONFIG", "CHAOS_REPORT_SCHEMA", "resolve_scenario",
+           "run_chaos", "chaos_report"]
+
+#: the chaos bench cluster: small enough to rerun in seconds, with a
+#: migration rate slow enough that multi-epoch fault windows reliably
+#: catch exports mid-flight (the failure paths this engine exists to test)
+CHAOS_SIM_CONFIG = SimConfig(n_mds=3, mds_capacity=60.0, epoch_len=5,
+                             max_ticks=6000, migration_rate=20, seed=0)
+
+#: bumped whenever the robustness-report JSON shape changes
+CHAOS_REPORT_SCHEMA = 1
+
+
+def resolve_scenario(ref: str | os.PathLike) -> pathlib.Path:
+    """A scenario path, or the name/stem of a bundled scenario file.
+
+    Resolution order: the literal path if it exists, then the bundled
+    directory by basename and by stem — so ``repro chaos
+    scenarios/flap.toml``, ``repro chaos flap.toml`` and ``repro chaos
+    flap`` all find the shipped file from any working directory.
+    """
+    path = pathlib.Path(ref)
+    if path.is_file():
+        return path
+    candidates = [SCENARIO_DIR / path.name]
+    if not path.suffix:
+        candidates.append(SCENARIO_DIR / f"{path.name}.toml")
+    for cand in candidates:
+        if cand.is_file():
+            return cand
+    known = ", ".join(sorted(bundled_scenarios())) or "none"
+    raise ScheduleError(
+        f"no scenario file at {ref!r} and no bundled scenario of that "
+        f"name (bundled: {known})")
+
+
+def run_chaos(scenario: str | os.PathLike, *, seed: int = 0,
+              balancer: str = "lunule", workload: str = "mdtest",
+              n_clients: int = 8, n_mds: int | None = None,
+              scale: float = 0.15,
+              record_dir: str | os.PathLike | None = None):
+    """Run one chaos scenario; returns ``(report, result, sim)``.
+
+    ``seed`` seeds both the experiment (workload draws) and the
+    schedule's stochastic events, so one integer pins the entire run.
+    ``record_dir`` additionally writes the standard artifact directory
+    plus ``chaos.json`` (the robustness report) into it.
+    """
+    path = resolve_scenario(scenario)
+    schedule = load_schedule(path)
+    controller = ChaosController(schedule, seed=seed)
+    sim_cfg = CHAOS_SIM_CONFIG.with_(seed=seed, record=record_dir is not None)
+    if n_mds is not None:
+        sim_cfg = sim_cfg.with_(n_mds=n_mds)
+    cfg = ExperimentConfig(workload=workload, balancer=balancer,
+                           n_clients=n_clients, seed=seed, scale=scale,
+                           sim=sim_cfg)
+    result, sim = run_traced(cfg, chaos=controller)
+    report = chaos_report(schedule, controller, cfg, result, sim,
+                          scenario_path=path, seed=seed)
+    if record_dir is not None:
+        write_run_artifacts(record_dir, sim, result,
+                            extra_meta={"seed": seed, "scenario": schedule.name})
+        out = pathlib.Path(record_dir) / CHAOS_ARTIFACT
+        with open(out, "w", encoding="utf-8", newline="\n") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report, result, sim
+
+
+def chaos_report(schedule, controller, cfg, result, sim, *,
+                 scenario_path=None, seed: int = 0) -> dict:
+    """The deterministic JSON robustness report of one chaos run."""
+    score = score_run(result.if_series, controller.windows, list(sim.trace))
+    counts = sim.trace.counts()
+    return {
+        "schema": CHAOS_REPORT_SCHEMA,
+        "scenario": {
+            "name": schedule.name,
+            "description": schedule.description,
+            "file": scenario_path.name if scenario_path is not None else None,
+            "seed": seed,
+            "events": len(schedule.events),
+        },
+        "run": {
+            "workload": result.workload,
+            "balancer": result.balancer,
+            "n_mds": sim.n_mds,
+            "n_clients": cfg.n_clients,
+            "scale": cfg.scale,
+            "epochs": len(result.if_series),
+            "finished_tick": result.finished_tick,
+            "mean_if": round(sum(result.if_series)
+                             / max(1, len(result.if_series)), 6),
+            "committed_tasks": result.committed_tasks,
+            "aborted_tasks": result.aborted_tasks,
+        },
+        "faults_injected": controller.faults_injected,
+        "faults_cleared": controller.faults_cleared,
+        "windows": [
+            {"rank": w.rank, "kind": w.kind, "factor": w.factor,
+             "start_epoch": w.start_epoch, "end_epoch": w.end_epoch,
+             "source": w.source}
+            for w in controller.windows
+        ],
+        "trace": {
+            "fault_injected": counts.get("fault_injected", 0),
+            "fault_cleared": counts.get("fault_cleared", 0),
+            "mds_failed": counts.get("mds_failed", 0),
+            "migration_aborted": counts.get("migration_aborted", 0),
+        },
+        "score": score.to_dict(),
+    }

@@ -28,7 +28,8 @@ from repro.obs.prom import write_textfile
 from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracelog import read_jsonl
 
-__all__ = ["ARTIFACT_FILES", "write_run_artifacts", "load_run_artifacts"]
+__all__ = ["ARTIFACT_FILES", "CHAOS_ARTIFACT", "write_run_artifacts",
+           "load_run_artifacts"]
 
 ARTIFACT_FILES = {
     "meta": "run.json",
@@ -39,6 +40,10 @@ ARTIFACT_FILES = {
     "metrics_prom": "metrics.prom",
     "spans": "spans.perfetto.json",
 }
+
+#: optional extra artifact a ``repro chaos --record`` run adds: the JSON
+#: robustness report (scenario, fault windows, score)
+CHAOS_ARTIFACT = "chaos.json"
 
 
 def write_run_artifacts(dirpath: str | os.PathLike, sim, result,
@@ -117,5 +122,11 @@ def load_run_artifacts(dirpath: str | os.PathLike) -> dict:
         with open(spans_path, encoding="utf-8") as fh:
             span_events = json.load(fh).get("traceEvents", [])
 
+    chaos = None
+    chaos_path = src / CHAOS_ARTIFACT
+    if chaos_path.exists():
+        with open(chaos_path, encoding="utf-8") as fh:
+            chaos = json.load(fh)
+
     return {"meta": meta, "timeseries": timeseries, "events": events,
-            "metrics": metrics, "span_events": span_events}
+            "metrics": metrics, "span_events": span_events, "chaos": chaos}

@@ -32,12 +32,15 @@ def run_experiment(cfg: ExperimentConfig, *,
 def run_traced(cfg: ExperimentConfig, *,
                schedule: list[tuple[int, Callable]] | None = None,
                balancer_kwargs: dict | None = None,
-               trace_path: str | os.PathLike | None = None):
+               trace_path: str | os.PathLike | None = None,
+               chaos=None):
     """Like :func:`run_experiment` but returns ``(result, simulator)`` so
     callers can inspect the decision trace and metrics registry.
 
     Balancer kwargs come from ``cfg.balancer_kwargs`` merged with the
     ``balancer_kwargs`` argument (the argument wins on conflicts).
+    ``chaos`` is an optional :class:`~repro.chaos.ChaosController` bound
+    onto the simulator's event schedule (fault injection).
     """
     sim_cfg = cfg.sim
     if cfg.data_path and not sim_cfg.data_path:
@@ -45,7 +48,8 @@ def run_traced(cfg: ExperimentConfig, *,
     instance = cfg.build_workload().materialize(seed=cfg.seed)
     kwargs = {**(cfg.balancer_kwargs or {}), **(balancer_kwargs or {})}
     balancer = make_balancer(cfg.balancer, **kwargs)
-    sim = Simulator(instance, balancer, sim_cfg, schedule=schedule)
+    sim = Simulator(instance, balancer, sim_cfg, schedule=schedule,
+                    chaos=chaos)
     result = sim.run()
     if trace_path is not None:
         sim.trace.dump_jsonl(trace_path)

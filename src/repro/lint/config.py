@@ -59,9 +59,14 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     }),
     "balancers": frozenset({"util", "namespace", "obs", "core"}),
     "cluster": frozenset({"util", "namespace", "obs", "core", "workloads"}),
+    #: fault injection: pure schedules + a controller that drives the
+    #: simulator through its public seams via duck typing — it declares
+    #: no dependency on ``cluster`` (the simulator binds the controller,
+    #: never the reverse)
+    "chaos": frozenset({"util", "obs"}),
     "experiments": frozenset({
         "util", "namespace", "obs", "core", "balancers", "cluster",
-        "workloads",
+        "workloads", "chaos",
     }),
     #: the linter itself: engine/rules plus the runtime schema hooks it
     #: cross-checks (obs.prom's metric-name grammar)
@@ -73,7 +78,7 @@ ROOT_MODULES = frozenset({"repro", "repro.cli", "repro.__main__"})
 
 #: packages whose code must be deterministic: no wall clock, no global
 #: RNG, no per-process ``hash()`` — a fixed seed must replay byte-for-byte
-DETERMINISM_PACKAGES = ("core", "balancers", "obs")
+DETERMINISM_PACKAGES = ("core", "balancers", "obs", "chaos")
 
 #: packages whose modules produce (or feed) an EpochPlan: iteration order
 #: here becomes migration order, so unordered containers are forbidden

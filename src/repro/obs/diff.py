@@ -33,6 +33,7 @@ def signature(event: TraceEvent) -> dict:
     d = event_to_dict(event)
     d.pop("did", None)
     d.pop("parent", None)
+    d.pop("cause", None)  # also an allocation-order id, not meaning
     return d
 
 

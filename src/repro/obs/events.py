@@ -49,8 +49,11 @@ __all__ = [
     "MigrationAborted",
     "MdsFailed",
     "MdsRecovered",
+    "FaultInjected",
+    "FaultCleared",
     "AbortReason",
     "SKIP_REASONS",
+    "FAULT_KINDS",
     "DecisionIds",
     "NO_DECISION",
     "EVENT_TYPES",
@@ -110,6 +113,11 @@ class AbortReason(str, enum.Enum):
 #: why an initiator declined to act this epoch (``EpochSkipped.reason``)
 SKIP_REASONS = frozenset({"if_below_threshold", "urgency_low", "no_exporters"})
 
+#: the closed vocabulary of injectable fault kinds (``FaultInjected.kind``):
+#: ``fail`` stops a rank outright (standby takeover on clear), ``slow``
+#: degrades its capacity by a factor until cleared
+FAULT_KINDS = frozenset({"fail", "slow"})
+
 
 def encode_unit(unit: int | FragId) -> int | str:
     """JSON-safe form of an export unit (dir id or dirfrag)."""
@@ -129,9 +137,18 @@ def decode_unit(raw: int | str) -> int | FragId:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """Base class: every event knows its type tag and serializes itself."""
+    """Base class: every event knows its type tag and serializes itself.
+
+    ``omit_at_default`` names fields dropped from the wire format while
+    they hold their dataclass default — the mechanism that lets an event
+    type grow an optional provenance annotation (e.g.
+    :attr:`MigrationAborted.cause`) without changing a single byte of
+    traces that never use it. ``event_from_dict`` restores the default on
+    read, so the round trip stays lossless.
+    """
 
     etype: ClassVar[str] = "event"
+    omit_at_default: ClassVar[frozenset[str]] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -256,6 +273,13 @@ class MigrationAborted(TraceEvent):
     """An export task was dropped before authority flipped."""
 
     etype: ClassVar[str] = "migration_aborted"
+    #: ``cause`` is the external decision that forced the abort — for
+    #: ``mds_failed`` aborts under chaos injection, the ``did`` of the
+    #: FaultInjected that killed the rank. It is provenance *across* the
+    #: policy chain (``parent`` still points at the MigrationPlanned), and
+    #: is omitted from the wire format when absent so fault-free traces
+    #: stay byte-identical.
+    omit_at_default: ClassVar[frozenset[str]] = frozenset({"cause"})
     tick: int
     src: int
     dst: int
@@ -263,6 +287,7 @@ class MigrationAborted(TraceEvent):
     reason: str  # an AbortReason value
     did: int = NO_DECISION
     parent: int = NO_DECISION  # the MigrationPlanned that started the task
+    cause: int = NO_DECISION  # the FaultInjected (or other root) to blame
 
     def __post_init__(self) -> None:
         # Normalize enum members to their value and reject free-form
@@ -285,12 +310,62 @@ class MdsRecovered(TraceEvent):
     rank: int
 
 
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The chaos controller applied a scheduled fault to ``rank``.
+
+    ``kind`` is one of :data:`FAULT_KINDS`; ``factor`` is the capacity
+    multiplier for ``slow`` faults (1.0 for ``fail``, where it carries no
+    information). The event's ``did`` is the provenance root of the fault:
+    the matching :class:`FaultCleared` parents to it, and any
+    ``mds_failed`` abort caused by the fault records it as ``cause``.
+    """
+
+    etype: ClassVar[str] = "fault_injected"
+    epoch: int
+    tick: int
+    kind: str
+    rank: int
+    factor: float = 1.0
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}")
+
+
+@dataclass(frozen=True)
+class FaultCleared(TraceEvent):
+    """A previously injected fault on ``rank`` was reverted.
+
+    ``parent`` is the ``did`` of the :class:`FaultInjected` being cleared,
+    closing the fault window in the provenance DAG.
+    """
+
+    etype: ClassVar[str] = "fault_cleared"
+    epoch: int
+    tick: int
+    kind: str
+    rank: int
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}")
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.etype: cls
     for cls in (
         EpochStart, IfComputed, EpochSkipped, RoleAssigned, SubtreeSelected,
         MigrationPlanned, MigrationCommitted, MigrationAborted,
-        MdsFailed, MdsRecovered,
+        MdsFailed, MdsRecovered, FaultInjected, FaultCleared,
     )
 }
 
@@ -306,7 +381,13 @@ def declared_event_types() -> frozenset[str]:
 
 
 def event_to_dict(event: TraceEvent) -> dict:
-    return {"e": event.etype, **asdict(event)}
+    d = {"e": event.etype, **asdict(event)}
+    omit = type(event).omit_at_default
+    if omit:
+        for f in fields(event):
+            if f.name in omit and d.get(f.name) == f.default:
+                del d[f.name]
+    return d
 
 
 def event_from_dict(data: dict) -> TraceEvent:

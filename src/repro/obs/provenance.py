@@ -71,6 +71,12 @@ class ProvenanceGraph:
             parent = getattr(e, "parent", NO_DECISION)
             if parent != NO_DECISION:
                 self.children.setdefault(parent, []).append(did)
+            # ``cause`` is cross-chain provenance (e.g. a fault_injected
+            # forcing a migration_aborted): a second in-edge, so the
+            # fault's descendants include everything it killed
+            cause = getattr(e, "cause", NO_DECISION)
+            if cause != NO_DECISION:
+                self.children.setdefault(cause, []).append(did)
         #: epoch_start boundaries for tick->epoch attribution (same rule
         #: as :func:`repro.obs.tracelog.filter_events`)
         self._boundaries: list[tuple[int, int]] = [
@@ -209,7 +215,16 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
                 continue
             chain = graph.chain(did)
             end = graph.outcome(did)
-            full = list(chain.events) + ([end] if end is not None else [])
+            # A forced abort (fault injection) carries a ``cause`` link to
+            # the external decision that killed the task; splice the
+            # cause's own chain in before the abort so the rendered chain
+            # terminates the story: ...planned -> fault_injected -> aborted.
+            cause_events: list[TraceEvent] = []
+            cause_did = getattr(end, "cause", NO_DECISION)
+            if cause_did != NO_DECISION and cause_did in graph:
+                cause_events = list(graph.chain(cause_did).events)
+            full = (list(chain.events) + cause_events
+                    + ([end] if end is not None else []))
             bucket(k)["migrations"].append({
                 "did": did,
                 "src": node.src,  # type: ignore[attr-defined]
@@ -218,6 +233,8 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
                 "outcome": end.etype.removeprefix("migration_")
                 if end is not None else "pending",
                 "reason": getattr(end, "reason", None),
+                "cause": (event_to_dict(cause_events[-1])
+                          if cause_events else None),
                 "truncated": chain.truncated,
                 "chain": [event_to_dict(e) for e in full],
             })
@@ -262,8 +279,18 @@ def format_event(d: dict) -> str:
         return (f"migration_committed[{d['did']}] unit {d['unit']} "
                 f"{d['src']} -> {d['dst']} inodes={d['inodes']} tick={d['tick']}")
     if e == "migration_aborted":
+        caused = (f" cause={d['cause']}"
+                  if d.get("cause", NO_DECISION) != NO_DECISION else "")
         return (f"migration_aborted[{d['did']}] unit {d['unit']} "
-                f"{d['src']} -> {d['dst']} reason={d['reason']} tick={d['tick']}")
+                f"{d['src']} -> {d['dst']} reason={d['reason']} "
+                f"tick={d['tick']}{caused}")
+    if e == "fault_injected":
+        factor = f" factor={d['factor']}" if d["kind"] == "slow" else ""
+        return (f"fault_injected[{d['did']}] kind={d['kind']} "
+                f"rank {d['rank']} epoch={d['epoch']}{factor}")
+    if e == "fault_cleared":
+        return (f"fault_cleared[{d['did']}] kind={d['kind']} "
+                f"rank {d['rank']} epoch={d['epoch']}")
     return f"{e}[{d.get('did', '?')}]"
 
 

@@ -187,6 +187,48 @@ def _section_phases(span_events: list, clock: str) -> list[str]:
     return lines
 
 
+def _section_chaos(chaos: dict) -> list[str]:
+    """Robustness summary of a chaos run (see ``repro.chaos.score``)."""
+    if not chaos:
+        return []
+    score = chaos.get("score", {})
+    lines = ["## Chaos robustness", ""]
+    scenario = chaos.get("scenario", {})
+    if scenario:
+        what = scenario.get("name", "?")
+        desc = scenario.get("description", "")
+        lines.append(f"Scenario **{what}**"
+                     + (f" — {desc}" if desc else "")
+                     + f" (seed {scenario.get('seed', '?')})")
+        lines.append("")
+    mean_rec = score.get("mean_recovery_epochs")
+    lines += _md_table(["metric", "value"], [
+        ["faults injected", chaos.get("faults_injected",
+                                      len(score.get("faults", [])))],
+        ["mean recovery (epochs)",
+         "never" if mean_rec is None else mean_rec],
+        ["unrecovered faults", score.get("unrecovered_faults", 0)],
+        ["aborted tasks (mds_failed)", score.get("aborted_tasks", 0)],
+        ["aborted inodes (waste)", score.get("aborted_inodes", 0)],
+        ["IF overshoot area", score.get("if_overshoot_area", 0.0)],
+    ])
+    lines.append("")
+    faults = score.get("faults", [])
+    if faults:
+        lines.append("### Fault windows")
+        lines.append("")
+        lines += _md_table(
+            ["rank", "kind", "epochs", "baseline IF", "band", "recovery"],
+            [[f["rank"], f["kind"],
+              f"{f['start_epoch']}–{f['end_epoch']}",
+              f["baseline_if"], f["band"],
+              "never" if f["recovery_epochs"] is None
+              else f"{f['recovery_epochs']} ep"]
+             for f in faults])
+        lines.append("")
+    return lines
+
+
 def _section_metrics(metrics: dict) -> list[str]:
     if not metrics:
         return []
@@ -235,17 +277,20 @@ def _section_metrics(metrics: dict) -> list[str]:
 def render_run_report(meta: dict, *, timeseries: dict | None = None,
                       events: list | None = None,
                       metrics: dict | None = None,
-                      span_events: list | None = None) -> str:
+                      span_events: list | None = None,
+                      chaos: dict | None = None) -> str:
     """One recorded run as a self-contained Markdown document.
 
     Every input is optional — sections render only from what is present,
     so partial artifact sets (e.g. a trace without a recorder) still get
-    a useful report.
+    a useful report. ``chaos`` is the robustness report of a ``repro
+    chaos`` run (``chaos.json`` in its artifact directory).
     """
     lines: list[str] = []
     lines += _section_header(meta or {})
     lines += _section_if(timeseries or {})
     lines += _section_per_mds(timeseries or {})
+    lines += _section_chaos(chaos or {})
     lines += _section_migration(events or [])
     lines += _section_phases(span_events or [],
                              (meta or {}).get("clock", "logical"))

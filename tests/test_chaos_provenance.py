@@ -1,0 +1,97 @@
+"""Chaos provenance: fault -> abort causal chains and diff-vs-twin forks.
+
+For every bundled scenario this pins the two observability promises the
+chaos engine makes: ``repro explain`` terminates each
+``migration_aborted(reason=mds_failed)`` chain at a ``fault_injected``
+ancestor, and ``repro diff`` between a chaos run and its fault-free twin
+(same workload, balancer, seed and cluster) reports the first divergence
+in the first fault's epoch — the run forked exactly when the cluster got
+hurt, not before.
+"""
+
+import pytest
+
+from repro.chaos.schedule import bundled_scenarios
+from repro.experiments.chaos import CHAOS_SIM_CONFIG, run_chaos
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_traced
+from repro.obs.diff import diff_traces
+from repro.obs.provenance import explain, format_event
+
+SCENARIOS = sorted(bundled_scenarios())
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """scenario -> (report, chaos sim, fault-free twin sim), one seed."""
+    out = {}
+    for name in SCENARIOS:
+        report, _, sim = run_chaos(name, seed=SEED)
+        cfg = ExperimentConfig(workload="mdtest", balancer="lunule",
+                               n_clients=8, seed=SEED, scale=0.15,
+                               sim=CHAOS_SIM_CONFIG.with_(seed=SEED))
+        _, twin = run_traced(cfg)
+        out[name] = (report, sim, twin)
+    return out
+
+
+def forced_aborts(sim):
+    report = explain(list(sim.trace))
+    return [m for b in report["epochs"] for m in b["migrations"]
+            if m["outcome"] == "aborted" and m["reason"] == "mds_failed"]
+
+
+class TestExplainChains:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_forced_abort_chains_end_at_fault(self, runs, name):
+        _, sim, _ = runs[name]
+        for m in forced_aborts(sim):
+            assert m["cause"] is not None
+            assert m["cause"]["e"] == "fault_injected"
+            chain = [d["e"] for d in m["chain"]]
+            assert chain[0] == "if_computed"
+            assert chain[-1] == "migration_aborted"
+            assert chain[-2] == "fault_injected"
+
+    def test_fault_paths_actually_exercised(self, runs):
+        # brownout only slows ranks (no aborts by design); every
+        # fail-kind scenario must catch at least one export mid-flight,
+        # otherwise the chain assertions above are vacuous
+        exercised = [n for n in SCENARIOS
+                     if n != "brownout" and forced_aborts(runs[n][1])]
+        assert exercised, "no scenario produced a fault-caused abort"
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_twin_is_fault_free(self, runs, name):
+        _, _, twin = runs[name]
+        counts = twin.trace.counts()
+        assert "fault_injected" not in counts
+        assert "fault_cleared" not in counts
+
+    def test_format_event_renders_fault_chain(self, runs):
+        _, sim, _ = runs["flap"]
+        aborts = forced_aborts(sim)
+        assert aborts
+        lines = [format_event(d) for d in aborts[0]["chain"]]
+        assert any(l.startswith("fault_injected") for l in lines)
+        assert any("cause=" in l for l in lines
+                   if l.startswith("migration_aborted"))
+
+
+class TestDiffVsTwin:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_first_divergence_is_first_fault(self, runs, name):
+        report, sim, twin = runs[name]
+        d = diff_traces(list(twin.trace), list(sim.trace))
+        assert d["divergent"]
+        first_fault = min(w["start_epoch"] for w in report["windows"])
+        fd = d["first_divergence"]
+        assert fd["epoch"] == first_fault
+        # the divergent event on the chaos side is the injection itself
+        assert fd["b"]["e"] == "fault_injected"
+
+    def test_twin_agrees_with_itself(self, runs):
+        _, _, twin = runs["flap"]
+        d = diff_traces(list(twin.trace), list(twin.trace))
+        assert not d["divergent"]

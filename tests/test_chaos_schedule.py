@@ -1,0 +1,328 @@
+"""Chaos schedule DSL: event validation, expansion, loaders, determinism.
+
+Pins the contract of ``repro.chaos.schedule``: malformed events raise
+typed errors (all ``ScheduleError`` subclasses, themselves ValueErrors),
+expansion is a pure function of ``(schedule, n_mds, seed)``, and the
+TOML-subset fallback parser agrees with ``tomllib`` on every bundled
+scenario file.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.schedule import (
+    ChaosError,
+    ChaosSchedule,
+    CorrelatedFailure,
+    EpochRangeError,
+    FailMds,
+    FaultWindow,
+    FlapMds,
+    OverlapError,
+    RandomFailures,
+    ScheduleError,
+    SlowMds,
+    UnknownRankError,
+    _parse_toml_subset,
+    bundled_scenarios,
+    load_schedule,
+    loads_toml,
+    schedule_from_dict,
+)
+
+
+class TestEventValidation:
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(EpochRangeError):
+            FailMds(rank=0, at_epoch=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(EpochRangeError):
+            FailMds(rank=0, at_epoch=3, duration=0)
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, -0.5, 2.0])
+    def test_slow_factor_must_be_fractional(self, factor):
+        with pytest.raises(ScheduleError):
+            SlowMds(rank=1, at_epoch=2, factor=factor)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cycles": 0}, {"down": 0}, {"up": 0}, {"at_epoch": -3},
+    ])
+    def test_flap_timing_rejected(self, kwargs):
+        base = {"rank": 0, "at_epoch": 2, "cycles": 2, "down": 1, "up": 1}
+        with pytest.raises(EpochRangeError):
+            FlapMds(**{**base, **kwargs})
+
+    def test_correlated_needs_ranks(self):
+        with pytest.raises(ScheduleError):
+            CorrelatedFailure(ranks=(), at_epoch=2)
+
+    def test_correlated_rejects_duplicates(self):
+        with pytest.raises(ScheduleError):
+            CorrelatedFailure(ranks=(1, 2, 1), at_epoch=2)
+
+    def test_random_inverted_range_rejected(self):
+        with pytest.raises(EpochRangeError):
+            RandomFailures(count=1, start_epoch=5, end_epoch=5)
+
+    def test_random_zero_count_rejected(self):
+        with pytest.raises(EpochRangeError):
+            RandomFailures(count=0, start_epoch=0, end_epoch=10)
+
+    def test_typed_errors_are_value_errors(self):
+        # callers can catch ValueError without importing the chaos layer
+        for exc in (ScheduleError, UnknownRankError, OverlapError,
+                    EpochRangeError):
+            assert issubclass(exc, ValueError)
+            assert issubclass(exc, ChaosError)
+
+
+class TestFaultWindow:
+    def test_overlap_is_symmetric(self):
+        a = FaultWindow(2, 5, 0, "fail")
+        b = FaultWindow(4, 6, 0, "fail")
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_different_ranks_never_overlap(self):
+        a = FaultWindow(2, 5, 0, "fail")
+        b = FaultWindow(2, 5, 1, "fail")
+        assert not a.overlaps(b)
+
+    def test_touching_intervals_do_not_overlap(self):
+        # [2, 4) then [4, 6): recover and re-fail in adjacent epochs
+        a = FaultWindow(2, 4, 0, "fail")
+        b = FaultWindow(4, 6, 0, "fail")
+        assert not a.overlaps(b)
+
+
+def expand(events, n_mds=3, seed=0, name="t"):
+    return ChaosSchedule(name=name, events=tuple(events)).expand(n_mds, seed)
+
+
+class TestExpand:
+    def test_fail_window_interval(self):
+        (w,) = expand([FailMds(rank=1, at_epoch=4, duration=3)])
+        assert (w.start_epoch, w.end_epoch, w.rank, w.kind) == (4, 7, 1, "fail")
+
+    def test_slow_window_carries_factor(self):
+        (w,) = expand([SlowMds(rank=2, at_epoch=1, duration=2, factor=0.25)])
+        assert w.kind == "slow" and w.factor == 0.25
+
+    def test_flap_expands_to_spaced_cycles(self):
+        ws = expand([FlapMds(rank=0, at_epoch=2, cycles=3, down=1, up=2)])
+        assert [(w.start_epoch, w.end_epoch) for w in ws] == [
+            (2, 3), (5, 6), (8, 9)]
+        assert all(w.kind == "fail" and w.rank == 0 for w in ws)
+
+    def test_correlated_expands_per_rank(self):
+        ws = expand([CorrelatedFailure(ranks=(0, 2), at_epoch=5, duration=2)])
+        assert [(w.rank, w.start_epoch, w.end_epoch) for w in ws] == [
+            (0, 5, 7), (2, 5, 7)]
+
+    def test_unknown_rank_rejected(self):
+        with pytest.raises(UnknownRankError):
+            expand([FailMds(rank=5, at_epoch=2)], n_mds=3)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(OverlapError):
+            expand([FailMds(rank=1, at_epoch=2, duration=3),
+                    SlowMds(rank=1, at_epoch=4, duration=2)])
+
+    def test_adjacent_windows_allowed(self):
+        ws = expand([FailMds(rank=1, at_epoch=2, duration=2),
+                     SlowMds(rank=1, at_epoch=4, duration=2)])
+        assert len(ws) == 2
+
+    def test_windows_sorted_by_start(self):
+        ws = expand([FailMds(rank=2, at_epoch=9), FailMds(rank=0, at_epoch=1)])
+        assert ws == sorted(ws)
+
+    def test_bad_cluster_size_rejected(self):
+        with pytest.raises(ScheduleError):
+            expand([FailMds(rank=0, at_epoch=1)], n_mds=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ScheduleError):
+            ChaosSchedule(name="", events=(FailMds(rank=0, at_epoch=1),))
+
+
+class TestRandomFailures:
+    def schedule(self, **kwargs):
+        defaults = dict(count=3, start_epoch=0, end_epoch=30, duration=1)
+        return ChaosSchedule(name="storm-t",
+                             events=(RandomFailures(**{**defaults, **kwargs}),))
+
+    def test_same_seed_same_windows(self):
+        s = self.schedule()
+        assert s.expand(3, seed=7) == s.expand(3, seed=7)
+
+    def test_seed_override_beats_schedule_seed(self):
+        s = ChaosSchedule(name="storm-t", seed=1,
+                          events=(RandomFailures(3, 0, 30),))
+        assert s.expand(3, seed=None) == s.expand(3, seed=1)
+
+    def test_ranks_pool_respected(self):
+        ws = self.schedule(ranks=(1,)).expand(3, seed=0)
+        assert all(w.rank == 1 for w in ws)
+
+    def test_crowded_range_fails_loudly(self):
+        # 5 one-epoch failures on a single rank over 2 epochs cannot fit
+        with pytest.raises(OverlapError):
+            self.schedule(count=5, end_epoch=2, ranks=(0,)).expand(3, seed=0)
+
+    @given(count=st.integers(1, 4), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_is_pure_and_in_range(self, count, seed):
+        s = self.schedule(count=count)
+        ws = s.expand(3, seed=seed)
+        assert ws == s.expand(3, seed=seed)
+        assert len(ws) == count
+        for w in ws:
+            assert 0 <= w.start_epoch < 30
+            assert 0 <= w.rank < 3
+        for a in ws:
+            assert sum(a.overlaps(b) for b in ws) == 1  # only itself
+
+
+@st.composite
+def disjoint_events(draw):
+    """Valid schedules: per-rank windows separated by at least one epoch."""
+    events = []
+    for rank in range(3):
+        epoch = draw(st.integers(0, 3))
+        for _ in range(draw(st.integers(0, 2))):
+            dur = draw(st.integers(1, 3))
+            if draw(st.booleans()):
+                events.append(FailMds(rank=rank, at_epoch=epoch, duration=dur))
+            else:
+                factor = draw(st.floats(0.1, 0.9, allow_nan=False))
+                events.append(SlowMds(rank=rank, at_epoch=epoch,
+                                      duration=dur, factor=factor))
+            epoch += dur + draw(st.integers(1, 3))
+    if not events:
+        events.append(FailMds(rank=0, at_epoch=draw(st.integers(0, 5))))
+    return tuple(events)
+
+
+class TestExpandProperties:
+    @given(events=disjoint_events(), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_expand_deterministic_and_overlap_free(self, events, seed):
+        s = ChaosSchedule(name="prop", events=events)
+        ws = s.expand(3, seed=seed)
+        assert ws == s.expand(3, seed=seed)
+        assert ws == sorted(ws)
+        assert len(ws) == len(events)
+        for i, a in enumerate(ws):
+            for b in ws[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestFromDict:
+    def good(self):
+        return {"name": "x", "events": [
+            {"kind": "fail_mds", "rank": 0, "at_epoch": 2}]}
+
+    def test_round_trip(self):
+        s = schedule_from_dict(self.good())
+        assert s.name == "x" and s.events == (FailMds(rank=0, at_epoch=2),)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown schedule keys"):
+            schedule_from_dict({**self.good(), "epoch_len": 5})
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(ScheduleError, match="non-empty"):
+            schedule_from_dict({"name": "x", "events": []})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown event kind"):
+            schedule_from_dict({"name": "x", "events": [
+                {"kind": "nuke_mds", "rank": 0, "at_epoch": 1}]})
+
+    def test_bad_event_field_rejected(self):
+        with pytest.raises(ScheduleError, match="fail_mds"):
+            schedule_from_dict({"name": "x", "events": [
+                {"kind": "fail_mds", "rank": 0, "at_epoch": 1, "blast": 9}]})
+
+    def test_non_table_event_rejected(self):
+        with pytest.raises(ScheduleError, match="must be a table"):
+            schedule_from_dict({"name": "x", "events": ["fail_mds"]})
+
+    def test_ranks_list_becomes_tuple(self):
+        s = schedule_from_dict({"name": "x", "events": [
+            {"kind": "correlated_failure", "ranks": [1, 2], "at_epoch": 3}]})
+        assert s.events[0].ranks == (1, 2)
+
+
+class TestTomlSubset:
+    def test_fallback_agrees_with_tomllib_on_bundled(self):
+        tomllib = pytest.importorskip("tomllib")
+        for path in bundled_scenarios().values():
+            text = path.read_text(encoding="utf-8")
+            assert _parse_toml_subset(text) == tomllib.loads(text)
+
+    def test_value_types(self):
+        doc = _parse_toml_subset(
+            'name = "brown"  # comment\n'
+            "seed = 4\n"
+            "scale = 0.25\n"
+            "armed = true\n"
+            "[[events]]\n"
+            "ranks = [1, 2]\n")
+        assert doc == {"name": "brown", "seed": 4, "scale": 0.25,
+                       "armed": True, "events": [{"ranks": [1, 2]}]}
+
+    def test_plain_table_rejected(self):
+        with pytest.raises(ScheduleError, match="not supported"):
+            _parse_toml_subset("[cluster]\nn_mds = 3\n")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ScheduleError, match="key = value"):
+            _parse_toml_subset("name\n")
+
+    def test_garbage_value_rejected(self):
+        with pytest.raises(ScheduleError, match="cannot parse"):
+            _parse_toml_subset("seed = {oops}\n")
+
+    def test_loads_toml_parses_minimal_schedule(self):
+        doc = loads_toml('name = "t"\n[[events]]\nkind = "fail_mds"\n'
+                         "rank = 0\nat_epoch = 2\n")
+        s = schedule_from_dict(doc)
+        assert s.events == (FailMds(rank=0, at_epoch=2),)
+
+
+class TestLoadSchedule:
+    def test_json_schedule(self, tmp_path):
+        p = tmp_path / "s.json"
+        p.write_text(json.dumps({"name": "j", "events": [
+            {"kind": "slow_mds", "rank": 1, "at_epoch": 2, "factor": 0.5}]}))
+        s = load_schedule(p)
+        assert s.events == (SlowMds(rank=1, at_epoch=2, factor=0.5),)
+
+    def test_invalid_json_is_schedule_error(self, tmp_path):
+        p = tmp_path / "s.json"
+        p.write_text("{nope")
+        with pytest.raises(ScheduleError, match="invalid JSON"):
+            load_schedule(p)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        p = tmp_path / "s.yaml"
+        p.write_text("name: x\n")
+        with pytest.raises(ScheduleError, match="unknown schedule format"):
+            load_schedule(p)
+
+    def test_missing_name_defaults_to_stem(self, tmp_path):
+        p = tmp_path / "meltdown.toml"
+        p.write_text('[[events]]\nkind = "fail_mds"\nrank = 0\nat_epoch = 1\n')
+        assert load_schedule(p).name == "meltdown"
+
+    @pytest.mark.parametrize("name", sorted(bundled_scenarios()))
+    def test_bundled_scenarios_load_and_expand(self, name):
+        s = load_schedule(bundled_scenarios()[name])
+        assert s.name == name
+        assert s.description
+        ws = s.expand(3, seed=1)
+        assert ws, f"bundled scenario {name} expands to no fault windows"

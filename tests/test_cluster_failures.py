@@ -144,6 +144,66 @@ class TestFailureDuringMigration:
         total = sim.tree.n_dirs + sim.tree.total_files()
         assert sum(res.inode_distribution) == total
 
+    def test_importer_failure_mid_import_rolls_back_cleanly(self):
+        """Killing the *receiver* halfway through a transfer loses nothing.
+
+        The two-phase commit means a half-shipped subtree is still owned
+        by the exporter: the abort must drop the task without flipping
+        authority, and a later re-export counts the inodes exactly once.
+        """
+        from repro.cluster.migration import Migrator
+        from repro.namespace.builder import build_fanout
+        from repro.namespace.subtree import AuthorityMap
+
+        built = build_fanout(4, 50)
+        am = AuthorityMap(built.tree, 0)
+        mig = Migrator(am, rate=10, commit_latency=0)
+        task = mig.submit_export(0, 1, built.dirs[0])
+        mig.tick()
+        mig.tick()
+        assert 0 < task.remaining < task.inodes, "transfer not mid-flight"
+
+        assert mig.abort_rank(1) == 1  # the importer dies mid-import
+        assert mig.migrated_inodes == 0
+        assert mig.aborted_tasks == 1
+        assert am.resolve_dir(built.dirs[0])[0] == 0  # never flipped
+
+        # the importer comes back; the whole subtree ships again and the
+        # partial first attempt is not double-counted
+        redo = mig.submit_export(0, 1, built.dirs[0])
+        while mig.outstanding_units():
+            mig.tick()
+        assert mig.committed_tasks == 1
+        assert mig.migrated_inodes == redo.inodes
+        assert am.resolve_dir(built.dirs[0])[0] == 1
+
+    def test_importer_failure_mid_import_accounting_in_sim(self):
+        """Receiver dies mid-import under load: migrated == committed only."""
+        observed = {}
+
+        def fail_an_importer_mid_import(s):
+            inflight = [t for tasks in s.migrator._active.values()
+                        for t in tasks if 0 < t.remaining < t.inodes]
+            observed["partial"] = len(inflight)
+            s.fail_mds(inflight[0].dst if inflight else 1)
+
+        sim = self.slow_migration_sim([(12, fail_an_importer_mid_import),
+                                       (60, lambda s: s.recover_mds(1))])
+        res = sim.run()
+        assert observed["partial"] > 0, "no partial import in flight at tick 12"
+        committed = sum(e.inodes
+                        for e in sim.trace.events("migration_committed"))
+        assert res.migrated_series[-1] == committed
+        assert sim.migrator.migrated_inodes == committed
+        # aborted transfers contributed nothing to the migrated counter
+        planned = {e.did: e for e in sim.trace.events("migration_planned")}
+        aborted = sum(planned[e.parent].inodes
+                      for e in sim.trace.events("migration_aborted")
+                      if e.parent in planned)
+        assert aborted > 0
+        total = sim.tree.n_dirs + sim.tree.total_files()
+        assert sum(res.inode_distribution) == total
+
     def test_abort_rank_drops_queued_and_active(self):
         from repro.cluster.migration import Migrator
         from repro.namespace.builder import build_fanout

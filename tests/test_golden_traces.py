@@ -122,6 +122,50 @@ def test_recording_leaves_the_decision_trace_untouched(name):
     assert recorded.trace.dumps() == plain.trace.dumps()
 
 
+def test_golden_chaos_trace(update_golden):
+    """A chaos run goldens too: faults, causes and aborts, byte for byte.
+
+    One disturbed scenario (flapping rank 1 under lunule, seed 1) guards
+    the failure-path event stream the fault-free goldens never emit:
+    ``fault_injected`` / ``fault_cleared`` and ``cause``-bearing
+    ``migration_aborted`` records.
+    """
+    from repro.experiments.chaos import run_chaos
+
+    _, _, sim = run_chaos("flap", seed=1)
+    path = GOLDEN_DIR / "chaos_flap.jsonl"
+    produced = sim.trace.dumps()
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(produced, encoding="utf-8", newline="\n")
+        pytest.skip(f"golden trace {path.name} rewritten")
+
+    assert path.exists(), (
+        f"missing golden trace {path}; run with --update-golden to create it")
+    assert produced == path.read_text(encoding="utf-8"), (
+        "chaos decision trace diverged from chaos_flap.jsonl; if the change "
+        "is intentional, re-bless with --update-golden and review the diff")
+
+
+def test_golden_chaos_trace_round_trips():
+    """Fault events survive the JSONL round trip like every other event."""
+    path = GOLDEN_DIR / "chaos_flap.jsonl"
+    if not path.exists():
+        pytest.skip("golden chaos trace not generated yet")
+    from repro.obs.events import NO_DECISION
+
+    events = list(read_jsonl(path))
+    log = TraceLog()
+    for e in events:
+        log.emit(e)
+    assert log.dumps() == path.read_text(encoding="utf-8")
+    counts = log.counts()
+    assert counts["fault_injected"] == counts["fault_cleared"] == 3
+    assert any(getattr(e, "cause", NO_DECISION) != NO_DECISION
+               for e in log.events("migration_aborted"))
+
+
 def test_golden_traces_cover_the_decision_pipeline():
     """The Lunule goldens exercise every decision-event stage per epoch."""
     result, sim = run_scenario("mdtest_lunule")
