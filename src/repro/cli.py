@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=7)
     run_p.add_argument("--scale", type=float, default=1.0,
                        help="dataset/op-count multiplier")
+    run_p.add_argument("--engine", choices=("scalar", "columnar"),
+                       default=None,
+                       help="serve-path engine (default: the config default, "
+                            "columnar; scalar is the reference path)")
     run_p.add_argument("--data-path", action="store_true",
                        help="enable the OSD data path (end-to-end runs)")
     run_p.add_argument("--record", metavar="DIR",
@@ -127,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p.add_argument("--seed", type=int, default=7)
     tr_p.add_argument("--scale", type=float, default=1.0,
                       help="dataset/op-count multiplier")
+    tr_p.add_argument("--engine", choices=("scalar", "columnar"),
+                      default=None,
+                      help="serve-path engine; traces must match between "
+                           "the two (see repro diff)")
     tr_p.add_argument("--out", "-o", metavar="FILE",
                       help="write the decision trace as JSONL to FILE")
     tr_p.add_argument("--ring", type=int, metavar="N",
@@ -190,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
     ch_p.add_argument("--clients", "-c", type=int, default=8)
     ch_p.add_argument("--mds", "-m", type=int, default=None,
                       help="cluster size (default: the chaos bench config's)")
+    ch_p.add_argument("--engine", choices=("scalar", "columnar"),
+                      default=None,
+                      help="serve-path engine for the disturbed run")
     ch_p.add_argument("--scale", type=float, default=0.15,
                       help="dataset/op-count multiplier")
     ch_p.add_argument("--out", "-o", metavar="FILE",
@@ -230,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args, out) -> int:
     sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity)
+    if args.engine:
+        sim_cfg = sim_cfg.with_(engine=args.engine)
     if args.record:
         sim_cfg = sim_cfg.with_(record=True, record_clock=args.clock)
     cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
@@ -458,6 +471,8 @@ def _cmd_trace(args, out) -> int:
 
     sim_cfg = BENCH_SIM_CONFIG.with_(n_mds=args.mds, mds_capacity=args.capacity,
                                      trace_capacity=args.ring)
+    if args.engine:
+        sim_cfg = sim_cfg.with_(engine=args.engine)
     cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
                            n_clients=args.clients, seed=args.seed,
                            scale=args.scale, sim=sim_cfg)
@@ -558,7 +573,7 @@ def _cmd_chaos(args, out) -> int:
         report, result, sim = run_chaos(
             args.scenario, seed=args.seed, balancer=args.balancer,
             workload=args.workload, n_clients=args.clients, n_mds=args.mds,
-            scale=args.scale, record_dir=args.record)
+            scale=args.scale, engine=args.engine, record_dir=args.record)
     except (ChaosError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -57,6 +57,26 @@ class Router:
         self._c_lease_expiries = (metrics.counter("router.lease_expiries")
                                   if metrics is not None else None)
 
+    def check_lease(self, state: ClientRoutingState, now: int) -> None:
+        """Expire the client's dentry leases if their TTL lapsed.
+
+        Called by :meth:`route` on every request, and by the columnar
+        engine once per client per tick before it bypasses ``route`` for
+        cache-clean ops. Idempotent within a tick: after the first call
+        the expiry is re-armed at ``now + lease_ttl > now``, so repeated
+        calls (and the per-request calls inside ``route``) are no-ops.
+        """
+        if self.lease_ttl <= 0:
+            return
+        if state.lease_expiry < 0:
+            state.lease_expiry = now + self.lease_ttl
+        elif now >= state.lease_expiry:
+            state.auth_cache.clear()
+            state.resolved.clear()
+            state.lease_expiry = now + self.lease_ttl
+            if self._c_lease_expiries is not None:
+                self._c_lease_expiries.inc()
+
     def route(self, state: ClientRoutingState, dir_id: int, file_idx: int = -1,
               now: int = 0) -> tuple[int, list[int]]:
         """Resolve the serving MDS for an op at tick ``now``.
@@ -66,15 +86,7 @@ class Router:
         """
         authmap = self.authmap
         tree = authmap.tree
-        if self.lease_ttl > 0:
-            if state.lease_expiry < 0:
-                state.lease_expiry = now + self.lease_ttl
-            elif now >= state.lease_expiry:
-                state.auth_cache.clear()
-                state.resolved.clear()
-                state.lease_expiry = now + self.lease_ttl
-                if self._c_lease_expiries is not None:
-                    self._c_lease_expiries.inc()
+        self.check_lease(state, now)
         cache = state.auth_cache
 
         hops: list[int] = []
@@ -105,8 +117,9 @@ class Router:
             cache[dir_id] = true_auth
 
         serving = true_auth
-        if file_idx >= 0 and dir_id in authmap._frags:
-            bits, owners = authmap._frags[dir_id]
+        frag = authmap.frag_owners(dir_id) if file_idx >= 0 else None
+        if frag is not None:
+            bits, owners = frag
             frag_no = file_idx & ((1 << bits) - 1)
             frag_auth = owners.get(frag_no, true_auth)
             key = (dir_id, frag_no)

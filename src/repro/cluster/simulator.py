@@ -30,6 +30,7 @@ from repro.cluster.stats import AccessStats
 from repro.core.if_model import imbalance_factor, urgency
 from repro.core.plan import EmitEvent, EpochPlan, ExportUnit, PinSubtree, SplitDir
 from repro.core.view import ClusterView, build_cluster_view
+from repro.kernel.engine import ColumnarEngine
 from repro.namespace.subtree import AuthorityMap
 from repro.obs.events import (
     DecisionIds,
@@ -89,6 +90,11 @@ class SimConfig:
     pattern_windows: int = 3
     sibling_probability: float = 0.5
     serve_quantum: int = 8
+    #: serve-path implementation: "columnar" (the batched kernel engine,
+    #: the default) or "scalar" (the op-at-a-time reference loop). Both
+    #: produce byte-identical decision traces — the scalar path is kept
+    #: for differential testing (see docs/PERFORMANCE.md).
+    engine: str = "columnar"
     seed: int = 0
     stop_when_done: bool = True
     #: decision-trace ring-buffer capacity; ``None`` keeps the whole run
@@ -197,6 +203,19 @@ class Simulator:
         self._wait_ticks_epoch = 0
         self._served_epoch_total = 0
         self.balancer = balancer
+        if config.engine == "columnar":
+            self.engine: ColumnarEngine | None = ColumnarEngine(
+                clients=self.clients, mdss=self.mdss, router=self.router,
+                tree=self.tree, stats=self.stats, osd=self.osd,
+                data_busy=self._data_busy,
+                serve_quantum=config.serve_quantum,
+                forward_charge=config.forward_charge,
+                data_window=config.data_window)
+        elif config.engine == "scalar":
+            self.engine = None
+        else:
+            raise ValueError(f"unknown engine {config.engine!r} "
+                             "(expected 'columnar' or 'scalar')")
 
         self.result = SimResult(
             workload=instance.name,
@@ -376,6 +395,18 @@ class Simulator:
 
     # ---------------------------------------------------------------- serving
     def _serve_tick(self, now: int) -> None:
+        if self.engine is not None:
+            self._wait_ticks_epoch += self.engine.serve_tick(now)
+            return
+        self._serve_tick_scalar(now)
+
+    def _serve_tick_scalar(self, now: int) -> None:
+        """The op-at-a-time reference loop (``SimConfig(engine="scalar")``).
+
+        The columnar engine in :mod:`repro.kernel.engine` is decision-
+        equivalent to this loop by contract; any change here must be
+        mirrored there (the differential tests enforce it).
+        """
         mdss = self.mdss
         route = self.router.route
         tree = self.tree
@@ -399,6 +430,9 @@ class Simulator:
                         c.rate_tick = now
                         c.rate_served = 0
                     elif c.rate_served >= c.rate:
+                        # rate-exhausted for this tick: skip the client AND
+                        # leave it out of survivors, so the drain loop never
+                        # rescans it in later quantum rounds of this tick
                         continue
                 for _ in range(quantum):
                     kind, d, idx, nbytes = c.current  # type: ignore[misc]

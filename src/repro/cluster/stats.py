@@ -69,6 +69,12 @@ class AccessStats:
         self.win_ls = np.zeros(n)
         self.win_created = np.zeros(n)
         self._dir_last_access: list[int] = [NEVER_ACCESSED] * n
+        # Sparse bookkeeping: dirs with any counter bump this epoch, and
+        # dirs whose heat is nonzero (monotone — decay never reaches 0.0).
+        # Epoch-boundary aggregation fills zero arrays from these sets, so
+        # the cost scales with the touched population, not the namespace.
+        self._touched_epoch: set[int] = set()
+        self._heat_live: set[int] = set()
         self.epoch = 0
 
     # ------------------------------------------------------------- recording
@@ -97,6 +103,7 @@ class AccessStats:
         """
         if dir_id >= len(self.heat):
             self._grow()
+        self._touched_epoch.add(dir_id)
         prev = self.tree.touch_file(dir_id, file_idx, self.epoch)
         self.heat[dir_id] += 1.0
         self._visits[dir_id] += 1
@@ -114,6 +121,7 @@ class AccessStats:
         """A metadata op touched the directory itself (readdir, mkdir...)."""
         if dir_id >= len(self.heat):
             self._grow()
+        self._touched_epoch.add(dir_id)
         self.heat[dir_id] += 1.0
         self._visits[dir_id] += 1
         prev = self._dir_last_access[dir_id]
@@ -121,15 +129,99 @@ class AccessStats:
             self._recurrent[dir_id] += 1
         self._dir_last_access[dir_id] = self.epoch
 
+    # ------------------------------------------------------------ batched path
+    # The columnar engine records whole same-directory op runs at once.
+    # Each method is op-for-op equivalent to the scalar calls it replaces:
+    # integer tallies are commutative, and heat accumulates by repeated
+    # ``+= 1.0`` (never ``+= n`` — adding an integer to an arbitrary float
+    # in one step can round differently than n unit steps, and heat feeds
+    # golden-traced decisions).
+
+    def _bump_heat(self, dir_id: int, count: int) -> None:
+        h = self.heat[dir_id]
+        for _ in range(count):
+            h += 1.0
+        self.heat[dir_id] = h
+
+    def record_create_batch(self, dir_id: int, first_idx: int, count: int) -> None:
+        """``count`` files created (and first-touched) in ``dir_id``.
+
+        The caller has already grown the tree via ``add_files``; indices
+        ``first_idx .. first_idx+count-1`` are fresh, so every access is a
+        first visit and a created-in-window tally.
+        """
+        if count <= 0:
+            return
+        if dir_id >= len(self.heat):
+            self._grow()
+        self._touched_epoch.add(dir_id)
+        self.tree.touch_file_range(dir_id, first_idx, count, self.epoch)
+        self._bump_heat(dir_id, count)
+        self._visits[dir_id] += count
+        self._first[dir_id] += count
+        self._created[dir_id] += count
+
+    def record_file_batch(self, dir_id: int, idxs: np.ndarray) -> None:
+        """A run of metadata ops touched existing files ``idxs`` of ``dir_id``.
+
+        Duplicates within the run are recurrent visits by construction
+        (their first occurrence stamped the current epoch); each unique
+        index classifies by its pre-run last-access epoch, exactly as the
+        scalar per-op sequence would.
+        """
+        if idxs.size == 0:
+            return
+        if dir_id >= len(self.heat):
+            self._grow()
+        self._touched_epoch.add(dir_id)
+        unique = np.unique(idxs)
+        prevs = self.tree.touch_file_batch(dir_id, unique, self.epoch)
+        n_first = int(((prevs == NEVER_ACCESSED)
+                       | (self.epoch - prevs > self.recurrence_window)).sum())
+        n = int(idxs.size)
+        self._bump_heat(dir_id, n)
+        self._visits[dir_id] += n
+        self._first[dir_id] += n_first
+        self._recurrent[dir_id] += n - n_first
+
+    def record_dir_batch(self, dir_id: int, count: int) -> None:
+        """A run of ``count`` directory-level ops on ``dir_id``.
+
+        The first op classifies against the stored last access; the rest
+        see the epoch just stamped and are recurrent.
+        """
+        if count <= 0:
+            return
+        if dir_id >= len(self.heat):
+            self._grow()
+        self._touched_epoch.add(dir_id)
+        self._bump_heat(dir_id, count)
+        self._visits[dir_id] += count
+        prev = self._dir_last_access[dir_id]
+        recurrent = count - 1
+        if prev != NEVER_ACCESSED and self.epoch - prev <= self.recurrence_window:
+            recurrent += 1
+        self._recurrent[dir_id] += recurrent
+        self._dir_last_access[dir_id] = self.epoch
+
     # ------------------------------------------------------------- epoch roll
     def end_epoch(self) -> None:
         """Close the current cutting window and roll the pattern stats."""
         self._grow()
         n = self.tree.n_dirs
-        visits = np.array(self._visits, dtype=np.float64)
-        recurrent = np.array(self._recurrent, dtype=np.float64)
-        first = np.array(self._first, dtype=np.float64)
-        created = np.array(self._created, dtype=np.float64)
+        # Only touched dirs carry nonzero counters: fill zero arrays from
+        # the touched set instead of converting the full per-dir lists.
+        touched = sorted(self._touched_epoch)
+        visits = np.zeros(n)
+        recurrent = np.zeros(n)
+        first = np.zeros(n)
+        created = np.zeros(n)
+        if touched:
+            idx = np.array(touched, dtype=np.intp)
+            visits[idx] = [self._visits[d] for d in touched]
+            recurrent[idx] = [self._recurrent[d] for d in touched]
+            first[idx] = [self._first[d] for d in touched]
+            created[idx] = [self._created[d] for d in touched]
 
         # Spatial correlation: a directory whose files are being visited for
         # the first time predicts first visits on a sibling too (paper §3.3:
@@ -174,18 +266,33 @@ class AccessStats:
                                        "win_ls", "win_created")):
                 getattr(self, name)[: arr.size] -= arr
 
-        self._visits = [0] * n
-        self._recurrent = [0] * n
-        self._first = [0] * n
-        self._created = [0] * n
-        self.heat = [h * self.heat_decay for h in self.heat]
+        for d in touched:
+            self._visits[d] = 0
+            self._recurrent[d] = 0
+            self._first[d] = 0
+            self._created[d] = 0
+        # Decay only live heat entries; exact zeros stay exactly zero
+        # either way, and a decayed positive value never reaches 0.0, so
+        # the live set is monotone.
+        self._heat_live.update(self._touched_epoch)
+        self._touched_epoch.clear()
+        heat = self.heat
+        decay = self.heat_decay
+        for d in self._heat_live:
+            heat[d] = heat[d] * decay
         self.epoch += 1
 
     # -------------------------------------------------------------- snapshots
     def heat_array(self) -> np.ndarray:
         """Decayed heat per directory (accesses add to it immediately)."""
         self._grow()
-        return np.array(self.heat, dtype=np.float64)
+        heat = self.heat
+        out = np.zeros(len(heat))
+        for d in self._heat_live:
+            out[d] = heat[d]
+        for d in self._touched_epoch:
+            out[d] = heat[d]
+        return out
 
     def unvisited_array(self) -> np.ndarray:
         """Files per directory NOT accessed within the recurrence window.
@@ -196,16 +303,13 @@ class AccessStats:
         """
         tree = self.tree
         cutoff = self.epoch - self.recurrence_window
-        out = np.empty(tree.n_dirs, dtype=np.float64)
-        for d in range(tree.n_dirs):
-            n = tree.n_files[d]
-            arr = tree._file_last_access.get(d)
-            if arr is None:
-                out[d] = n
-                continue
-            a = arr[:n]
-            recent = int(((a != NEVER_ACCESSED) & (a >= cutoff)).sum())
-            out[d] = n - recent
+        # Never-touched directories contribute their full file count; for
+        # touched directories the tree's incremental epoch histograms give
+        # the recently-accessed tally in O(window) per dir, instead of
+        # rescanning every file's last-access stamp each epoch.
+        out = tree.n_files_array()
+        for d, recent in tree.recently_accessed(cutoff):
+            out[d] -= recent
         return out
 
     def pattern_arrays(self) -> dict[str, np.ndarray]:

@@ -132,14 +132,63 @@ class ClusterView:
         """
         cached = self._lazy.get("heat_loads")
         if cached is None:
-            heat = self.heat
-            authmap = self.authority
-            out = [0.0] * self.n_mds
-            for root, auth in authmap.subtree_roots().items():
-                total = float(sum(heat[d] for d in authmap.extent(root)))
-                out[auth] += total
-            cached = self._lazy["heat_loads"] = out
+            cached = self._lazy["heat_loads"] = self._heat_loads_sparse()
         return list(cached)
+
+    def _heat_loads_sparse(self) -> list[float]:
+        # Equivalent to summing ``heat`` over every root's full extent, but
+        # visiting only directories with live heat: zero addends are exact
+        # identities (x + 0.0 == x for the non-negative heat values), so
+        # skipping them cannot move a bit — *provided* the live dirs are
+        # summed in extent order. ``subtree_extent``'s stack visits children
+        # in descending child-list order, which the sort key below (negated
+        # child positions along the path from the owning root, parents
+        # first) reproduces exactly.
+        heat = self.heat
+        authmap = self.authority
+        tree = authmap.tree
+        roots = authmap.subtree_roots()
+        root_set = set(roots)
+        parent = tree.parent
+
+        owner_memo: dict[int, int] = {r: r for r in root_set}
+
+        def owning_root(d: int) -> int:
+            chain: list[int] = []
+            while d not in owner_memo:
+                chain.append(d)
+                d = parent[d]
+            r = owner_memo[d]
+            for c in chain:
+                owner_memo[c] = r
+            return r
+
+        by_root: dict[int, list[int]] = {}
+        for d in np.nonzero(heat)[0]:
+            by_root.setdefault(owning_root(int(d)), []).append(int(d))
+
+        pos_memo: dict[int, dict[int, int]] = {}
+
+        def extent_key(d: int, root: int) -> tuple[int, ...]:
+            path: list[int] = []
+            while d != root:
+                p = parent[d]
+                pos = pos_memo.get(p)
+                if pos is None:
+                    pos = pos_memo[p] = {
+                        c: i for i, c in enumerate(tree.children[p])}
+                path.append(-pos[d])
+                d = p
+            return tuple(reversed(path))
+
+        out = [0.0] * self.n_mds
+        for root, auth in roots.items():
+            members = by_root.get(root)
+            if not members:
+                continue
+            members.sort(key=lambda d, _root=root: extent_key(d, _root))
+            out[auth] += float(sum(heat[d] for d in members))
+        return out
 
     @property
     def mindex(self) -> np.ndarray:

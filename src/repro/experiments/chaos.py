@@ -61,14 +61,16 @@ def resolve_scenario(ref: str | os.PathLike) -> pathlib.Path:
 def run_chaos(scenario: str | os.PathLike, *, seed: int = 0,
               balancer: str = "lunule", workload: str = "mdtest",
               n_clients: int = 8, n_mds: int | None = None,
-              scale: float = 0.15,
+              scale: float = 0.15, engine: str | None = None,
               record_dir: str | os.PathLike | None = None):
     """Run one chaos scenario; returns ``(report, result, sim)``.
 
     ``seed`` seeds both the experiment (workload draws) and the
     schedule's stochastic events, so one integer pins the entire run.
     ``record_dir`` additionally writes the standard artifact directory
-    plus ``chaos.json`` (the robustness report) into it.
+    plus ``chaos.json`` (the robustness report) into it. ``engine``
+    overrides the serve-path engine (``"scalar"``/``"columnar"``) for
+    equivalence testing.
     """
     path = resolve_scenario(scenario)
     schedule = load_schedule(path)
@@ -76,6 +78,8 @@ def run_chaos(scenario: str | os.PathLike, *, seed: int = 0,
     sim_cfg = CHAOS_SIM_CONFIG.with_(seed=seed, record=record_dir is not None)
     if n_mds is not None:
         sim_cfg = sim_cfg.with_(n_mds=n_mds)
+    if engine is not None:
+        sim_cfg = sim_cfg.with_(engine=engine)
     cfg = ExperimentConfig(workload=workload, balancer=balancer,
                            n_clients=n_clients, seed=seed, scale=scale,
                            sim=sim_cfg)

@@ -1,0 +1,15 @@
+"""Columnar serve-path kernel.
+
+The simulator's per-tick hot path, rewritten over batched state: a
+precomputed dir→authority table (:mod:`repro.kernel.authtable`) replaces
+per-request dict walks, and a run-batching engine
+(:mod:`repro.kernel.engine`) serves whole same-directory op runs per
+client per quantum round instead of iterating Python op tuples one at a
+time. Decision equivalence with the scalar reference path is the
+contract — see ``docs/PERFORMANCE.md``.
+"""
+
+from repro.kernel.authtable import AuthTable
+from repro.kernel.engine import ColumnarEngine
+
+__all__ = ["AuthTable", "ColumnarEngine"]

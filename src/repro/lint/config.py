@@ -58,7 +58,15 @@ LAYER_DAG: dict[str, frozenset[str]] = {
         "balancers.base", "balancers.candidates",
     }),
     "balancers": frozenset({"util", "namespace", "obs", "core"}),
-    "cluster": frozenset({"util", "namespace", "obs", "core", "workloads"}),
+    #: the columnar serve kernel: batched mechanism code under the
+    #: simulator, reaching sideways only into the cluster's passive
+    #: parts (router/MDS/stats — never the simulator, which *drives* it)
+    "kernel": frozenset({
+        "util", "namespace", "workloads",
+        "cluster.router", "cluster.mds", "cluster.stats", "cluster.osd",
+    }),
+    "cluster": frozenset({"util", "namespace", "obs", "core", "workloads",
+                          "kernel"}),
     #: fault injection: pure schedules + a controller that drives the
     #: simulator through its public seams via duck typing — it declares
     #: no dependency on ``cluster`` (the simulator binds the controller,
@@ -78,7 +86,7 @@ ROOT_MODULES = frozenset({"repro", "repro.cli", "repro.__main__"})
 
 #: packages whose code must be deterministic: no wall clock, no global
 #: RNG, no per-process ``hash()`` — a fixed seed must replay byte-for-byte
-DETERMINISM_PACKAGES = ("core", "balancers", "obs", "chaos")
+DETERMINISM_PACKAGES = ("core", "balancers", "obs", "chaos", "kernel")
 
 #: packages whose modules produce (or feed) an EpochPlan: iteration order
 #: here becomes migration order, so unordered containers are forbidden

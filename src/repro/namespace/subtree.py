@@ -96,6 +96,20 @@ class AuthorityMap:
             return None
         return state[0], dict(state[1])
 
+    def frag_owners(self, dir_id: int) -> tuple[int, dict[int, int]] | None:
+        """Live ``(bits, {frag_no: mds})`` of a fragmented directory.
+
+        Unlike :meth:`frag_state` this returns the *live* owner mapping
+        without copying — it sits on the router's per-request hot path.
+        Callers must treat the mapping as read-only; ownership changes go
+        through :meth:`set_frag_auth` so the version counter stays honest.
+        """
+        return self._frags.get(dir_id)
+
+    def fragmented_dirs(self) -> frozenset[int]:
+        """Ids of all currently fragmented directories (detached copy)."""
+        return frozenset(self._frags)
+
     def set_subtree_auth(self, dir_id: int, mds: int) -> None:
         """Delegate the subtree rooted at ``dir_id`` to ``mds``.
 
