@@ -17,6 +17,10 @@ Commands:
   divergence with both causal chains and the input deltas,
 - ``chaos``  — run a declarative fault scenario (bundled or a TOML/JSON
   file) against a balancer and print/score its robustness report,
+- ``serve``  — run the simulation as a long-running service with a live
+  HTTP telemetry plane (``/metrics``, ``/status``, ``/events`` stream)
+  and epoch-boundary config mutation via ``POST /config``,
+- ``top``    — terminal dashboard polling a running ``repro serve``,
 - ``figure`` — regenerate one of the paper's tables/figures (or ``all``),
 - ``lint``   — run the repo's AST invariant linter (determinism, layering,
   trace schema, float equality; see ``docs/STATIC_ANALYSIS.md``),
@@ -211,6 +215,56 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the full artifact directory (plus "
                            "chaos.json) to DIR")
     ch_p.add_argument("--format", choices=("text", "json"), default="text")
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="run the simulation as a service with a live HTTP telemetry "
+             "plane (metrics scrape, status, event stream, live config)")
+    srv_p.add_argument("--workload", "-w", choices=WORKLOAD_NAMES, default="zipf")
+    srv_p.add_argument("--balancer", "-b", choices=BALANCER_NAMES, default="lunule")
+    srv_p.add_argument("--clients", "-c", type=int, default=20)
+    srv_p.add_argument("--mds", "-m", type=int, default=5)
+    srv_p.add_argument("--capacity", type=float, default=100.0,
+                       help="metadata ops per tick per MDS")
+    srv_p.add_argument("--seed", type=int, default=7)
+    srv_p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset/op-count multiplier")
+    srv_p.add_argument("--engine", choices=("scalar", "columnar"), default=None)
+    srv_p.add_argument("--data-path", action="store_true",
+                       help="enable the OSD data path")
+    srv_p.add_argument("--chaos", metavar="SCENARIO",
+                       help="bind a chaos scenario (bundled name or file) "
+                            "into the live service")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=0,
+                       help="control-plane port (0 = ephemeral)")
+    srv_p.add_argument("--port-file", metavar="FILE",
+                       help="write the bound port to FILE once listening "
+                            "(CI handshake for --port 0)")
+    srv_p.add_argument("--rate", type=float, default=None,
+                       help="throttle to at most this many ticks/second "
+                            "(default: unthrottled)")
+    srv_p.add_argument("--tick-slice", type=int, default=64,
+                       help="ticks simulated per scheduler slice")
+    srv_p.add_argument("--paused", action="store_true",
+                       help="start paused (resume via POST /resume)")
+    srv_p.add_argument("--record", metavar="DIR",
+                       help="flush the run's artifact directory to DIR on "
+                            "shutdown")
+    srv_p.add_argument("--clock", choices=("logical", "wall"),
+                       default="logical",
+                       help="span clock for the flight recorder")
+
+    top_p = sub.add_parser(
+        "top",
+        help="terminal dashboard over a running repro serve (polls /status)")
+    top_p.add_argument("url", metavar="URL",
+                       help="service base URL (http://HOST:PORT, HOST:PORT "
+                            "or a bare port on localhost)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between repaints")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no screen clear)")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("id", choices=sorted(FIGURES) + ["all"])
@@ -631,6 +685,95 @@ def _render_chaos_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ControlPlane, SimulatorService
+
+    sim_cfg = BENCH_SIM_CONFIG.with_(
+        n_mds=args.mds, mds_capacity=args.capacity,
+        # the recorder feeds /timeseries, the perf gauges feed /status —
+        # neither touches the decision trace, which stays byte-identical
+        # to an unserved `repro run` of the same seed (golden-gated)
+        record=True, record_clock=args.clock, perf_gauges=True)
+    if args.engine:
+        sim_cfg = sim_cfg.with_(engine=args.engine)
+    chaos = None
+    if args.chaos:
+        from repro.chaos import ChaosController, load_schedule
+        from repro.chaos.schedule import ChaosError
+        from repro.experiments.chaos import resolve_scenario
+
+        try:
+            chaos = ChaosController(load_schedule(resolve_scenario(args.chaos)),
+                                    seed=args.seed)
+        except (ChaosError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
+                           n_clients=args.clients, seed=args.seed,
+                           scale=args.scale, data_path=args.data_path,
+                           sim=sim_cfg)
+    try:
+        service = SimulatorService(cfg, chaos=chaos, rate=args.rate,
+                                   tick_slice=args.tick_slice)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plane = ControlPlane(service, host=args.host, port=args.port)
+    plane.start()
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(f"{plane.port}\n")
+    print(f"serving {args.workload} x {args.balancer} (seed {args.seed}) "
+          f"on {plane.url}", file=out)
+    print("  endpoints: GET /metrics /status /timeseries /events; "
+          "POST /config /pause /resume /step /shutdown", file=out)
+    if args.paused:
+        service.start()
+        service.pause()
+    # SIGTERM winds down like POST /shutdown; SIGINT (KeyboardInterrupt)
+    # takes the same graceful path through the except below
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: service.request_stop())
+    except ValueError:
+        pass  # not the main thread (embedded use); POST /shutdown still works
+    try:
+        asyncio.run(service.drive())
+    except KeyboardInterrupt:
+        service.request_stop()
+    finally:
+        plane.stop()
+    res = service.result
+    print(f"  {service.state} at tick {service.sim.tick} "
+          f"({len(res.if_series) if res is not None else 0} epochs, "
+          f"{service.mutations_applied} config change(s) applied)", file=out)
+    if args.record and res is not None:
+        from repro.experiments.recording import write_run_artifacts
+
+        paths = write_run_artifacts(
+            args.record, service.sim, res,
+            extra_meta={"seed": args.seed, "n_clients": args.clients,
+                        "scale": args.scale, "mode": "serve",
+                        "mutations_applied": service.mutations_applied})
+        print(f"  recorded {len(paths)} artifacts in {args.record} "
+              f"(render with: repro report {args.record})", file=out)
+    return 0
+
+
+def _cmd_top(args, out) -> int:
+    from repro.serve import top
+
+    url = args.url
+    if url.isdigit():
+        url = f"127.0.0.1:{url}"
+    if "://" not in url:
+        url = f"http://{url}"
+    return top(url.rstrip("/"), interval=args.interval,
+               iterations=1 if args.once else None, out=out)
+
+
 def _cmd_figure(args, out) -> int:
     ids = sorted(FIGURES) if args.id == "all" else [args.id]
     for fid in ids:
@@ -653,6 +796,8 @@ def _cmd_list(out) -> int:
           "diff (first divergence between two runs), "
           "chaos (fault scenarios + robustness scoring), "
           "sweep (parallel workload x balancer grids), "
+          "serve (live HTTP telemetry plane), "
+          "top (terminal dashboard over a running serve), "
           "lint (AST invariant linter)", file=out)
     return 0
 
@@ -699,6 +844,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_diff(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "top":
+        return _cmd_top(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "lint":

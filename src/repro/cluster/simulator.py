@@ -18,6 +18,7 @@ splits and pins onto the authority map, exports into the
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
@@ -110,6 +111,12 @@ class SimConfig:
     record_clock: str = "logical"
     #: time-series ring capacity in epochs (``None`` keeps every epoch)
     record_capacity: int | None = None
+    #: wall-clock throughput gauges (``sim_epochs_per_second``,
+    #: ``serve_ops_per_second``), refreshed at every epoch boundary. Off by
+    #: default: the gauges read ``time.perf_counter`` and land in the
+    #: registry snapshot, so byte-stable artifacts must not carry them.
+    #: ``repro serve`` turns them on for the live ``/status`` plane.
+    perf_gauges: bool = False
 
     def with_(self, **kwargs) -> SimConfig:
         """Copy with overrides (convenience for sweeps)."""
@@ -199,6 +206,17 @@ class Simulator:
         self._schedule_pos = 0
         self.tick = 0
         self.epoch = 0
+        #: the tick the current epoch opened at / will close at. Tracked as
+        #: absolute ticks (not ``tick % epoch_len``) so ``epoch_len`` can be
+        #: re-tuned at an epoch boundary mid-run (``set_epoch_len``) without
+        #: the modulo arithmetic tearing; for a constant ``epoch_len`` both
+        #: formulations visit exactly the same boundary ticks.
+        self._epoch_begin_tick = 0
+        self._epoch_end_tick = config.epoch_len
+        #: latched by :meth:`step_tick` once the run is over, so late calls
+        #: (a service driver racing shutdown) cannot restart a stopped run
+        self._halted = False
+        self._perf_t0 = time.perf_counter()
         #: ticks clients spent ready-but-unserved this epoch (queueing delay)
         self._wait_ticks_epoch = 0
         self._served_epoch_total = 0
@@ -284,6 +302,20 @@ class Simulator:
         self.mdss[rank].failed = False
         self.trace.emit(MdsRecovered(tick=self.tick, rank=rank))
 
+    def set_epoch_len(self, epoch_len: int) -> None:
+        """Re-tune the balancing interval mid-run (live reconfiguration).
+
+        Safe only between epochs: call it right after an epoch closed
+        (``repro serve`` applies queued mutations exactly there), so the
+        epoch in progress is never shortened below the ticks it already
+        served. Load normalization (``served / epoch_len``) picks up the
+        new length from the next epoch on.
+        """
+        if epoch_len <= 0:
+            raise ValueError("epoch_len must be positive")
+        self.config = self.config.with_(epoch_len=epoch_len)
+        self._epoch_end_tick = self._epoch_begin_tick + epoch_len
+
     # ------------------------------------------------- policy/mechanism seam
     def snapshot_view(self) -> ClusterView:
         """The immutable epoch snapshot handed to the balancer."""
@@ -326,51 +358,88 @@ class Simulator:
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
-        # the profiler handle is hoisted so the common (recorder-off) path
-        # pays a single None check per phase, nothing more
+        """Batch mode: setup, tick to completion, finalize."""
+        self.start()
+        while self.step_tick():
+            pass
+        return self.finish()
+
+    def start(self) -> None:
+        """Apply the balancer's one-time setup plan (span ``setup``).
+
+        First third of the incremental protocol ``start`` →
+        ``step_tick``\\* → ``finish`` that :meth:`run` composes and that
+        `repro serve` drives tick-by-tick (pausing, single-stepping and
+        mutating config between ticks). The split changes no behaviour:
+        :meth:`run` executes the exact statement sequence the former
+        monolithic loop did.
+        """
         prof = self.recorder.spans if self.recorder is not None else None
         if prof is not None:
             with prof.span("setup"):
                 self.apply_plan(self.balancer.setup(self.snapshot_view()))
         else:
             self.apply_plan(self.balancer.setup(self.snapshot_view()))
+        self._perf_t0 = time.perf_counter()
+
+    def step_tick(self) -> bool:
+        """Advance the simulation by one tick.
+
+        Returns ``False`` once the run is over — tick budget exhausted, or
+        every client done at an epoch boundary under ``stop_when_done`` —
+        after which further calls are no-ops. The caller owns the loop;
+        :meth:`finish` produces the result.
+        """
         cfg = self.config
-        while self.tick < cfg.max_ticks:
-            self._fire_schedule(self.tick)
-            self._begin_tick()
-            if prof is None:
+        if self._halted or self.tick >= cfg.max_ticks:
+            self._halted = True
+            return False
+        # the profiler handle is hoisted so the common (recorder-off) path
+        # pays a single None check per phase, nothing more
+        prof = self.recorder.spans if self.recorder is not None else None
+        self._fire_schedule(self.tick)
+        self._begin_tick()
+        if prof is None:
+            self._serve_tick(self.tick)
+        else:
+            if self.tick == self._epoch_begin_tick:
+                prof.begin("epoch")
+            with prof.span("serve"):
                 self._serve_tick(self.tick)
-            else:
-                if self.tick % cfg.epoch_len == 0:
-                    prof.begin("epoch")
-                with prof.span("serve"):
-                    self._serve_tick(self.tick)
-            if self.osd is not None:
-                now = self.tick
-                self.osd.tick()
-                window = self.config.data_window
-                for cid in list(self._data_busy):
-                    left = self.osd.outstanding(cid)
-                    c = self._by_cid[cid]
-                    if c.done:
-                        if left <= 0.0:
-                            self._data_busy.discard(cid)
-                            c.done_at = now  # completion includes the drain
-                    elif left <= window:
+        if self.osd is not None:
+            now = self.tick
+            self.osd.tick()
+            window = self.config.data_window
+            for cid in list(self._data_busy):
+                left = self.osd.outstanding(cid)
+                c = self._by_cid[cid]
+                if c.done:
+                    if left <= 0.0:
                         self._data_busy.discard(cid)
-            down = {m.rank for m in self.mdss if m.failed}
-            if prof is None:
+                        c.done_at = now  # completion includes the drain
+                elif left <= window:
+                    self._data_busy.discard(cid)
+        down = {m.rank for m in self.mdss if m.failed}
+        if prof is None:
+            self.migrator.tick(down)
+        else:
+            with prof.span("migration"):
                 self.migrator.tick(down)
-            else:
-                with prof.span("migration"):
-                    self.migrator.tick(down)
-            self.tick += 1
-            if self.tick % cfg.epoch_len == 0:
-                self._end_epoch()
-                if prof is not None:
-                    prof.end("epoch")
-                if cfg.stop_when_done and self._all_done():
-                    break
+        self.tick += 1
+        if self.tick == self._epoch_end_tick:
+            self._end_epoch()
+            if prof is not None:
+                prof.end("epoch")
+            if cfg.stop_when_done and self._all_done():
+                self._halted = True
+                return False
+        if self.tick >= cfg.max_ticks:
+            self._halted = True
+            return False
+        return True
+
+    def finish(self) -> SimResult:
+        """Close the run: flush the recorder, assemble the result."""
         return self._finalize()
 
     def _all_done(self) -> bool:
@@ -522,6 +591,12 @@ class Simulator:
         m.gauge("sim.imbalance_factor").set(if_value)
         for rank, load in enumerate(loads):
             m.gauge("mds.load", rank=rank).set(load)
+        if cfg.perf_gauges:
+            elapsed = time.perf_counter() - self._perf_t0
+            if elapsed > 0.0:
+                m.gauge("sim.epochs_per_second").set((self.epoch + 1) / elapsed)
+                m.gauge("serve.ops_per_second").set(
+                    sum(mds.served_total for mds in self.mdss) / elapsed)
 
         rec = self.recorder
         if rec is None:
@@ -542,6 +617,8 @@ class Simulator:
         self.authmap.merge_redundant_roots()
         self.authmap.merge_uniform_frags(exclude=self.migrator.pending_frag_dirs())
         self.epoch += 1
+        self._epoch_begin_tick = self.tick
+        self._epoch_end_tick = self.tick + self.config.epoch_len
 
     def _record_epoch(self, rec: FlightRecorder, if_value: float,
                       loads: list[float], ops: int) -> None:

@@ -10,7 +10,28 @@ from repro.balancers import make_balancer
 from repro.cluster.simulator import Simulator
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["run_experiment", "run_traced", "run_matrix"]
+__all__ = ["build_simulator", "run_experiment", "run_traced", "run_matrix"]
+
+
+def build_simulator(cfg: ExperimentConfig, *,
+                    schedule: list[tuple[int, Callable]] | None = None,
+                    balancer_kwargs: dict | None = None,
+                    chaos=None) -> Simulator:
+    """Materialize the workload and build the simulator without running it.
+
+    The construction path behind :func:`run_traced` — and the one
+    ``repro serve`` drives incrementally (``start``/``step_tick``/
+    ``finish``), which is how a served run with no mutations reproduces a
+    batch run's trace byte-for-byte.
+    """
+    sim_cfg = cfg.sim
+    if cfg.data_path and not sim_cfg.data_path:
+        sim_cfg = sim_cfg.with_(data_path=True)
+    instance = cfg.build_workload().materialize(seed=cfg.seed)
+    kwargs = {**(cfg.balancer_kwargs or {}), **(balancer_kwargs or {})}
+    balancer = make_balancer(cfg.balancer, **kwargs)
+    return Simulator(instance, balancer, sim_cfg, schedule=schedule,
+                     chaos=chaos)
 
 
 def run_experiment(cfg: ExperimentConfig, *,
@@ -42,14 +63,8 @@ def run_traced(cfg: ExperimentConfig, *,
     ``chaos`` is an optional :class:`~repro.chaos.ChaosController` bound
     onto the simulator's event schedule (fault injection).
     """
-    sim_cfg = cfg.sim
-    if cfg.data_path and not sim_cfg.data_path:
-        sim_cfg = sim_cfg.with_(data_path=True)
-    instance = cfg.build_workload().materialize(seed=cfg.seed)
-    kwargs = {**(cfg.balancer_kwargs or {}), **(balancer_kwargs or {})}
-    balancer = make_balancer(cfg.balancer, **kwargs)
-    sim = Simulator(instance, balancer, sim_cfg, schedule=schedule,
-                    chaos=chaos)
+    sim = build_simulator(cfg, schedule=schedule,
+                          balancer_kwargs=balancer_kwargs, chaos=chaos)
     result = sim.run()
     if trace_path is not None:
         sim.trace.dump_jsonl(trace_path)

@@ -79,6 +79,16 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     #: the linter itself: engine/rules plus the runtime schema hooks it
     #: cross-checks (obs.prom's metric-name grammar)
     "lint": frozenset({"util", "obs"}),
+    #: the live telemetry plane (``repro serve``): sits above the whole
+    #: experiment stack like the CLI does, but as a package — it drives
+    #: the simulator incrementally, taps the trace, and serves HTTP. It
+    #: is deliberately *not* a determinism package: the service reads the
+    #: wall clock (throughput gauges, stream timeouts), while the
+    #: simulation it drives stays deterministic (golden-gated).
+    "serve": frozenset({
+        "util", "namespace", "obs", "core", "balancers", "cluster",
+        "workloads", "chaos", "experiments",
+    }),
 }
 
 #: modules above every layer (the CLI face of the package)

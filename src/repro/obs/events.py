@@ -51,6 +51,7 @@ __all__ = [
     "MdsRecovered",
     "FaultInjected",
     "FaultCleared",
+    "ConfigChanged",
     "AbortReason",
     "SKIP_REASONS",
     "FAULT_KINDS",
@@ -360,12 +361,37 @@ class FaultCleared(TraceEvent):
                 f"{sorted(FAULT_KINDS)}")
 
 
+@dataclass(frozen=True)
+class ConfigChanged(TraceEvent):
+    """A live-reconfiguration knob changed at an epoch boundary.
+
+    Minted by the serve control plane when a ``POST /config`` mutation is
+    applied between epochs: ``key`` names the knob (an initiator-config
+    field such as ``if_threshold`` or ``urgency_smoothness``, the
+    balancing interval ``epoch_len``, or a ``balancer`` swap), and
+    ``old``/``value`` carry its before/after rendered as strings (the
+    knob vocabulary is open-ended, so the wire type is not). The event's
+    ``did`` is a provenance root: migrations the following epochs plan
+    under the new setting sit after it in the trace, so ``repro explain``
+    shows exactly which knob change preceded which decision.
+    """
+
+    etype: ClassVar[str] = "config_changed"
+    epoch: int
+    tick: int
+    key: str
+    value: str
+    old: str
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.etype: cls
     for cls in (
         EpochStart, IfComputed, EpochSkipped, RoleAssigned, SubtreeSelected,
         MigrationPlanned, MigrationCommitted, MigrationAborted,
-        MdsFailed, MdsRecovered, FaultInjected, FaultCleared,
+        MdsFailed, MdsRecovered, FaultInjected, FaultCleared, ConfigChanged,
     )
 }
 

@@ -195,7 +195,8 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
 
     def bucket(k: int) -> dict:
         return epochs.setdefault(k, {
-            "epoch": k, "if": [], "skipped": [], "migrations": [],
+            "epoch": k, "if": [], "skipped": [], "config": [],
+            "migrations": [],
         })
 
     for did in sorted(graph.nodes):
@@ -207,6 +208,10 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
             bucket(k)["if"].append(event_to_dict(node))
         elif node.etype == "epoch_skipped":
             bucket(k)["skipped"].append(event_to_dict(node))
+        elif node.etype == "config_changed":
+            # a live-reconfiguration knob change (repro serve): shown in
+            # its epoch so the decisions that follow read in context
+            bucket(k)["config"].append(event_to_dict(node))
         elif node.etype == "migration_planned":
             if rank is not None and rank not in (node.src, node.dst):  # type: ignore[attr-defined]
                 continue
@@ -291,6 +296,9 @@ def format_event(d: dict) -> str:
     if e == "fault_cleared":
         return (f"fault_cleared[{d['did']}] kind={d['kind']} "
                 f"rank {d['rank']} epoch={d['epoch']}")
+    if e == "config_changed":
+        return (f"config_changed[{d['did']}] {d['key']}: "
+                f"{d['old']} -> {d['value']} epoch={d['epoch']}")
     return f"{e}[{d.get('did', '?')}]"
 
 
@@ -303,6 +311,8 @@ def render_explain(report: dict) -> str:
             lines.append(f"  {format_event(d)}")
         for d in b["skipped"]:
             lines.append(f"  no migration: {format_event(d)}")
+        for d in b["config"]:
+            lines.append(f"  {format_event(d)}")
         for m in b["migrations"]:
             flag = " (chain truncated by ring eviction)" if m["truncated"] else ""
             lines.append(
@@ -310,7 +320,7 @@ def render_explain(report: dict) -> str:
                 f"{m['src']} -> {m['dst']} [{m['outcome']}]{flag}")
             for d in m["chain"]:
                 lines.append(f"    {format_event(d)}")
-        if not (b["if"] or b["skipped"] or b["migrations"]):
+        if not (b["if"] or b["skipped"] or b["config"] or b["migrations"]):
             lines.append("  no decisions recorded")
     s = report["summary"]
     lines.append(

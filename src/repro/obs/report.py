@@ -77,7 +77,49 @@ def _rank_columns(timeseries: dict, prefix: str) -> list[tuple[int, str]]:
     return sorted(out)
 
 
+def _metric_total(metrics: dict, name: str) -> float:
+    """Sum of a family's series values in a registry snapshot (0 if absent)."""
+    family = metrics.get(name)
+    if not family:
+        return 0.0
+    return sum(s.get("value") or 0 for s in family.get("series", ()))
+
+
 # ------------------------------------------------------------------ sections
+def _section_warnings(timeseries: dict, metrics: dict) -> list[str]:
+    """Visible banner for silent observability loss.
+
+    Three ways a bounded deployment sheds data — the decision-trace ring
+    (``trace_events_dropped_total``), the time-series ring (lifetime
+    ``appended`` vs retained rows) and the serve event bus
+    (``serve_events_dropped_total``) — were previously only counters;
+    this surfaces any nonzero loss at the top of the report.
+    """
+    losses: list[str] = []
+    trace_dropped = _metric_total(metrics, "trace.events_dropped")
+    if trace_dropped:
+        losses.append(f"decision-trace ring dropped {trace_dropped:.0f} "
+                      f"event(s) (`trace_events_dropped_total`) — oldest "
+                      f"provenance chains may be truncated")
+    appended = timeseries.get("appended", 0)
+    retained = len(timeseries.get("rows", ()))
+    if appended and appended > retained:
+        losses.append(f"time-series ring evicted {appended - retained} of "
+                      f"{appended} epoch row(s) — trajectory sections show "
+                      f"recent history only")
+    bus_dropped = _metric_total(metrics, "serve.events_dropped")
+    if bus_dropped:
+        losses.append(f"live event bus dropped {bus_dropped:.0f} event(s) "
+                      f"on slow consumers (`serve_events_dropped_total`) — "
+                      f"streams saw gaps; the trace itself is complete")
+    if not losses:
+        return []
+    lines = ["> **Warning — observability data was dropped during this run:**"]
+    lines += [f"> - {loss}" for loss in losses]
+    lines.append("")
+    return lines
+
+
 def _section_header(meta: dict) -> list[str]:
     title = meta.get("title") or (
         f"{meta.get('workload', '?')} × {meta.get('balancer', '?')}")
@@ -256,6 +298,21 @@ def _section_metrics(metrics: dict) -> list[str]:
         lines += _md_table(["histogram", "count", "sum", "p50", "p95", "p99"],
                            hist_rows)
         lines.append("")
+    gauge_rows = []
+    for name, label in (("sim.epochs_per_second", "epochs / second"),
+                        ("serve.ops_per_second", "served ops / second")):
+        family = metrics.get(name)
+        if family and family.get("kind") == "gauge":
+            for s in family["series"]:
+                gauge_rows.append([label, s["value"]])
+    if gauge_rows:
+        lines += ["## Throughput", "",
+                  "_Wall-clock rates sampled at the last epoch boundary "
+                  "(`SimConfig(perf_gauges=True)`; always on under "
+                  "`repro serve`) — comparable with `BENCH_core.json`._",
+                  ""]
+        lines += _md_table(["gauge", "value"], gauge_rows)
+        lines.append("")
     counters = []
     for name in sorted(metrics):
         family = metrics[name]
@@ -288,6 +345,7 @@ def render_run_report(meta: dict, *, timeseries: dict | None = None,
     """
     lines: list[str] = []
     lines += _section_header(meta or {})
+    lines += _section_warnings(timeseries or {}, metrics or {})
     lines += _section_if(timeseries or {})
     lines += _section_per_mds(timeseries or {})
     lines += _section_chaos(chaos or {})

@@ -18,7 +18,7 @@ from __future__ import annotations
 import bisect
 import os
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import Any, Protocol
 
 from repro.obs.events import DecisionIds, TraceEvent, event_from_json, event_to_json
@@ -66,6 +66,20 @@ class TraceLog:
         #: decision-id allocator; the simulator passes its run-wide one so
         #: mechanism-side events share the policy sequence
         self.ids = ids if ids is not None else DecisionIds()
+        #: live-tap callbacks (``repro serve``'s event bus); empty for
+        #: batch runs, so :meth:`emit` pays one falsy check and nothing more
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Tap the log: ``fn`` sees every event as it is emitted.
+
+        Listeners must never raise and never block — the serve event bus
+        satisfies this with a bounded drop-on-full queue per subscriber.
+        """
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        self._listeners.remove(fn)
 
     def next_decision_id(self) -> int:
         """Mint the next decision id (see :class:`TraceSink`)."""
@@ -78,6 +92,9 @@ class TraceLog:
             self.drop_counter.inc()
         self._events.append(event)
         self.emitted += 1
+        if self._listeners:
+            for fn in self._listeners:
+                fn(event)
 
     def clear(self) -> None:
         self._events.clear()

@@ -1,0 +1,40 @@
+"""Live telemetry plane: the ``repro serve`` service mode.
+
+Turns the batch simulator into a long-running, observable, pokeable
+service (the ROADMAP's "long-running service mode with live
+reconfiguration"):
+
+- :mod:`repro.serve.service` — :class:`SimulatorService`, the asyncio
+  driver around the incremental ``Simulator.start``/``step_tick``/
+  ``finish`` protocol, with start/pause/step/stop lifecycle and
+  epoch-boundary config mutation (``config_changed`` trace events);
+- :mod:`repro.serve.bus` — the bounded fan-out :class:`EventBus` between
+  the decision trace and streaming consumers (drop-on-slow, never
+  blocking the simulation);
+- :mod:`repro.serve.http` — the stdlib HTTP :class:`ControlPlane`
+  (``/metrics``, ``/status``, ``/timeseries``, ``/events``, ``/config``,
+  lifecycle and shutdown);
+- :mod:`repro.serve.dashboard` — ``repro top``, the curses-free terminal
+  dashboard polling ``/status``.
+
+Determinism contract: a served run with zero mutations reproduces the
+batch run's decision trace byte-for-byte (golden-gated). See
+``docs/OBSERVABILITY.md`` ("Live service mode").
+"""
+
+from repro.serve.bus import EventBus, Subscription
+from repro.serve.dashboard import fetch_status, render_top, top
+from repro.serve.http import OPENMETRICS_CONTENT_TYPE, ControlPlane
+from repro.serve.service import MutationError, SimulatorService
+
+__all__ = [
+    "EventBus",
+    "Subscription",
+    "ControlPlane",
+    "OPENMETRICS_CONTENT_TYPE",
+    "MutationError",
+    "SimulatorService",
+    "render_top",
+    "fetch_status",
+    "top",
+]

@@ -1,0 +1,95 @@
+"""Bounded fan-out event bus between the decision trace and HTTP streams.
+
+The serve control plane taps the simulator's :class:`TraceLog` (see
+``TraceLog.add_listener``) and publishes every event onto this bus; each
+``GET /events`` stream holds one :class:`Subscription`. The contract the
+tap demands — *never block and never raise in the simulator's thread* —
+is met by giving every subscription its own bounded ``queue.Queue`` and
+dropping on overflow: a slow or stalled consumer loses its own events
+(counted, per subscription and bus-wide on the
+``serve_events_dropped_total`` counter) while the simulation and every
+other subscriber proceed at full speed.
+
+Publishing with zero subscribers is one attribute load and a falsy
+check, so an unwatched service pays nothing for the tap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["Subscription", "EventBus"]
+
+
+class Subscription:
+    """One consumer's bounded view of the bus."""
+
+    __slots__ = ("_bus", "_queue", "dropped")
+
+    def __init__(self, bus: EventBus, capacity: int) -> None:
+        self._bus = bus
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        #: items this subscription lost to overflow
+        self.dropped = 0
+
+    def get(self, timeout: float | None = None):
+        """Next item; raises :class:`queue.Empty` on timeout."""
+        return self._queue.get(timeout=timeout)
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Fan-out with per-subscriber bounded queues; overflow drops.
+
+    ``drop_counter`` (anything with ``.inc()``, typically the registry's
+    ``serve.events_dropped`` counter) is bumped once per dropped item so
+    loss is visible in ``/metrics`` and the report warning banner.
+    """
+
+    def __init__(self, capacity: int = 1024, drop_counter=None) -> None:
+        if capacity <= 0:
+            raise ValueError("bus capacity must be positive")
+        self.capacity = capacity
+        self.drop_counter = drop_counter
+        #: bus-wide dropped-item count across all subscriptions, lifetime
+        self.dropped = 0
+        self.published = 0
+        # the subscription tuple is replaced atomically under the lock and
+        # read without it in publish() — the hot path stays lock-free
+        self._subs: tuple[Subscription, ...] = ()
+        self._lock = threading.Lock()
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subs)
+
+    def subscribe(self, capacity: int | None = None) -> Subscription:
+        sub = Subscription(self, capacity or self.capacity)
+        with self._lock:
+            self._subs = (*self._subs, sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            self._subs = tuple(s for s in self._subs if s is not sub)
+
+    def publish(self, item) -> None:
+        """Offer ``item`` to every subscriber; never blocks, never raises."""
+        subs = self._subs
+        if not subs:
+            return
+        self.published += 1
+        for sub in subs:
+            try:
+                sub._queue.put_nowait(item)
+            except queue.Full:
+                sub.dropped += 1
+                self.dropped += 1
+                if self.drop_counter is not None:
+                    self.drop_counter.inc()

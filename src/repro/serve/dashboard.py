@@ -1,0 +1,117 @@
+"""``repro top``: a curses-free terminal dashboard over ``GET /status``.
+
+Pure rendering (:func:`render_top`: status dict in, text out — what the
+tests cover) plus a small poll loop (:func:`top`) that repaints with ANSI
+clear-screen between samples. No dependencies beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.report import sparkline
+
+__all__ = ["render_top", "fetch_status", "top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bar(value: float, full: float, width: int) -> str:
+    full = max(full, 1e-9)
+    filled = max(0, min(width, round(width * value / full)))
+    return "█" * filled + "·" * (width - filled)
+
+
+def render_top(status: dict, width: int = 72) -> str:
+    """One dashboard frame from a ``/status`` document."""
+    lines: list[str] = []
+    state = status.get("state", "?")
+    lines.append(
+        f"repro top — {status.get('workload', '?')} x "
+        f"{status.get('balancer', '?')} [{state}]  "
+        f"tick {status.get('tick', 0)}/{status.get('max_ticks', 0)}  "
+        f"epoch {status.get('epoch', 0)} (len {status.get('epoch_len', 0)})")
+
+    eps = status.get("epochs_per_second")
+    ops = status.get("ops_per_second")
+    rate = []
+    if eps is not None:
+        rate.append(f"{eps:,.1f} epochs/s")
+    if ops is not None:
+        rate.append(f"{ops:,.0f} ops/s")
+    clients = f"{status.get('clients_done', 0)}/{status.get('clients', 0)}"
+    lines.append(f"clients done {clients}"
+                 + (f"  |  {'  '.join(rate)}" if rate else ""))
+
+    series = status.get("if_series") or []
+    lines.append(f"IF {status.get('if', 0.0):6.3f}  {sparkline(series)}")
+
+    loads = status.get("loads") or []
+    caps = status.get("capacities") or [1.0] * len(loads)
+    failed = set(status.get("failed") or [])
+    bar_w = max(10, width - 30)
+    for rank, load in enumerate(loads):
+        cap = caps[rank] if rank < len(caps) else 1.0
+        tag = " DOWN" if rank in failed else ""
+        lines.append(f"mds.{rank} [{_bar(load, cap, bar_w)}] "
+                     f"{load:8.1f}/{cap:.0f}{tag}")
+
+    lines.append(
+        f"migrated {status.get('migrated_inodes', 0):,} inodes  |  exports "
+        f"{status.get('committed_tasks', 0)} committed / "
+        f"{status.get('aborted_tasks', 0)} aborted  |  "
+        f"forwards {status.get('forwards', 0):,}")
+
+    trace = status.get("trace") or {}
+    bus = status.get("bus") or {}
+    mut = status.get("mutations") or {}
+    drops = []
+    if trace.get("dropped"):
+        drops.append(f"trace ring dropped {trace['dropped']}")
+    if bus.get("dropped"):
+        drops.append(f"event bus dropped {bus['dropped']}")
+    lines.append(
+        f"trace {trace.get('emitted', 0)} events  |  "
+        f"bus {bus.get('subscribers', 0)} stream(s)  |  "
+        f"config changes {mut.get('applied', 0)} applied, "
+        f"{mut.get('queued', 0)} queued"
+        + ("  |  ! " + ", ".join(drops) if drops else ""))
+    return "\n".join(lines)
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> dict:
+    with urllib.request.urlopen(f"{url}/status", timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def top(url: str, *, interval: float = 1.0, iterations: int | None = None,
+        out=None) -> int:
+    """Poll ``url``/status and repaint until the service finishes.
+
+    ``iterations`` bounds the number of frames (``1`` = print once and
+    exit — the CI smoke mode); ``None`` runs until the service reports a
+    terminal state or the connection drops.
+    """
+    out = out if out is not None else sys.stdout
+    frames = 0
+    while True:
+        try:
+            status = fetch_status(url)
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"repro top: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        frames += 1
+        if iterations is not None and frames == 1 and iterations == 1:
+            print(render_top(status), file=out)
+        else:
+            print(_CLEAR + render_top(status), file=out, flush=True)
+        if status.get("state") in ("done", "stopped"):
+            return 0
+        if iterations is not None and frames >= iterations:
+            return 0
+        time.sleep(interval)
+    # unreachable
