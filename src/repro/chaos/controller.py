@@ -23,8 +23,15 @@ window in the DAG.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import Any
+
 from repro.chaos.schedule import ChaosSchedule, FaultWindow
 from repro.obs.events import NO_DECISION, FaultCleared, FaultInjected
+
+# the chaos layer drives the simulator by protocol, never by import (the
+# simulator binds the controller, not the reverse) — hence the Any seam
+SimLike = Any
 
 __all__ = ["ChaosController"]
 
@@ -46,7 +53,7 @@ class ChaosController:
         self.faults_cleared = 0
 
     # ---------------------------------------------------------------- binding
-    def bind(self, sim) -> list[tuple[int, object]]:
+    def bind(self, sim: SimLike) -> list[tuple[int, object]]:
         """Compile the schedule into ``(tick, fn)`` entries for ``sim``.
 
         Raises the schedule's typed errors (unknown rank, overlap, bad
@@ -68,18 +75,18 @@ class ChaosController:
         entries.sort(key=lambda e: (e[0], e[1]))
         return [(tick, fn) for tick, _, fn in entries]
 
-    def _inject_fn(self, window: FaultWindow):
-        def inject(sim, w=window):
+    def _inject_fn(self, window: FaultWindow) -> Callable[[SimLike], None]:
+        def inject(sim: SimLike, w: FaultWindow = window) -> None:
             self._inject(sim, w)
         return inject
 
-    def _clear_fn(self, window: FaultWindow):
-        def clear(sim, w=window):
+    def _clear_fn(self, window: FaultWindow) -> Callable[[SimLike], None]:
+        def clear(sim: SimLike, w: FaultWindow = window) -> None:
             self._clear(sim, w)
         return clear
 
     # -------------------------------------------------------------- faulting
-    def _inject(self, sim, w: FaultWindow) -> None:
+    def _inject(self, sim: SimLike, w: FaultWindow) -> None:
         did = sim.trace.next_decision_id()
         self._inject_ids[w] = did
         sim.trace.emit(FaultInjected(
@@ -94,7 +101,7 @@ class ChaosController:
             self._saved_capacity[w.rank] = mds.capacity
             mds.capacity = mds.capacity * w.factor
 
-    def _clear(self, sim, w: FaultWindow) -> None:
+    def _clear(self, sim: SimLike, w: FaultWindow) -> None:
         parent = self._inject_ids.get(w, NO_DECISION)
         sim.trace.emit(FaultCleared(
             epoch=sim.epoch, tick=sim.tick, kind=w.kind, rank=w.rank,

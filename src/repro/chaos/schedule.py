@@ -28,7 +28,12 @@ import json
 import pathlib
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.util.rng import substream
+
+if TYPE_CHECKING:
+    import numpy as np
 
 __all__ = [
     "ChaosError",
@@ -104,7 +109,8 @@ class FailMds:
         _check_epoch(self.at_epoch, "at_epoch")
         _check_duration(self.duration, "duration")
 
-    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+    def windows(self, rng: np.random.Generator,
+                all_ranks: tuple[int, ...]) -> list[FaultWindow]:
         return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
                             self.rank, "fail", source="fail_mds")]
 
@@ -130,7 +136,8 @@ class SlowMds:
             raise ScheduleError(
                 f"slow_mds factor must be in (0, 1), got {self.factor}")
 
-    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+    def windows(self, rng: np.random.Generator,
+                all_ranks: tuple[int, ...]) -> list[FaultWindow]:
         return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
                             self.rank, "slow", factor=self.factor,
                             source="slow_mds")]
@@ -157,7 +164,8 @@ class FlapMds:
         _check_duration(self.down, "down")
         _check_duration(self.up, "up")
 
-    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+    def windows(self, rng: np.random.Generator,
+                all_ranks: tuple[int, ...]) -> list[FaultWindow]:
         out = []
         start = self.at_epoch
         for _ in range(self.cycles):
@@ -185,7 +193,8 @@ class CorrelatedFailure:
         _check_epoch(self.at_epoch, "at_epoch")
         _check_duration(self.duration, "duration")
 
-    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+    def windows(self, rng: np.random.Generator,
+                all_ranks: tuple[int, ...]) -> list[FaultWindow]:
         return [FaultWindow(self.at_epoch, self.at_epoch + self.duration,
                             r, "fail", source="correlated_failure")
                 for r in self.ranks]
@@ -220,7 +229,8 @@ class RandomFailures:
             object.__setattr__(
                 self, "ranks", tuple(int(r) for r in self.ranks))
 
-    def windows(self, rng, all_ranks) -> list[FaultWindow]:
+    def windows(self, rng: np.random.Generator,
+                all_ranks: tuple[int, ...]) -> list[FaultWindow]:
         pool = self.ranks if self.ranks is not None else all_ranks
         placed: list[FaultWindow] = []
         # bounded rejection sampling: deterministic under the substream,
@@ -379,7 +389,7 @@ def loads_toml(text: str) -> dict:
     return tomllib.loads(text)
 
 
-def _parse_toml_value(raw: str, lineno: int):
+def _parse_toml_value(raw: str, lineno: int) -> object:
     raw = raw.strip()
     if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
         return raw[1:-1]

@@ -25,7 +25,9 @@ under a fixed seed.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.chaos.schedule import FaultWindow
 
@@ -118,7 +120,7 @@ def _recovery(if_series: list[float], window: FaultWindow) -> FaultRecovery:
         baseline_if=baseline, band=band, recovery_epochs=recovery)
 
 
-def _aborted_waste(events) -> tuple[int, int]:
+def _aborted_waste(events: Iterable[Any]) -> tuple[int, int]:
     """(tasks, inodes) lost to ``mds_failed`` aborts.
 
     Task sizes come from joining each abort to its ``migration_planned``
@@ -137,7 +139,8 @@ def _aborted_waste(events) -> tuple[int, int]:
     return tasks, inodes
 
 
-def score_run(if_series, windows, events) -> RobustnessScore:
+def score_run(if_series: Iterable[float], windows: Iterable[FaultWindow],
+              events: Iterable[Any]) -> RobustnessScore:
     """Score one disturbed run.
 
     ``if_series`` is the simulator's per-epoch reporting IF,

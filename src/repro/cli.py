@@ -276,13 +276,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the AST invariant linter over the tree (exit 1 on findings)")
     lint_p.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
                         help="files or directories to lint (default: src)")
-    lint_p.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format (json is the CI artifact form)")
+    lint_p.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="report format (json is the CI artifact form; "
+                             "github emits Actions annotation commands)")
     lint_p.add_argument("--rule", action="append", metavar="RULE_ID",
                         help="run only this rule id (repeatable; unknown ids "
                              "are an error — see --list-rules)")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="list registered rule ids and exit")
+    lint_p.add_argument("--baseline", choices=("write", "check"),
+                        help="write: accept current findings into the "
+                             "baseline file; check: fail only on findings "
+                             "beyond the committed baseline (the ratchet)")
+    lint_p.add_argument("--baseline-file", default="lint-baseline.json",
+                        metavar="PATH",
+                        help="baseline location (default: "
+                             "lint-baseline.json)")
+    lint_p.add_argument("--fix-suppressions", action="store_true",
+                        help="delete inline '# repro-lint: disable=' "
+                             "comments that match no finding, then re-lint")
 
     ovh_p = sub.add_parser("overhead",
                            help="control-plane overhead accounting (paper §3.4)")
@@ -803,7 +816,17 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_lint(args, out) -> int:
-    from repro.lint import all_rules, lint_paths, render_json, render_text
+    from repro.lint import (
+        all_rules,
+        check_baseline,
+        fix_suppressions,
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.lint.engine import LintResult
 
     if args.list_rules:
         for rid, rule in sorted(all_rules().items()):
@@ -814,7 +837,30 @@ def _cmd_lint(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    if args.fix_suppressions and result.unused_suppressions:
+        n = fix_suppressions(result.unused_suppressions)
+        print(f"removed {n} stale suppression(s); re-linting", file=out)
+        result = lint_paths(args.paths, rules=args.rule)
+    if args.baseline == "write":
+        n = write_baseline(result, args.baseline_file)
+        print(f"wrote {n} baseline entr{'y' if n == 1 else 'ies'} "
+              f"({len(result.findings)} finding(s)) to "
+              f"{args.baseline_file}", file=out)
+        return 0
+    if args.baseline == "check":
+        try:
+            new, stale = check_baseline(result, args.baseline_file)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = LintResult(findings=new, checked=result.checked,
+                            unused_suppressions=result.unused_suppressions)
+        for key in stale:
+            print(f"note: baseline entry no longer produced: "
+                  f"{key[0]} [{key[1]}] — refresh with --baseline write",
+                  file=out)
+    render = {"json": render_json, "github": render_github}.get(
+        args.format, render_text)
     print(render(result), end="", file=out)
     return result.exit_code
 

@@ -8,6 +8,12 @@ points: ``repro lint [PATHS]`` on the command line, or
 :func:`repro.lint.engine.lint_paths` from code.
 """
 
+from repro.lint.baseline import (
+    check_baseline,
+    fix_suppressions,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.engine import (
     LintResult,
     all_rules,
@@ -16,7 +22,12 @@ from repro.lint.engine import (
     rule_ids,
 )
 from repro.lint.findings import ERROR, WARNING, Finding, Severity
-from repro.lint.reporters import parse_json, render_json, render_text
+from repro.lint.reporters import (
+    parse_json,
+    render_github,
+    render_json,
+    render_text,
+)
 
 __all__ = [
     "ERROR",
@@ -29,6 +40,11 @@ __all__ = [
     "lint_paths",
     "rule_ids",
     "parse_json",
+    "render_github",
     "render_json",
     "render_text",
+    "check_baseline",
+    "fix_suppressions",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -1,0 +1,144 @@
+"""Findings baseline ratchet and stale-suppression autofix.
+
+New rule families land strict without a mass of inline suppressions: the
+baseline file (``repro lint --baseline write``, committed as
+``lint-baseline.json``) records today's accepted findings, and CI runs
+``repro lint --baseline check``, which fails only on findings *not* in
+the baseline. Fixing an accepted finding shrinks the next ``write`` —
+the file only ever ratchets downward in review.
+
+Baseline entries are keyed ``(path, rule, message)`` with a count, **no
+line numbers**: unrelated edits that shift a finding up or down the file
+do not invalidate the baseline, while any change to what the finding
+says (or a second instance of it) does.
+
+:func:`fix_suppressions` is the other half of keeping the tree honest:
+it deletes inline ``# repro-lint: disable=`` comments the engine
+reported as matching nothing (see
+``LintResult.unused_suppressions``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from collections import Counter
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+__all__ = [
+    "baseline_key",
+    "write_baseline",
+    "load_baseline",
+    "check_baseline",
+    "fix_suppressions",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def baseline_key(f: Finding) -> tuple[str, str, str]:
+    """Line-number-free identity of a finding for ratcheting."""
+    return (f.path, f.rule, f.message)
+
+
+def write_baseline(result: LintResult, path: str | pathlib.Path) -> int:
+    """Persist the result's findings as the accepted baseline; returns
+    the number of distinct entries written."""
+    counts = Counter(baseline_key(f) for f in result.findings)
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": n}
+        for (p, r, m), n in sorted(counts.items())
+    ]
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str | pathlib.Path) -> Counter:
+    """The committed baseline as a key -> accepted-count Counter."""
+    doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {doc.get('version')!r}; this "
+            f"linter reads version {BASELINE_VERSION} — regenerate with "
+            f"'repro lint --baseline write'")
+    counts: Counter = Counter()
+    for entry in doc.get("findings", []):
+        counts[(entry["path"], entry["rule"], entry["message"])] = \
+            int(entry["count"])
+    return counts
+
+
+def check_baseline(result: LintResult, path: str | pathlib.Path,
+                   ) -> tuple[list[Finding], list[tuple[str, str, str]]]:
+    """Split the result against the baseline.
+
+    Returns ``(new, stale)``: findings beyond the accepted counts (these
+    fail the run), and baseline keys the tree no longer produces (these
+    only suggest a fresh ``--baseline write``)."""
+    accepted = load_baseline(path)
+    budget = Counter(accepted)
+    new: list[Finding] = []
+    for f in sorted(result.findings):
+        key = baseline_key(f)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            new.append(f)
+    seen = Counter(baseline_key(f) for f in result.findings)
+    stale = sorted(k for k, n in accepted.items() if seen[k] < n)
+    return new, stale
+
+
+# ------------------------------------------------------------ suppression fix
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_\-]+"
+    r"(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+def fix_suppressions(
+        unused: list[tuple[pathlib.Path, int, str]]) -> int:
+    """Delete unused rule ids from inline suppression comments in place.
+
+    A directive left with no ids loses the whole comment; a line left
+    holding nothing but whitespace is removed. Returns the number of ids
+    deleted. Entries are grouped per file and applied bottom-up so line
+    numbers stay valid during editing."""
+    by_file: dict[pathlib.Path, list[tuple[int, str]]] = {}
+    for path, line, rule_id in unused:
+        by_file.setdefault(path, []).append((line, rule_id))
+    removed = 0
+    for path in sorted(by_file):
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        for line_no, rule_id in sorted(by_file[path], reverse=True):
+            if not 1 <= line_no <= len(lines):
+                continue
+            text = lines[line_no - 1]
+            m = _DIRECTIVE_RE.search(text)
+            if m is None:
+                continue
+            ids = [i.strip() for i in m.group("ids").split(",")]
+            if rule_id not in ids:
+                continue
+            ids.remove(rule_id)
+            removed += 1
+            if ids:
+                new_text = (text[:m.start()]
+                            + f"# repro-lint: disable={','.join(ids)}"
+                            + text[m.end():])
+            else:
+                # drop from the directive's own '#' to end of line; any
+                # trailing justification goes with it
+                eol = "\n" if text.endswith("\n") else ""
+                new_text = text[:m.start()].rstrip() + eol
+                if not new_text.strip():
+                    del lines[line_no - 1]
+                    continue
+            lines[line_no - 1] = new_text
+        path.write_text("".join(lines), encoding="utf-8")
+    return removed

@@ -1,0 +1,607 @@
+"""Interprocedural call-graph construction over a lint :class:`Project`.
+
+The flow-analysis layer (``repro.lint.effects``, ``repro.lint.concurrency``)
+needs to answer "what does this function *reach*?", not just "what does
+this line *say*?". This module builds that reachability substrate:
+
+- every ``def``/``async def`` in every scanned module becomes a
+  :class:`FunctionNode` (methods and nested functions included — the graph
+  is **total**: no function in the tree is unrepresented);
+- every ``ast.Call`` becomes a :class:`CallSite`, resolved where the AST
+  supports it: direct names through import aliases, ``self.meth()``
+  through the class (and its project-local bases), ``obj.meth()`` through
+  a best-effort type environment fed by parameter annotations, local
+  constructor calls and return-type annotations of project functions;
+- unresolved targets keep their dotted name (``numpy.concatenate``) so
+  effect tables can still classify them.
+
+Resolution is deliberately conservative and **deterministic**: modules,
+classes and functions are visited in sorted order, every mapping is
+insertion-ordered from sorted inputs, and building the graph twice over
+the same tree yields identical structures
+(``tests/test_lint_callgraph.py`` property-tests both claims).
+
+Nested ``def``\\ s get an *implicit* edge from their enclosing function —
+defining a closure is treated as (potentially) calling it, which
+over-approximates reachability but never under-approximates effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.engine import ModuleInfo, Project, import_alias_map
+
+__all__ = [
+    "Root",
+    "CallSite",
+    "FunctionNode",
+    "ClassNode",
+    "CallGraph",
+    "build_callgraph",
+    "get_callgraph",
+    "root_of",
+]
+
+
+@dataclass(frozen=True)
+class Root:
+    """A pure access chain rooted at a local name: ``view.heat`` is
+    ``Root("view", ("heat",))``. Chains broken by calls or operators have
+    no Root — a call result is a fresh object as far as aliasing goes."""
+
+    base: str
+    chain: tuple[str, ...] = ()
+
+
+def root_of(expr: ast.expr) -> Root | None:
+    """The :class:`Root` of ``expr`` if it is a pure Name/Attribute/
+    Subscript chain; ``None`` otherwise. Subscripts keep the base chain
+    (``a[k].b`` roots at ``a``) — indexing reaches *into* the object."""
+    chain: list[str] = []
+    node = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            chain.reverse()
+            return Root(node.id, tuple(chain))
+        else:
+            return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved (or not) call inside a function body.
+
+    ``callee`` is the qualified name of a project function when resolution
+    succeeded, else ``None``; ``external`` carries the dotted target name
+    (through import aliases) when it did not. ``receiver`` is the Root of
+    the bound object for method calls (``view.loads()`` → ``view``);
+    ``args`` maps callee parameter names to caller Roots where the
+    argument was a pure chain. ``implicit`` marks enclosing-def → nested-def
+    edges (no ast.Call exists)."""
+
+    callee: str | None
+    external: str | None
+    line: int
+    receiver: Root | None = None
+    args: tuple[tuple[str, Root], ...] = ()
+    implicit: bool = False
+
+
+@dataclass
+class FunctionNode:
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: parameter names in order (``self`` included for methods)
+    params: tuple[str, ...]
+    class_qualname: str | None
+    is_async: bool
+    is_property: bool
+    #: project class qualname the return annotation names, if any
+    returns: str | None = None
+
+
+@dataclass
+class ClassNode:
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    #: project-local base-class qualnames (external bases are dropped)
+    bases: tuple[str, ...]
+    #: method name -> function qualname
+    methods: dict[str, str] = field(default_factory=dict)
+    properties: frozenset[str] = frozenset()
+    #: attr name -> sorted tuple of candidate project class qualnames
+    #: (from ``self.x = Cls(...)`` assignments and ``self.x: Cls`` / class
+    #: body annotations across every method)
+    attr_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class CallGraph:
+    functions: dict[str, FunctionNode]
+    classes: dict[str, ClassNode]
+    #: caller qualname -> call sites, in source order
+    calls: dict[str, tuple[CallSite, ...]]
+
+    def method_of(self, class_qualname: str, name: str) -> str | None:
+        """Resolve ``name`` on a class, walking project-local bases (MRO
+        approximated depth-first in declaration order)."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            cq = stack.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            cls = self.classes.get(cq)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            stack.extend(cls.bases)
+        return None
+
+    def subclasses_of(self, base_qualname: str) -> list[str]:
+        """Every project class with ``base_qualname`` in its transitive
+        base chain, sorted."""
+        out = []
+        for cq in sorted(self.classes):
+            seen: set[str] = set()
+            stack = list(self.classes[cq].bases)
+            while stack:
+                b = stack.pop()
+                if b in seen:
+                    continue
+                seen.add(b)
+                if b == base_qualname:
+                    out.append(cq)
+                    break
+                parent = self.classes.get(b)
+                if parent is not None:
+                    stack.extend(parent.bases)
+        return out
+
+    def reachable(self, roots: list[str]) -> list[str]:
+        """Project functions reachable from ``roots`` (roots included),
+        in deterministic BFS order."""
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        queue = [r for r in roots if r in self.functions]
+        while queue:
+            fn = queue.pop(0)
+            if fn in seen_set:
+                continue
+            seen_set.add(fn)
+            seen.append(fn)
+            for site in self.calls.get(fn, ()):
+                if site.callee is not None and site.callee not in seen_set:
+                    queue.append(site.callee)
+        return seen
+
+
+# --------------------------------------------------------------- building
+def _annotation_class(ann: ast.expr | None, resolver: _Resolver) -> str | None:
+    """Project class qualname an annotation refers to, unwrapping
+    ``X | None``, ``Optional[X]`` and string annotations."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return (_annotation_class(ann.left, resolver)
+                or _annotation_class(ann.right, resolver))
+    if isinstance(ann, ast.Subscript):  # Optional[X], list[X] → look inside
+        return _annotation_class(ann.slice, resolver)
+    root = root_of(ann)
+    if root is None:
+        return None
+    dotted = ".".join([root.base, *root.chain])
+    return resolver.class_qualname(dotted)
+
+
+class _Resolver:
+    """Per-module name resolution: aliases + module-level defs."""
+
+    def __init__(self, module: ModuleInfo, classes: dict[str, ClassNode],
+                 functions: dict[str, FunctionNode]) -> None:
+        self.module = module
+        self.aliases = import_alias_map(module.tree)
+        self.classes = classes
+        self.functions = functions
+        self.prefix = module.module or module.display
+
+    def dotted(self, name: str) -> str:
+        """Resolve a bare name through import aliases, else assume local."""
+        if name in self.aliases:
+            return self.aliases[name]
+        return f"{self.prefix}.{name}"
+
+    def class_qualname(self, dotted: str) -> str | None:
+        for cand in (dotted, f"{self.prefix}.{dotted}",
+                     self.aliases.get(dotted.split(".")[0], "")
+                     + dotted[len(dotted.split(".")[0]):]):
+            if cand in self.classes:
+                return cand
+        return None
+
+    def function_qualname(self, dotted: str) -> str | None:
+        if dotted in self.functions:
+            return dotted
+        local = f"{self.prefix}.{dotted}"
+        if local in self.functions:
+            return local
+        return None
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    names = []
+    for dec in node.decorator_list:
+        root = root_of(dec.func if isinstance(dec, ast.Call) else dec)
+        if root is not None:
+            names.append(".".join([root.base, *root.chain]))
+    return names
+
+
+def _collect_defs(graph: CallGraph, module: ModuleInfo) -> None:
+    """First pass: register every class and function under its qualname."""
+    prefix = module.module or module.display
+
+    def visit(body: list[ast.stmt], scope: str, class_qn: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qn = f"{scope}.{stmt.name}"
+                decorators = _decorator_names(stmt)
+                params = tuple(
+                    a.arg for a in [*stmt.args.posonlyargs, *stmt.args.args,
+                                    *([stmt.args.vararg] if stmt.args.vararg else []),
+                                    *stmt.args.kwonlyargs,
+                                    *([stmt.args.kwarg] if stmt.args.kwarg else [])]
+                )
+                graph.functions[qn] = FunctionNode(
+                    qualname=qn, module=module, node=stmt, params=params,
+                    class_qualname=class_qn,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    is_property="property" in decorators
+                    or any(d.endswith(".setter") for d in decorators),
+                )
+                if class_qn is not None:
+                    graph.classes[class_qn].methods.setdefault(stmt.name, qn)
+                # nested defs live inside function scope, not class scope
+                visit(stmt.body, qn, None)
+            elif isinstance(stmt, ast.ClassDef):
+                qn = f"{scope}.{stmt.name}"
+                graph.classes[qn] = ClassNode(
+                    qualname=qn, module=module, node=stmt, bases=())
+                visit(stmt.body, qn, qn)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                # defs under module-level guards still exist
+                for sub in ast.iter_child_nodes(stmt):
+                    if isinstance(sub, ast.stmt):
+                        visit([sub], scope, class_qn)
+
+    visit(module.tree.body, prefix, None)
+
+
+def _link_classes(graph: CallGraph, module: ModuleInfo) -> None:
+    """Second pass: resolve base classes, properties and attribute types."""
+    resolver = _Resolver(module, graph.classes, graph.functions)
+    prefix = module.module or module.display
+    for cq in sorted(graph.classes):
+        cls = graph.classes[cq]
+        if cls.module is not module:
+            continue
+        bases = []
+        for b in cls.node.bases:
+            root = root_of(b)
+            if root is None:
+                continue
+            dotted = resolver.dotted(root.base)
+            dotted = ".".join([dotted, *root.chain]) if root.chain else dotted
+            resolved = resolver.class_qualname(dotted) or resolver.class_qualname(
+                ".".join([root.base, *root.chain]))
+            if resolved is not None:
+                bases.append(resolved)
+        cls.bases = tuple(bases)
+        props = set()
+        for name, fq in cls.methods.items():
+            if graph.functions[fq].is_property:
+                props.add(name)
+        cls.properties = frozenset(props)
+        # attribute types from self.x = Cls(...) / self.x: Cls anywhere
+        attr_types: dict[str, set[str]] = {}
+        for name in sorted(cls.methods):
+            fn = graph.functions[cls.methods[name]]
+            self_name = fn.params[0] if fn.params else "self"
+            for stmt in ast.walk(fn.node):
+                target_ann: tuple[ast.expr, ast.expr | None, ast.expr | None] | None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target_ann = (stmt.targets[0], None, stmt.value)
+                elif isinstance(stmt, ast.AnnAssign):
+                    target_ann = (stmt.target, stmt.annotation, stmt.value)
+                else:
+                    continue
+                target, ann, value = target_ann
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name):
+                    continue
+                tname = None
+                if ann is not None:
+                    tname = _annotation_class(ann, resolver)
+                if tname is None and isinstance(value, ast.Call):
+                    vroot = root_of(value.func)
+                    if vroot is not None:
+                        tname = resolver.class_qualname(
+                            ".".join([resolver.dotted(vroot.base), *vroot.chain]))
+                if tname is not None:
+                    attr_types.setdefault(target.attr, set()).add(tname)
+        cls.attr_types = {a: tuple(sorted(ts))
+                          for a, ts in sorted(attr_types.items())}
+    del prefix
+
+
+class _FunctionScanner:
+    """Third pass, one function: type environment + call-site extraction."""
+
+    def __init__(self, graph: CallGraph, fn: FunctionNode,
+                 resolver: _Resolver) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.resolver = resolver
+        #: local name -> project class qualname
+        self.types: dict[str, str] = {}
+        self.sites: list[CallSite] = []
+        self._seed_param_types()
+
+    def _seed_param_types(self) -> None:
+        node, fn = self.fn.node, self.fn
+        all_args = [*node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs]
+        for a in all_args:
+            t = _annotation_class(a.annotation, self.resolver)
+            if t is not None:
+                self.types[a.arg] = t
+        if fn.class_qualname is not None and fn.params:
+            self.types.setdefault(fn.params[0], fn.class_qualname)
+
+    # ------------------------------------------------------------- typing
+    def type_of(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return self.types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_t = self.type_of(expr.value)
+            if base_t is None:
+                return None
+            cls = self.graph.classes.get(base_t)
+            if cls is None:
+                return None
+            if expr.attr in cls.properties:
+                mq = self.graph.method_of(base_t, expr.attr)
+                if mq is not None:
+                    return self.graph.functions[mq].returns
+                return None
+            cands = cls.attr_types.get(expr.attr, ())
+            return cands[0] if len(cands) == 1 else None
+        if isinstance(expr, ast.Call):
+            return self._call_result_type(expr)
+        return None
+
+    def _call_result_type(self, call: ast.Call) -> str | None:
+        target = self._resolve_target(call)
+        if target is None:
+            return None
+        kind, qn = target
+        if kind == "ctor":
+            return qn
+        if kind == "fn":
+            return self.graph.functions[qn].returns
+        return None
+
+    # ---------------------------------------------------------- resolution
+    def _resolve_target(self, call: ast.Call) -> tuple[str, str] | None:
+        """(kind, qualname): kind 'fn' (project function/method) or 'ctor'
+        (project class constructor)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            t = self.types.get(name)
+            if t is not None:  # a variable holding a known instance: not a call target we track
+                return None
+            dotted = self.resolver.dotted(name)
+            cq = self.resolver.class_qualname(dotted)
+            if cq is not None:
+                return ("ctor", cq)
+            fq = self.resolver.function_qualname(dotted)
+            if fq is not None:
+                return ("fn", fq)
+            # nested function in an enclosing scope?
+            scope = self.fn.qualname
+            while "." in scope:
+                cand = f"{scope}.{name}"
+                if cand in self.graph.functions:
+                    return ("fn", cand)
+                scope = scope.rsplit(".", 1)[0]
+            return None
+        if isinstance(func, ast.Attribute):
+            base_t = self.type_of(func.value)
+            if base_t is not None:
+                mq = self.graph.method_of(base_t, func.attr)
+                if mq is not None:
+                    return ("fn", mq)
+                return None
+            root = root_of(func)
+            if root is not None and not root.chain:
+                return None
+            if root is not None:
+                dotted = ".".join([self.resolver.dotted(root.base), *root.chain])
+                cq = self.resolver.class_qualname(dotted)
+                if cq is not None:
+                    return ("ctor", cq)
+                fq = self.resolver.function_qualname(dotted)
+                if fq is not None:
+                    return ("fn", fq)
+            return None
+        return None
+
+    def _external_name(self, call: ast.Call) -> str | None:
+        root = root_of(call.func)
+        if root is None:
+            return None
+        return ".".join([self.resolver.aliases.get(root.base, root.base),
+                         *root.chain])
+
+    def _arg_map(self, call: ast.Call, callee: FunctionNode,
+                 receiver: Root | None) -> tuple[tuple[str, Root], ...]:
+        params = list(callee.params)
+        out: list[tuple[str, Root]] = []
+        if callee.class_qualname is not None and params:
+            if receiver is not None:
+                out.append((params[0], receiver))
+            # ctor call: ``self`` is the fresh object, never a caller root
+            params = params[1:]
+        for i, arg in enumerate(call.args):
+            if i >= len(params):
+                break
+            r = root_of(arg)
+            if r is not None:
+                out.append((params[i], r))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                r = root_of(kw.value)
+                if r is not None:
+                    out.append((kw.arg, r))
+        return tuple(out)
+
+    # -------------------------------------------------------------- walking
+    def scan(self) -> None:
+        self._walk(self.fn.node.body)
+
+    def _walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # implicit enclosing → nested edge; free names map by identity
+                self.sites.append(CallSite(
+                    callee=f"{self.fn.qualname}.{stmt.name}", external=None,
+                    line=stmt.lineno, implicit=True))
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                # defining a nested class: its methods may run (handlers)
+                cls = self.graph.classes.get(f"{self.fn.qualname}.{stmt.name}")
+                if cls is not None:
+                    for mname in sorted(cls.methods):
+                        self.sites.append(CallSite(
+                            callee=cls.methods[mname], external=None,
+                            line=stmt.lineno, implicit=True))
+                continue
+            for call in self._calls_in_stmt(stmt):
+                self._record_call(call)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                t = self.type_of(stmt.value)
+                name = stmt.targets[0].id
+                if t is not None:
+                    self.types[name] = t
+                else:
+                    self.types.pop(name, None)
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, attr, None)
+                if sub:
+                    self._walk(sub)
+            for handler in getattr(stmt, "handlers", ()):
+                self._walk(handler.body)
+
+    @staticmethod
+    def _calls_in_stmt(stmt: ast.stmt) -> list[ast.Call]:
+        """Calls in this statement's own expressions, excluding nested
+        statements (walked separately) and nested def bodies (their own
+        graph nodes)."""
+        out: list[ast.Call] = []
+        queue: list[ast.AST] = [
+            c for c in ast.iter_child_nodes(stmt)
+            if not isinstance(c, ast.stmt)
+        ]
+        while queue:
+            node = queue.pop(0)
+            if isinstance(node, ast.Call):
+                out.append(node)
+            for child in ast.iter_child_nodes(node):
+                if not isinstance(child, ast.stmt):
+                    queue.append(child)
+        return out
+
+    def _record_call(self, call: ast.Call) -> None:
+        target = self._resolve_target(call)
+        receiver = None
+        if isinstance(call.func, ast.Attribute):
+            receiver = root_of(call.func.value)
+        if target is None:
+            self.sites.append(CallSite(
+                callee=None, external=self._external_name(call),
+                line=call.lineno, receiver=receiver))
+            return
+        kind, qn = target
+        if kind == "ctor":
+            init = self.graph.method_of(qn, "__init__")
+            if init is None:
+                self.sites.append(CallSite(callee=None, external=qn,
+                                           line=call.lineno))
+                return
+            callee = self.graph.functions[init]
+            # constructor: self is the fresh object, no receiver root
+            args = self._arg_map(call, callee, None)
+            self.sites.append(CallSite(callee=init, external=None,
+                                       line=call.lineno, args=args))
+            return
+        callee = self.graph.functions[qn]
+        args = self._arg_map(call, callee, receiver)
+        self.sites.append(CallSite(callee=qn, external=None,
+                                   line=call.lineno, receiver=receiver,
+                                   args=args))
+
+
+def _resolve_returns(graph: CallGraph) -> None:
+    for qn in sorted(graph.functions):
+        fn = graph.functions[qn]
+        resolver = _Resolver(fn.module, graph.classes, graph.functions)
+        fn.returns = _annotation_class(fn.node.returns, resolver)
+
+
+def get_callgraph(project: Project) -> CallGraph:
+    """The project's call graph, built once and cached on the project so
+    the effect and concurrency rule families share one construction."""
+    cached = getattr(project, "_callgraph_cache", None)
+    if cached is None:
+        cached = build_callgraph(project)
+        project._callgraph_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Build the whole-project call graph. Deterministic and total."""
+    graph = CallGraph(functions={}, classes={}, calls={})
+    modules = sorted(project.modules, key=lambda m: m.display)
+    for module in modules:
+        _collect_defs(graph, module)
+    for module in modules:
+        _link_classes(graph, module)
+    _resolve_returns(graph)
+    graph.functions = dict(sorted(graph.functions.items()))
+    graph.classes = dict(sorted(graph.classes.items()))
+    for qn in sorted(graph.functions):
+        fn = graph.functions[qn]
+        resolver = _Resolver(fn.module, graph.classes, graph.functions)
+        scanner = _FunctionScanner(graph, fn, resolver)
+        scanner.scan()
+        graph.calls[qn] = tuple(scanner.sites)
+    return graph

@@ -1,0 +1,548 @@
+"""Lock-discipline race detection for the threaded serve plane.
+
+``repro serve`` mixes three kinds of threads over shared objects: the
+asyncio driver (one coroutine advancing the simulator), the
+``ThreadingHTTPServer``'s per-connection handler threads, and the
+simulation thread publishing trace events through the
+:class:`~repro.serve.bus.EventBus`. The classes on that boundary declare
+their locking discipline inline and this module checks it statically.
+
+Annotation grammar (trailing comments):
+
+``# guarded-by: self.<lock>``
+    on a ``self.attr = ...`` line in ``__init__``: every read and write of
+    the attribute outside ``__init__`` must happen while ``self.<lock>``
+    is held.
+``# guarded-by: self.<lock> (writes)``
+    copy-on-write discipline: writes require the lock, reads are
+    lock-free (the referent must be replaced, never mutated).
+``# guarded-by: none — <reason>``
+    deliberately unguarded shared state; the reason is mandatory.
+``# holds-lock: self.<lock>``
+    on a ``def`` line: the method asserts its caller already holds the
+    lock. Its body is analyzed with the lock in the held set, and every
+    call site is checked to actually hold it.
+
+Unannotated attributes are inferred: assigned only in ``__init__`` means
+immutable-after-init (reads are safe anywhere); otherwise every access
+site must agree on one dominating ``with self.<lock>:`` block, and
+disagreement is reported at the unguarded sites.
+
+The analysis is cross-object along annotated parameters: a function
+taking ``service: SimulatorService`` (including classes nested inside it,
+like the HTTP handler factory) has ``service.attr`` accesses checked
+against ``SimulatorService``'s discipline, with the guard rebased onto
+``service``. Property accesses are exempt at the use site — the property
+*body* is checked as a method of its own class instead.
+
+A second rule keeps the asyncio driver honest: blocking calls inside
+``async def`` (``time.sleep``, sync HTTP, ``subprocess``), bare
+``lock.acquire()`` without a timeout, and ``await`` while holding a lock
+are all reported (see :data:`repro.lint.config.ASYNC_BLOCKING_CALLS`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.lint import config
+from repro.lint.callgraph import (
+    CallGraph,
+    ClassNode,
+    FunctionNode,
+    _annotation_class,
+    _Resolver,
+    get_callgraph,
+    root_of,
+)
+from repro.lint.engine import ModuleInfo, Project, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["GuardedByRule", "AsyncBlockingRule", "GuardSpec", "guard_table",
+           "holds_locks"]
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<spec>.+?)\s*$")
+_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*self\.(?P<lock>\w+)")
+_NONE_RE = re.compile(r"^none\s*(?:—|--|-)\s*\S")
+_LOCK_RE = re.compile(r"^self\.(?P<lock>\w+)\s*(?P<writes>\(writes\))?\s*$")
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """Discipline of one shared attribute."""
+
+    attr: str
+    #: lock attribute name on the owner (``lock`` for ``self.lock``);
+    #: ``None`` for exempt attributes
+    lock: str | None
+    #: only writes need the lock (copy-on-write)
+    writes_only: bool = False
+    #: "annotated" | "annotated-none" | "annotated-none-missing-reason"
+    #: | "annotated-malformed"
+    origin: str = "annotated"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class _Access:
+    attr: str
+    line: int
+    write: bool
+    #: held locks at the access, as (base name, lock attr) pairs
+    held: frozenset[tuple[str, str]]
+    #: local name the owner is bound to at this site (``self``/param name)
+    base: str
+    #: display path of the module the access appears in
+    display: str
+
+
+def _line_comment_spec(module: ModuleInfo, line: int) -> str | None:
+    """Guard spec on the assignment's line, or in the contiguous comment
+    block immediately above it."""
+    lines = module.source.splitlines()
+    if not 1 <= line <= len(lines):
+        return None
+    m = _GUARDED_RE.search(lines[line - 1])
+    if m:
+        return m.group("spec")
+    i = line - 2
+    while i >= 0 and lines[i].lstrip().startswith("#"):
+        m = _GUARDED_RE.search(lines[i])
+        if m:
+            return m.group("spec")
+        i -= 1
+    return None
+
+
+def holds_locks(fn: FunctionNode) -> frozenset[str]:
+    """Lock attrs a ``# holds-lock:`` comment on the def line asserts."""
+    lines = fn.module.source.splitlines()
+    line = fn.node.lineno
+    if 1 <= line <= len(lines):
+        return frozenset(m.group("lock")
+                         for m in _HOLDS_RE.finditer(lines[line - 1]))
+    return frozenset()
+
+
+def _init_assignments(cls: ClassNode) -> Iterator[tuple[str, int]]:
+    """(attribute, line) for every ``self.x = ...`` in ``__init__``."""
+    init = None
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            init = stmt
+            break
+    if init is None:
+        return
+    self_name = init.args.args[0].arg if init.args.args else "self"
+
+    def targets(t: ast.expr) -> Iterator[tuple[str, int]]:
+        if isinstance(t, ast.Attribute) and \
+                isinstance(t.value, ast.Name) and t.value.id == self_name:
+            yield t.attr, t.lineno
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                yield from targets(elt)
+
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                yield from targets(t)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            yield from targets(node.target)
+
+
+class _AccessScanner:
+    """Collect attribute accesses on tracked bases, with held-lock sets."""
+
+    def __init__(self, bases: frozenset[str],
+                 entry_held: frozenset[tuple[str, str]],
+                 display: str) -> None:
+        self.bases = bases
+        self.display = display
+        self.accesses: list[_Access] = []
+        #: (base, method, line, held) — holds-lock contract call sites
+        self.calls: list[tuple[str, str, int, frozenset[tuple[str, str]]]] = []
+        self.awaits: list[tuple[int, frozenset[tuple[str, str]]]] = []
+        self._held = set(entry_held)
+
+    # ---------------------------------------------------------------- record
+    def _record(self, attr: str, base: str, line: int, write: bool) -> None:
+        self.accesses.append(_Access(
+            attr=attr, line=line, write=write,
+            held=frozenset(self._held), base=base, display=self.display))
+
+    def _scan_expr(self, expr: ast.expr, store: bool = False) -> None:
+        if store:
+            # a subscript store reaches *into* the bound object:
+            # ``self.x[k] = v`` writes x's referent even though the
+            # Attribute node itself is a Load
+            r = root_of(expr)
+            if r is not None and r.base in self.bases and r.chain and \
+                    isinstance(expr, ast.Subscript):
+                self._record(r.chain[0], r.base, expr.lineno, True)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in self.bases:
+                write = store and isinstance(node.ctx, (ast.Store, ast.Del))
+                self._record(node.attr, node.value.id, node.lineno, write)
+            elif isinstance(node, ast.Call):
+                self._scan_call(node)
+            elif isinstance(node, ast.Await):
+                self.awaits.append((node.lineno, frozenset(self._held)))
+
+    def _scan_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv = root_of(func.value)
+            if recv is not None and recv.base in self.bases:
+                if func.attr in config.MUTATING_METHODS and recv.chain:
+                    # self.x.append(...) mutates the x binding's referent
+                    self._record(recv.chain[0], recv.base,
+                                 node.lineno, True)
+                elif not recv.chain:
+                    # self.meth(...) / service.meth(...): contract check
+                    self.calls.append((recv.base, func.attr, node.lineno,
+                                       frozenset(self._held)))
+
+    # --------------------------------------------------------------- walking
+    def scan(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt)
+
+    def _with_locks(self, items: list[ast.withitem]) -> list[tuple[str, str]]:
+        out = []
+        for item in items:
+            r = root_of(item.context_expr)
+            if r is not None and len(r.chain) == 1 and \
+                    "lock" in r.chain[0].lower():
+                out.append((r.base, r.chain[0]))
+        return out
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are scanned as their own functions
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = self._with_locks(stmt.items)
+            for item in stmt.items:
+                self._scan_expr(item.context_expr)
+            self._held.update(acquired)
+            for inner in stmt.body:
+                self._scan_stmt(inner)
+            self._held.difference_update(acquired)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value)
+            for t in stmt.targets:
+                self._scan_expr(t, store=True)
+            return
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value)
+            self._scan_expr(stmt.target, store=True)
+            return
+        if isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                self._scan_expr(t, store=True)
+            return
+        # expressions hanging off this statement, then child blocks
+        for _fname, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                self._scan_expr(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        self._scan_expr(item)
+                    elif isinstance(item, ast.stmt):
+                        self._scan_stmt(item)
+                    elif isinstance(item, ast.excepthandler):
+                        for inner in item.body:
+                            self._scan_stmt(inner)
+
+
+def guard_table(cls: ClassNode, module: ModuleInfo) -> dict[str, GuardSpec]:
+    """Annotated guard specs for ``cls``; unannotated attrs are absent
+    (their discipline is inferred from access sites)."""
+    table: dict[str, GuardSpec] = {}
+    for attr, line in _init_assignments(cls):
+        spec = _line_comment_spec(module, line)
+        if spec is None or attr in table:
+            continue
+        if spec.strip().startswith("none"):
+            origin = "annotated-none" if _NONE_RE.match(spec.strip()) \
+                else "annotated-none-missing-reason"
+            table[attr] = GuardSpec(attr=attr, lock=None,
+                                    origin=origin, line=line)
+            continue
+        m = _LOCK_RE.match(spec.strip())
+        if m:
+            table[attr] = GuardSpec(
+                attr=attr, lock=m.group("lock"),
+                writes_only=m.group("writes") is not None, line=line)
+        else:
+            table[attr] = GuardSpec(attr=attr, lock=None,
+                                    origin="annotated-malformed", line=line)
+    return table
+
+
+@dataclass
+class _ClassReport:
+    cls: ClassNode
+    specs: dict[str, GuardSpec]
+    #: attribute -> all accesses across methods (``__init__`` excluded)
+    accesses: dict[str, list[_Access]] = field(default_factory=dict)
+    #: (base, method, line, held, display) holds-lock call sites
+    calls: list[tuple[str, str, int, frozenset[tuple[str, str]], str]] = \
+        field(default_factory=list)
+
+
+def _concurrency_classes(project: Project) -> list[ClassNode]:
+    graph = get_callgraph(project)
+    return [graph.classes[qn] for qn in sorted(graph.classes)
+            if graph.classes[qn].module.in_packages(
+                config.CONCURRENCY_PACKAGES)]
+
+
+@register
+class GuardedByRule(Rule):
+    id = "guarded-by"
+    description = ("shared attributes of serve-plane classes must follow "
+                   "their declared (or inferred) lock discipline")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        classes = _concurrency_classes(project)
+        class_by_qn = {c.qualname: c for c in classes}
+        reports: dict[str, _ClassReport] = {}
+        for cls in classes:
+            specs = guard_table(cls, cls.module)
+            reports[cls.qualname] = _ClassReport(cls=cls, specs=specs)
+            short = cls.qualname.rsplit(".", 1)[-1]
+            for attr in sorted(specs):
+                spec = specs[attr]
+                if spec.origin == "annotated-malformed":
+                    yield Finding(
+                        path=cls.module.display, line=spec.line, col=1,
+                        rule=self.id,
+                        message=f"unparsable guarded-by annotation on "
+                                f"{short}.{attr}; expected 'self.<lock>', "
+                                f"'self.<lock> (writes)' or "
+                                f"'none — <reason>'")
+                elif spec.origin == "annotated-none-missing-reason":
+                    yield Finding(
+                        path=cls.module.display, line=spec.line, col=1,
+                        rule=self.id,
+                        message=f"guarded-by: none on {short}.{attr} needs "
+                                f"a justifying reason "
+                                f"('none — <why it is safe>')")
+        # ---- collect accesses: own methods + annotated-param functions
+        for cls in classes:
+            rep = reports[cls.qualname]
+            for mname in sorted(cls.methods):
+                fq = cls.methods[mname]
+                fn = graph.functions.get(fq)
+                if fn is None or mname == "__init__":
+                    continue
+                if fn.class_qualname != cls.qualname:
+                    continue  # inherited: analyzed in the defining class
+                self_name = fn.params[0] if fn.params else "self"
+                entry = frozenset(
+                    (self_name, lk) for lk in holds_locks(fn))
+                scanner = _AccessScanner(frozenset({self_name}), entry,
+                                         fn.module.display)
+                scanner.scan(fn.node.body)
+                for acc in scanner.accesses:
+                    rep.accesses.setdefault(acc.attr, []).append(acc)
+                for base, meth, line, held in scanner.calls:
+                    rep.calls.append((base, meth, line, held,
+                                      fn.module.display))
+        self._annotated_param_accesses(graph, class_by_qn, reports)
+        # ---- judge each class
+        for qn in sorted(reports):
+            yield from self._judge(reports[qn], graph)
+
+    def _annotated_param_accesses(
+            self, graph: CallGraph, class_by_qn: dict[str, ClassNode],
+            reports: dict[str, _ClassReport]) -> None:
+        """Scan functions whose params are annotated with a tracked class
+        (closures and nested classes included): cross-object discipline."""
+        for fq in sorted(graph.functions):
+            fn = graph.functions[fq]
+            if not fn.module.in_packages(config.CONCURRENCY_PACKAGES):
+                continue
+            resolver = _Resolver(fn.module, graph.classes, graph.functions)
+            tracked: dict[str, str] = {}
+            args = fn.node.args
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                cq = _annotation_class(a.annotation, resolver)
+                if cq in class_by_qn:
+                    tracked[a.arg] = cq
+            if not tracked:
+                continue
+            bases = frozenset(tracked)
+            scanner = _AccessScanner(bases, frozenset(), fn.module.display)
+            scanner.scan(fn.node.body)
+            # nested classes inside this function close over the params
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, ast.ClassDef):
+                    for sub in stmt.body:
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef)):
+                            inner = _AccessScanner(bases, frozenset(),
+                                                   fn.module.display)
+                            inner.scan(sub.body)
+                            scanner.accesses.extend(inner.accesses)
+                            scanner.calls.extend(inner.calls)
+            for acc in scanner.accesses:
+                cq = tracked[acc.base]
+                reports[cq].accesses.setdefault(acc.attr, []).append(acc)
+            for base, meth, line, held in scanner.calls:
+                reports[tracked[base]].calls.append(
+                    (base, meth, line, held, fn.module.display))
+
+    def _judge(self, rep: _ClassReport,
+               graph: CallGraph) -> Iterable[Finding]:
+        cls = rep.cls
+        short = cls.qualname.rsplit(".", 1)[-1]
+        init_attrs = {a for a, _ in _init_assignments(cls)}
+        for attr in sorted(set(rep.accesses) | set(rep.specs)):
+            if attr in cls.properties:
+                continue  # property bodies are judged as methods
+            if attr not in init_attrs:
+                continue  # not this class's state (inherited/stdlib attr)
+            spec = rep.specs.get(attr)
+            accesses = rep.accesses.get(attr, [])
+            if spec is not None and spec.lock is None:
+                continue  # exempt (reason checked above)
+            if spec is None:
+                if not any(a.write for a in accesses):
+                    continue  # immutable after __init__
+                yield from self._infer(short, attr, accesses)
+                continue
+            suffix = " (writes)" if spec.writes_only else ""
+            for acc in sorted(accesses, key=lambda a: (a.display, a.line)):
+                if spec.writes_only and not acc.write:
+                    continue
+                if (acc.base, spec.lock) not in acc.held:
+                    mode = "write to" if acc.write else "read of"
+                    yield Finding(
+                        path=acc.display, line=acc.line, col=1,
+                        rule=self.id,
+                        message=f"unguarded {mode} {short}.{attr} "
+                                f"(guarded-by: self.{spec.lock}{suffix}); "
+                                f"hold {acc.base}.{spec.lock} here")
+        # holds-lock contracts at call sites
+        for base, meth, line, held, display in sorted(
+                rep.calls, key=lambda c: (c[4], c[2])):
+            fq = cls.methods.get(meth)
+            if fq is None or fq not in graph.functions:
+                continue
+            for lk in sorted(holds_locks(graph.functions[fq])):
+                if (base, lk) not in held:
+                    yield Finding(
+                        path=display, line=line, col=1, rule=self.id,
+                        message=f"call to {short}.{meth}() requires "
+                                f"holding {base}.{lk} "
+                                f"(# holds-lock contract)")
+
+    def _infer(self, short: str, attr: str,
+               accesses: list[_Access]) -> Iterable[Finding]:
+        """No annotation: every access must agree on one held lock."""
+        candidate: set[tuple[str, str]] | None = None
+        for acc in accesses:
+            held = {("self" if a == acc.base else a, lk)
+                    for a, lk in acc.held}
+            candidate = held if candidate is None else candidate & held
+        if candidate:
+            return  # one lock dominates every access: inferred guarded
+        for acc in sorted(accesses, key=lambda a: (a.display, a.line)):
+            norm_held = {("self" if a == acc.base else a, lk)
+                         for a, lk in acc.held}
+            if not norm_held:
+                mode = "write to" if acc.write else "read of"
+                yield Finding(
+                    path=acc.display, line=acc.line, col=1, rule=self.id,
+                    message=f"unguarded {mode} {short}.{attr}, which is "
+                            f"written outside __init__; annotate it in "
+                            f"__init__ (# guarded-by: self.<lock> or "
+                            f"none — <reason>) or hold the dominating "
+                            f"lock here")
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    description = ("async defs in the serve plane must not block the event "
+                   "loop: no sync sleeps/HTTP/subprocess, no bare "
+                   "lock.acquire(), no await while holding a lock")
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if not module.in_packages(config.CONCURRENCY_PACKAGES):
+            return
+        graph = get_callgraph(project)
+        for fq in sorted(graph.functions):
+            fn = graph.functions[fq]
+            if fn.module is not module or not fn.is_async:
+                continue
+            yield from self._check_async(fn, graph)
+
+    def _check_async(self, fn: FunctionNode,
+                     graph: CallGraph) -> Iterable[Finding]:
+        for site in graph.calls.get(fn.qualname, ()):
+            name = site.external
+            if name is None:
+                continue
+            if name in config.ASYNC_BLOCKING_CALLS or any(
+                    name.startswith(p)
+                    for p in config.ASYNC_BLOCKING_PREFIXES):
+                yield self.finding(
+                    fn.module, _node_at(fn, site.line),
+                    f"blocking call {name}() inside async def "
+                    f"{fn.node.name}; it stalls every coroutine on the "
+                    f"loop — use the asyncio equivalent or a thread")
+        self_name = fn.params[0] if fn.params else "self"
+        scanner = _AccessScanner(frozenset({self_name}), frozenset(),
+                                 fn.module.display)
+        scanner.scan(fn.node.body)
+        for line, held in scanner.awaits:
+            for base, lk in sorted(held):
+                yield Finding(
+                    path=fn.module.display, line=line, col=1, rule=self.id,
+                    message=f"await while holding {base}.{lk} in async def "
+                            f"{fn.node.name}: the lock blocks other "
+                            f"threads for the whole suspension — release "
+                            f"before awaiting")
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "acquire":
+                r = root_of(node.func.value)
+                if r is None or not any("lock" in seg.lower()
+                                        for seg in (r.base, *r.chain)):
+                    continue
+                if not {kw.arg for kw in node.keywords} & \
+                        {"timeout", "blocking"}:
+                    yield self.finding(
+                        fn.module, node,
+                        f"unbounded lock.acquire() inside async def "
+                        f"{fn.node.name}; pass timeout= (or use a with "
+                        f"block outside the coroutine)")
+
+
+class _Loc:
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0
+
+
+def _node_at(fn: FunctionNode, line: int) -> ast.AST:
+    for node in ast.walk(fn.node):
+        if getattr(node, "lineno", None) == line and \
+                isinstance(node, ast.Call):
+            return node
+    return _Loc(line)  # type: ignore[return-value]

@@ -43,6 +43,17 @@ __all__ = [
     "GLOBAL_RNG_ALLOWED",
     "LISTING_CALLS",
     "RNG_HINT",
+    "POLICY_BASE_CLASSES",
+    "POLICY_ENTRY_METHODS",
+    "MEMO_ATTRS",
+    "SINK_ATTRS",
+    "MUTATING_METHODS",
+    "IO_CALLS",
+    "IO_CALL_PREFIXES",
+    "IO_METHOD_NAMES",
+    "CONCURRENCY_PACKAGES",
+    "ASYNC_BLOCKING_CALLS",
+    "ASYNC_BLOCKING_PREFIXES",
 ]
 
 #: package -> packages/modules it may import (``repro.`` prefix implied).
@@ -142,3 +153,70 @@ LISTING_CALLS = frozenset({"os.listdir", "os.scandir"})
 
 #: appended to determinism findings so the fix is one import away
 RNG_HINT = "use repro.util.rng.substream(seed, *names) for seeded streams"
+
+# --------------------------------------------------------- effect inference
+#: base classes whose subclasses are *policies*: every function reachable
+#: from their entry methods must be pure over the ClusterView they receive
+POLICY_BASE_CLASSES = frozenset({"repro.balancers.base.Balancer"})
+
+#: the policy seam's entry points (each receives the view as its second
+#: parameter; see ``repro.balancers.base.Balancer``)
+POLICY_ENTRY_METHODS = ("setup", "on_epoch")
+
+#: attributes that are content-transparent memo caches: writing through
+#: them does not change what the owner *means* (ClusterView._lazy is
+#: ``field(compare=False)`` — a cache of derived values, not state)
+MEMO_ATTRS = frozenset({"_lazy"})
+
+#: view attributes that are declared *sinks*: mutation through them is the
+#: sanctioned way policies report (the metrics registry) or allocate
+#: decision ids (the run-wide DecisionIds counter)
+SINK_ATTRS = frozenset({"metrics", "decision_ids"})
+
+#: method names that mutate their receiver in place
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+    "appendleft", "popleft", "fill", "resize", "put", "itemset",
+})
+
+#: fully-resolved call targets that perform I/O (effect tag ``io``)
+IO_CALLS = frozenset({
+    "open", "print", "input",
+    "os.remove", "os.unlink", "os.rename", "os.replace", "os.makedirs",
+    "os.mkdir", "os.rmdir", "os.listdir", "os.scandir",
+})
+
+#: dotted-name prefixes whose calls perform I/O
+IO_CALL_PREFIXES = (
+    "shutil.", "socket.", "urllib.", "http.", "subprocess.",
+    "sys.stdout.", "sys.stderr.", "sys.stdin.",
+)
+
+#: receiver-method names that perform I/O regardless of receiver type
+#: (pathlib-style file accessors; receivers are untyped to the linter)
+IO_METHOD_NAMES = frozenset({
+    "write_text", "read_text", "write_bytes", "read_bytes",
+    "mkdir", "rmdir", "unlink", "touch", "urlopen",
+})
+
+# ------------------------------------------------------ concurrency rules
+#: packages whose classes are checked for lock discipline (`guarded-by`):
+#: the threaded live-service plane
+CONCURRENCY_PACKAGES = ("serve",)
+
+#: fully-resolved call targets that block the event loop inside
+#: ``async def`` (the asyncio driver must stay responsive)
+ASYNC_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.check_output",
+    "subprocess.check_call",
+    "subprocess.call",
+})
+
+#: dotted prefixes treated as blocking inside ``async def`` (sync HTTP
+#: client libraries)
+ASYNC_BLOCKING_PREFIXES = ("requests.",)

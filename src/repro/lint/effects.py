@@ -1,0 +1,461 @@
+"""Transitive effect inference and the policy-purity rule.
+
+Built on the interprocedural call graph (:mod:`repro.lint.callgraph`),
+this module infers, per function, a conservative effect summary:
+
+- ``mutated`` — names in the function's scope whose *referent* is mutated
+  (attribute/subscript stores, ``del``, in-place operators, calls of known
+  mutating methods), directly or through any reachable callee;
+- ``stored`` — parameter names whose object escapes into ``self.*`` or a
+  module global (retention);
+- tags — ``wall-clock``, ``global-rng``, ``io``, ``mutates-global``,
+  ``acquires-lock`` — again closed over the call graph.
+
+Two sanctioned channels are exempt (``repro.lint.config``):
+:data:`~repro.lint.config.MEMO_ATTRS` (content-transparent caches like
+``ClusterView._lazy``) and :data:`~repro.lint.config.SINK_ATTRS` (the
+metrics registry and the decision-id allocator, which policies are *meant*
+to feed).
+
+The ``policy-purity`` rule then enforces the seam contract from
+``docs/ARCHITECTURE.md``: for every :class:`~repro.balancers.base.Balancer`
+subclass, nothing reachable from ``setup``/``on_epoch`` may mutate or
+retain the :class:`~repro.core.view.ClusterView`, mutate module state,
+read the wall clock, draw global randomness, or perform I/O. Policies stay
+pure functions of an immutable snapshot — the property the golden traces,
+the process-pool engine and the balancer-swap mutation path all rest on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.lint import config
+from repro.lint.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    Root,
+    get_callgraph,
+    root_of,
+)
+from repro.lint.engine import Project, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Effects",
+    "EffectAnalysis",
+    "analyze_effects",
+    "PolicyPurityRule",
+    "TAG_WALL_CLOCK",
+    "TAG_GLOBAL_RNG",
+    "TAG_IO",
+    "TAG_MUTATES_GLOBAL",
+    "TAG_ACQUIRES_LOCK",
+]
+
+TAG_WALL_CLOCK = "reads-wall-clock"
+TAG_GLOBAL_RNG = "uses-global-rng"
+TAG_IO = "performs-io"
+TAG_MUTATES_GLOBAL = "mutates-module-global"
+TAG_ACQUIRES_LOCK = "acquires-lock"
+
+#: tags that disqualify a function from the pure policy seam
+_IMPURE_TAGS = (TAG_MUTATES_GLOBAL, TAG_WALL_CLOCK, TAG_GLOBAL_RNG, TAG_IO)
+
+
+@dataclass
+class Effects:
+    """One function's effect summary (grows monotonically to fixpoint)."""
+
+    #: scope names whose referent is mutated
+    mutated: set[str] = field(default_factory=set)
+    #: parameter/free names stored into self.* or module globals
+    stored: set[str] = field(default_factory=set)
+    tags: set[str] = field(default_factory=set)
+    #: names bound locally (params, bare assignments, loop targets):
+    #: mutations of these do not escape to callers unless they are params
+    bound: set[str] = field(default_factory=set)
+    #: explanation per mutated name / tag: (line, detail)
+    witness: dict[str, tuple[int, str]] = field(default_factory=dict)
+
+    def exported_mutated(self, params: tuple[str, ...]) -> set[str]:
+        """Mutated names visible to callers: params and free names."""
+        return {m for m in self.mutated
+                if m in params or m not in self.bound}
+
+    def exported_stored(self, params: tuple[str, ...]) -> set[str]:
+        return {s for s in self.stored
+                if s in params or s not in self.bound}
+
+
+def _exempt_chain(chain: tuple[str, ...]) -> bool:
+    """Mutation through a memo cache or a declared sink is sanctioned."""
+    return any(seg in config.MEMO_ATTRS or seg in config.SINK_ATTRS
+               for seg in chain)
+
+
+class _DirectInference(ast.NodeVisitor):
+    """Single-function direct effects: no call-graph knowledge yet."""
+
+    def __init__(self, fn: FunctionNode) -> None:
+        self.fn = fn
+        self.eff = Effects()
+        self.eff.bound.update(fn.params)
+        #: alias name -> (root base, chain prefix); pure-chain assignments
+        self.aliases: dict[str, Root] = {}
+        self._globals: set[str] = set()
+
+    # ------------------------------------------------------------- helpers
+    def _resolve(self, root: Root) -> Root:
+        """Compose ``root`` through the local alias map."""
+        seen = 0
+        while root.base in self.aliases and seen < 8:
+            alias = self.aliases[root.base]
+            root = Root(alias.base, alias.chain + root.chain)
+            seen += 1
+        return root
+
+    def _mutate(self, expr_root: Root | None, line: int, detail: str) -> None:
+        if expr_root is None:
+            return
+        root = self._resolve(expr_root)
+        if _exempt_chain(root.chain):
+            return
+        self.eff.mutated.add(root.base)
+        self.eff.witness.setdefault(f"mut:{root.base}", (line, detail))
+
+    def _tag(self, tag: str, line: int, detail: str) -> None:
+        self.eff.tags.add(tag)
+        self.eff.witness.setdefault(tag, (line, detail))
+
+    # ------------------------------------------------------------- binding
+    def visit_Global(self, node: ast.Global) -> None:
+        self._globals.update(node.names)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            if node.id in self._globals:
+                self._tag(TAG_MUTATES_GLOBAL, node.lineno,
+                          f"assigns global {node.id!r}")
+            else:
+                self.eff.bound.add(node.id)
+
+    # ------------------------------------------------------------ mutation
+    def _handle_target(self, target: ast.expr, value: ast.expr | None,
+                       line: int) -> None:
+        if isinstance(target, ast.Name):
+            self.visit_Name(target)
+            if value is not None:
+                r = root_of(value)
+                if r is not None and target.id not in self._globals:
+                    self.aliases[target.id] = self._resolve(r)
+                else:
+                    self.aliases.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._handle_target(elt, None, line)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value if isinstance(target, ast.Subscript) \
+                else target.value
+            r = root_of(base) if isinstance(target, ast.Subscript) \
+                else root_of(target.value)
+            kind = "item" if isinstance(target, ast.Subscript) else \
+                f"attribute .{target.attr}"
+            if r is not None:
+                resolved = self._resolve(r)
+                # whether an unbound base is an enclosing local or a true
+                # module global is decided post-fixpoint (nested functions
+                # mutate closure cells, not globals)
+                self._mutate(r, line, f"stores {kind}")
+                # retention: a whole object stored into self/global state
+                if value is not None:
+                    vr = root_of(value)
+                    if vr is not None and not _exempt_chain(resolved.chain):
+                        vres = self._resolve(vr)
+                        if not vres.chain:
+                            self.eff.stored.add(vres.base)
+                            self.eff.witness.setdefault(
+                                f"store:{vres.base}",
+                                (line, f"stored into {resolved.base}.*"))
+            del base
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node.value)
+        for target in node.targets:
+            self._handle_target(target, node.value, node.lineno)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.generic_visit(node.value)
+            self._handle_target(node.target, node.value, node.lineno)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node.value)
+        self._handle_target(node.target, None, node.lineno)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._handle_target(target, None, node.lineno)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._handle_target(node.target, None, node.lineno)
+        self.generic_visit(node.iter)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._handle_target(node.optional_vars, None,
+                                getattr(node.context_expr, "lineno", 1))
+        r = root_of(node.context_expr)
+        if r is not None and r.chain and "lock" in r.chain[-1]:
+            self._tag(TAG_ACQUIRES_LOCK, node.context_expr.lineno,
+                      f"with {'.'.join([r.base, *r.chain])}")
+        self.generic_visit(node.context_expr)
+
+    # ---------------------------------------------------------- call effects
+    def handle_call_site(self, site: CallSite) -> None:
+        """External-call classification (internal edges propagate later)."""
+        name = site.external
+        if name is None:
+            return
+        if name in config.WALL_CLOCK_CALLS:
+            self._tag(TAG_WALL_CLOCK, site.line, f"calls {name}()")
+        elif name not in config.GLOBAL_RNG_ALLOWED and any(
+                name == p or name.startswith(p)
+                for p in config.GLOBAL_RNG_PREFIXES):
+            self._tag(TAG_GLOBAL_RNG, site.line, f"calls {name}()")
+        if name in config.IO_CALLS or any(
+                name.startswith(p) for p in config.IO_CALL_PREFIXES):
+            self._tag(TAG_IO, site.line, f"calls {name}()")
+        method = name.rsplit(".", 1)[-1] if "." in name else None
+        if method is not None and site.receiver is not None:
+            if method in config.IO_METHOD_NAMES:
+                self._tag(TAG_IO, site.line, f"calls .{method}()")
+            if method in config.MUTATING_METHODS:
+                self._mutate(site.receiver, site.line, f"calls .{method}()")
+            if method == "acquire":
+                self._tag(TAG_ACQUIRES_LOCK, site.line, "calls .acquire()")
+
+    # --------------------------------------------------------------- pruning
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.eff.bound.add(node.name)  # nested defs analyzed separately
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.eff.bound.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.generic_visit(node)  # lambda bodies run in this scope's frame
+
+    def run(self) -> Effects:
+        for stmt in self.fn.node.body:
+            self.visit(stmt)
+        return self.eff
+
+
+@dataclass
+class EffectAnalysis:
+    """Effect summaries for every function in a call graph."""
+
+    graph: CallGraph
+    effects: dict[str, Effects]
+
+    def of(self, qualname: str) -> Effects:
+        return self.effects[qualname]
+
+
+def _propagate_site(caller_eff: Effects, callee: FunctionNode,
+                    callee_eff: Effects, site: CallSite) -> bool:
+    """Fold one call edge's callee effects into the caller; True if the
+    caller's summary changed."""
+    changed = False
+    for tag in callee_eff.tags:
+        if tag not in caller_eff.tags:
+            caller_eff.tags.add(tag)
+            line, _ = callee_eff.witness.get(tag, (callee.node.lineno, ""))
+            caller_eff.witness.setdefault(
+                tag, (site.line, f"via {callee.qualname}:{line}"))
+            changed = True
+    exported = callee_eff.exported_mutated(callee.params)
+    stored = callee_eff.exported_stored(callee.params)
+    if site.implicit:
+        # nested def: free names alias the enclosing scope by identity
+        for m in exported:
+            if m not in callee.params and m not in caller_eff.mutated:
+                caller_eff.mutated.add(m)
+                caller_eff.witness.setdefault(
+                    f"mut:{m}", (site.line, f"via nested {callee.qualname}"))
+                changed = True
+        for s in stored:
+            if s not in callee.params and s not in caller_eff.stored:
+                caller_eff.stored.add(s)
+                changed = True
+        return changed
+    mapping = dict(site.args)
+    for m in exported:
+        root = mapping.get(m)
+        if root is None or _exempt_chain(root.chain):
+            continue
+        if root.base not in caller_eff.mutated:
+            caller_eff.mutated.add(root.base)
+            caller_eff.witness.setdefault(
+                f"mut:{root.base}",
+                (site.line, f"via {callee.qualname} "
+                            f"(mutates parameter {m!r})"))
+            changed = True
+    for s in stored:
+        root = mapping.get(s)
+        if root is None or root.chain or _exempt_chain(root.chain):
+            continue  # only whole-object escapes count as retention
+        if root.base not in caller_eff.stored:
+            caller_eff.stored.add(root.base)
+            caller_eff.witness.setdefault(
+                f"store:{root.base}",
+                (site.line, f"via {callee.qualname} (retains {s!r})"))
+            changed = True
+    return changed
+
+
+def _fixpoint(graph: CallGraph, effects: dict[str, Effects],
+              callers: dict[str, set[str]]) -> None:
+    """Worklist pass: fold callee summaries into callers until stable."""
+    work = sorted(graph.functions)
+    queued = set(work)
+    while work:
+        qn = work.pop(0)
+        queued.discard(qn)
+        for caller in sorted(callers.get(qn, ())):
+            caller_eff = effects[caller]
+            changed = False
+            for site in graph.calls[caller]:
+                if site.callee != qn:
+                    continue
+                changed |= _propagate_site(
+                    caller_eff, graph.functions[qn], effects[qn], site)
+            if changed and caller not in queued:
+                work.append(caller)
+                queued.add(caller)
+
+
+def analyze_effects(project: Project) -> EffectAnalysis:
+    """Direct inference per function, then a worklist fixpoint over the
+    call graph. Cached on the project alongside the graph."""
+    cached = getattr(project, "_effects_cache", None)
+    if cached is not None:
+        return cached
+    graph = get_callgraph(project)
+    effects: dict[str, Effects] = {}
+    for qn in graph.functions:
+        inf = _DirectInference(graph.functions[qn])
+        eff = inf.run()
+        for site in graph.calls.get(qn, ()):
+            inf.handle_call_site(site)
+        effects[qn] = eff
+    # reverse edges: callee -> callers, for the worklist
+    callers: dict[str, set[str]] = {qn: set() for qn in graph.functions}
+    for caller, sites in graph.calls.items():
+        for site in sites:
+            if site.callee is not None and site.callee in callers:
+                callers[site.callee].add(caller)
+    _fixpoint(graph, effects, callers)
+    # Names free in a *nested* function may be enclosing-function locals,
+    # so the module-global verdict is only sound once closure mutations
+    # have flowed upward: a name still free in a non-nested function after
+    # the first fixpoint is a module-level binding.
+    for qn in sorted(graph.functions):
+        enclosing = qn.rsplit(".", 1)[0]
+        if enclosing in graph.functions:
+            continue  # nested: free names belong to the enclosing scope
+        eff = effects[qn]
+        for m in sorted(eff.mutated - eff.bound):
+            line, detail = eff.witness.get(
+                f"mut:{m}", (graph.functions[qn].node.lineno, "mutated"))
+            eff.tags.add(TAG_MUTATES_GLOBAL)
+            eff.witness.setdefault(
+                TAG_MUTATES_GLOBAL,
+                (line, f"mutates module-level {m!r}: {detail}"))
+    _fixpoint(graph, effects, callers)  # propagate the derived tags
+    analysis = EffectAnalysis(graph=graph, effects=effects)
+    project._effects_cache = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+# ------------------------------------------------------------------ the rule
+@register
+class PolicyPurityRule(Rule):
+    id = "policy-purity"
+    description = ("balancer setup/on_epoch and everything reachable must "
+                   "not mutate or retain the ClusterView, mutate module "
+                   "state, read the clock, use global RNG or perform I/O")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = analyze_effects(project)
+        graph = analysis.graph
+        policies: list[str] = []
+        for base in sorted(config.POLICY_BASE_CLASSES):
+            policies.extend(graph.subclasses_of(base))
+        reported: set[tuple[str, str]] = set()
+        for cq in sorted(set(policies)):
+            cls = graph.classes[cq]
+            for entry_name in config.POLICY_ENTRY_METHODS:
+                fq = cls.methods.get(entry_name)
+                if fq is None:
+                    continue  # inherited default (pure by induction)
+                yield from self._check_entry(
+                    graph, analysis, cq, fq, reported)
+
+    def _check_entry(self, graph: CallGraph, analysis: EffectAnalysis,
+                     class_qualname: str, entry: str,
+                     reported: set[tuple[str, str]]) -> Iterable[Finding]:
+        fn = graph.functions[entry]
+        eff = analysis.of(entry)
+        short = entry.rsplit(".", 2)
+        label = ".".join(short[-2:])
+        # the view parameter is positional: (self, view)
+        view_param = fn.params[1] if len(fn.params) > 1 else None
+        if view_param is not None and view_param in eff.mutated:
+            line, detail = eff.witness.get(
+                f"mut:{view_param}", (fn.node.lineno, "mutated"))
+            if (entry, "mutates-view") not in reported:
+                reported.add((entry, "mutates-view"))
+                yield Finding(
+                    path=fn.module.display, line=line, col=1, rule=self.id,
+                    message=f"{label} mutates its ClusterView "
+                            f"({view_param!r}): {detail}; policies plan "
+                            f"against an immutable snapshot")
+        if view_param is not None and view_param in eff.stored:
+            line, detail = eff.witness.get(
+                f"store:{view_param}", (fn.node.lineno, "stored"))
+            if (entry, "retains-view") not in reported:
+                reported.add((entry, "retains-view"))
+                yield Finding(
+                    path=fn.module.display, line=line, col=1, rule=self.id,
+                    message=f"{label} retains its ClusterView "
+                            f"({view_param!r}): {detail}; views are "
+                            f"per-epoch snapshots, not state")
+        for reached in graph.reachable([entry]):
+            reached_eff = analysis.of(reached)
+            reached_fn = graph.functions[reached]
+            for tag in _IMPURE_TAGS:
+                if tag not in reached_eff.tags:
+                    continue
+                # report at the function that *directly* has the effect,
+                # once per (function, tag) repo-wide
+                line, detail = reached_eff.witness.get(
+                    tag, (reached_fn.node.lineno, tag))
+                if not detail.startswith("via ") or reached == entry:
+                    key = (reached, tag)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        path=reached_fn.module.display, line=line, col=1,
+                        rule=self.id,
+                        message=f"{reached.rsplit('.', 1)[-1]} "
+                                f"({tag}: {detail}) is reachable from the "
+                                f"pure policy seam ({label})")

@@ -156,7 +156,14 @@ def _load_rules() -> None:
     if _RULES_LOADED:
         return
     _RULES_LOADED = True
-    from repro.lint import determinism, floats, layering, schema  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        concurrency,
+        determinism,
+        effects,
+        floats,
+        layering,
+        schema,
+    )
 
 
 def all_rules() -> dict[str, Rule]:
@@ -264,6 +271,10 @@ class LintResult:
     findings: list[Finding]
     #: modules successfully parsed
     checked: int
+    #: (filesystem path, line, rule id) of every inline suppression that
+    #: matched no finding — the input to ``repro lint --fix-suppressions``
+    unused_suppressions: list[tuple[pathlib.Path, int, str]] = \
+        field(default_factory=list)
 
     @property
     def errors(self) -> list[Finding]:
@@ -274,12 +285,17 @@ class LintResult:
         return 1 if self.errors else 0
 
 
-def _apply_suppressions(project: Project,
-                        findings: list[Finding]) -> list[Finding]:
-    """Drop suppressed findings; report suppressions that did nothing."""
+def _apply_suppressions(
+        project: Project, findings: list[Finding],
+) -> tuple[list[Finding], list[tuple[pathlib.Path, int, str]]]:
+    """Drop suppressed findings; report suppressions that did nothing.
+
+    Returns the surviving findings plus the structured unused-suppression
+    list (real filesystem paths) that ``--fix-suppressions`` edits."""
     by_display = {m.display: m for m in project.modules}
     used: set[tuple[str, int, str]] = set()
     kept: list[Finding] = []
+    unused: list[tuple[pathlib.Path, int, str]] = []
     for f in findings:
         mod = by_display.get(f.path)
         ids = mod.suppressions.get(f.line, set()) if mod is not None else set()
@@ -295,12 +311,13 @@ def _apply_suppressions(project: Project,
                     continue
                 extra = ("" if rule_id in known
                          else " (no such rule — typo in the suppression?)")
+                unused.append((mod.path, line, rule_id))
                 kept.append(Finding(
                     path=mod.display, line=line, col=1,
                     rule=UNUSED_SUPPRESSION,
                     message=f"suppression of {rule_id!r} matches no "
                             f"finding{extra}; remove it"))
-    return kept
+    return kept, unused
 
 
 def lint_paths(paths: Sequence[str | pathlib.Path],
@@ -324,9 +341,10 @@ def lint_paths(paths: Sequence[str | pathlib.Path],
         for mod in project.modules:
             findings.extend(rule.check_module(mod, project))
         findings.extend(rule.check_project(project))
-    findings = _apply_suppressions(project, findings)
+    findings, unused = _apply_suppressions(project, findings)
     unique = sorted(set(findings))
-    return LintResult(findings=unique, checked=len(project.modules))
+    return LintResult(findings=unique, checked=len(project.modules),
+                      unused_suppressions=unused)
 
 
 # ------------------------------------------------- shared AST helpers

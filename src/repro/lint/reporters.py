@@ -14,7 +14,7 @@ import json
 from repro.lint.engine import LintResult
 from repro.lint.findings import Finding
 
-__all__ = ["render_text", "render_json", "parse_json"]
+__all__ = ["render_text", "render_json", "render_github", "parse_json"]
 
 
 def render_text(result: LintResult) -> str:
@@ -22,6 +22,35 @@ def render_text(result: LintResult) -> str:
         f"{f.location}: {f.severity}: {f.message} [{f.rule}]"
         for f in result.findings
     ]
+    n_err = len(result.errors)
+    n_warn = len(result.findings) - n_err
+    lines.append(
+        f"checked {result.checked} module(s): "
+        f"{n_err} error(s), {n_warn} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+def _gh_escape(value: str, *, property: bool = False) -> str:
+    """GitHub Actions workflow-command escaping (their own rules: ``%``,
+    CR and LF everywhere; ``:`` and ``,`` additionally in properties)."""
+    out = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
+def render_github(result: LintResult) -> str:
+    """One ``::error``/``::warning`` workflow command per finding, so a
+    CI step's findings annotate the PR diff inline. The trailing summary
+    line is plain text (GitHub ignores non-command lines)."""
+    lines = []
+    for f in result.findings:
+        level = "error" if f.severity == "error" else "warning"
+        lines.append(
+            f"::{level} file={_gh_escape(f.path, property=True)},"
+            f"line={f.line},col={f.col},"
+            f"title={_gh_escape(f'repro-lint {f.rule}', property=True)}"
+            f"::{_gh_escape(f.message)}")
     n_err = len(result.errors)
     n_warn = len(result.findings) - n_err
     lines.append(

@@ -15,7 +15,9 @@ reconfiguration"):
   (``/metrics``, ``/status``, ``/timeseries``, ``/events``, ``/config``,
   lifecycle and shutdown);
 - :mod:`repro.serve.dashboard` — ``repro top``, the curses-free terminal
-  dashboard polling ``/status``.
+  dashboard polling ``/status``;
+- :mod:`repro.serve.sanitizer` — the ``REPRO_SANITIZE=1`` runtime lock
+  sanitizer (acquisition-order graph, unguarded-write detection).
 
 Determinism contract: a served run with zero mutations reproduces the
 batch run's decision trace byte-for-byte (golden-gated). See
@@ -25,6 +27,12 @@ batch run's decision trace byte-for-byte (golden-gated). See
 from repro.serve.bus import EventBus, Subscription
 from repro.serve.dashboard import fetch_status, render_top, top
 from repro.serve.http import OPENMETRICS_CONTENT_TYPE, ControlPlane
+from repro.serve.sanitizer import (
+    MonitoredLock,
+    SanitizerReport,
+    guard_writes,
+    sanitize_lock,
+)
 from repro.serve.service import MutationError, SimulatorService
 
 __all__ = [
@@ -37,4 +45,8 @@ __all__ = [
     "render_top",
     "fetch_status",
     "top",
+    "MonitoredLock",
+    "SanitizerReport",
+    "guard_writes",
+    "sanitize_lock",
 ]

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import queue
 import threading
+from typing import Any
+
+from repro.serve.sanitizer import guard_writes, sanitize_lock
 
 __all__ = ["Subscription", "EventBus"]
 
@@ -31,9 +34,11 @@ class Subscription:
         self._bus = bus
         self._queue: queue.Queue = queue.Queue(maxsize=capacity)
         #: items this subscription lost to overflow
+        # guarded-by: none — written only by the publisher thread; readers
+        # tolerate a stale count (monitoring, not control flow)
         self.dropped = 0
 
-    def get(self, timeout: float | None = None):
+    def get(self, timeout: float | None = None) -> Any:
         """Next item; raises :class:`queue.Empty` on timeout."""
         return self._queue.get(timeout=timeout)
 
@@ -52,18 +57,20 @@ class EventBus:
     loss is visible in ``/metrics`` and the report warning banner.
     """
 
-    def __init__(self, capacity: int = 1024, drop_counter=None) -> None:
+    def __init__(self, capacity: int = 1024,
+                 drop_counter: Any = None) -> None:
         if capacity <= 0:
             raise ValueError("bus capacity must be positive")
         self.capacity = capacity
         self.drop_counter = drop_counter
         #: bus-wide dropped-item count across all subscriptions, lifetime
-        self.dropped = 0
-        self.published = 0
+        self.dropped = 0  # guarded-by: none — single writer (publish thread)
+        self.published = 0  # guarded-by: none — single writer, approx reads
         # the subscription tuple is replaced atomically under the lock and
         # read without it in publish() — the hot path stays lock-free
-        self._subs: tuple[Subscription, ...] = ()
-        self._lock = threading.Lock()
+        self._subs: tuple[Subscription, ...] = ()  # guarded-by: self._lock (writes)
+        self._lock = sanitize_lock(threading.Lock(), "bus._lock")
+        guard_writes(self, self._lock, ("_subs",))
 
     @property
     def subscribers(self) -> int:
@@ -79,7 +86,7 @@ class EventBus:
         with self._lock:
             self._subs = tuple(s for s in self._subs if s is not sub)
 
-    def publish(self, item) -> None:
+    def publish(self, item: object) -> None:
         """Offer ``item`` to every subscriber; never blocks, never raises."""
         subs = self._subs
         if not subs:

@@ -12,6 +12,7 @@ import sys
 import time
 import urllib.error
 import urllib.request
+from typing import TextIO
 
 from repro.obs.report import sparkline
 
@@ -89,7 +90,7 @@ def fetch_status(url: str, timeout: float = 5.0) -> dict:
 
 
 def top(url: str, *, interval: float = 1.0, iterations: int | None = None,
-        out=None) -> int:
+        out: TextIO | None = None) -> int:
     """Poll ``url``/status and repaint until the service finishes.
 
     ``iterations`` bounds the number of frames (``1`` = print once and

@@ -53,6 +53,8 @@ class ControlPlane:
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self.host, self.port = self.httpd.server_address[:2]
+        # guarded-by: none — start()/stop() are main-thread lifecycle
+        # calls; no handler thread ever touches the server thread handle
         self._thread: threading.Thread | None = None
 
     @property
@@ -76,7 +78,7 @@ def _make_handler(service: SimulatorService) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
-        def log_message(self, format: str, *args) -> None:  # noqa: A002
+        def log_message(self, format: str, *args: object) -> None:  # noqa: A002
             pass  # the access log would interleave with the CLI's output
 
         # ------------------------------------------------------------ plumbing
@@ -123,14 +125,14 @@ def _make_handler(service: SimulatorService) -> type[BaseHTTPRequestHandler]:
                         "applies": "at the next epoch boundary"})
                 elif path == "/pause":
                     service.pause()
-                    self._send_json(200, {"state": service.state})
+                    self._send_json(200, {"state": service.current_state()})
                 elif path == "/resume":
                     service.resume()
-                    self._send_json(200, {"state": service.state})
+                    self._send_json(200, {"state": service.current_state()})
                 elif path == "/step":
                     doc = self._read_json()
                     service.step(int(doc.get("ticks", 1)))
-                    self._send_json(200, {"state": service.state})
+                    self._send_json(200, {"state": service.current_state()})
                 elif path == "/shutdown":
                     service.request_stop()
                     self._send_json(200, {"stopping": True})

@@ -1,0 +1,223 @@
+"""Opt-in runtime sanitizer for the serve plane's locks and shared state.
+
+Enabled by ``REPRO_SANITIZE=1`` in the environment; with the variable
+unset every hook in this module is an identity function and the serve
+plane runs on bare stdlib locks. Under the flag:
+
+- :func:`sanitize_lock` wraps a lock in a :class:`MonitoredLock` that
+  maintains a per-thread stack of held locks and a global acquisition-
+  order graph. Acquiring ``B`` while holding ``A`` records the edge
+  ``A → B``; if ``B → … → A`` was ever observed, the two orders can
+  deadlock under the right interleaving and a ``lock-order`` report is
+  filed *at acquire time* — no actual deadlock needed.
+- :func:`guard_writes` registers instance attributes with their guarding
+  MonitoredLock and swaps the instance's class for a subclass whose
+  ``__setattr__`` files an ``unguarded-write`` report whenever a
+  registered attribute is written by a thread not holding the lock.
+
+Reports accumulate in a process-global list — :func:`reports` /
+:func:`reset` — and the serve/chaos test suites assert it stays empty
+(``tests/conftest.py``); CI runs them under the flag in the
+``sanitize-smoke`` job. The static ``guarded-by`` lint rule and this
+sanitizer check the same contract from both sides: the lint proves the
+discipline on every path it can see, the sanitizer catches what runtime
+composition (threads, chaos schedules, HTTP clients) actually does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "enabled",
+    "sanitize_lock",
+    "guard_writes",
+    "reports",
+    "reset",
+    "MonitoredLock",
+    "SanitizerReport",
+]
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` (checked per call: tests toggle it)."""
+    return os.environ.get("REPRO_SANITIZE") == "1"
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    #: ``lock-order`` or ``unguarded-write``
+    kind: str
+    message: str
+
+
+# Internal bookkeeping locks are bare on purpose: the sanitizer must not
+# observe itself.
+_state_lock = threading.Lock()
+_reports: list[SanitizerReport] = []
+#: acquisition-order edges observed so far: held-lock name -> names
+#: acquired while holding it
+_order_edges: dict[str, set[str]] = {}
+_reported_pairs: set[tuple[str, str]] = set()
+
+_held = threading.local()  # per-thread stack of MonitoredLock names
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def _file_report(kind: str, message: str) -> None:
+    with _state_lock:
+        _reports.append(SanitizerReport(kind=kind, message=message))
+
+
+def reports() -> list[SanitizerReport]:
+    """Snapshot of everything filed since the last :func:`reset`."""
+    with _state_lock:
+        return list(_reports)
+
+
+def reset() -> None:
+    """Clear reports and the order graph (test isolation)."""
+    with _state_lock:
+        _reports.clear()
+        _order_edges.clear()
+        _reported_pairs.clear()
+
+
+def _path_between(src: str, dst: str) -> list[str] | None:
+    """A path ``src → … → dst`` in the order graph, if one exists.
+    Caller holds ``_state_lock``."""
+    stack = [(src, [src])]
+    seen = {src}
+    while stack:
+        node, path = stack.pop()
+        if node == dst:
+            return path
+        for nxt in sorted(_order_edges.get(node, ())):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, [*path, nxt]))
+    return None
+
+
+class MonitoredLock:
+    """A lock wrapper recording acquisition order and per-thread holds.
+
+    Wraps any lock with ``acquire``/``release`` (Lock, RLock). Reentrant
+    acquires of the same name do not re-record edges.
+    """
+
+    def __init__(self, lock: Any, name: str) -> None:
+        self._lock = lock
+        self.name = name
+
+    # ------------------------------------------------------------- protocol
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        self._before_acquire()
+        got = self._lock.acquire(*args, **kwargs)
+        if got:
+            _held_stack().append(self.name)
+        return got
+
+    def release(self) -> None:
+        stack = _held_stack()
+        if self.name in stack:
+            # remove the innermost hold (reentrant locks release in pairs)
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == self.name:
+                    del stack[i]
+                    break
+        self._lock.release()
+
+    def __enter__(self) -> MonitoredLock:
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    # ------------------------------------------------------------- checking
+    def held_by_current_thread(self) -> bool:
+        return self.name in _held_stack()
+
+    def _before_acquire(self) -> None:
+        stack = _held_stack()
+        if not stack or self.name in stack:
+            return  # first lock, or a reentrant acquire
+        holding = stack[-1]
+        with _state_lock:
+            _order_edges.setdefault(holding, set()).add(self.name)
+            inverse = _path_between(self.name, holding)
+            if inverse is not None:
+                pair = (min(holding, self.name), max(holding, self.name))
+                if pair not in _reported_pairs:
+                    _reported_pairs.add(pair)
+                    _reports.append(SanitizerReport(
+                        kind="lock-order",
+                        message=(
+                            f"lock-order inversion: acquiring "
+                            f"{self.name!r} while holding {holding!r}, "
+                            f"but the opposite order "
+                            f"{' -> '.join(inverse)} was also observed — "
+                            f"these threads can deadlock")))
+
+
+def sanitize_lock(lock: Any, name: str) -> Any:
+    """Wrap ``lock`` for monitoring when the sanitizer is enabled; return
+    it untouched otherwise."""
+    if not enabled():
+        return lock
+    return MonitoredLock(lock, name)
+
+
+_GUARD_ATTR = "_repro_sanitizer_guards"
+_guard_classes: dict[type, type] = {}
+
+
+def _guarded_class(cls: type) -> type:
+    sub = _guard_classes.get(cls)
+    if sub is not None:
+        return sub
+
+    class _Guarded(cls):  # type: ignore[misc, valid-type]
+        def __setattr__(self, name: str, value: Any) -> None:
+            guards = self.__dict__.get(_GUARD_ATTR)
+            if guards is not None:
+                lock = guards.get(name)
+                if lock is not None and not lock.held_by_current_thread():
+                    _file_report(
+                        "unguarded-write",
+                        f"unguarded write to "
+                        f"{cls.__name__}.{name} from thread "
+                        f"{threading.current_thread().name!r} without "
+                        f"holding {lock.name!r}")
+            super().__setattr__(name, value)
+
+    _Guarded.__name__ = cls.__name__
+    _Guarded.__qualname__ = cls.__qualname__
+    _Guarded._repro_sanitizer_guarded = True  # type: ignore[attr-defined]
+    _guard_classes[cls] = _Guarded
+    return _Guarded
+
+
+def guard_writes(obj: Any, lock: Any, attrs: tuple[str, ...]) -> None:
+    """Register ``attrs`` of ``obj`` as guarded by ``lock`` (a
+    :class:`MonitoredLock`); writes without the lock held are reported.
+    No-op when the sanitizer is disabled or ``lock`` is a bare stdlib
+    lock (i.e. came from :func:`sanitize_lock` while disabled)."""
+    if not enabled() or not isinstance(lock, MonitoredLock):
+        return
+    guards = obj.__dict__.setdefault(_GUARD_ATTR, {})
+    for attr in attrs:
+        guards[attr] = lock
+    cls = type(obj)
+    if not getattr(cls, "_repro_sanitizer_guarded", False):
+        obj.__class__ = _guarded_class(cls)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from typing import Any
 
 from repro.balancers import make_balancer
 from repro.experiments.config import ExperimentConfig
@@ -37,6 +38,7 @@ from repro.experiments.runner import build_simulator
 from repro.obs.events import ConfigChanged
 from repro.obs.prom import render_openmetrics
 from repro.serve.bus import EventBus
+from repro.serve.sanitizer import guard_writes, sanitize_lock
 
 __all__ = ["MutationError", "SimulatorService", "STATES"]
 
@@ -63,7 +65,7 @@ class SimulatorService:
     """One simulator, driven incrementally, observable and pokeable."""
 
     def __init__(self, cfg: ExperimentConfig, *,
-                 balancer_kwargs: dict | None = None, chaos=None,
+                 balancer_kwargs: dict | None = None, chaos: Any = None,
                  tick_slice: int = 64, rate: float | None = None,
                  bus_capacity: int = 1024) -> None:
         if tick_slice <= 0:
@@ -75,21 +77,26 @@ class SimulatorService:
                                    chaos=chaos)
         self.tick_slice = tick_slice
         self.rate = rate
-        self.state = "created"
-        self.result = None
-        self.lock = threading.RLock()
+        self.state = "created"  # guarded-by: self.lock
+        self.result = None  # guarded-by: self.lock
+        self.lock = sanitize_lock(threading.RLock(), "service.lock")
         self.bus = EventBus(
             capacity=bus_capacity,
             drop_counter=self.sim.metrics.counter("serve.events_dropped"))
         self.sim.trace.add_listener(self._tap)
-        self._pending: list[tuple[str, object]] = []
-        self.mutations_applied = 0
-        self._stop_requested = False
+        self._pending: list[tuple[str, object]] = []  # guarded-by: self.lock
+        self.mutations_applied = 0  # guarded-by: self.lock
+        self._stop_requested = False  # guarded-by: self.lock
         #: ticks granted to :meth:`step` while paused
-        self._step_budget = 0
+        self._step_budget = 0  # guarded-by: self.lock
+        # under REPRO_SANITIZE=1 the runtime checks the same discipline
+        # the guarded-by lint proves statically
+        guard_writes(self, self.lock,
+                     ("state", "result", "_pending", "mutations_applied",
+                      "_stop_requested", "_step_budget"))
 
     # ------------------------------------------------------------- event tap
-    def _tap(self, event) -> None:
+    def _tap(self, event: object) -> None:
         # runs inside TraceLog.emit on the simulation thread; the bus
         # contract (bounded, drop-on-full) keeps this non-blocking
         self.bus.publish(event)
@@ -130,10 +137,17 @@ class SimulatorService:
 
     @property
     def finished(self) -> bool:
-        return self.state in ("done", "stopped")
+        with self.lock:
+            return self.state in ("done", "stopped")
+
+    def current_state(self) -> str:
+        """The lifecycle state, snapshotted under the lock (HTTP handler
+        threads must not read :attr:`state` bare)."""
+        with self.lock:
+            return self.state
 
     # --------------------------------------------------------------- driving
-    def _advance(self, ticks: int) -> bool:
+    def _advance(self, ticks: int) -> bool:  # holds-lock: self.lock
         """Advance up to ``ticks``; False once the simulation is over.
 
         Caller must hold :attr:`lock`. Epoch boundaries are detected by
@@ -223,7 +237,7 @@ class SimulatorService:
             self._pending.extend(staged)
             return len(self._pending)
 
-    def _coerce(self, key: str, raw) -> object:
+    def _coerce(self, key: str, raw: Any) -> object:
         try:
             if key in _INITIATOR_KEYS:
                 if not hasattr(self.sim.balancer, "initiator_config"):
@@ -252,7 +266,7 @@ class SimulatorService:
             f"unknown config key {key!r}; settable: "
             f"{sorted([*_INITIATOR_KEYS, 'urgency_smoothness', 'epoch_len', 'balancer'])}")
 
-    def _apply_pending(self) -> None:
+    def _apply_pending(self) -> None:  # holds-lock: self.lock
         """Apply queued mutations at an epoch boundary (lock held)."""
         pending, self._pending = self._pending, []
         sim = self.sim
@@ -264,7 +278,7 @@ class SimulatorService:
             sim.metrics.counter("serve.config_changes").inc()
             self.mutations_applied += 1
 
-    def _apply_one(self, key: str, value) -> object:
+    def _apply_one(self, key: str, value: Any) -> object:  # holds-lock: self.lock
         sim = self.sim
         if key in _INITIATOR_KEYS:
             icfg = sim.balancer.initiator_config

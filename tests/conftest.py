@@ -16,6 +16,22 @@ def pytest_addoption(parser) -> None:
 def update_golden(request) -> bool:
     return bool(request.config.getoption("--update-golden"))
 
+
+@pytest.fixture(autouse=True)
+def _sanitizer_clean():
+    """Under REPRO_SANITIZE=1, every test must leave the runtime lock
+    sanitizer report list empty — a lock-order inversion or unguarded
+    write anywhere in the suite is a failure of the test that caused it.
+    Tests that deliberately trigger reports (tests/test_sanitizer.py)
+    consume them with ``sanitizer.reset()`` before returning."""
+    from repro.serve import sanitizer
+
+    sanitizer.reset()
+    yield
+    leftovers = sanitizer.reports()
+    assert not leftovers, \
+        f"sanitizer reports leaked from this test: {leftovers}"
+
 from repro.cluster.simulator import SimConfig, Simulator
 from repro.balancers import make_balancer
 from repro.namespace.builder import build_fanout, build_private_dirs

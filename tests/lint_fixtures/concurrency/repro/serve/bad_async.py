@@ -1,0 +1,20 @@
+"""Specimens: event-loop blockers the async-blocking rule must flag."""
+
+import threading
+import time
+
+
+class Driver:
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def drive(self):
+        time.sleep(0.1)
+        with self._lock:
+            await self.pump()
+        self._lock.acquire()
+        return None
+
+    async def pump(self):
+        return None

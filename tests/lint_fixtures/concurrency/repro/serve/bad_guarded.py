@@ -1,0 +1,32 @@
+"""Specimens: serve-plane lock-discipline violations for guarded-by."""
+
+import threading
+
+
+class LeakyService:
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.state = "created"  # guarded-by: self.lock
+        self.result = None  # guarded-by: self.lock (sometimes)
+        self.count = 0  # guarded-by: none
+        self.tally = 0
+
+    def poke(self):
+        self.state = "running"
+        with self.lock:
+            self.state = "paused"
+        return self.state
+
+    def bump(self):
+        self.tally += 1
+
+    def _advance(self):  # holds-lock: self.lock
+        self.state = "done"
+
+    def run(self):
+        self._advance()
+
+
+def handler(service: LeakyService):
+    service.state = "crashed"

@@ -1,0 +1,28 @@
+"""Specimen: the well-behaved async twin — zero findings.
+
+Async sleeps, awaits issued only after releasing the lock, and a
+bounded ``acquire(timeout=...)``.
+"""
+
+import asyncio
+import threading
+
+
+class Driver:
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = "idle"  # guarded-by: self._lock
+
+    async def drive(self):
+        await asyncio.sleep(0.1)
+        with self._lock:
+            self.state = "running"
+        await self.pump()
+        got = self._lock.acquire(timeout=1.0)
+        if got:
+            self._lock.release()
+        return None
+
+    async def pump(self):
+        return None

@@ -1,0 +1,49 @@
+"""Specimen: the disciplined twin of ``bad_guarded`` — zero findings.
+
+One of each accepted shape: a fully guarded attribute, a copy-on-write
+attribute (lock-free reads), a reasoned ``none`` exemption, an
+immutable-after-init attribute, a ``# holds-lock:`` contract honoured at
+its call site, and a cross-object access under the rebased lock.
+"""
+
+import threading
+
+
+class TidyService:
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.state = "created"  # guarded-by: self.lock
+        self.subs = ()  # guarded-by: self.lock (writes)
+        self.dropped = 0  # guarded-by: none — single writer; stale reads fine
+        self.capacity = 8
+
+    def poke(self):
+        with self.lock:
+            self.state = "running"
+
+    def peek(self):
+        with self.lock:
+            return self.state
+
+    def snapshot(self):
+        return self.subs
+
+    def add(self, sub):
+        with self.lock:
+            self.subs = (*self.subs, sub)
+
+    def size(self):
+        return self.capacity
+
+    def _advance(self):  # holds-lock: self.lock
+        self.state = "stopped"
+
+    def run(self):
+        with self.lock:
+            self._advance()
+
+
+def handler(service: TidyService):
+    with service.lock:
+        service.state = "handled"

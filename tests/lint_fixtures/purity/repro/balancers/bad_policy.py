@@ -1,0 +1,50 @@
+"""Specimens: impure policies the policy-purity rule must flag."""
+
+import random
+import time
+
+from repro.balancers.base import Balancer
+
+
+def spill(view, tag):
+    # free function mutating its argument: callers inherit the effect
+    view.frags.append(tag)
+
+
+class MutatingPolicy(Balancer):
+    """Writes into the snapshot directly."""
+
+    def on_epoch(self, view):
+        view.heat[0] = 99.0
+        return None
+
+
+class TransitivePolicy(Balancer):
+    """The mutation hides one call deep."""
+
+    def on_epoch(self, view):
+        spill(view, 3)
+        return None
+
+
+class RetainingPolicy(Balancer):
+    """Keeps the whole view beyond the epoch."""
+
+    def setup(self, view):
+        self.kept = view
+        return None
+
+
+class ClockPolicy(Balancer):
+    """Reads the wall clock on the decision path."""
+
+    def on_epoch(self, view):
+        self.t0 = time.time()
+        return None
+
+
+class DicePolicy(Balancer):
+    """Draws from the process-global RNG."""
+
+    def on_epoch(self, view):
+        return random.random()

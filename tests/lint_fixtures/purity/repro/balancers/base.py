@@ -1,0 +1,17 @@
+"""Specimen policy base, mirroring ``repro.balancers.base.Balancer``.
+
+The purity rule keys on the qualified name ``repro.balancers.base.
+Balancer`` (see ``repro.lint.config.POLICY_BASE_CLASSES``); the fixture
+tree reproduces that path so subclasses below resolve against it.
+"""
+
+
+class Balancer:
+
+    name = "specimen"
+
+    def setup(self, view):
+        return None
+
+    def on_epoch(self, view):
+        return None

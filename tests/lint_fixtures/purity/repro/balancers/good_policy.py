@@ -1,0 +1,36 @@
+"""Specimen: a pure policy the policy-purity rule must accept.
+
+Exercises every allowed pattern near the line: reading the view,
+aliasing a single column (allowed — only whole-view retention is
+flagged), memo writes to ``self._lazy`` and appends to the ``metrics``
+sink (both exempt), and building fresh locals from view data.
+"""
+
+from repro.balancers.base import Balancer
+
+
+def hottest(view):
+    best = 0
+    for i, h in enumerate(view.heat):
+        if h > view.heat[best]:
+            best = i
+    return best
+
+
+class PurePolicy(Balancer):
+
+    def __init__(self):
+        self.metrics = []
+        self._lazy = {}
+        self._heat0 = None
+
+    def setup(self, view):
+        # column alias: keeps one array, not the snapshot object
+        self._heat0 = view.heat
+        return None
+
+    def on_epoch(self, view):
+        rank = hottest(view)
+        self.metrics.append(rank)
+        self._lazy[rank] = [h * 2.0 for h in view.heat]
+        return rank

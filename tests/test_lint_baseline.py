@@ -1,0 +1,177 @@
+"""Baseline ratchet, stale-suppression autofix and the github reporter."""
+
+import io
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Finding,
+    check_baseline,
+    fix_suppressions,
+    lint_paths,
+    load_baseline,
+    render_github,
+    write_baseline,
+)
+from repro.lint.baseline import BASELINE_VERSION, baseline_key
+from repro.lint.engine import UNUSED_SUPPRESSION, LintResult
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def _finding(path="repro/core/x.py", line=3, rule="wall-clock",
+             message="calls time.time()"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def _result(*findings):
+    return LintResult(findings=list(findings), checked=1)
+
+
+# ------------------------------------------------------------------ ratchet
+def test_baseline_round_trips(tmp_path):
+    f = _finding()
+    path = tmp_path / "baseline.json"
+    assert write_baseline(_result(f, f, _finding(line=9, rule="str-hash")),
+                          path) == 2
+    counts = load_baseline(path)
+    assert counts[baseline_key(f)] == 2
+    doc = json.loads(path.read_text())
+    assert doc["version"] == BASELINE_VERSION
+    assert all("line" not in e for e in doc["findings"])
+
+
+def test_check_accepts_baselined_findings_at_any_line(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(_result(_finding(line=3)), path)
+    # the same finding drifted 40 lines down: still accepted
+    new, stale = check_baseline(_result(_finding(line=43)), path)
+    assert new == [] and stale == []
+
+
+def test_check_fails_on_findings_beyond_the_count(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(_result(_finding()), path)
+    second = _finding(line=50)
+    new, stale = check_baseline(_result(_finding(), second), path)
+    assert new == [second]
+    assert stale == []
+
+
+def test_check_reports_fixed_entries_as_stale(tmp_path):
+    path = tmp_path / "baseline.json"
+    fixed = _finding(rule="str-hash", message="hash() of str")
+    write_baseline(_result(_finding(), fixed), path)
+    new, stale = check_baseline(_result(_finding()), path)
+    assert new == []
+    assert stale == [baseline_key(fixed)]
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_cli_baseline_write_then_check_ratchets(tmp_path):
+    case = str(FIXTURES / "determinism")
+    bl = str(tmp_path / "baseline.json")
+    out = io.StringIO()
+    rc = main(["lint", case, "--rule", "wall-clock",
+               "--baseline", "write", "--baseline-file", bl], out=out)
+    assert rc == 0
+    assert "wrote" in out.getvalue()
+    out = io.StringIO()
+    rc = main(["lint", case, "--rule", "wall-clock",
+               "--baseline", "check", "--baseline-file", bl], out=out)
+    assert rc == 0
+    assert "0 error(s)" in out.getvalue()
+    # a new rule's findings are not in the baseline: the check fails
+    rc = main(["lint", case, "--rule", "wall-clock", "--rule", "global-rng",
+               "--baseline", "check", "--baseline-file", bl],
+              out=io.StringIO())
+    assert rc == 1
+
+
+def test_cli_baseline_check_without_file_exits_two(tmp_path, capsys):
+    rc = main(["lint", str(FIXTURES / "determinism"),
+               "--baseline", "check",
+               "--baseline-file", str(tmp_path / "missing.json")],
+              out=io.StringIO())
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# --------------------------------------------------------- suppression fix
+def _copy_suppress(tmp_path) -> pathlib.Path:
+    dst = tmp_path / "suppress"
+    shutil.copytree(FIXTURES / "suppress", dst)
+    return dst
+
+
+def test_fix_suppressions_deletes_stale_directives(tmp_path):
+    tree = _copy_suppress(tmp_path)
+    result = lint_paths([tree], rules=["wall-clock"], root=tree)
+    assert result.unused_suppressions
+    removed = fix_suppressions(result.unused_suppressions)
+    assert removed == len(result.unused_suppressions)
+    again = lint_paths([tree], rules=["wall-clock"], root=tree)
+    assert not any(f.rule == UNUSED_SUPPRESSION for f in again.findings)
+    # the useful suppression in suppressed.py survived
+    assert "disable=wall-clock" in \
+        (tree / "repro" / "core" / "suppressed.py").read_text()
+
+
+def test_fix_suppressions_preserves_surrounding_code(tmp_path):
+    tree = _copy_suppress(tmp_path)
+    before = (tree / "repro" / "core" / "unused.py").read_text()
+    result = lint_paths([tree], rules=["wall-clock"], root=tree)
+    fix_suppressions(result.unused_suppressions)
+    after = (tree / "repro" / "core" / "unused.py").read_text()
+    assert "return 1" in after and "return 2" in after
+    assert "repro-lint" not in after
+    assert len(after.splitlines()) == len(before.splitlines())
+
+
+def test_cli_fix_suppressions_relints_clean(tmp_path):
+    tree = _copy_suppress(tmp_path)
+    out = io.StringIO()
+    rc = main(["lint", str(tree), "--rule", "wall-clock",
+               "--fix-suppressions"], out=out)
+    assert rc == 0
+    assert "re-linting" in out.getvalue()
+
+
+# ------------------------------------------------------------------ github
+def test_render_github_emits_workflow_commands():
+    f = _finding(message="calls time.time()")
+    text = render_github(_result(f))
+    line = text.splitlines()[0]
+    assert line.startswith("::error ")
+    assert "file=repro/core/x.py" in line
+    assert "line=3,col=1" in line
+    assert "title=repro-lint wall-clock" in line
+    assert line.endswith("::calls time.time()")
+
+
+def test_render_github_escapes_message_and_properties():
+    f = _finding(path="repro/core/a,b.py", message="bad: 50% drop\nnewline")
+    line = render_github(_result(f)).splitlines()[0]
+    assert "a%2Cb.py" in line
+    assert "50%25 drop%0Anewline" in line
+    assert "\n" not in line
+
+
+def test_cli_format_github(tmp_path):
+    out = io.StringIO()
+    rc = main(["lint", str(FIXTURES / "determinism"), "--rule", "wall-clock",
+               "--format", "github"], out=out)
+    assert rc == 1
+    text = out.getvalue()
+    assert text.count("::error ") >= 2
+    assert text.strip().splitlines()[-1].startswith("checked ")

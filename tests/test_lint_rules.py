@@ -34,6 +34,9 @@ POSITIVE = [
     ("layering", "import-cycle", "cyc_a.py", [2]),
     ("layering", "import-cycle", "cyc_b.py", [2]),
     ("floats", "float-eq", "if_model.py", [6, 12]),
+    ("purity", "policy-purity", "bad_policy.py", [18, 26, 34, 42, 50]),
+    ("concurrency", "guarded-by", "bad_guarded.py", [11, 12, 16, 19, 22, 28, 32]),
+    ("concurrency", "async-blocking", "bad_async.py", [13, 15, 16]),
 ]
 
 NEGATIVE = [
@@ -45,6 +48,10 @@ NEGATIVE = [
     ("layering", "import-cycle", "lazy_a.py"),
     ("layering", "import-cycle", "lazy_b.py"),
     ("floats", "float-eq", "mindex.py"),
+    ("purity", "policy-purity", "good_policy.py"),
+    ("purity", "policy-purity", "base.py"),
+    ("concurrency", "guarded-by", "good_guarded.py"),
+    ("concurrency", "async-blocking", "good_async.py"),
 ]
 
 
@@ -108,6 +115,41 @@ def test_metric_name_fixture_pair():
     assert _lines(bad, "metric-name", "metrics.py") == [5]
     assert "sim ops/served!" in bad.findings[0].message
     assert _lint("schema_good", "metric-name").findings == []
+
+
+def test_policy_purity_names_the_transitive_witness():
+    result = _lint("purity", "policy-purity")
+    (via,) = [f for f in result.findings if "TransitivePolicy" in f.message]
+    assert "via repro.balancers.bad_policy.spill" in via.message
+    assert "mutates parameter 'view'" in via.message
+
+
+def test_policy_purity_reports_retention_separately_from_mutation():
+    result = _lint("purity", "policy-purity")
+    kinds = {("retains" in f.message, "mutates" in f.message)
+             for f in result.findings if "RetainingPolicy" in f.message}
+    assert kinds == {(True, False)}
+
+
+def test_guarded_by_rebases_lock_onto_cross_object_param():
+    result = _lint("concurrency", "guarded-by")
+    (xobj,) = [f for f in result.findings if f.line == 32]
+    assert "hold service.lock here" in xobj.message
+
+
+def test_guarded_by_holds_lock_contract_names_the_method():
+    result = _lint("concurrency", "guarded-by")
+    (contract,) = [f for f in result.findings if "holds-lock" in f.message]
+    assert "LeakyService._advance()" in contract.message
+    assert contract.line == 28
+
+
+def test_async_blocking_reports_each_failure_mode_once():
+    result = _lint("concurrency", "async-blocking")
+    msgs = [f.message for f in result.findings]
+    assert sum("blocking call" in m for m in msgs) == 1
+    assert sum("await while holding" in m for m in msgs) == 1
+    assert sum("unbounded lock.acquire" in m for m in msgs) == 1
 
 
 def test_repo_tree_lints_clean_under_full_rule_set():

@@ -1,0 +1,212 @@
+"""Runtime lock sanitizer: positive and negative specimens.
+
+These are the lock-order fixtures of the corpus (see
+``tests/lint_fixtures/README.md``): lock-order inversion is a runtime
+property, so the deliberately broken code lives here and the acceptance
+criterion "the sanitizer provably fires" is pinned by
+``test_lock_order_inversion_is_reported``.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import sanitizer
+from repro.serve.sanitizer import (
+    MonitoredLock,
+    guard_writes,
+    reports,
+    reset,
+    sanitize_lock,
+)
+
+
+@pytest.fixture
+def sanitize_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    reset()
+    yield
+    reset()
+
+
+@pytest.fixture
+def sanitize_off(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    yield
+    reset()
+
+
+# ---------------------------------------------------------------- lock order
+def test_lock_order_inversion_is_reported(sanitize_on):
+    a = sanitize_lock(threading.Lock(), "A")
+    b = sanitize_lock(threading.Lock(), "B")
+    with a:
+        with b:
+            pass
+    # the opposite nesting on the same thread: no deadlock actually
+    # happens, but the order graph now has A->B and B->A
+    with b:
+        with a:
+            pass
+    found = [r for r in reports() if r.kind == "lock-order"]
+    assert len(found) == 1
+    assert "'A'" in found[0].message and "'B'" in found[0].message
+    assert "deadlock" in found[0].message
+
+
+def test_lock_order_inversion_through_a_chain(sanitize_on):
+    a = sanitize_lock(threading.Lock(), "A")
+    b = sanitize_lock(threading.Lock(), "B")
+    c = sanitize_lock(threading.Lock(), "C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    # C -> A closes the cycle A -> B -> C -> A
+    with c:
+        with a:
+            pass
+    found = [r for r in reports() if r.kind == "lock-order"]
+    assert len(found) == 1
+    assert "A -> B -> C" in found[0].message
+
+
+def test_consistent_order_is_silent(sanitize_on):
+    a = sanitize_lock(threading.Lock(), "A")
+    b = sanitize_lock(threading.Lock(), "B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert reports() == []
+
+
+def test_reentrant_acquire_records_no_self_edge(sanitize_on):
+    r = sanitize_lock(threading.RLock(), "R")
+    with r:
+        with r:
+            pass
+    assert reports() == []
+
+
+def test_duplicate_inversions_reported_once_per_pair(sanitize_on):
+    a = sanitize_lock(threading.Lock(), "A")
+    b = sanitize_lock(threading.Lock(), "B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert len([r for r in reports() if r.kind == "lock-order"]) == 1
+
+
+# ------------------------------------------------------------ guarded writes
+class _Box:
+    def __init__(self):
+        self.lock = None
+        self.state = "created"
+        self.count = 0
+
+
+def test_unguarded_write_is_reported(sanitize_on):
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state", "count"))
+    box.state = "oops"
+    found = [r for r in reports() if r.kind == "unguarded-write"]
+    assert len(found) == 1
+    assert "_Box.state" in found[0].message
+    assert "'box.lock'" in found[0].message
+
+
+def test_guarded_write_is_silent(sanitize_on):
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state",))
+    with box.lock:
+        box.state = "fine"
+    box.count = 1  # unregistered attr: always fine
+    assert reports() == []
+
+
+def test_unguarded_write_from_worker_thread_names_the_thread(sanitize_on):
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state",))
+
+    def clobber():
+        box.state = "raced"
+
+    t = threading.Thread(target=clobber, name="clobberer")
+    t.start()
+    t.join()
+    (found,) = [r for r in reports() if r.kind == "unguarded-write"]
+    assert "'clobberer'" in found.message
+
+
+def test_holding_lock_on_another_thread_does_not_cover_writer(sanitize_on):
+    # held-lock state is per thread: main holding the lock must not
+    # excuse a write from a worker that does not hold it
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state",))
+    with box.lock:
+        t = threading.Thread(target=lambda: setattr(box, "state", "raced"))
+        t.start()
+        t.join()
+    assert [r.kind for r in reports()] == ["unguarded-write"]
+
+
+def test_class_swap_is_idempotent_and_preserves_name(sanitize_on):
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state",))
+    cls_after_first = type(box)
+    guard_writes(box, box.lock, ("count",))
+    assert type(box) is cls_after_first
+    assert type(box).__name__ == "_Box"
+    with box.lock:
+        box.state = "ok"
+        box.count = 2
+    assert reports() == []
+
+
+# ----------------------------------------------------------------- disabled
+def test_disabled_sanitize_lock_is_identity(sanitize_off):
+    raw = threading.Lock()
+    assert sanitize_lock(raw, "X") is raw
+
+
+def test_disabled_guard_writes_is_noop(sanitize_off):
+    box = _Box()
+    box.lock = sanitize_lock(threading.Lock(), "box.lock")
+    guard_writes(box, box.lock, ("state",))
+    assert type(box) is _Box
+    box.state = "anything"
+    assert reports() == []
+
+
+def test_enabled_flag_reads_environment_per_call(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitizer.enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitizer.enabled()
+
+
+def test_monitored_lock_tracks_holds_per_thread(sanitize_on):
+    lock = sanitize_lock(threading.Lock(), "L")
+    assert isinstance(lock, MonitoredLock)
+    assert not lock.held_by_current_thread()
+    with lock:
+        assert lock.held_by_current_thread()
+        seen = []
+        t = threading.Thread(
+            target=lambda: seen.append(lock.held_by_current_thread()))
+        t.start()
+        t.join()
+        assert seen == [False]
+    assert not lock.held_by_current_thread()
