@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.chaos.schedule import FaultWindow
+from repro.obs.outcomes import aborted_waste
 
 __all__ = ["FaultRecovery", "RobustnessScore", "score_run",
            "IF_BAND_RATIO", "IF_BAND_SLACK"]
@@ -123,20 +124,13 @@ def _recovery(if_series: list[float], window: FaultWindow) -> FaultRecovery:
 def _aborted_waste(events: Iterable[Any]) -> tuple[int, int]:
     """(tasks, inodes) lost to ``mds_failed`` aborts.
 
-    Task sizes come from joining each abort to its ``migration_planned``
-    parent; an abort without a resolvable parent (ring-truncated trace)
-    counts as a task of unknown size, contributing zero inodes.
+    Delegates to the cost/benefit ledger's shared join
+    (:func:`repro.obs.outcomes.aborted_waste`): task sizes come from each
+    abort's ``migration_planned`` parent, an abort without a resolvable
+    parent (ring-truncated trace) contributes zero inodes, and the same
+    accounting prices waste in ledger verdicts and robustness scores.
     """
-    planned_inodes = {
-        e.did: e.inodes for e in events if e.etype == "migration_planned"
-    }
-    tasks = 0
-    inodes = 0
-    for e in events:
-        if e.etype == "migration_aborted" and e.reason == "mds_failed":
-            tasks += 1
-            inodes += planned_inodes.get(e.parent, 0)
-    return tasks, inodes
+    return aborted_waste(events, reason="mds_failed")
 
 
 def score_run(if_series: Iterable[float], windows: Iterable[FaultWindow],

@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "spans) to DIR")
     run_p.add_argument("--clock", choices=("logical", "wall"), default="logical",
                        help="span clock for --record (logical = byte-stable)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="with --record: characterize the workload each "
+                            "epoch (heat/load skew, hotspot share, churn, "
+                            "op mix) as wl.* time-series columns and "
+                            "workload.* gauges")
 
     rep_p = sub.add_parser(
         "report",
@@ -171,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--subtree", metavar="S",
                      help="only migrations of this unit (a dir id like '7' "
                           "or a dirfrag like 'frag:3:1:0')")
+    ex_p.add_argument("--outcomes", action="store_true",
+                      help="judge each committed migration with the "
+                           "cost/benefit ledger (paid_off / neutral / "
+                           "wasted / ping_pong) and summarize the verdicts")
     ex_p.add_argument("--format", choices=("text", "json"), default="text")
 
     df_p = sub.add_parser(
@@ -311,7 +320,8 @@ def _cmd_run(args, out) -> int:
     if args.engine:
         sim_cfg = sim_cfg.with_(engine=args.engine)
     if args.record:
-        sim_cfg = sim_cfg.with_(record=True, record_clock=args.clock)
+        sim_cfg = sim_cfg.with_(record=True, record_clock=args.clock,
+                                workload_profile=args.profile)
     cfg = ExperimentConfig(workload=args.workload, balancer=args.balancer,
                            n_clients=args.clients, seed=args.seed,
                            scale=args.scale, data_path=args.data_path,
@@ -592,7 +602,7 @@ def _cmd_explain(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = explain(events, epoch=args.epoch, rank=args.rank,
-                     subtree=args.subtree)
+                     subtree=args.subtree, outcomes=args.outcomes)
     if args.format == "json":
         print(json.dumps(report, sort_keys=True), file=out)
     else:
@@ -706,10 +716,12 @@ def _cmd_serve(args, out) -> int:
 
     sim_cfg = BENCH_SIM_CONFIG.with_(
         n_mds=args.mds, mds_capacity=args.capacity,
-        # the recorder feeds /timeseries, the perf gauges feed /status —
-        # neither touches the decision trace, which stays byte-identical
+        # the recorder feeds /timeseries, the perf gauges feed /status,
+        # the workload profiler feeds the live skew/churn readouts —
+        # none touches the decision trace, which stays byte-identical
         # to an unserved `repro run` of the same seed (golden-gated)
-        record=True, record_clock=args.clock, perf_gauges=True)
+        record=True, record_clock=args.clock, perf_gauges=True,
+        workload_profile=True)
     if args.engine:
         sim_cfg = sim_cfg.with_(engine=args.engine)
     chaos = None

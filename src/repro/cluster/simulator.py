@@ -44,6 +44,7 @@ from repro.obs.events import (
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracelog import TraceLog
+from repro.obs.workload import WorkloadProfile
 from repro.workloads.base import OP_CREATE, OP_READDIR, Client, WorkloadInstance
 
 __all__ = ["SimConfig", "Simulator"]
@@ -117,6 +118,12 @@ class SimConfig:
     #: registry snapshot, so byte-stable artifacts must not carry them.
     #: ``repro serve`` turns them on for the live ``/status`` plane.
     perf_gauges: bool = False
+    #: per-epoch workload characterization (``repro.obs.workload``): heat
+    #: and load skew, hotspot share, client churn and op-mix class as
+    #: ``wl.*`` time-series columns and ``workload.*`` gauges. Off by
+    #: default — the extra columns would change recorded artifacts, and
+    #: golden snapshots must stay byte-identical. Never affects decisions.
+    workload_profile: bool = False
 
     def with_(self, **kwargs) -> SimConfig:
         """Copy with overrides (convenience for sweeps)."""
@@ -220,6 +227,12 @@ class Simulator:
         #: ticks clients spent ready-but-unserved this epoch (queueing delay)
         self._wait_ticks_epoch = 0
         self._served_epoch_total = 0
+        #: client-population watermarks for the churn rate of the workload
+        #: profiler (arrivals + departures per epoch over active clients)
+        self._clients_started_prev = 0
+        self._clients_done_prev = 0
+        #: most recent epoch's characterization (``workload_profile`` only)
+        self.last_workload_profile: WorkloadProfile | None = None
         self.balancer = balancer
         if config.engine == "columnar":
             self.engine: ColumnarEngine | None = ColumnarEngine(
@@ -597,6 +610,24 @@ class Simulator:
                 m.gauge("sim.epochs_per_second").set((self.epoch + 1) / elapsed)
                 m.gauge("serve.ops_per_second").set(
                     sum(mds.served_total for mds in self.mdss) / elapsed)
+        if cfg.workload_profile:
+            # Post-decision-trace characterization of the closing epoch.
+            # Reads the same loads/heat the balancer saw but writes only
+            # gauges, ``wl.*`` columns and ``last_workload_profile`` —
+            # never the trace, so decisions stay byte-identical.
+            heat_values, n_dirs = self.stats.live_heat()
+            started = sum(1 for c in self.clients if c.ready_at <= self.tick)
+            done = sum(1 for c in self.clients if c.done_at is not None)
+            profile = WorkloadProfile.compute(
+                epoch=self.epoch, loads=loads, heat_values=heat_values,
+                n_dirs=n_dirs, mix=self.stats.last_epoch_mix,
+                clients_started=started - self._clients_started_prev,
+                clients_done=done - self._clients_done_prev,
+                active_clients=started - done)
+            self._clients_started_prev = started
+            self._clients_done_prev = done
+            self.last_workload_profile = profile
+            profile.to_gauges(m)
 
         rec = self.recorder
         if rec is None:
@@ -645,6 +676,10 @@ class Simulator:
             record[f"load.{rank}"] = load
         for rank, depth in enumerate(queue_depths):
             record[f"queue.{rank}"] = depth
+        profile = self.last_workload_profile
+        if cfg.workload_profile and profile is not None \
+                and profile.epoch == self.epoch:
+            record.update(profile.to_record())
         rec.sample(record, registry=self.metrics)
 
     # -------------------------------------------------------------- finalize

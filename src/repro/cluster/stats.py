@@ -76,6 +76,10 @@ class AccessStats:
         self._touched_epoch: set[int] = set()
         self._heat_live: set[int] = set()
         self.epoch = 0
+        # Cluster-wide op-mix sums of the epoch just closed (filled by
+        # ``end_epoch``); feeds the workload characterization stream.
+        self.last_epoch_mix: dict[str, int] = {
+            "visits": 0, "recurrent": 0, "first": 0, "created": 0}
 
     # ------------------------------------------------------------- recording
     def _grow(self) -> None:
@@ -222,6 +226,12 @@ class AccessStats:
             recurrent[idx] = [self._recurrent[d] for d in touched]
             first[idx] = [self._first[d] for d in touched]
             created[idx] = [self._created[d] for d in touched]
+        self.last_epoch_mix = {
+            "visits": int(visits.sum()),
+            "recurrent": int(recurrent.sum()),
+            "first": int(first.sum()),
+            "created": int(created.sum()),
+        }
 
         # Spatial correlation: a directory whose files are being visited for
         # the first time predicts first visits on a sibling too (paper §3.3:
@@ -283,6 +293,19 @@ class AccessStats:
         self.epoch += 1
 
     # -------------------------------------------------------------- snapshots
+    def live_heat(self) -> tuple[list[float], int]:
+        """Nonzero heat values (dir-id order) plus the total dir count.
+
+        The sparse view the workload profiler wants: Gini / entropy /
+        top-k over the heat distribution need the nonzero values and the
+        population size, never a dense array. Iterates the live set in
+        sorted order so downstream math is deterministic.
+        """
+        heat = self.heat
+        values = [heat[d] for d in sorted(self._heat_live | self._touched_epoch)
+                  if d < len(heat) and heat[d] > 0.0]
+        return values, self.tree.n_dirs
+
     def heat_array(self) -> np.ndarray:
         """Decayed heat per directory (accesses add to it immediately)."""
         self._grow()

@@ -29,6 +29,13 @@ rebuilds the causal DAG the ``did``/``parent`` links encode (``repro
 explain``), and :mod:`~repro.obs.diff` aligns two traces and reports
 their first semantic divergence (``repro diff``).
 
+Judiciousness auditing rides on both: :mod:`~repro.obs.outcomes` joins
+the DAG with per-epoch load history into a migration cost/benefit ledger
+(verdicts ``paid_off``/``neutral``/``wasted``/``ping_pong``), and
+:mod:`~repro.obs.workload` characterizes each epoch's workload shape
+(Gini/entropy skew, hotspot share, churn, op-mix class) as time-series
+columns and ``workload.*`` gauges.
+
 This package never imports the simulator (enforced by
 ``tests/test_architecture.py``). See ``docs/OBSERVABILITY.md`` for the
 schemas and CLI usage.
@@ -37,6 +44,8 @@ schemas and CLI usage.
 from repro.obs.events import (
     EVENT_TYPES,
     NO_DECISION,
+    OP_MIX_CLASSES,
+    OUTCOME_VERDICTS,
     SKIP_REASONS,
     AbortReason,
     DecisionIds,
@@ -47,10 +56,12 @@ from repro.obs.events import (
     MdsRecovered,
     MigrationAborted,
     MigrationCommitted,
+    MigrationOutcome,
     MigrationPlanned,
     RoleAssigned,
     SubtreeSelected,
     TraceEvent,
+    WorkloadProfiled,
     decode_unit,
     encode_unit,
     event_from_dict,
@@ -60,12 +71,30 @@ from repro.obs.events import (
 )
 from repro.obs.aggregate import merge_metrics_snapshots
 from repro.obs.diff import diff_traces, render_diff, signature
+from repro.obs.outcomes import (
+    OutcomeConfig,
+    OutcomeEntry,
+    OutcomeLedger,
+    aborted_waste,
+    build_ledger,
+    emit_outcomes,
+)
 from repro.obs.provenance import (
     Chain,
     ProvenanceGraph,
     explain,
     format_event,
     render_explain,
+)
+from repro.obs.workload import (
+    TOPK_DEFAULT,
+    WorkloadProfile,
+    classify_op_mix,
+    emit_profiles,
+    gini,
+    normalized_entropy,
+    profiles_from_timeseries,
+    topk_share,
 )
 from repro.obs.prom import parse_openmetrics, render_openmetrics, write_textfile
 from repro.obs.recorder import FlightRecorder
@@ -132,4 +161,22 @@ __all__ = [
     "diff_traces",
     "render_diff",
     "signature",
+    "MigrationOutcome",
+    "WorkloadProfiled",
+    "OUTCOME_VERDICTS",
+    "OP_MIX_CLASSES",
+    "OutcomeConfig",
+    "OutcomeEntry",
+    "OutcomeLedger",
+    "build_ledger",
+    "aborted_waste",
+    "emit_outcomes",
+    "WorkloadProfile",
+    "TOPK_DEFAULT",
+    "gini",
+    "normalized_entropy",
+    "topk_share",
+    "classify_op_mix",
+    "profiles_from_timeseries",
+    "emit_profiles",
 ]

@@ -52,9 +52,13 @@ __all__ = [
     "FaultInjected",
     "FaultCleared",
     "ConfigChanged",
+    "MigrationOutcome",
+    "WorkloadProfiled",
     "AbortReason",
     "SKIP_REASONS",
     "FAULT_KINDS",
+    "OUTCOME_VERDICTS",
+    "OP_MIX_CLASSES",
     "DecisionIds",
     "NO_DECISION",
     "EVENT_TYPES",
@@ -118,6 +122,18 @@ SKIP_REASONS = frozenset({"if_below_threshold", "urgency_low", "no_exporters"})
 #: ``fail`` stops a rank outright (standby takeover on clear), ``slow``
 #: degrades its capacity by a factor until cleared
 FAULT_KINDS = frozenset({"fail", "slow"})
+
+#: the closed verdict vocabulary of the migration cost/benefit ledger
+#: (``MigrationOutcome.verdict``; see ``repro.obs.outcomes``): the realized
+#: benefit covered the planned heat (``paid_off``), partially covered it
+#: (``neutral``), never materialized (``wasted``), or the subtree bounced
+#: straight back off its receiver (``ping_pong``)
+OUTCOME_VERDICTS = frozenset({"paid_off", "neutral", "wasted", "ping_pong"})
+
+#: per-epoch op-mix classes of the workload characterization stream
+#: (``WorkloadProfiled.op_mix``; see ``repro.obs.workload``). Ordered so the
+#: class index is a stable time-series column value.
+OP_MIX_CLASSES = ("idle", "create_heavy", "scan_heavy", "read_heavy", "mixed")
 
 
 def encode_unit(unit: int | FragId) -> int | str:
@@ -386,12 +402,87 @@ class ConfigChanged(TraceEvent):
     parent: int = NO_DECISION
 
 
+@dataclass(frozen=True)
+class MigrationOutcome(TraceEvent):
+    """The post-hoc cost/benefit verdict for one committed migration.
+
+    Derived — never emitted during a run. ``repro.obs.outcomes`` joins the
+    provenance DAG with per-epoch load history after the fact and mints
+    one of these per ``migration_committed``; the golden decision traces
+    therefore never contain them, and annotated traces that do stay
+    replayable because the type is registered like any other.
+
+    ``parent`` is the ``did`` of the judged ``migration_committed``, so
+    the provenance DAG chains commit → outcome. ``waste`` (this round's
+    aborted-sibling inode share) and ``partial`` (the ring evicted the
+    planned parent, so cost/benefit inputs were incomplete) are omitted
+    from the wire format at their defaults.
+    """
+
+    etype: ClassVar[str] = "migration_outcome"
+    omit_at_default: ClassVar[frozenset[str]] = frozenset({"waste", "partial"})
+    epoch: int  # the commit epoch the benefit window opens after
+    src: int
+    dst: int
+    unit: int | str
+    inodes: int
+    planned_load: float
+    realized: float
+    expected: float
+    verdict: str
+    observed_epochs: int
+    did: int = NO_DECISION
+    parent: int = NO_DECISION  # the MigrationCommitted being judged
+    waste: int = 0
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.verdict not in OUTCOME_VERDICTS:
+            raise ValueError(
+                f"unknown outcome verdict {self.verdict!r}; expected one of "
+                f"{sorted(OUTCOME_VERDICTS)}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfiled(TraceEvent):
+    """One epoch's workload characterization snapshot.
+
+    Mirrors the ``wl.*`` time-series columns the flight recorder samples
+    under ``SimConfig(workload_profile=True)`` (see
+    ``repro.obs.workload``): skew of the per-MDS load and per-dirfrag heat
+    distributions (Gini + normalized entropy), the heat share of the top-1
+    and top-k hottest dirfrags, the client churn rate and the epoch's
+    op-mix class. Derived from recorded columns or computed live — never
+    part of a golden decision trace.
+    """
+
+    etype: ClassVar[str] = "workload_profiled"
+    epoch: int
+    load_gini: float
+    load_entropy: float
+    heat_gini: float
+    heat_entropy: float
+    top1_share: float
+    topk_share: float
+    churn: float
+    op_mix: str
+    did: int = NO_DECISION
+    parent: int = NO_DECISION
+
+    def __post_init__(self) -> None:
+        if self.op_mix not in OP_MIX_CLASSES:
+            raise ValueError(
+                f"unknown op-mix class {self.op_mix!r}; expected one of "
+                f"{list(OP_MIX_CLASSES)}")
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.etype: cls
     for cls in (
         EpochStart, IfComputed, EpochSkipped, RoleAssigned, SubtreeSelected,
         MigrationPlanned, MigrationCommitted, MigrationAborted,
         MdsFailed, MdsRecovered, FaultInjected, FaultCleared, ConfigChanged,
+        MigrationOutcome, WorkloadProfiled,
     )
 }
 

@@ -1,0 +1,409 @@
+"""The migration cost/benefit ledger: did each migration pay for itself?
+
+Lunule claims to be *judicious* — it migrates only when migration is worth
+the disruption — and this module is the audit. It joins the decision
+trace's provenance DAG with the per-epoch load history (the simulator's
+own ``if_computed`` events, or recorded ``load.<rank>`` time-series
+columns) and charges every ``migration_committed`` a **cost** (inodes
+moved, plus its share of the round's aborted-sibling waste) against a
+**realized benefit** (load the receiver actually picked up over the next
+K epochs, relative to its pre-decision baseline, capped at what the plan
+promised). Each entry gets one verdict from ``OUTCOME_VERDICTS``:
+
+- ``paid_off`` — realized benefit covered ≥ 50% of the planned heat;
+- ``neutral`` — partial benefit (≥ 10%), or the ledger could not observe
+  enough epochs / inputs to judge fairly;
+- ``wasted`` — the migrated subtree went cold on arrival (< 10%);
+- ``ping_pong`` — the same unit was re-planned **off the receiver**
+  within W epochs, the classic thrash Lunule's §2.3 warns about. Detected
+  across the whole run and takes precedence over the ratio verdicts.
+
+Everything is **post-hoc**: ledgers are built from a finished (or
+in-flight, via the serve plane's snapshots) trace and never feed back
+into decisions, so golden traces stay byte-identical with the ledger
+enabled. :func:`aborted_waste` is the one shared join — the chaos
+robustness score reuses it instead of keeping its own copy.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.events import NO_DECISION, MigrationOutcome, TraceEvent
+from repro.obs.tracelog import TraceSink
+
+__all__ = [
+    "OutcomeConfig",
+    "OutcomeEntry",
+    "OutcomeLedger",
+    "aborted_waste",
+    "build_ledger",
+    "emit_outcomes",
+]
+
+
+@dataclass(frozen=True)
+class OutcomeConfig:
+    """Ledger knobs: the K/W windows and the verdict ratio cutoffs."""
+
+    #: K — epochs after the commit over which benefit is accumulated
+    benefit_epochs: int = 5
+    #: W — a re-export of the unit off its receiver within this many
+    #: epochs of the commit is a ping-pong
+    pingpong_epochs: int = 10
+    #: realized/expected at or above this is ``paid_off``
+    paid_off_ratio: float = 0.5
+    #: ... at or above this (but below paid_off) is ``neutral``
+    neutral_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.benefit_epochs < 1 or self.pingpong_epochs < 1:
+            raise ValueError("outcome windows must be >= 1 epoch")
+        if not 0.0 <= self.neutral_ratio <= self.paid_off_ratio:
+            raise ValueError("need 0 <= neutral_ratio <= paid_off_ratio")
+
+
+@dataclass(frozen=True)
+class OutcomeEntry:
+    """One committed migration's audited cost/benefit record."""
+
+    did: int            #: the ``migration_committed`` decision id
+    plan_did: int       #: its ``migration_planned`` parent (may be evicted)
+    epoch: int          #: commit epoch (tick-attributed)
+    plan_epoch: int     #: planning epoch — the round waste is shared within
+    src: int
+    dst: int
+    unit: int | str
+    inodes: int         #: direct cost: inodes physically moved
+    waste: int          #: shared cost: this entry's aborted-sibling inodes
+    planned_load: float  #: heat the plan promised the receiver
+    baseline: float     #: receiver load baseline before the decision
+    realized: float     #: benefit actually observed over the window
+    expected: float     #: planned_load x epochs observed
+    observed_epochs: int
+    verdict: str
+    partial: bool       #: plan evicted from a ring trace — inputs incomplete
+
+    @property
+    def ratio(self) -> float:
+        """Realized over expected benefit (0 when nothing was observable)."""
+        return self.realized / self.expected if self.expected > 0.0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "did": self.did,
+            "plan_did": self.plan_did,
+            "epoch": self.epoch,
+            "plan_epoch": self.plan_epoch,
+            "src": self.src,
+            "dst": self.dst,
+            "unit": self.unit,
+            "inodes": self.inodes,
+            "waste": self.waste,
+            "planned_load": self.planned_load,
+            "baseline": self.baseline,
+            "realized": self.realized,
+            "expected": self.expected,
+            "ratio": self.ratio,
+            "observed_epochs": self.observed_epochs,
+            "verdict": self.verdict,
+            "partial": self.partial,
+        }
+
+
+@dataclass(frozen=True)
+class OutcomeLedger:
+    """Every committed migration of one run, judged."""
+
+    entries: tuple[OutcomeEntry, ...]
+    config: OutcomeConfig = field(default_factory=OutcomeConfig)
+    #: aborted tasks/inodes the run wasted regardless of attribution
+    aborted_tasks: int = 0
+    aborted_inodes: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_commit(self) -> dict[int, OutcomeEntry]:
+        """Entry per judged ``migration_committed`` decision id."""
+        return {e.did: e for e in self.entries}
+
+    def verdict_counts(self) -> dict[str, int]:
+        """Entries per verdict, sorted by verdict name."""
+        out: dict[str, int] = {}
+        for e in self.entries:
+            out[e.verdict] = out.get(e.verdict, 0) + 1
+        return dict(sorted(out.items()))
+
+    def totals(self) -> dict[str, float]:
+        """Run-level economics: total cost, benefit, and efficiency."""
+        moved = sum(e.inodes for e in self.entries)
+        realized = sum(e.realized for e in self.entries)
+        expected = sum(e.expected for e in self.entries)
+        return {
+            "migrations": float(len(self.entries)),
+            "moved_inodes": float(moved),
+            "aborted_inodes": float(self.aborted_inodes),
+            "aborted_tasks": float(self.aborted_tasks),
+            "realized": realized,
+            "expected": expected,
+            "efficiency": realized / expected if expected > 0.0 else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready ledger document (``schema`` 1 — the obs-smoke contract)."""
+        return {
+            "schema": 1,
+            "config": {
+                "benefit_epochs": self.config.benefit_epochs,
+                "pingpong_epochs": self.config.pingpong_epochs,
+                "paid_off_ratio": self.config.paid_off_ratio,
+                "neutral_ratio": self.config.neutral_ratio,
+            },
+            "entries": [e.to_dict() for e in self.entries],
+            "verdicts": self.verdict_counts(),
+            "totals": self.totals(),
+        }
+
+
+# ----------------------------------------------------------------- building
+def _epoch_attributor(events: Sequence[TraceEvent]) -> Callable[[int], int]:
+    """Tick → epoch, by the same boundary rule as ``filter_events``."""
+    boundaries = [(e.tick, e.epoch) for e in events  # type: ignore[attr-defined]
+                  if e.etype == "epoch_start"]
+    ticks = [t for t, _ in boundaries]
+
+    def epoch_of_tick(tick: int) -> int:
+        if not ticks:
+            return 0
+        i = bisect.bisect_left(ticks, tick)
+        return boundaries[i][1] if i < len(ticks) else boundaries[-1][1] + 1
+
+    return epoch_of_tick
+
+
+def _load_history(events: Sequence[TraceEvent],
+                  timeseries: Mapping[str, Sequence[float | int | None]] | None,
+                  ) -> dict[int, list[float]]:
+    """Per-epoch per-rank load vectors, keyed by epoch.
+
+    Preferred source: recorded ``load.<rank>`` time-series columns (exact
+    end-of-epoch values). Fallback: the simulator's own ``if_computed``
+    events, which carry the same per-rank load tuple — so a bare decision
+    trace is self-sufficient.
+    """
+    history: dict[int, list[float]] = {}
+    if timeseries is not None:
+        epochs = timeseries.get("epoch")
+        ranks = sorted(
+            (name for name in timeseries if name.startswith("load.")),
+            key=lambda name: int(name.split(".", 1)[1]))
+        if epochs is not None and ranks:
+            cols = [timeseries[name] for name in ranks]
+            for i, epoch_cell in enumerate(epochs):
+                if epoch_cell is None:
+                    continue
+                loads = [float(c[i]) if i < len(c) and c[i] is not None else 0.0
+                         for c in cols]
+                history[int(epoch_cell)] = loads
+            return history
+    for e in events:
+        if e.etype == "if_computed" and getattr(e, "source", "") == "simulator":
+            history[int(e.epoch)] = [  # type: ignore[attr-defined]
+                float(x) for x in e.loads]  # type: ignore[attr-defined]
+    return history
+
+
+def aborted_waste(events: Iterable[TraceEvent],
+                  reason: str | None = None) -> tuple[int, int]:
+    """Aborted migration (tasks, planned inodes), optionally by reason.
+
+    The planned-inode join the ledger *and* the chaos robustness score
+    share: each ``migration_aborted`` is charged the ``inodes`` its
+    ``migration_planned`` parent promised to move (0 when the plan was
+    evicted from a ring trace). ``reason=None`` counts every abort;
+    ``reason="mds_failed"`` is the chaos score's fault-inflicted slice.
+    """
+    events = list(events)
+    planned_inodes = {e.did: e.inodes for e in events  # type: ignore[attr-defined]
+                      if e.etype == "migration_planned"}
+    tasks = 0
+    inodes = 0
+    for e in events:
+        if e.etype != "migration_aborted":
+            continue
+        if reason is not None and getattr(e, "reason", None) != reason:
+            continue
+        tasks += 1
+        inodes += planned_inodes.get(getattr(e, "parent", NO_DECISION), 0)
+    return tasks, inodes
+
+
+def build_ledger(
+    events: Iterable[TraceEvent],
+    *,
+    timeseries: Mapping[str, Sequence[float | int | None]] | None = None,
+    config: OutcomeConfig | None = None,
+) -> OutcomeLedger:
+    """Judge every ``migration_committed`` in a trace.
+
+    Pure post-hoc analysis: reads the trace (and, when given, a
+    time-series snapshot's ``epoch``/``load.<rank>`` columns for exact
+    load history), writes nothing back. Commits whose plan was ring-
+    evicted are judged ``neutral`` with ``partial=True`` rather than
+    dropped — always-on traces must stay auditable.
+    """
+    cfg = config if config is not None else OutcomeConfig()
+    events = list(events)
+    epoch_of_tick = _epoch_attributor(events)
+    history = _load_history(events, timeseries)
+
+    planned: dict[int, TraceEvent] = {
+        e.did: e for e in events  # type: ignore[attr-defined]
+        if e.etype == "migration_planned"}
+    commits = [e for e in events if e.etype == "migration_committed"]
+    aborts = [e for e in events if e.etype == "migration_aborted"]
+    plans_sorted = sorted(
+        ((e.did, e) for e in planned.values()), key=lambda kv: kv[0])
+
+    # Round waste: aborted planned inodes, grouped by the *planning* epoch,
+    # shared equally across that round's commits (remainder to the earliest
+    # commit by decision id). A round with no commits keeps its waste in
+    # the run totals but attributes it to nobody.
+    waste_by_epoch: dict[int, int] = {}
+    for a in aborts:
+        plan = planned.get(getattr(a, "parent", NO_DECISION))
+        if plan is None:
+            continue
+        k = epoch_of_tick(plan.tick)  # type: ignore[attr-defined]
+        waste_by_epoch[k] = (waste_by_epoch.get(k, 0)
+                             + plan.inodes)  # type: ignore[attr-defined]
+    commits_by_round: dict[int, list[TraceEvent]] = {}
+    plan_epochs: dict[int, int] = {}
+    for c in commits:
+        plan = planned.get(getattr(c, "parent", NO_DECISION))
+        tick = plan.tick if plan is not None else c.tick  # type: ignore[attr-defined]
+        plan_epochs[c.did] = epoch_of_tick(int(tick))  # type: ignore[attr-defined]
+        commits_by_round.setdefault(plan_epochs[c.did], []).append(c)
+    waste_share: dict[int, int] = {}
+    for k, group in commits_by_round.items():
+        total = waste_by_epoch.get(k, 0)
+        group = sorted(group, key=lambda e: e.did)  # type: ignore[attr-defined]
+        share, rem = divmod(total, len(group))
+        for i, c in enumerate(group):
+            waste_share[c.did] = share + (rem if i == 0 else 0)  # type: ignore[attr-defined]
+
+    entries: list[OutcomeEntry] = []
+    for c in sorted(commits, key=lambda e: e.did):  # type: ignore[attr-defined]
+        plan = planned.get(getattr(c, "parent", NO_DECISION))
+        partial = plan is None
+        commit_epoch = epoch_of_tick(int(c.tick))  # type: ignore[attr-defined]
+        plan_epoch = plan_epochs[c.did]  # type: ignore[attr-defined]
+        planned_load = float(getattr(plan, "load", 0.0)) if plan is not None else 0.0
+        dst = int(c.dst)  # type: ignore[attr-defined]
+
+        def dst_load(k: int, rank: int = dst) -> float | None:
+            loads = history.get(k)
+            if loads is None or rank >= len(loads):
+                return None
+            return loads[rank]
+
+        base_samples = [v for k in range(max(0, plan_epoch - cfg.benefit_epochs),
+                                         plan_epoch)
+                        if (v := dst_load(k)) is not None]
+        if base_samples:
+            baseline = sum(base_samples) / len(base_samples)
+        else:
+            baseline = dst_load(plan_epoch) or 0.0
+
+        realized = 0.0
+        observed = 0
+        for k in range(commit_epoch + 1, commit_epoch + 1 + cfg.benefit_epochs):
+            v = dst_load(k)
+            if v is None:
+                continue
+            observed += 1
+            gain = max(0.0, v - baseline)
+            realized += min(planned_load, gain) if planned_load > 0.0 else gain
+
+        expected = planned_load * observed
+        ratio = realized / expected if expected > 0.0 else 0.0
+
+        # Ping-pong: the same unit planned *off this receiver* by a later
+        # decision within W epochs of the commit — whatever became of that
+        # later plan, the benefit window was cut short by a reversal.
+        pingpong = False
+        unit = c.unit  # type: ignore[attr-defined]
+        for did2, p2 in plans_sorted:
+            if did2 <= c.did:  # type: ignore[attr-defined]
+                continue
+            if (p2.unit == unit and int(p2.src) == dst  # type: ignore[attr-defined]
+                    and epoch_of_tick(int(p2.tick))  # type: ignore[attr-defined]
+                    <= commit_epoch + cfg.pingpong_epochs):
+                pingpong = True
+                break
+
+        if pingpong:
+            verdict = "ping_pong"
+        elif partial or observed == 0 or expected <= 0.0:
+            verdict = "neutral"
+        elif ratio >= cfg.paid_off_ratio:
+            verdict = "paid_off"
+        elif ratio >= cfg.neutral_ratio:
+            verdict = "neutral"
+        else:
+            verdict = "wasted"
+
+        entries.append(OutcomeEntry(
+            did=int(c.did),  # type: ignore[attr-defined]
+            plan_did=int(getattr(c, "parent", NO_DECISION)),
+            epoch=commit_epoch,
+            plan_epoch=plan_epoch,
+            src=int(c.src),  # type: ignore[attr-defined]
+            dst=dst,
+            unit=unit,
+            inodes=int(c.inodes),  # type: ignore[attr-defined]
+            waste=waste_share.get(int(c.did), 0),  # type: ignore[attr-defined]
+            planned_load=planned_load,
+            baseline=baseline,
+            realized=realized,
+            expected=expected,
+            observed_epochs=observed,
+            verdict=verdict,
+            partial=partial,
+        ))
+
+    tasks, inodes = aborted_waste(events)
+    return OutcomeLedger(entries=tuple(entries), config=cfg,
+                         aborted_tasks=tasks, aborted_inodes=inodes)
+
+
+def emit_outcomes(sink: TraceSink, ledger: OutcomeLedger) -> int:
+    """Append the ledger to a trace as ``migration_outcome`` events.
+
+    Post-hoc annotation of a *copy* of the run's trace (never the golden
+    stream): each event's ``parent`` is the judged ``migration_committed``
+    decision, chaining commit → outcome in the provenance DAG. Returns
+    the number of events emitted.
+    """
+    for entry in ledger.entries:
+        did = sink.next_decision_id()
+        sink.emit(MigrationOutcome(
+            epoch=entry.epoch,
+            src=entry.src,
+            dst=entry.dst,
+            unit=entry.unit,
+            inodes=entry.inodes,
+            planned_load=entry.planned_load,
+            realized=entry.realized,
+            expected=entry.expected,
+            verdict=entry.verdict,
+            observed_epochs=entry.observed_epochs,
+            did=did,
+            parent=entry.did,
+            waste=entry.waste,
+            partial=entry.partial,
+        ))
+    return len(ledger.entries)

@@ -27,6 +27,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.obs.events import NO_DECISION, TraceEvent, event_to_dict
+from repro.obs.outcomes import build_ledger
 from repro.obs.tracelog import read_jsonl
 
 __all__ = ["Chain", "ProvenanceGraph", "explain", "format_event",
@@ -179,7 +180,8 @@ def _unit_matches(unit: object, wanted: str) -> bool:
 
 
 def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
-            rank: int | None = None, subtree: str | None = None) -> dict:
+            rank: int | None = None, subtree: str | None = None,
+            outcomes: bool = False) -> dict:
     """The "why" report behind ``repro explain``.
 
     Returns a JSON-ready dict: one entry per epoch with the IF events
@@ -189,8 +191,16 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
     one epoch; ``rank`` keeps only migrations touching that rank;
     ``subtree`` (the unit as printed in the trace, e.g. ``"7"`` or
     ``"frag:3:1:0"``) keeps only migrations of that unit.
+
+    ``outcomes=True`` additionally runs the cost/benefit ledger
+    (:mod:`repro.obs.outcomes`) over the trace and annotates every
+    committed migration with its verdict, realized/expected benefit ratio
+    and aborted-sibling waste share; the summary gains a per-verdict
+    tally. Post-hoc only — the report reads the trace, never the run.
     """
     graph = ProvenanceGraph(events)
+    ledger = build_ledger(graph.events) if outcomes else None
+    judged = ledger.by_commit() if ledger is not None else {}
     epochs: dict[int, dict] = {}
 
     def bucket(k: int) -> dict:
@@ -230,7 +240,7 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
                 cause_events = list(graph.chain(cause_did).events)
             full = (list(chain.events) + cause_events
                     + ([end] if end is not None else []))
-            bucket(k)["migrations"].append({
+            entry = {
                 "did": did,
                 "src": node.src,  # type: ignore[attr-defined]
                 "dst": node.dst,  # type: ignore[attr-defined]
@@ -242,11 +252,20 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
                           if cause_events else None),
                 "truncated": chain.truncated,
                 "chain": [event_to_dict(e) for e in full],
-            })
+            }
+            judgement = (judged.get(getattr(end, "did", NO_DECISION))
+                         if end is not None else None)
+            if judgement is not None:
+                entry["verdict"] = judgement.verdict
+                entry["ratio"] = judgement.ratio
+                entry["realized"] = judgement.realized
+                entry["expected"] = judgement.expected
+                entry["waste"] = judgement.waste
+            bucket(k)["migrations"].append(entry)
 
     ordered = [epochs[k] for k in sorted(epochs)]
     n_mig = sum(len(b["migrations"]) for b in ordered)
-    return {
+    report = {
         "epochs": ordered,
         "summary": {
             "epochs": len(ordered),
@@ -260,6 +279,10 @@ def explain(events: Iterable[TraceEvent], *, epoch: int | None = None,
                                     if m["truncated"]),
         },
     }
+    if ledger is not None:
+        report["summary"]["verdicts"] = ledger.verdict_counts()
+        report["summary"]["economics"] = ledger.totals()
+    return report
 
 
 def format_event(d: dict) -> str:
@@ -299,6 +322,17 @@ def format_event(d: dict) -> str:
     if e == "config_changed":
         return (f"config_changed[{d['did']}] {d['key']}: "
                 f"{d['old']} -> {d['value']} epoch={d['epoch']}")
+    if e == "migration_outcome":
+        waste = f" waste={d['waste']}" if d.get("waste") else ""
+        partial = " (partial)" if d.get("partial") else ""
+        return (f"migration_outcome[{d['did']}] unit {d['unit']} "
+                f"{d['src']} -> {d['dst']} verdict={d['verdict']} "
+                f"realized={d['realized']:.2f}/{d['expected']:.2f} "
+                f"over {d['observed_epochs']} epochs{waste}{partial}")
+    if e == "workload_profiled":
+        return (f"workload_profiled[{d['did']}] epoch={d['epoch']} "
+                f"op_mix={d['op_mix']} heat_gini={d['heat_gini']:.3f} "
+                f"top1={d['top1_share']:.2f} churn={d['churn']:.2f}")
     return f"{e}[{d.get('did', '?')}]"
 
 
@@ -315,9 +349,12 @@ def render_explain(report: dict) -> str:
             lines.append(f"  {format_event(d)}")
         for m in b["migrations"]:
             flag = " (chain truncated by ring eviction)" if m["truncated"] else ""
+            verdict = (f" verdict={m['verdict']} (benefit {m['ratio']:.0%}"
+                       + (f", waste {m['waste']} inodes" if m.get("waste") else "")
+                       + ")") if "verdict" in m else ""
             lines.append(
                 f"  migration {m['did']}: unit {m['unit']} "
-                f"{m['src']} -> {m['dst']} [{m['outcome']}]{flag}")
+                f"{m['src']} -> {m['dst']} [{m['outcome']}]{verdict}{flag}")
             for d in m["chain"]:
                 lines.append(f"    {format_event(d)}")
         if not (b["if"] or b["skipped"] or b["config"] or b["migrations"]):
@@ -327,4 +364,13 @@ def render_explain(report: dict) -> str:
         f"summary: {s['epochs']} epochs, {s['migrations']} migrations "
         f"({s['committed']} committed, {s['aborted']} aborted), "
         f"{s['skipped_epochs']} skipped epochs")
+    if "verdicts" in s:
+        counts = s["verdicts"]
+        tally = "  ".join(f"{v}={counts.get(v, 0)}"
+                          for v in ("paid_off", "neutral", "wasted", "ping_pong"))
+        eco = s.get("economics", {})
+        lines.append(
+            f"verdicts: {tally}  |  benefit efficiency "
+            f"{eco.get('efficiency', 0.0):.0%}, "
+            f"{int(eco.get('aborted_inodes', 0))} inodes aborted")
     return "\n".join(lines)

@@ -16,7 +16,10 @@ import-free of the simulator.
 from __future__ import annotations
 
 import html as _html
+import re
 
+from repro.obs.events import OP_MIX_CLASSES
+from repro.obs.outcomes import build_ledger
 from repro.obs.registry import histogram_quantile
 from repro.obs.spans import totals_from_events
 
@@ -168,6 +171,93 @@ def _section_per_mds(timeseries: dict) -> list[str]:
                      queue_last, sparkline(series)])
     lines += _md_table(
         ["rank", "mean load", "peak load", "last load", "queue", "trend"], rows)
+    lines.append("")
+    return lines
+
+
+def _section_workload(timeseries: dict) -> list[str]:
+    """Workload profile: skew, hotspot and churn trajectories (``wl.*``).
+
+    Renders only when the run recorded the characterization stream
+    (``SimConfig(workload_profile=True)``); each series gets the same
+    sparkline treatment the IF trajectory gets.
+    """
+    named = [("wl.heat_gini", "heat Gini"),
+             ("wl.heat_entropy", "heat entropy"),
+             ("wl.load_gini", "load Gini"),
+             ("wl.load_entropy", "load entropy"),
+             ("wl.top1_share", "top-1 hotspot share"),
+             ("wl.topk_share", "top-k hotspot share"),
+             ("wl.churn", "client churn")]
+    rows = []
+    for col, label in named:
+        series = [v for v in _series(timeseries, col) if v is not None]
+        if not series:
+            continue
+        rows.append([label, series[0], sum(series) / len(series),
+                     max(series), series[-1], sparkline(series)])
+    if not rows:
+        return []
+    lines = ["## Workload profile", ""]
+    lines += _md_table(["metric", "first", "mean", "peak", "last", "trend"],
+                       rows)
+    lines.append("")
+    mix = [v for v in _series(timeseries, "wl.op_mix") if v is not None]
+    if mix:
+        counts: dict[str, int] = {}
+        for v in mix:
+            cls = OP_MIX_CLASSES[int(v)]
+            counts[cls] = counts.get(cls, 0) + 1
+        parts = [f"{cls} × {counts[cls]}"
+                 for cls in OP_MIX_CLASSES if cls in counts]
+        lines.append(f"Op-mix classes over {len(mix)} epochs: "
+                     + ", ".join(parts)
+                     + f" — latest **{OP_MIX_CLASSES[int(mix[-1])]}**.")
+        lines.append("")
+    return lines
+
+
+def _section_economics(events: list, timeseries: dict) -> list[str]:
+    """Migration economics: the cost/benefit ledger's verdicts.
+
+    Judges every committed migration post-hoc (``repro.obs.outcomes``)
+    from the decision trace plus — when the run was recorded — the exact
+    ``load.<rank>`` time-series columns.
+    """
+    if not events:
+        return []
+    columns = {name: _series(timeseries, name)
+               for name in timeseries.get("columns", [])}
+    ledger = build_ledger(events, timeseries=columns or None)
+    if not len(ledger):
+        return []
+    totals = ledger.totals()
+    counts = ledger.verdict_counts()
+    lines = ["## Migration economics", ""]
+    lines += _md_table(["metric", "value"], [
+        ["migrations judged", int(totals["migrations"])],
+        ["inodes moved", int(totals["moved_inodes"])],
+        ["inodes aborted (waste)", int(totals["aborted_inodes"])],
+        ["benefit realized / expected",
+         f"{_fmt(totals['realized'])} / {_fmt(totals['expected'])}"],
+        ["benefit efficiency", f"{totals['efficiency']:.0%}"],
+    ])
+    lines.append("")
+    lines.append("Verdicts ("
+                 f"K={ledger.config.benefit_epochs} benefit epochs, "
+                 f"W={ledger.config.pingpong_epochs} ping-pong window): "
+                 + ", ".join(f"**{v}** × {counts[v]}"
+                             for v in ("paid_off", "neutral", "wasted",
+                                       "ping_pong") if v in counts) + ".")
+    lines.append("")
+    top = sorted(ledger.entries, key=lambda e: (-e.inodes, e.did))[:10]
+    lines.append("### Largest migrations, judged")
+    lines.append("")
+    lines += _md_table(
+        ["did", "unit", "route", "epoch", "inodes", "waste", "benefit",
+         "verdict"],
+        [[e.did, str(e.unit), f"{e.src} → {e.dst}", e.epoch, e.inodes,
+          e.waste, f"{e.ratio:.0%}", e.verdict] for e in top])
     lines.append("")
     return lines
 
@@ -347,9 +437,11 @@ def render_run_report(meta: dict, *, timeseries: dict | None = None,
     lines += _section_header(meta or {})
     lines += _section_warnings(timeseries or {}, metrics or {})
     lines += _section_if(timeseries or {})
+    lines += _section_workload(timeseries or {})
     lines += _section_per_mds(timeseries or {})
     lines += _section_chaos(chaos or {})
     lines += _section_migration(events or [])
+    lines += _section_economics(events or [], timeseries or {})
     lines += _section_phases(span_events or [],
                              (meta or {}).get("clock", "logical"))
     lines += _section_metrics(metrics or {})
@@ -367,17 +459,75 @@ _HTML_PAGE = """<!doctype html>
 body {{ font-family: ui-monospace, Menlo, Consolas, monospace;
         max-width: 72rem; margin: 2rem auto; padding: 0 1rem;
         color: #1a1a2e; background: #fafafa; line-height: 1.45; }}
-pre {{ white-space: pre-wrap; }}
+pre {{ white-space: pre-wrap; margin: 0.3rem 0; }}
+h1, h2, h3 {{ margin: 1.1rem 0 0.3rem; }}
+nav.toc {{ border: 1px solid #d0d0dc; border-radius: 4px;
+           padding: 0.5rem 1rem; margin: 1rem 0; }}
+nav.toc a {{ display: block; text-decoration: none; color: #30308a; }}
+nav.toc a.lvl3 {{ padding-left: 1.5rem; }}
 </style>
 </head>
 <body>
-<pre>{body}</pre>
+{body}
 </body>
 </html>
 """
 
+_HEADING_RE = re.compile(r"^(#{1,6}) +(.*?)\s*$")
+
+
+def _slugify(text: str) -> str:
+    """GitHub-style heading anchor: lowercase, alnum and dashes only."""
+    slug = re.sub(r"[^a-z0-9 _-]", "", text.lower())
+    return re.sub(r"[ _]+", "-", slug).strip("-") or "section"
+
 
 def render_html(markdown: str, title: str = "Run report") -> str:
-    """The Markdown report as one dependency-free HTML page."""
+    """The Markdown report as one dependency-free HTML page.
+
+    Headings become real ``<h1>``–``<h6>`` elements with stable GitHub-
+    style ``id`` anchors and a table of contents links to every section,
+    so a long report (workload profile, economics, chaos...) is
+    navigable; everything between headings stays preformatted text,
+    fully escaped.
+    """
+    headings: list[tuple[int, str, str]] = []
+    seen: dict[str, int] = {}
+    parts: list[str] = []
+    chunk: list[str] = []
+
+    def flush() -> None:
+        if chunk:
+            text = "\n".join(chunk)
+            parts.append(f"<pre>{_html.escape(text)}</pre>")
+            chunk.clear()
+
+    for line in markdown.splitlines():
+        m = _HEADING_RE.match(line)
+        if m is None:
+            chunk.append(line)
+            continue
+        flush()
+        level, text = len(m.group(1)), m.group(2)
+        slug = _slugify(text)
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        if n:
+            slug = f"{slug}-{n}"
+        headings.append((level, text, slug))
+        parts.append(f'<h{level} id="{slug}">{_html.escape(text)}</h{level}>')
+    flush()
+
+    toc_entries = [(level, text, slug) for level, text, slug in headings
+                   if level >= 2]
+    if toc_entries:
+        links = "\n".join(
+            f'<a class="lvl{level}" href="#{slug}">{_html.escape(text)}</a>'
+            for level, text, slug in toc_entries)
+        toc = f'<nav class="toc">\n{links}\n</nav>'
+        # after the title heading when there is one, else up front
+        at = 1 if headings and markdown.lstrip().startswith("#") else 0
+        parts.insert(at, toc)
+
     return _HTML_PAGE.format(title=_html.escape(title),
-                             body=_html.escape(markdown))
+                             body="\n".join(parts))

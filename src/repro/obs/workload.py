@@ -1,0 +1,282 @@
+"""Per-epoch workload characterization: skew, hotspots, churn, op mix.
+
+Lunule's whole case rests on workload shape — a balanced cluster under a
+uniform read stream needs no migrations, a zipf create storm needs many —
+yet nothing in the stack measured that shape. This module distills each
+epoch into a :class:`WorkloadProfile`: concentration of the per-MDS load
+and per-dirfrag heat distributions (Gini coefficient + normalized
+entropy), the heat share captured by the hottest 1 and top-k dirfrags,
+the client churn rate, and a coarse op-mix class drawn from the closed
+``OP_MIX_CLASSES`` vocabulary.
+
+Everything here is pure math over numbers handed in by the caller; the
+simulator computes profiles only under ``SimConfig(workload_profile=True)``
+so golden traces and time-series stay byte-identical, and
+:func:`profiles_from_timeseries` rebuilds the stream post-hoc from the
+recorded ``wl.*`` columns for reports and tests.
+
+The skew helpers are **sparse-aware**: they take the nonzero values plus
+the total population size, because the heat distribution of a large
+namespace is almost entirely zeros and materializing it dense each epoch
+would blow the <5% recording-overhead budget.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.obs.events import NO_DECISION, OP_MIX_CLASSES, WorkloadProfiled
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceSink
+
+__all__ = [
+    "TOPK_DEFAULT",
+    "WorkloadProfile",
+    "classify_op_mix",
+    "emit_profiles",
+    "gini",
+    "normalized_entropy",
+    "profiles_from_timeseries",
+    "topk_share",
+]
+
+#: how many hottest dirfrags the "top-k hotspot share" covers by default
+TOPK_DEFAULT = 8
+
+
+# ------------------------------------------------------------ skew metrics
+def gini(values: Sequence[float], total_count: int | None = None) -> float:
+    """Gini coefficient of a distribution given its nonzero values.
+
+    ``total_count`` is the full population size including zero entries
+    (defaults to ``len(values)``); the zeros occupy the lowest ranks of
+    the sorted distribution without contributing mass, which is how a
+    single hot dirfrag among ten thousand cold ones scores near 1.0
+    without a dense array ever existing. Returns 0.0 for empty, all-zero,
+    or single-member populations.
+    """
+    n = len(values) if total_count is None else total_count
+    nonzero = sorted(v for v in values if v > 0.0)
+    if n <= 1 or not nonzero:
+        return 0.0
+    total = math.fsum(nonzero)
+    if total <= 0.0:
+        return 0.0
+    m = len(nonzero)
+    # Zeros fill ranks 1..n-m; nonzero value j (1-based) has rank n-m+j.
+    weighted = math.fsum((n - m + j) * v for j, v in enumerate(nonzero, start=1))
+    return 2.0 * weighted / (n * total) - (n + 1) / n
+
+
+def normalized_entropy(values: Sequence[float],
+                       total_count: int | None = None) -> float:
+    """Shannon entropy of the distribution, normalized to ``[0, 1]``.
+
+    1.0 means mass spread uniformly over all ``total_count`` members;
+    0.0 means a single member holds everything (or the population is
+    empty/idle — an epoch with no heat is reported as fully concentrated
+    rather than fully uniform, matching how the dashboards read it).
+    Zero entries contribute no entropy, so only nonzero values need
+    passing.
+    """
+    n = len(values) if total_count is None else total_count
+    total = math.fsum(v for v in values if v > 0.0)
+    if n <= 1 or total <= 0.0:
+        return 0.0
+    h = -math.fsum(
+        (v / total) * math.log(v / total) for v in values if v > 0.0)
+    return h / math.log(n) + 0.0  # + 0.0 normalizes IEEE -0.0
+
+
+def topk_share(values: Sequence[float], k: int) -> float:
+    """Fraction of total mass held by the ``k`` largest values (0 if idle)."""
+    if k <= 0:
+        return 0.0
+    total = math.fsum(v for v in values if v > 0.0)
+    if total <= 0.0:
+        return 0.0
+    top = sorted((v for v in values if v > 0.0), reverse=True)[:k]
+    return min(1.0, math.fsum(top) / total)
+
+
+def classify_op_mix(visits: int, created: int, first: int,
+                    recurrent: int) -> str:
+    """Coarse epoch class from the cluster-wide pattern-counter sums.
+
+    Majority rule over the access classes Lunule's cutting window already
+    distinguishes: creates (new inodes), first visits (scan front), and
+    recurrent visits (re-reads). ``created`` is a subset of ``first``, so
+    it is tested first — a create storm is ``create_heavy``, not
+    ``scan_heavy``. No majority → ``mixed``; no traffic → ``idle``.
+    """
+    if visits <= 0:
+        return "idle"
+    if 2 * created >= visits:
+        return "create_heavy"
+    if 2 * first >= visits:
+        return "scan_heavy"
+    if 2 * recurrent >= visits:
+        return "read_heavy"
+    return "mixed"
+
+
+# ---------------------------------------------------------------- profiles
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One epoch's workload shape, ready for columns / gauges / events."""
+
+    epoch: int
+    load_gini: float
+    load_entropy: float
+    heat_gini: float
+    heat_entropy: float
+    top1_share: float
+    topk_share: float
+    churn: float
+    op_mix: str
+    topk: int = TOPK_DEFAULT
+
+    @classmethod
+    def compute(
+        cls,
+        *,
+        epoch: int,
+        loads: Sequence[float],
+        heat_values: Sequence[float],
+        n_dirs: int,
+        mix: Mapping[str, int],
+        clients_started: int,
+        clients_done: int,
+        active_clients: int,
+        topk: int = TOPK_DEFAULT,
+    ) -> WorkloadProfile:
+        """Profile one epoch from live simulator state.
+
+        ``heat_values`` are the nonzero per-dirfrag heats (``n_dirs`` the
+        full population), ``mix`` the cluster-wide pattern sums of the
+        closed epoch (``AccessStats.last_epoch_mix``), and the client
+        numbers are this epoch's deltas — churn is arrivals plus
+        departures over the active population.
+        """
+        return cls(
+            epoch=epoch,
+            load_gini=gini(loads),
+            load_entropy=normalized_entropy(loads),
+            heat_gini=gini(heat_values, n_dirs),
+            heat_entropy=normalized_entropy(heat_values, n_dirs),
+            top1_share=topk_share(heat_values, 1),
+            topk_share=topk_share(heat_values, topk),
+            churn=(clients_started + clients_done) / max(active_clients, 1),
+            op_mix=classify_op_mix(
+                int(mix.get("visits", 0)), int(mix.get("created", 0)),
+                int(mix.get("first", 0)), int(mix.get("recurrent", 0))),
+            topk=topk,
+        )
+
+    def to_record(self) -> dict[str, float]:
+        """The ``wl.*`` time-series columns (op mix as its class index)."""
+        return {
+            "wl.load_gini": self.load_gini,
+            "wl.load_entropy": self.load_entropy,
+            "wl.heat_gini": self.heat_gini,
+            "wl.heat_entropy": self.heat_entropy,
+            "wl.top1_share": self.top1_share,
+            "wl.topk_share": self.topk_share,
+            "wl.churn": self.churn,
+            "wl.op_mix": float(OP_MIX_CLASSES.index(self.op_mix)),
+        }
+
+    def to_event(self, *, did: int = NO_DECISION,
+                 parent: int = NO_DECISION) -> WorkloadProfiled:
+        """The profile as a ``workload_profiled`` trace event."""
+        return WorkloadProfiled(
+            epoch=self.epoch,
+            load_gini=self.load_gini,
+            load_entropy=self.load_entropy,
+            heat_gini=self.heat_gini,
+            heat_entropy=self.heat_entropy,
+            top1_share=self.top1_share,
+            topk_share=self.topk_share,
+            churn=self.churn,
+            op_mix=self.op_mix,
+            did=did,
+            parent=parent,
+        )
+
+    def to_gauges(self, registry: MetricsRegistry) -> None:
+        """Publish the profile as ``workload.*`` OpenMetrics gauges."""
+        registry.gauge("workload.load_gini").set(self.load_gini)
+        registry.gauge("workload.load_entropy").set(self.load_entropy)
+        registry.gauge("workload.heat_gini").set(self.heat_gini)
+        registry.gauge("workload.heat_entropy").set(self.heat_entropy)
+        registry.gauge("workload.hotspot_share", k="1").set(self.top1_share)
+        registry.gauge("workload.hotspot_share",
+                       k=str(self.topk)).set(self.topk_share)
+        registry.gauge("workload.client_churn").set(self.churn)
+        registry.gauge("workload.opmix_class").set(
+            float(OP_MIX_CLASSES.index(self.op_mix)))
+
+
+def profiles_from_timeseries(snapshot: Mapping[str, Sequence[float | int | None]],
+                             topk: int = TOPK_DEFAULT) -> list[WorkloadProfile]:
+    """Rebuild the profile stream from recorded ``wl.*`` columns.
+
+    ``snapshot`` maps column name to series (``TimeSeriesStore.column``
+    shape); rows whose profile columns are ``None`` (recorded before the
+    profiler was on, or with it off) are skipped. Round-trips exactly
+    with :meth:`WorkloadProfile.to_record`.
+    """
+    epochs = snapshot.get("epoch")
+    key = "wl.load_gini"
+    series = snapshot.get(key)
+    if series is None:
+        return []
+    out: list[WorkloadProfile] = []
+    for i, cell in enumerate(series):
+        if cell is None:
+            continue
+        def col(name: str, row: int = i) -> float:
+            values = snapshot.get(name)
+            v = values[row] if values is not None and row < len(values) else None
+            return float(v) if v is not None else 0.0
+        epoch_cell = (epochs[i] if epochs is not None and i < len(epochs)
+                      else None)
+        out.append(WorkloadProfile(
+            epoch=int(epoch_cell) if epoch_cell is not None else i,
+            load_gini=float(cell),
+            load_entropy=col("wl.load_entropy"),
+            heat_gini=col("wl.heat_gini"),
+            heat_entropy=col("wl.heat_entropy"),
+            top1_share=col("wl.top1_share"),
+            topk_share=col("wl.topk_share"),
+            churn=col("wl.churn"),
+            op_mix=OP_MIX_CLASSES[int(col("wl.op_mix"))],
+            topk=topk,
+        ))
+    return out
+
+
+def emit_profiles(sink: TraceSink, profiles: Sequence[WorkloadProfile]) -> int:
+    """Append the profile stream to a trace as ``workload_profiled`` events.
+
+    Post-hoc annotation — run this against a copy, never the golden
+    stream. Each event gets a fresh decision id so the provenance graph
+    indexes it; returns the number emitted.
+    """
+    for profile in profiles:
+        did = sink.next_decision_id()
+        sink.emit(WorkloadProfiled(
+            epoch=profile.epoch,
+            load_gini=profile.load_gini,
+            load_entropy=profile.load_entropy,
+            heat_gini=profile.heat_gini,
+            heat_entropy=profile.heat_entropy,
+            top1_share=profile.top1_share,
+            topk_share=profile.topk_share,
+            churn=profile.churn,
+            op_mix=profile.op_mix,
+            did=did,
+        ))
+    return len(profiles)

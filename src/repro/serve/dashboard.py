@@ -51,21 +51,47 @@ def render_top(status: dict, width: int = 72) -> str:
     series = status.get("if_series") or []
     lines.append(f"IF {status.get('if', 0.0):6.3f}  {sparkline(series)}")
 
+    profile = status.get("workload_profile") or {}
+    if profile:
+        lines.append(
+            f"workload {profile.get('op_mix', '?')}  "
+            f"heat gini {profile.get('heat_gini', 0.0):.3f}  "
+            f"top1 {profile.get('top1_share', 0.0):.0%}  "
+            f"churn {profile.get('churn', 0.0):.2f}")
+
     loads = status.get("loads") or []
     caps = status.get("capacities") or [1.0] * len(loads)
     failed = set(status.get("failed") or [])
-    bar_w = max(10, width - 30)
+    outcomes = status.get("outcomes") or {}
+    mig_in = outcomes.get("migrations_in") or []
+    mig_out = outcomes.get("migrations_out") or []
+    bar_w = max(10, width - 42 if outcomes else width - 30)
     for rank, load in enumerate(loads):
         cap = caps[rank] if rank < len(caps) else 1.0
         tag = " DOWN" if rank in failed else ""
+        inout = ""
+        if outcomes:
+            n_in = mig_in[rank] if rank < len(mig_in) else 0
+            n_out = mig_out[rank] if rank < len(mig_out) else 0
+            inout = f"  in {n_in:3d} out {n_out:3d}"
         lines.append(f"mds.{rank} [{_bar(load, cap, bar_w)}] "
-                     f"{load:8.1f}/{cap:.0f}{tag}")
+                     f"{load:8.1f}/{cap:.0f}{inout}{tag}")
 
     lines.append(
         f"migrated {status.get('migrated_inodes', 0):,} inodes  |  exports "
         f"{status.get('committed_tasks', 0)} committed / "
         f"{status.get('aborted_tasks', 0)} aborted  |  "
         f"forwards {status.get('forwards', 0):,}")
+
+    if outcomes:
+        verdicts = outcomes.get("verdicts") or {}
+        tally = "  ".join(
+            f"{v}={verdicts.get(v, 0)}"
+            for v in ("paid_off", "neutral", "wasted", "ping_pong"))
+        lines.append(
+            f"ledger {outcomes.get('judged', 0)} judged: {tally}  |  "
+            f"benefit {outcomes.get('efficiency', 0.0):.0%}  |  "
+            f"waste {outcomes.get('aborted_inodes', 0):,} inodes")
 
     trace = status.get("trace") or {}
     bus = status.get("bus") or {}

@@ -35,7 +35,8 @@ from typing import Any
 from repro.balancers import make_balancer
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_simulator
-from repro.obs.events import ConfigChanged
+from repro.obs.events import OUTCOME_VERDICTS, ConfigChanged
+from repro.obs.outcomes import build_ledger
 from repro.obs.prom import render_openmetrics
 from repro.serve.bus import EventBus
 from repro.serve.sanitizer import guard_writes, sanitize_lock
@@ -89,11 +90,14 @@ class SimulatorService:
         self._stop_requested = False  # guarded-by: self.lock
         #: ticks granted to :meth:`step` while paused
         self._step_budget = 0  # guarded-by: self.lock
+        #: live cost/benefit ledger summary, rebuilt at epoch boundaries
+        #: from the retained trace (``repro.obs.outcomes``)
+        self._ledger_cache: dict | None = None  # guarded-by: self.lock
         # under REPRO_SANITIZE=1 the runtime checks the same discipline
         # the guarded-by lint proves statically
         guard_writes(self, self.lock,
                      ("state", "result", "_pending", "mutations_applied",
-                      "_stop_requested", "_step_budget"))
+                      "_stop_requested", "_step_budget", "_ledger_cache"))
 
     # ------------------------------------------------------------- event tap
     def _tap(self, event: object) -> None:
@@ -159,16 +163,61 @@ class SimulatorService:
         for _ in range(ticks):
             epoch_before = sim.epoch
             alive = sim.step_tick()
-            if sim.epoch != epoch_before and self._pending:
-                self._apply_pending()
+            if sim.epoch != epoch_before:
+                if self._pending:
+                    self._apply_pending()
+                self._refresh_ledger()
             if not alive:
                 return False
         return True
+
+    def _refresh_ledger(self) -> None:  # holds-lock: self.lock
+        """Rebuild the outcome-ledger summary from the retained trace.
+
+        Runs at epoch boundaries only: the ledger is post-hoc analysis of
+        the trace the epoch just extended, and never feeds back into the
+        simulation (the served decision trace stays byte-identical to the
+        batch run's). Publishes ``outcome.*`` gauges so ``/metrics``
+        carries the verdict counters, and caches per-rank migrations
+        in/out for ``/status`` and ``repro top``. On a ring-buffered
+        trace the summary covers retained history only.
+        """
+        sim = self.sim
+        events = sim.trace.events()
+        ledger = build_ledger(events)
+        counts = ledger.verdict_counts()
+        totals = ledger.totals()
+        n_mds = len(sim.mdss)
+        moved_in = [0] * n_mds
+        moved_out = [0] * n_mds
+        for e in events:
+            if e.etype == "migration_committed":
+                if e.src < n_mds:  # type: ignore[attr-defined]
+                    moved_out[e.src] += 1  # type: ignore[attr-defined]
+                if e.dst < n_mds:  # type: ignore[attr-defined]
+                    moved_in[e.dst] += 1  # type: ignore[attr-defined]
+        m = sim.metrics
+        for verdict in sorted(OUTCOME_VERDICTS):
+            m.gauge("outcome.migrations", verdict=verdict).set(
+                counts.get(verdict, 0))
+        m.gauge("outcome.benefit_efficiency").set(totals["efficiency"])
+        m.gauge("outcome.aborted_inodes").set(totals["aborted_inodes"])
+        self._ledger_cache = {
+            "verdicts": {v: counts.get(v, 0)
+                         for v in sorted(OUTCOME_VERDICTS)},
+            "judged": len(ledger),
+            "efficiency": totals["efficiency"],
+            "moved_inodes": int(totals["moved_inodes"]),
+            "aborted_inodes": int(totals["aborted_inodes"]),
+            "migrations_in": moved_in,
+            "migrations_out": moved_out,
+        }
 
     def _finish(self) -> None:
         with self.lock:
             if self.result is None:
                 self.result = self.sim.finish()
+            self._refresh_ledger()  # judge the tail the last boundary missed
             self.state = "stopped" if self._stop_requested else "done"
 
     def run_to_completion(self) -> None:
@@ -356,4 +405,16 @@ class SimulatorService:
                         "dropped": self.bus.dropped},
                 "mutations": {"queued": len(self._pending),
                               "applied": self.mutations_applied},
+                "outcomes": self._ledger_cache,
+                "workload_profile": (
+                    None if sim.last_workload_profile is None else {
+                        "epoch": sim.last_workload_profile.epoch,
+                        "heat_gini": sim.last_workload_profile.heat_gini,
+                        "heat_entropy": sim.last_workload_profile.heat_entropy,
+                        "load_gini": sim.last_workload_profile.load_gini,
+                        "top1_share": sim.last_workload_profile.top1_share,
+                        "topk_share": sim.last_workload_profile.topk_share,
+                        "churn": sim.last_workload_profile.churn,
+                        "op_mix": sim.last_workload_profile.op_mix,
+                    }),
             }

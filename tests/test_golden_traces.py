@@ -122,6 +122,43 @@ def test_recording_leaves_the_decision_trace_untouched(name):
     assert recorded.trace.dumps() == plain.trace.dumps()
 
 
+def test_workload_profiling_leaves_the_golden_trace_untouched():
+    """The workload profiler observes the run; it must never steer it.
+
+    A profiled golden-scenario run has to match the blessed ``.jsonl``
+    byte for byte — the ``wl.*`` columns and ``workload.*`` gauges are
+    additive — and building (and emitting) the cost/benefit ledger over a
+    *copy* of the trace must leave the original trace bytes alone.
+    """
+    from repro.obs.outcomes import build_ledger, emit_outcomes
+    from repro.obs.tracelog import TraceLog as _Log
+
+    workload, balancer = SCENARIOS["mdtest_lunule"]
+    cfg = ExperimentConfig(
+        workload=workload, balancer=balancer, n_clients=8, seed=7,
+        scale=0.15,
+        sim=GOLDEN_SIM.with_(record=True, workload_profile=True))
+    _, sim = run_traced(cfg)
+    produced = sim.trace.dumps()
+
+    path = GOLDEN_DIR / "mdtest_lunule.jsonl"
+    if path.exists():
+        assert produced == path.read_text(encoding="utf-8")
+
+    ledger = build_ledger(sim.trace.events())
+    assert len(ledger) > 0  # the scenario migrates; every commit is judged
+    annotated = _Log(ids=sim.trace.ids)
+    for e in sim.trace.events():
+        annotated.emit(e)
+    emit_outcomes(annotated, ledger)
+    assert sim.trace.dumps() == produced
+    assert len(annotated) == len(sim.trace) + len(ledger)
+
+    # profiled runs grow wl.* columns; the golden CSV (unprofiled) doesn't
+    assert any(c.startswith("wl.")
+               for c in sim.recorder.timeseries.columns())
+
+
 def test_golden_chaos_trace(update_golden):
     """A chaos run goldens too: faults, causes and aborts, byte for byte.
 

@@ -1,0 +1,327 @@
+"""The migration cost/benefit ledger: verdicts, waste, provenance."""
+
+import pytest
+
+from repro.cluster.simulator import SimConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_traced
+from repro.obs.events import (
+    DecisionIds,
+    EpochStart,
+    IfComputed,
+    MigrationAborted,
+    MigrationCommitted,
+    MigrationOutcome,
+    MigrationPlanned,
+    event_from_json,
+    event_to_json,
+)
+from repro.obs.outcomes import (
+    OutcomeConfig,
+    aborted_waste,
+    build_ledger,
+    emit_outcomes,
+)
+from repro.obs.provenance import ProvenanceGraph, explain, render_explain
+from repro.obs.tracelog import TraceLog, filter_events
+
+EPOCH_LEN = 5
+
+
+def epochs(loads_by_epoch):
+    """epoch_start + simulator if_computed per epoch, golden cadence."""
+    out = []
+    for k, loads in enumerate(loads_by_epoch):
+        out.append(EpochStart(epoch=k, tick=(k + 1) * EPOCH_LEN))
+        out.append(IfComputed(epoch=k, value=0.0, loads=tuple(loads),
+                              source="simulator", did=1000 + k))
+    return out
+
+
+def migration(*, plan_tick, src, dst, unit, inodes, load, did):
+    """A planned+committed pair (commit on the next tick)."""
+    return [
+        MigrationPlanned(tick=plan_tick, src=src, dst=dst, unit=unit,
+                         inodes=inodes, load=load, did=did),
+        MigrationCommitted(tick=plan_tick + 1, src=src, dst=dst, unit=unit,
+                           inodes=inodes, did=did + 1, parent=did),
+    ]
+
+
+class TestVerdicts:
+    def test_receiver_that_keeps_the_load_pays_off(self):
+        # dst rank 1 idles at 10, then serves ~+15 for every epoch after
+        # the epoch-2 commit — realized covers the planned 14.0 fully
+        trace = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 6)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        ledger = build_ledger(trace)
+        (entry,) = ledger.entries
+        assert entry.verdict == "paid_off"
+        assert entry.epoch == 2 and entry.observed_epochs == 5
+        assert entry.ratio == pytest.approx(1.0)
+
+    def test_subtree_that_goes_cold_is_wasted(self):
+        # dst never picks up measurable load over its baseline
+        trace = epochs([(30, 10, 0)] * 9)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        ledger = build_ledger(trace)
+        (entry,) = ledger.entries
+        assert entry.verdict == "wasted"
+        assert entry.realized == 0.0
+
+    def test_partial_benefit_is_neutral(self):
+        # dst gains ~3 of the promised 14 per epoch: ratio ~0.2
+        trace = epochs([(30, 10, 0)] * 3 + [(27, 13, 0)] * 6)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        ledger = build_ledger(trace)
+        (entry,) = ledger.entries
+        assert entry.verdict == "neutral"
+        assert 0.1 <= entry.ratio < 0.5
+
+    def test_no_observable_epochs_is_neutral(self):
+        # the run ends at the commit epoch: nothing to judge against
+        trace = epochs([(30, 10, 0)] * 3)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        ledger = build_ledger(trace)
+        (entry,) = ledger.entries
+        assert entry.verdict == "neutral"
+        assert entry.observed_epochs == 0
+
+    def test_reexport_off_the_receiver_is_ping_pong(self):
+        # unit 7 lands on rank 1 at epoch 2, gets planned straight back
+        # off rank 1 three epochs later — thrash, whatever the load says
+        trace = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 6)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        trace.append(MigrationPlanned(tick=29, src=1, dst=2, unit=7,
+                                      inodes=60, load=14.0, did=50))
+        ledger = build_ledger(trace)
+        entry = ledger.by_commit()[1]
+        assert entry.verdict == "ping_pong"
+
+    def test_reexport_outside_the_window_is_not_ping_pong(self):
+        cfg = OutcomeConfig(pingpong_epochs=2)
+        trace = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 20)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        # epoch 2 + W(2) = 4; the re-plan happens at epoch ~14
+        trace.append(MigrationPlanned(tick=74, src=1, dst=2, unit=7,
+                                      inodes=60, load=14.0, did=50))
+        ledger = build_ledger(trace, config=cfg)
+        entry = ledger.by_commit()[1]
+        assert entry.verdict == "paid_off"
+
+    def test_verdict_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown outcome verdict"):
+            MigrationOutcome(epoch=0, src=0, dst=1, unit=7, inodes=1,
+                             planned_load=1.0, realized=0.0, expected=1.0,
+                             verdict="great", observed_epochs=1)
+
+
+class TestWasteAccounting:
+    def trace_with_abort(self):
+        trace = epochs([(30, 10, 10)] * 8)
+        # same planning round (epoch 2): one commit, one mds_failed abort
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        trace.append(MigrationPlanned(tick=14, src=0, dst=2, unit=9,
+                                      inodes=33, load=8.0, did=10))
+        trace.append(MigrationAborted(tick=16, src=0, dst=2, unit=9,
+                                      reason="mds_failed", did=11, parent=10))
+        return trace
+
+    def test_aborted_sibling_inodes_charge_the_rounds_commits(self):
+        ledger = build_ledger(self.trace_with_abort())
+        (entry,) = ledger.entries
+        assert entry.waste == 33
+        assert ledger.aborted_tasks == 1 and ledger.aborted_inodes == 33
+
+    def test_waste_splits_equally_with_remainder_to_earliest(self):
+        trace = epochs([(30, 10, 10)] * 8)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        trace += migration(plan_tick=14, src=0, dst=2, unit=8, inodes=40,
+                           load=9.0, did=4)
+        trace.append(MigrationPlanned(tick=14, src=0, dst=2, unit=9,
+                                      inodes=33, load=8.0, did=10))
+        trace.append(MigrationAborted(tick=16, src=0, dst=2, unit=9,
+                                      reason="overlap", did=11, parent=10))
+        ledger = build_ledger(trace)
+        by_commit = ledger.by_commit()
+        assert by_commit[1].waste == 17  # floor(33/2) + remainder 1
+        assert by_commit[5].waste == 16
+
+    def test_aborted_waste_matches_the_chaos_score_join(self):
+        from repro.chaos.score import _aborted_waste
+
+        trace = self.trace_with_abort()
+        assert aborted_waste(trace, reason="mds_failed") == \
+            _aborted_waste(trace)
+        # reason=None counts every abort; the filtered slice is smaller
+        trace.append(MigrationAborted(tick=17, src=0, dst=1, unit=12,
+                                      reason="stale_auth", did=12))
+        assert aborted_waste(trace) == (2, 33)
+        assert aborted_waste(trace, reason="mds_failed") == (1, 33)
+
+    def test_abort_with_evicted_plan_counts_zero_inodes(self):
+        trace = epochs([(30, 10, 10)] * 3)
+        trace.append(MigrationAborted(tick=16, src=0, dst=2, unit=9,
+                                      reason="mds_failed", did=11, parent=10))
+        assert aborted_waste(trace) == (1, 0)
+
+
+class TestPartialLedger:
+    def test_ring_evicted_plan_yields_a_neutral_partial_entry(self):
+        # a ring trace that kept the commit but evicted its plan: the
+        # entry must survive, flagged partial, judged neutral
+        full = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 6)
+        full += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                          load=14.0, did=0)
+        evicted = [e for e in full if e.etype != "migration_planned"]
+        ledger = build_ledger(evicted)
+        (entry,) = ledger.entries
+        assert entry.partial is True
+        assert entry.verdict == "neutral"
+        assert entry.plan_did == 0 and 0 not in {
+            e.did for e in evicted if hasattr(e, "did")}
+
+
+class TestEmitAndProvenance:
+    def ledger_and_log(self):
+        trace = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 6)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        ledger = build_ledger(trace)
+        # allocator past the synthetic dids so outcome ids don't collide
+        log = TraceLog(ids=DecisionIds(start=2000))
+        for e in trace:
+            log.emit(e)
+        return trace, ledger, log
+
+    def test_outcome_events_chain_commit_to_verdict(self):
+        trace, ledger, log = self.ledger_and_log()
+        n = emit_outcomes(log, ledger)
+        assert n == 1
+        graph = ProvenanceGraph(log.events())
+        (outcome_did,) = graph.children[1]  # commit did 1 -> outcome
+        node = graph.nodes[outcome_did]
+        assert node.etype == "migration_outcome"
+        assert node.verdict == "paid_off"
+        # the full causal neighbourhood of the plan now ends in a verdict
+        assert outcome_did in graph.chain_ids(0)
+
+    def test_outcome_round_trips_with_non_default_fields(self):
+        e = MigrationOutcome(epoch=3, src=0, dst=1, unit="frag:3:1:0",
+                             inodes=60, planned_load=14.0, realized=7.0,
+                             expected=70.0, verdict="wasted",
+                             observed_epochs=5, did=9, parent=1,
+                             waste=33, partial=True)
+        s = event_to_json(e)
+        assert '"waste":33' in s and '"partial":true' in s
+        assert event_from_json(s) == e
+        # defaults are omitted from the wire form entirely
+        bare = MigrationOutcome(epoch=3, src=0, dst=1, unit=7, inodes=60,
+                                planned_load=14.0, realized=7.0,
+                                expected=70.0, verdict="wasted",
+                                observed_epochs=5, did=9, parent=1)
+        assert '"waste"' not in event_to_json(bare)
+        assert '"partial"' not in event_to_json(bare)
+
+    def test_filter_events_slices_outcomes_by_type_and_epoch(self):
+        trace, ledger, log = self.ledger_and_log()
+        emit_outcomes(log, ledger)
+        only = filter_events(log.events(), etypes=["migration_outcome"])
+        assert [e.etype for e in only] == ["migration_outcome"]
+        # migration_outcome carries the commit epoch: range-sliceable
+        assert filter_events(log.events(), etypes=["migration_outcome"],
+                             epoch_range=(2, 2)) == only
+        assert filter_events(log.events(), etypes=["migration_outcome"],
+                             epoch_range=(3, 9)) == []
+
+
+class TestExplainOutcomes:
+    def test_explain_attaches_verdicts_and_summary(self):
+        trace = epochs([(30, 10, 0)] * 3 + [(16, 25, 0)] * 6)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        report = explain(trace, outcomes=True)
+        (mig,) = [m for b in report["epochs"] for m in b["migrations"]]
+        assert mig["verdict"] == "paid_off"
+        assert mig["ratio"] == pytest.approx(1.0)
+        assert report["summary"]["verdicts"] == {"paid_off": 1}
+        text = render_explain(report)
+        assert "verdict=paid_off" in text
+        assert "verdicts: paid_off=1" in text
+
+    def test_explain_without_outcomes_is_unchanged(self):
+        trace = epochs([(30, 10, 0)] * 3)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        report = explain(trace)
+        (mig,) = [m for b in report["epochs"] for m in b["migrations"]]
+        assert "verdict" not in mig
+        assert "verdicts" not in report["summary"]
+
+    def test_every_committed_migration_in_a_real_run_gets_a_verdict(self):
+        # the fig6-shaped acceptance scenario: mdtest under lunule at the
+        # golden scale, every migration_committed judged
+        cfg = ExperimentConfig(
+            workload="mdtest", balancer="lunule", n_clients=8, seed=7,
+            scale=0.15,
+            sim=SimConfig(n_mds=3, mds_capacity=60.0, epoch_len=5,
+                          max_ticks=3000, migration_rate=50, seed=0))
+        _, sim = run_traced(cfg)
+        events = sim.trace.events()
+        commits = [e for e in events if e.etype == "migration_committed"]
+        assert commits, "scenario must migrate for the test to mean anything"
+        report = explain(events, outcomes=True)
+        migs = [m for b in report["epochs"] for m in b["migrations"]
+                if m["outcome"] == "committed"]
+        assert len(migs) == len(commits)
+        assert all("verdict" in m for m in migs)
+        ledger = build_ledger(events)
+        assert len(ledger) == len(commits)
+        assert ledger.to_dict()["schema"] == 1
+
+
+class TestLedgerDocument:
+    def test_to_dict_schema(self):
+        trace = epochs([(30, 10, 0)] * 9)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        doc = build_ledger(trace).to_dict()
+        assert doc["schema"] == 1
+        assert set(doc) == {"schema", "config", "entries", "verdicts",
+                            "totals"}
+        assert doc["config"] == {"benefit_epochs": 5, "pingpong_epochs": 10,
+                                 "paid_off_ratio": 0.5, "neutral_ratio": 0.1}
+        (entry,) = doc["entries"]
+        assert entry["did"] == 1 and entry["verdict"] in (
+            "paid_off", "neutral", "wasted", "ping_pong")
+        assert doc["totals"]["migrations"] == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OutcomeConfig(benefit_epochs=0)
+        with pytest.raises(ValueError):
+            OutcomeConfig(neutral_ratio=0.9, paid_off_ratio=0.5)
+
+    def test_timeseries_columns_override_trace_loads(self):
+        # trace loads say the receiver never moved; the recorded columns
+        # say it did — the columns win
+        trace = epochs([(30, 10, 0)] * 9)
+        trace += migration(plan_tick=14, src=0, dst=1, unit=7, inodes=60,
+                           load=14.0, did=0)
+        columns = {
+            "epoch": list(range(9)),
+            "load.0": [30.0] * 3 + [16.0] * 6,
+            "load.1": [10.0] * 3 + [25.0] * 6,
+            "load.2": [0.0] * 9,
+        }
+        assert build_ledger(trace).entries[0].verdict == "wasted"
+        assert build_ledger(
+            trace, timeseries=columns).entries[0].verdict == "paid_off"

@@ -1,0 +1,222 @@
+"""Workload characterization: skew math, profiles, columns and gauges."""
+
+import math
+
+import pytest
+
+from repro.obs.events import NO_DECISION, WorkloadProfiled, event_from_json, event_to_json
+from repro.obs.prom import parse_openmetrics, render_openmetrics
+from repro.obs.provenance import ProvenanceGraph
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracelog import TraceLog, filter_events
+from repro.obs.workload import (
+    TOPK_DEFAULT,
+    WorkloadProfile,
+    classify_op_mix,
+    emit_profiles,
+    gini,
+    normalized_entropy,
+    profiles_from_timeseries,
+    topk_share,
+)
+
+
+class TestSkewMath:
+    def test_uniform_is_flat(self):
+        values = [5.0] * 8
+        assert gini(values) == pytest.approx(0.0)
+        assert normalized_entropy(values) == pytest.approx(1.0)
+
+    def test_single_hot_member_among_many_is_concentrated(self):
+        # sparse form: one nonzero dirfrag, 10_000-member population
+        assert gini([42.0], total_count=10_000) == pytest.approx(1.0, abs=1e-3)
+        assert normalized_entropy([42.0], total_count=10_000) == 0.0
+
+    def test_sparse_matches_dense(self):
+        dense = [0.0] * 96 + [1.0, 2.0, 3.0, 10.0]
+        nonzero = [1.0, 2.0, 3.0, 10.0]
+        assert gini(nonzero, total_count=100) == pytest.approx(gini(dense))
+        assert normalized_entropy(nonzero, total_count=100) == pytest.approx(
+            normalized_entropy(dense))
+
+    def test_idle_and_degenerate_populations_score_zero(self):
+        for fn in (gini, normalized_entropy):
+            assert fn([]) == 0.0
+            assert fn([0.0, 0.0]) == 0.0
+            assert fn([7.0]) == 0.0  # single-member population
+
+    def test_entropy_never_renders_negative_zero(self):
+        # one member holding all mass used to produce IEEE -0.0
+        assert str(normalized_entropy([5.0], total_count=4)) == "0.0"
+
+    def test_topk_share(self):
+        values = [10.0, 5.0, 3.0, 2.0]
+        assert topk_share(values, 1) == pytest.approx(0.5)
+        assert topk_share(values, 2) == pytest.approx(0.75)
+        assert topk_share(values, 100) == 1.0
+        assert topk_share(values, 0) == 0.0
+        assert topk_share([], 3) == 0.0
+
+    def test_gini_orders_by_concentration(self):
+        mild = gini([4.0, 5.0, 6.0], total_count=50)
+        harsh = gini([0.1, 0.1, 100.0], total_count=50)
+        assert 0.0 < mild < harsh <= 1.0
+
+
+class TestOpMixClasses:
+    def test_all_five_classes(self):
+        assert classify_op_mix(0, 0, 0, 0) == "idle"
+        assert classify_op_mix(10, 6, 8, 2) == "create_heavy"
+        # created is a subset of first: creates win even when first is
+        # also a majority
+        assert classify_op_mix(10, 1, 8, 2) == "scan_heavy"
+        assert classify_op_mix(10, 0, 2, 8) == "read_heavy"
+        assert classify_op_mix(10, 2, 4, 4) == "mixed"
+
+    def test_event_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown op-mix class"):
+            WorkloadProfiled(epoch=0, load_gini=0, load_entropy=0,
+                             heat_gini=0, heat_entropy=0, top1_share=0,
+                             topk_share=0, churn=0, op_mix="write_heavy")
+
+
+class TestWorkloadProfile:
+    def profile(self):
+        return WorkloadProfile.compute(
+            epoch=4,
+            loads=[30.0, 10.0, 0.0],
+            heat_values=[8.0, 4.0, 2.0, 1.0],
+            n_dirs=200,
+            mix={"visits": 100, "created": 10, "first": 20, "recurrent": 60},
+            clients_started=2, clients_done=1, active_clients=6)
+
+    def test_compute(self):
+        p = self.profile()
+        assert p.epoch == 4
+        assert p.op_mix == "read_heavy"
+        assert p.churn == pytest.approx(0.5)
+        assert p.top1_share == pytest.approx(8.0 / 15.0)
+        assert p.topk_share == 1.0  # only 4 nonzero frags, k=8
+        assert 0.9 < p.heat_gini <= 1.0  # 4 hot frags out of 200
+        assert p.load_gini == pytest.approx(gini([30.0, 10.0, 0.0]))
+
+    def test_churn_guards_an_empty_active_population(self):
+        p = WorkloadProfile.compute(
+            epoch=0, loads=[], heat_values=[], n_dirs=0, mix={},
+            clients_started=3, clients_done=3, active_clients=0)
+        assert p.churn == 6.0
+        assert p.op_mix == "idle"
+
+    def test_record_round_trips_through_timeseries_columns(self):
+        p = self.profile()
+        record = p.to_record()
+        assert set(record) == {
+            "wl.load_gini", "wl.load_entropy", "wl.heat_gini",
+            "wl.heat_entropy", "wl.top1_share", "wl.topk_share",
+            "wl.churn", "wl.op_mix"}
+        snapshot = {name: [None, value] for name, value in record.items()}
+        snapshot["epoch"] = [3, 4]
+        (back,) = profiles_from_timeseries(snapshot)
+        assert back == p
+
+    def test_event_round_trips_as_json(self):
+        e = self.profile().to_event(did=17)
+        assert e.op_mix == "read_heavy" and e.did == 17
+        assert event_from_json(event_to_json(e)) == e
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        p = self.profile()
+        p.to_gauges(registry)
+        assert registry.get_value("workload.heat_gini") == p.heat_gini
+        assert registry.get_value("workload.hotspot_share",
+                                  k="1") == p.top1_share
+        assert registry.get_value("workload.hotspot_share",
+                                  k=str(TOPK_DEFAULT)) == p.topk_share
+        # opmix class index is a gauge too (dashboards map it back)
+        assert registry.get_value("workload.opmix_class") == 3.0
+        text = render_openmetrics(registry)
+        families = parse_openmetrics(text)
+        assert "workload_heat_gini" in families
+        assert "workload_hotspot_share" in families
+        assert "workload_client_churn" in families
+
+    def test_profiles_from_timeseries_without_columns_is_empty(self):
+        assert profiles_from_timeseries({"epoch": [0, 1]}) == []
+
+
+class TestSimulatorIntegration:
+    def run_pair(self, make_sim):
+        plain = make_sim("lunule", record=True)
+        plain.run()
+        profiled = make_sim("lunule", record=True, workload_profile=True)
+        profiled.run()
+        return plain, profiled
+
+    def test_profiling_leaves_the_decision_trace_untouched(self, make_sim):
+        plain, profiled = self.run_pair(make_sim)
+        assert profiled.trace.dumps() == plain.trace.dumps()
+
+    def test_wl_columns_only_exist_when_enabled(self, make_sim):
+        plain, profiled = self.run_pair(make_sim)
+        on = set(profiled.recorder.timeseries.columns())
+        off = set(plain.recorder.timeseries.columns())
+        wl = {c for c in on if c.startswith("wl.")}
+        assert wl == {"wl.load_gini", "wl.load_entropy", "wl.heat_gini",
+                      "wl.heat_entropy", "wl.top1_share", "wl.topk_share",
+                      "wl.churn", "wl.op_mix"}
+        assert not {c for c in off if c.startswith("wl.")}
+
+    def test_profile_stream_is_sane_and_rebuildable(self, make_sim):
+        _, profiled = self.run_pair(make_sim)
+        ts = profiled.recorder.timeseries
+        snapshot = {name: ts.column(name) for name in ts.columns()}
+        profiles = profiles_from_timeseries(snapshot)
+        assert len(profiles) == len(profiled.recorder.timeseries)
+        for p in profiles:
+            assert 0.0 <= p.heat_gini <= 1.0
+            assert 0.0 <= p.heat_entropy <= 1.0
+            assert 0.0 <= p.top1_share <= p.topk_share <= 1.0
+            assert not math.isnan(p.churn)
+        assert profiled.last_workload_profile == profiles[-1]
+
+    def test_workload_gauges_exported(self, make_sim):
+        _, profiled = self.run_pair(make_sim)
+        families = parse_openmetrics(render_openmetrics(profiled.metrics))
+        assert "workload_heat_gini" in families
+        assert "workload_opmix_class" in families
+        plain_families = parse_openmetrics(
+            render_openmetrics(self.run_pair(make_sim)[0].metrics))
+        assert "workload_heat_gini" not in plain_families
+
+
+class TestEmitAndFilter:
+    def emitted_log(self, make_sim):
+        profiled = make_sim("lunule", record=True, workload_profile=True)
+        profiled.run()
+        ts = profiled.recorder.timeseries
+        profiles = profiles_from_timeseries(
+            {name: ts.column(name) for name in ts.columns()})
+        log = TraceLog(ids=profiled.trace.ids)
+        for e in profiled.trace.events():
+            log.emit(e)
+        n = emit_profiles(log, profiles)
+        return log, profiles, n
+
+    def test_emitted_stream_indexes_in_the_provenance_graph(self, make_sim):
+        log, profiles, n = self.emitted_log(make_sim)
+        assert n == len(profiles) > 0
+        graph = ProvenanceGraph(log.events())
+        tagged = [graph.nodes[d] for d in graph.nodes
+                  if graph.nodes[d].etype == "workload_profiled"]
+        assert len(tagged) == n
+        assert all(e.did != NO_DECISION for e in tagged)
+
+    def test_filter_events_slices_profiles_by_type_and_epoch(self, make_sim):
+        log, profiles, n = self.emitted_log(make_sim)
+        only = filter_events(log.events(), etypes=["workload_profiled"])
+        assert len(only) == n
+        first_epoch = profiles[0].epoch
+        sliced = filter_events(log.events(), etypes=["workload_profiled"],
+                               epoch_range=(first_epoch, first_epoch))
+        assert [e.epoch for e in sliced] == [first_epoch]

@@ -394,6 +394,67 @@ class TestDashboard:
         assert "DOWN" in line
 
 
+class TestLedgerPlane:
+    """The live cost/benefit ledger and workload line on /status + top."""
+
+    def _status(self) -> dict:
+        svc = SimulatorService(
+            serve_cfg(record=True, perf_gauges=True, workload_profile=True))
+        svc.run_to_completion()
+        return svc.status()
+
+    def test_status_carries_the_ledger(self):
+        status = self._status()
+        outcomes = status["outcomes"]
+        assert outcomes is not None
+        assert set(outcomes) >= {"verdicts", "judged", "efficiency",
+                                 "moved_inodes", "aborted_inodes",
+                                 "migrations_in", "migrations_out"}
+        assert set(outcomes["verdicts"]) == {"paid_off", "neutral",
+                                             "wasted", "ping_pong"}
+        assert outcomes["judged"] == sum(outcomes["verdicts"].values())
+        assert outcomes["judged"] > 0  # the serve scenario migrates
+        n_mds = len(status["loads"])
+        assert len(outcomes["migrations_in"]) == n_mds
+        assert sum(outcomes["migrations_in"]) == sum(
+            outcomes["migrations_out"]) == outcomes["judged"]
+
+    def test_status_carries_the_workload_profile(self):
+        profile = self._status()["workload_profile"]
+        assert profile is not None
+        assert 0.0 <= profile["heat_gini"] <= 1.0
+        assert profile["op_mix"] in ("idle", "create_heavy", "scan_heavy",
+                                     "read_heavy", "mixed")
+
+    def test_render_top_shows_ledger_and_workload(self):
+        status = self._status()
+        screen = render_top(status)
+        judged = status["outcomes"]["judged"]
+        assert f"ledger {judged} judged:" in screen
+        assert "paid_off=" in screen and "ping_pong=" in screen
+        assert "workload " in screen and "heat gini" in screen
+        mds0 = next(ln for ln in screen.splitlines() if "mds.0" in ln)
+        assert " in " in mds0 and " out " in mds0
+
+    def test_ledger_gauges_reach_the_metrics_registry(self):
+        svc = SimulatorService(serve_cfg(record=True, workload_profile=True))
+        svc.run_to_completion()
+        m = svc.sim.metrics
+        judged = sum(
+            m.get_value("outcome.migrations", verdict=v) or 0.0
+            for v in ("paid_off", "neutral", "wasted", "ping_pong"))
+        assert judged == svc.status()["outcomes"]["judged"]
+        assert m.get_value("outcome.aborted_inodes") is not None
+
+    def test_ledger_off_without_profiling_still_populates(self):
+        # the ledger reads the trace, so it works with profiling off too
+        svc = SimulatorService(serve_cfg(record=True))
+        svc.run_to_completion()
+        status = svc.status()
+        assert status["outcomes"] is not None
+        assert status["workload_profile"] is None
+
+
 # ------------------------------------------------------------ report banner
 class TestReportWarnings:
     def _report(self, metrics: dict, timeseries: dict | None = None) -> str:
